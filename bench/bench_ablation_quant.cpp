@@ -1,0 +1,80 @@
+// Ablation B: fixed-point width (paper footnote 2: "using reduced bit
+// widths (e.g., 16-bit or less) can implement more layers in PL part").
+//
+// Sweeps the fractional precision of the ODEBlock datapath, measuring
+// (a) output error of one accelerated block evaluation vs float software,
+// (b) weight quantization SNR, and (c) whether each layer then fits in
+// the XC7Z020's BRAM (structural estimate).
+#include <cstdio>
+
+#include "core/init.hpp"
+#include "fpga/accelerator.hpp"
+#include "fpga/resource_model.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace odenet;
+
+int main() {
+  std::printf("=== Ablation: fixed-point width of the PL datapath ===\n\n");
+
+  util::Rng rng(13);
+  core::BuildingBlock block({.in_channels = 16, .out_channels = 16,
+                             .stride = 1, .time_channel = true});
+  core::init_block(block, rng);
+  block.bn1().set_use_batch_stats_in_eval(true);
+  block.bn2().set_use_batch_stats_in_eval(true);
+
+  core::Tensor z({1, 16, 16, 16});
+  for (std::size_t i = 0; i < z.numel(); ++i) {
+    z.data()[i] = static_cast<float>(rng.normal(0.0, 0.5));
+  }
+  core::Tensor want = block.branch_forward(z, 1.0f);
+
+  // Weight SNR sample: conv2 weights.
+  const core::Tensor& w = block.conv2().weight().value;
+
+  util::TableWriter table({"frac bits", "storage", "weight SNR [dB]",
+                           "max |out err|", "mean |out err|"});
+  for (int frac : {8, 12, 16, 20, 24}) {
+    fpga::OdeBlockAccelerator accel({.channels = 16, .extent = 16,
+                                     .parallelism = 16, .frac_bits = frac});
+    accel.load_weights(block);
+    core::Tensor got = accel.eval_branch(z, 1.0f);
+    double max_err = 0, mean_err = 0;
+    for (std::size_t i = 0; i < want.numel(); ++i) {
+      const double e =
+          std::abs(static_cast<double>(got.data()[i]) - want.data()[i]);
+      max_err = std::max(max_err, e);
+      mean_err += e;
+    }
+    mean_err /= static_cast<double>(want.numel());
+    const auto snr = fixed::measure_quantization(w, frac);
+    table.add_row({std::to_string(frac),
+                   frac >= 16 ? "32-bit" : "16-bit",
+                   util::TableWriter::fmt(snr.snr_db, 1),
+                   util::TableWriter::fmt(max_err, 6),
+                   util::TableWriter::fmt(mean_err, 6)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("BRAM demand per layer (structural estimate, conv_x16):\n\n");
+  fpga::ResourceModel model;
+  util::TableWriter bram({"Layer", "32-bit weights", "16-bit weights",
+                          "device"});
+  for (auto layer : {models::StageId::kLayer1, models::StageId::kLayer2_2,
+                     models::StageId::kLayer3_2}) {
+    const auto g = fpga::ResourceModel::geometry_for(layer);
+    bram.add_row({stage_name(layer),
+                  std::to_string(model.estimate(g, 16, 32).bram36),
+                  std::to_string(model.estimate(g, 16, 16).bram36),
+                  std::to_string(model.device().bram36)});
+  }
+  std::printf("%s\n", bram.to_string().c_str());
+  std::printf(
+      "Halving the weight width roughly halves the weight BRAM — enough\n"
+      "headroom to co-locate more than one layer on the PL, the paper's\n"
+      "suggested direction for improving the modest Hybrid/ODENet\n"
+      "speedups.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// EXTENSION bench (paper §5 future work): projected speedup from
+// offloading the *training* of rODENet variants to the PL, using the
+// calibrated inference models extended with backward-pass factors
+// (sched/train_offload.hpp).
+#include <cstdio>
+
+#include "sched/train_offload.hpp"
+#include "util/table.hpp"
+
+using namespace odenet;
+using namespace odenet::models;
+using namespace odenet::sched;
+
+int main() {
+  std::printf("=== Extension: training offload projection (paper §5 future "
+              "work) ===\n\n");
+
+  TrainingLatencyModel model;
+  util::TableWriter table({"Model", "N", "Offload", "weights",
+                           "train s/img (SW)", "train s/img (hybrid)",
+                           "speedup", "fits XC7Z020"});
+
+  struct Case {
+    Arch arch;
+    StageId target;
+  };
+  const Case cases[] = {
+      {Arch::kROdeNet1, StageId::kLayer1},
+      {Arch::kROdeNet2, StageId::kLayer2_2},
+      {Arch::kROdeNet3, StageId::kLayer3_2},
+  };
+  for (const auto& c : cases) {
+    for (int n : {20, 56}) {
+      for (int bits : {32, 16}) {
+        TrainingRow row = model.evaluate(make_spec(c.arch, n),
+                                         Partition::single(c.target, 16),
+                                         /*batch_size=*/32, bits);
+        table.add_row({row.model, std::to_string(n), row.offload_target,
+                       std::to_string(bits) + "-bit",
+                       util::TableWriter::fmt(row.image_seconds_sw, 2),
+                       util::TableWriter::fmt(row.image_seconds_hybrid, 2),
+                       util::TableWriter::fmt(row.speedup, 2) + "x",
+                       row.fits_device ? "yes" : "NO"});
+      }
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Training triples the convolution work on both sides, so the hybrid\n"
+      "speedup stays close to the inference speedup — but the training\n"
+      "accelerator must also hold stored activations (2x fmap BRAM) and\n"
+      "move gradients (4 transfers/execution + weight-gradient readback\n"
+      "per batch). With 32-bit weights layer3_2 training does NOT fit the\n"
+      "XC7Z020; 16-bit weights (footnote 2) make it feasible.\n"
+      "CIFAR-100 epoch projection (50k images): rODENet-3-56 drops from\n"
+      "%.1f to %.1f hours per epoch at 16-bit.\n",
+      model.evaluate(make_spec(Arch::kROdeNet3, 56), Partition::none())
+              .image_seconds_sw * 50000.0 / 3600.0,
+      model.evaluate(make_spec(Arch::kROdeNet3, 56),
+                     Partition::single(StageId::kLayer3_2, 16), 32, 16)
+              .image_seconds_hybrid * 50000.0 / 3600.0);
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Reproduces Figure 6 (accuracy of the architectures as training
+// progresses) at laptop scale.
+//
+// The paper trains on CIFAR-100 for 200 epochs on all seven architectures
+// at N in {20,32,44,56}. That is far beyond a CPU-only environment, so by
+// default this harness trains every architecture at a reduced
+// configuration on the synthetic CIFAR stand-in and reports the same
+// qualitative quantities: accuracy-vs-epoch curves, final accuracy, and a
+// stability measure (std of the last epochs). Real CIFAR-100 is used
+// automatically when cifar-100-binary/{train,test}.bin exist.
+//
+// Scale knobs (environment):
+//   ODENET_FIG6_N        comma list of depths     (default "14,20";
+//                        note Hybrid-3-14 == ResNet-14 structurally, since
+//                        (14-8)/6 = 1 execution makes layer3_2 a plain block)
+//   ODENET_FIG6_EPOCHS   epochs                   (default 6)
+//   ODENET_FIG6_WIDTH    base channels            (default 6)
+//   ODENET_FIG6_INPUT    input resolution         (default 16)
+//   ODENET_FIG6_CLASSES  classes                  (default 8)
+//   ODENET_FIG6_TRAIN    train images per class   (default 16)
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "data/cifar.hpp"
+#include "data/dataloader.hpp"
+#include "data/synthetic.hpp"
+#include "models/network.hpp"
+#include "train/trainer.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace odenet;
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+std::vector<int> env_int_list(const char* name, std::vector<int> fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  std::vector<int> out;
+  std::string s(v);
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    out.push_back(std::atoi(s.substr(pos, comma - pos).c_str()));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out.empty() ? fallback : out;
+}
+
+}  // namespace
+
+int main() {
+  const auto depths = env_int_list("ODENET_FIG6_N", {14, 20});
+  const int epochs = env_int("ODENET_FIG6_EPOCHS", 6);
+
+  models::WidthConfig width{.input_channels = 3,
+                            .input_size = env_int("ODENET_FIG6_INPUT", 16),
+                            .base_channels = env_int("ODENET_FIG6_WIDTH", 6),
+                            .num_classes = env_int("ODENET_FIG6_CLASSES", 8)};
+
+  data::Dataset train_ds, test_ds;
+  if (auto real = data::try_load_cifar100("cifar-100-binary")) {
+    width.input_size = 32;
+    width.num_classes = 100;
+    train_ds = std::move(real->train);
+    test_ds = std::move(real->test);
+    std::printf("=== Figure 6 (REAL CIFAR-100, %zu/%zu images) ===\n",
+                train_ds.size(), test_ds.size());
+  } else {
+    data::SyntheticConfig dcfg;
+    dcfg.num_classes = width.num_classes;
+    dcfg.images_per_class = env_int("ODENET_FIG6_TRAIN", 16);
+    dcfg.height = width.input_size;
+    dcfg.width = width.input_size;
+    dcfg.noise_std = 0.10;
+    dcfg.seed = 29;
+    auto pair = data::make_synthetic_pair(dcfg,
+                                          dcfg.images_per_class / 2 + 1);
+    train_ds = std::move(pair.train);
+    test_ds = std::move(pair.test);
+    std::printf("=== Figure 6 at reduced scale (synthetic CIFAR stand-in) "
+                "===\n");
+    std::printf("config: %d classes, %dx%d, width %d, %zu train / %zu test, "
+                "%d epochs\n",
+                width.num_classes, width.input_size, width.input_size,
+                width.base_channels, train_ds.size(), test_ds.size(),
+                epochs);
+    std::printf("(scale up via ODENET_FIG6_* env vars or by dropping "
+                "cifar-100-binary/ in the cwd)\n");
+  }
+
+  const auto stats = data::compute_channel_stats(train_ds);
+
+  struct Result {
+    std::vector<double> curve;
+    double final_acc = 0.0;
+    double stability = 0.0;  // std of last 3 epochs
+  };
+  std::map<std::string, Result> results;
+
+  for (int n : depths) {
+    std::printf("\n--- N = %d: test accuracy by epoch ---\n", n);
+    for (models::Arch arch : models::all_archs()) {
+      if (!models::valid_depth(arch, n)) {
+        std::printf("%-12s skipped (invalid depth %d)\n",
+                    models::arch_name(arch).c_str(), n);
+        continue;
+      }
+      models::Network net(models::make_spec(arch, n, width));
+      util::Rng rng(1234);
+      net.init(rng);
+
+      data::DataLoader train_loader(train_ds,
+                                    {.batch_size = 32,
+                                     .shuffle = true,
+                                     .augment = true,
+                                     .mean = stats.mean,
+                                     .stddev = stats.stddev,
+                                     .seed = 2});
+      data::DataLoader test_loader(test_ds,
+                                   {.batch_size = 32,
+                                    .shuffle = false,
+                                    .mean = stats.mean,
+                                    .stddev = stats.stddev});
+
+      train::TrainerConfig tcfg;
+      tcfg.epochs = epochs;
+      tcfg.sgd.learning_rate = 0.05;
+      tcfg.sgd.momentum = 0.9;
+      tcfg.sgd.weight_decay = 1e-4;  // the paper's L2
+      tcfg.schedule = {.base_lr = 0.05,
+                       .milestones = {epochs / 2, 3 * epochs / 4},
+                       .factor = 0.1};
+      tcfg.on_epoch = [](const train::EpochStats&) {};  // quiet
+      train::Trainer trainer(net, tcfg);
+      auto history = trainer.fit(train_loader, test_loader);
+
+      Result r;
+      std::printf("%-12s ", models::arch_name(arch).c_str());
+      for (const auto& e : history) {
+        r.curve.push_back(e.test_accuracy);
+        std::printf("%5.1f ", 100.0 * e.test_accuracy);
+      }
+      r.final_acc = history.back().test_accuracy;
+      const int tail = std::min<int>(3, static_cast<int>(history.size()));
+      double mean = 0;
+      for (int i = 0; i < tail; ++i) {
+        mean += r.curve[r.curve.size() - 1 - i];
+      }
+      mean /= tail;
+      double var = 0;
+      for (int i = 0; i < tail; ++i) {
+        const double d = r.curve[r.curve.size() - 1 - i] - mean;
+        var += d * d;
+      }
+      r.stability = std::sqrt(var / tail);
+      std::printf("| final %.1f%%  tail-std %.2f\n", 100.0 * r.final_acc,
+                  100.0 * r.stability);
+      results[models::arch_name(arch) + "-" + std::to_string(n)] = r;
+    }
+  }
+
+  std::printf("\nqualitative checks against the paper's Figure 6:\n");
+  std::printf("  * ResNet should place at or near the top.\n");
+  std::printf("  * rODENet-3 should be stable (small tail-std) and near\n"
+              "    ResNet — the paper's recommended trade-off.\n");
+  std::printf("  * rODENet-1 / rODENet-1+2 are the weakest variants (they\n"
+              "    starve the wide layers).\n");
+  std::printf("(absolute numbers are NOT comparable to the paper's\n"
+              "CIFAR-100/200-epoch runs; see EXPERIMENTS.md)\n");
+  return 0;
+}

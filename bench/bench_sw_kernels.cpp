@@ -1,0 +1,119 @@
+// google-benchmark microbenchmarks of the software (PS-side) kernels:
+// the three offloadable layer geometries for conv/BN/block, forward and
+// backward. These are the kernels the Cortex-A9 model abstracts; on a
+// desktop they quantify the relative cost structure (conv >> BN; equal
+// MACs across the three layer geometries).
+#include <benchmark/benchmark.h>
+
+#include "core/block.hpp"
+#include "core/init.hpp"
+#include "models/odeblock.hpp"
+#include "util/rng.hpp"
+
+using namespace odenet;
+
+namespace {
+
+core::Tensor random_tensor(std::vector<int> shape, util::Rng& rng) {
+  core::Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(rng.normal(0.0, 0.5));
+  }
+  return t;
+}
+
+void BM_ConvForward(benchmark::State& state) {
+  const int ch = static_cast<int>(state.range(0));
+  const int extent = static_cast<int>(state.range(1));
+  util::Rng rng(1);
+  core::Conv2d conv({.in_channels = ch, .out_channels = ch});
+  core::init_conv(conv, rng);
+  core::Tensor x = random_tensor({1, ch, extent, extent}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(conv.mac_count(extent,
+                                                                   extent)));
+}
+
+void BM_ConvBackward(benchmark::State& state) {
+  const int ch = static_cast<int>(state.range(0));
+  const int extent = static_cast<int>(state.range(1));
+  util::Rng rng(2);
+  core::Conv2d conv({.in_channels = ch, .out_channels = ch});
+  core::init_conv(conv, rng);
+  conv.set_training(true);
+  core::Tensor x = random_tensor({1, ch, extent, extent}, rng);
+  core::Tensor g = random_tensor({1, ch, extent, extent}, rng);
+  conv.forward(x);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.backward(g));
+  }
+}
+
+void BM_BatchNormForward(benchmark::State& state) {
+  const int ch = static_cast<int>(state.range(0));
+  const int extent = static_cast<int>(state.range(1));
+  util::Rng rng(3);
+  core::BatchNorm2d bn(ch);
+  bn.set_use_batch_stats_in_eval(true);
+  core::Tensor x = random_tensor({1, ch, extent, extent}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bn.forward(x));
+  }
+}
+
+void BM_BlockBranchForward(benchmark::State& state) {
+  const int ch = static_cast<int>(state.range(0));
+  const int extent = static_cast<int>(state.range(1));
+  util::Rng rng(4);
+  core::BuildingBlock block({.in_channels = ch, .out_channels = ch,
+                             .stride = 1, .time_channel = true});
+  core::init_block(block, rng);
+  block.bn1().set_use_batch_stats_in_eval(true);
+  block.bn2().set_use_batch_stats_in_eval(true);
+  core::Tensor z = random_tensor({1, ch, extent, extent}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(block.branch_forward(z, 1.0f));
+  }
+}
+
+void BM_OdeBlockEulerSolve(benchmark::State& state) {
+  const int steps = static_cast<int>(state.range(0));
+  util::Rng rng(5);
+  models::OdeBlock ode({.channels = 16, .executions = steps}, "bench");
+  core::init_block(ode.block(), rng);
+  ode.block().bn1().set_use_batch_stats_in_eval(true);
+  ode.block().bn2().set_use_batch_stats_in_eval(true);
+  core::Tensor z = random_tensor({1, 16, 8, 8}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ode.forward(z));
+  }
+}
+
+}  // namespace
+
+// The paper's three offloadable geometries — identical MAC counts.
+BENCHMARK(BM_ConvForward)
+    ->Args({16, 32})
+    ->Args({32, 16})
+    ->Args({64, 8})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ConvBackward)
+    ->Args({16, 32})
+    ->Args({64, 8})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BatchNormForward)
+    ->Args({16, 32})
+    ->Args({64, 8})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BlockBranchForward)
+    ->Args({16, 32})
+    ->Args({64, 8})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OdeBlockEulerSolve)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,46 @@
+// Reproduces Table 4: stacked-block / executions-per-block counts for the
+// seven architectures at N in {20, 32, 44, 56}, and verifies the paper's
+// invariant that every variant executes the same total number of blocks.
+#include <cstdio>
+
+#include "models/architecture.hpp"
+#include "util/table.hpp"
+
+using namespace odenet;
+using namespace odenet::models;
+
+int main() {
+  for (int n : {20, 32, 44, 56}) {
+    std::printf("=== Table 4 (N = %d): # stacked blocks / # executions per "
+                "block ===\n\n",
+                n);
+    std::vector<std::string> header = {"Layer"};
+    for (Arch a : all_archs()) header.push_back(arch_name(a));
+    util::TableWriter table(header);
+
+    const StageId rows[] = {StageId::kConv1,    StageId::kLayer1,
+                            StageId::kLayer2_1, StageId::kLayer2_2,
+                            StageId::kLayer3_1, StageId::kLayer3_2,
+                            StageId::kFc};
+    for (StageId id : rows) {
+      std::vector<std::string> cells = {stage_name(id)};
+      for (Arch a : all_archs()) {
+        cells.push_back(table4_cell(make_spec(a, n), id));
+      }
+      table.add_row(cells);
+    }
+    std::printf("%s", table.to_string().c_str());
+
+    const int resnet_total = make_spec(Arch::kResNet, n)
+                                 .total_block_executions();
+    bool invariant = true;
+    for (Arch a : all_archs()) {
+      invariant &=
+          make_spec(a, n).total_block_executions() == resnet_total;
+    }
+    std::printf("\ntotal block executions: %d for every architecture — "
+                "invariant %s\n\n",
+                resnet_total, invariant ? "HOLDS" : "VIOLATED");
+  }
+  return 0;
+}

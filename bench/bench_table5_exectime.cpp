@@ -1,0 +1,111 @@
+// Reproduces Table 5: execution time and overall speedup of the seven
+// architectures with heavily-used layers offloaded to the PL (conv_x16,
+// PS = Cortex-A9 @650 MHz model, PL @100 MHz, AXI 1 cycle/float32).
+//
+// Expected shape vs the paper: identical winners (rODENet variants reach
+// ~2-2.7x, rODENet-3-56 largest at ~2.66x; ODENet-3/Hybrid-3 plateau at
+// ~1.2x because layer3_2 is only ~21-30% of their runtime).
+#include <array>
+#include <cstdio>
+
+#include "sched/latency_model.hpp"
+#include "util/table.hpp"
+
+using namespace odenet;
+using namespace odenet::models;
+using namespace odenet::sched;
+
+namespace {
+
+struct RowSpec {
+  Arch arch;
+  std::vector<StageId> offload;
+  const char* label;
+  // Paper's speedup column for comparison (index by N: 20,32,44,56).
+  std::array<double, 4> paper_speedup;
+};
+
+std::string fmt_targets(const LatencyRow& row,
+                        double (*get)(const TargetTiming&)) {
+  std::string out;
+  for (const auto& t : row.targets) {
+    if (!out.empty()) out += " / ";
+    out += util::TableWriter::fmt(get(t), 2);
+  }
+  return out.empty() ? "-" : out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 5: Execution time of ResNet, ODENet and rODENet "
+              "variants ===\n");
+  std::printf("(PS: Cortex-A9 @650MHz model, PL: conv_x16 @100MHz)\n\n");
+
+  const std::vector<RowSpec> rows = {
+      {Arch::kResNet, {}, "ResNet", {1.0, 1.0, 1.0, 1.0}},
+      {Arch::kROdeNet1, {StageId::kLayer1}, "rODENet-1",
+       {1.99, 2.26, 2.37, 2.45}},
+      {Arch::kROdeNet2, {StageId::kLayer2_2}, "rODENet-2",
+       {1.75, 2.08, 2.28, 2.40}},
+      {Arch::kROdeNet12, {StageId::kLayer1, StageId::kLayer2_2},
+       "rODENet-1+2", {1.99, 2.24, 2.38, 2.52}},
+      {Arch::kROdeNet3, {StageId::kLayer3_2}, "rODENet-3",
+       {1.85, 2.26, 2.50, 2.66}},
+      {Arch::kOdeNet, {StageId::kLayer3_2}, "ODENet-3",
+       {1.18, 1.23, 1.24, 1.26}},
+      {Arch::kHybrid3, {StageId::kLayer3_2}, "Hybrid-3",
+       {1.19, 1.24, 1.25, 1.27}},
+  };
+  const int depths[] = {20, 32, 44, 56};
+
+  LatencyModel model;
+  util::TableWriter table({"Model", "N", "Offload target", "Total w/o PL [s]",
+                           "Target w/o PL [s]", "Ratio of target [%]",
+                           "Target w/ PL [s]", "Total w/ PL [s]",
+                           "Overall speedup", "Paper speedup"});
+
+  for (const auto& r : rows) {
+    for (int d = 0; d < 4; ++d) {
+      const int n = depths[d];
+      Partition part;
+      part.offloaded.insert(r.offload.begin(), r.offload.end());
+      LatencyRow row = model.evaluate(make_spec(r.arch, n), part);
+      table.add_row(
+          {r.label, std::to_string(n), row.offload_target,
+           util::TableWriter::fmt(row.total_without_pl, 2),
+           fmt_targets(row, [](const TargetTiming& t) {
+             return t.seconds_without_pl;
+           }),
+           [&row] {
+             std::string out;
+             for (const auto& t : row.targets) {
+               if (!out.empty()) out += " / ";
+               out += util::TableWriter::fmt(100.0 * t.ratio_of_total, 2);
+             }
+             return out.empty() ? std::string("-") : out;
+           }(),
+           fmt_targets(row, [](const TargetTiming& t) {
+             return t.seconds_with_pl;
+           }),
+           util::TableWriter::fmt(row.total_with_pl, 2),
+           row.targets.empty() ? "-" : util::TableWriter::fmt(
+                                           row.overall_speedup, 2),
+           r.offload.empty() ? "-" : util::TableWriter::fmt(
+                                         r.paper_speedup[d], 2)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // The paper's headline claims.
+  LatencyRow r3 = model.evaluate(make_spec(Arch::kROdeNet3, 56),
+                                 Partition::single(StageId::kLayer3_2));
+  LatencyRow resnet = model.evaluate(make_spec(Arch::kResNet, 56),
+                                     Partition::none());
+  std::printf("headline: rODENet-3-56 w/ PL is %.2fx its own software "
+              "(paper: 2.66x)\n",
+              r3.overall_speedup);
+  std::printf("          and %.2fx software ResNet-56 (paper: 2.67x)\n",
+              resnet.total_without_pl / r3.total_with_pl);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Design-space exploration: enumerate every PS/PL partition and MAC
+// parallelism for each architecture, filter by XC7Z020 resources and
+// timing, rank by modeled latency — generalizing the paper's four
+// hand-picked offload cases.
+//
+//   ./design_space --arch=odenet --n=56
+#include <cstdio>
+
+#include "sched/explorer.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace odenet;
+
+namespace {
+models::Arch parse_arch(const std::string& name) {
+  for (models::Arch a : models::all_archs()) {
+    std::string key;
+    for (char c : models::arch_name(a)) {
+      if (c != '-' && c != '+') key.push_back(static_cast<char>(std::tolower(c)));
+    }
+    if (key == name) return a;
+  }
+  throw odenet::Error("unknown architecture: " + name);
+}
+
+std::string partition_str(const sched::Partition& p) {
+  if (p.offloaded.empty()) return "(none)";
+  std::string out;
+  for (auto id : p.offloaded) {
+    if (!out.empty()) out += "+";
+    out += models::stage_name(id);
+  }
+  return out + " @x" + std::to_string(p.parallelism);
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("design_space",
+                      "Enumerate PS/PL partitions under XC7Z020 resources");
+  cli.add_option("arch", "odenet", "architecture");
+  cli.add_option("n", "56", "depth N");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto spec = models::make_spec(parse_arch(cli.get("arch")),
+                                      cli.get_int("n"));
+  sched::LatencyModel model;
+  fpga::ResourceModel resources;
+  sched::PartitionExplorer explorer(model, resources);
+
+  auto candidates = explorer.enumerate(spec);
+  util::TableWriter table({"partition", "fits", "BRAM", "DSP", "latency [s]",
+                           "speedup"});
+  for (const auto& c : candidates) {
+    table.add_row({partition_str(c.partition), c.fits ? "yes" : "NO",
+                   std::to_string(c.resources.bram36),
+                   std::to_string(c.resources.dsp),
+                   util::TableWriter::fmt(c.row.total_with_pl, 3),
+                   util::TableWriter::fmt(c.row.overall_speedup, 2) + "x"});
+  }
+  std::printf("%s-%d design space (%zu candidates):\n\n%s\n",
+              models::arch_name(spec.arch).c_str(), spec.n, candidates.size(),
+              table.to_string().c_str());
+
+  auto best = explorer.best(spec);
+  std::printf("best feasible partition: %s — %.3f s/image (%.2fx)\n",
+              partition_str(best.partition).c_str(), best.row.total_with_pl,
+              best.row.overall_speedup);
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Simulate the paper's FPGA offload end to end: quantize an rODENet-3
+// ODEBlock to Q20, run it on the cycle-accurate PL simulator, compare the
+// output against the float software path, and report latency + resources.
+//
+//   ./fpga_offload --n=56 --parallelism=16
+#include <cstdio>
+
+#include "fpga/accelerator.hpp"
+#include "fpga/resource_model.hpp"
+#include "models/network.hpp"
+#include "sched/latency_model.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+using namespace odenet;
+
+int main(int argc, char** argv) {
+  util::CliParser cli("fpga_offload",
+                      "Offload rODENet-3's layer3_2 to the simulated PL and "
+                      "compare against software");
+  cli.add_option("n", "56", "depth N");
+  cli.add_option("parallelism", "16", "MAC units (conv_xn)");
+  cli.add_option("frac-bits", "20", "fixed-point fractional bits");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const int n = cli.get_int("n");
+  const int par = cli.get_int("parallelism");
+  const int frac = cli.get_int("frac-bits");
+
+  models::NetworkSpec spec = models::make_spec(models::Arch::kROdeNet3, n);
+  models::Network net(spec);
+  util::Rng rng(7);
+  net.init(rng);
+
+  auto* stage = net.stage(models::StageId::kLayer3_2);
+  auto* ode = stage->ode();
+  // The PL BN computes statistics on the fly; match on the software side.
+  ode->block().bn1().set_use_batch_stats_in_eval(true);
+  ode->block().bn2().set_use_batch_stats_in_eval(true);
+
+  const auto& s = stage->spec();
+  std::printf("offload target: layer3_2 — %d executions of one %dch %dx%d "
+              "ODEBlock (Euler, h=1)\n",
+              s.executions, s.out_channels, s.in_size, s.in_size);
+
+  // Random feature map standing in for layer3_1's output.
+  core::Tensor z0({1, s.out_channels, s.in_size, s.in_size});
+  for (std::size_t i = 0; i < z0.numel(); ++i) {
+    z0.data()[i] = static_cast<float>(rng.normal(0.0, 0.5));
+  }
+
+  // Software (float) solve.
+  net.set_training(false);
+  core::Tensor sw = ode->forward(z0);
+
+  // Simulated PL solve (fixed point).
+  fpga::OdeBlockAccelerator accel({.channels = s.out_channels,
+                                   .extent = s.in_size,
+                                   .parallelism = par,
+                                   .frac_bits = frac});
+  accel.load_weights(ode->block());
+  fpga::AcceleratorReport report;
+  core::Tensor hw = accel.solve_euler(z0, s.executions, 1.0f, &report);
+
+  double max_err = 0.0, mean_err = 0.0;
+  for (std::size_t i = 0; i < sw.numel(); ++i) {
+    const double e = std::abs(static_cast<double>(hw.data()[i]) - sw.data()[i]);
+    max_err = std::max(max_err, e);
+    mean_err += e;
+  }
+  mean_err /= static_cast<double>(sw.numel());
+
+  std::printf("\nfunctional check (float software vs Q%d PL):\n", frac);
+  std::printf("  max |err|  = %.3e\n", max_err);
+  std::printf("  mean |err| = %.3e\n", mean_err);
+
+  const auto& c = report.per_execution;
+  std::printf("\nPL cycle breakdown per block execution (conv_x%d):\n", par);
+  std::printf("  conv1 %10llu cycles\n", static_cast<unsigned long long>(c.conv1));
+  std::printf("  bn1   %10llu cycles (ReLU fused)\n",
+              static_cast<unsigned long long>(c.bn1));
+  std::printf("  conv2 %10llu cycles\n", static_cast<unsigned long long>(c.conv2));
+  std::printf("  bn2   %10llu cycles (Euler add fused)\n",
+              static_cast<unsigned long long>(c.bn2));
+  std::printf("  AXI   %10llu cycles (fmap in + out)\n",
+              static_cast<unsigned long long>(report.transfer_cycles_per_execution));
+  std::printf("  => %.3f ms/execution, %.3f s for all %d executions\n",
+              1e3 * (c.total() + report.transfer_cycles_per_execution) /
+                  (report.clock_mhz * 1e6),
+              report.seconds(), report.executions);
+
+  fpga::ResourceModel resources;
+  auto r = resources.report(models::StageId::kLayer3_2, par, 100.0,
+                            frac >= 16 ? 32 : 16);
+  std::printf("\nresource utilization on XC7Z020 (%s):\n",
+              r.from_paper_table ? "published synthesis point"
+                                 : "structural estimate");
+  std::printf("  BRAM %3d (%.2f%%)%s\n", r.usage.bram36, r.bram_pct,
+              r.bram_saturated ? "  <- saturated, as the paper reports" : "");
+  std::printf("  DSP  %3d (%.2f%%)\n", r.usage.dsp, r.dsp_pct);
+  std::printf("  LUT  %5d (%.2f%%)\n", r.usage.lut, r.lut_pct);
+  std::printf("  FF   %5d (%.2f%%)\n", r.usage.ff, r.ff_pct);
+  if (!r.timing_met) {
+    std::printf("  !! conv_x%d fails 100 MHz timing closure (paper §3.1)\n",
+                par);
+  }
+
+  sched::LatencyModel latency;
+  auto row = latency.evaluate(
+      spec, sched::Partition::single(models::StageId::kLayer3_2, par));
+  std::printf("\nend-to-end prediction latency (Table-5 model):\n");
+  std::printf("  software only : %.3f s/image\n", row.total_without_pl);
+  std::printf("  with PL       : %.3f s/image  (%.2fx overall speedup)\n",
+              row.total_with_pl, row.overall_speedup);
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "core/activation.hpp"
+
+namespace odenet::core {
+
+Tensor ReLU::forward(const Tensor& x) {
+  Tensor out(x.shape());
+  const float* src = x.data();
+  float* dst = out.data();
+  if (training_) {
+    cached_mask_ = Tensor(x.shape());
+    float* mask = cached_mask_.data();
+    for (std::size_t i = 0; i < x.numel(); ++i) {
+      const bool pos = src[i] > 0.0f;
+      dst[i] = pos ? src[i] : 0.0f;
+      mask[i] = pos ? 1.0f : 0.0f;
+    }
+  } else {
+    for (std::size_t i = 0; i < x.numel(); ++i) {
+      dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
+    }
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  ODENET_CHECK(!cached_mask_.empty(),
+               name_ << ": backward without forward in training mode");
+  ODENET_CHECK(grad_out.same_shape(cached_mask_),
+               name_ << ": grad shape mismatch");
+  Tensor grad_in(grad_out.shape());
+  const float* g = grad_out.data();
+  const float* m = cached_mask_.data();
+  float* dst = grad_in.data();
+  for (std::size_t i = 0; i < grad_out.numel(); ++i) dst[i] = g[i] * m[i];
+  return grad_in;
+}
+
+}  // namespace odenet::core

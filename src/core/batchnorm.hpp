@@ -1,0 +1,61 @@
+// Batch normalization over NCHW feature maps (Ioffe & Szegedy, paper ref [3]).
+//
+// Training mode normalizes with batch statistics and maintains running
+// estimates for inference; eval mode normalizes with the running estimates.
+// The FPGA BN engine (src/fpga/bn_engine) mirrors the *inference-on-batch*
+// variant the paper implements in hardware: mean/variance computed over the
+// current feature map with dedicated divide and square-root units.
+#pragma once
+
+#include "core/layer.hpp"
+
+namespace odenet::core {
+
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(int channels, std::string name = "bn",
+                       float eps = 1e-5f, float momentum = 0.1f);
+
+  const std::string& name() const override { return name_; }
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+
+  int channels() const { return channels_; }
+  float eps() const { return eps_; }
+
+  Param& gamma() { return gamma_; }
+  Param& beta() { return beta_; }
+  Tensor& running_mean() { return running_mean_; }
+  Tensor& running_var() { return running_var_; }
+
+  /// Normalize with statistics computed from the input itself even in eval
+  /// mode — this is how the paper's hardware BN behaves (it has no notion of
+  /// running statistics; it computes mean/var/stddev on the fly).
+  void set_use_batch_stats_in_eval(bool v) { batch_stats_in_eval_ = v; }
+
+  /// Suppress running-statistics updates while still using batch statistics.
+  /// The ODE backward passes re-run the dynamics to rebuild caches; without
+  /// freezing, each replay would apply the momentum update again.
+  void set_freeze_running_stats(bool v) { freeze_running_stats_ = v; }
+
+ private:
+  int channels_;
+  std::string name_;
+  float eps_;
+  float momentum_;
+  bool batch_stats_in_eval_ = false;
+  bool freeze_running_stats_ = false;
+
+  Param gamma_;  // [C]
+  Param beta_;   // [C]
+  Tensor running_mean_;  // [C]
+  Tensor running_var_;   // [C]
+
+  // Cached forward state for backward.
+  Tensor cached_input_;
+  Tensor cached_mean_;     // [C]
+  Tensor cached_inv_std_;  // [C]
+};
+
+}  // namespace odenet::core

@@ -1,0 +1,146 @@
+#include "core/block.hpp"
+
+namespace odenet::core {
+
+BuildingBlock::BuildingBlock(const BlockConfig& cfg, std::string name)
+    : cfg_(cfg),
+      name_(std::move(name)),
+      conv1_({.in_channels = cfg.in_channels,
+              .out_channels = cfg.out_channels,
+              .kernel = 3,
+              .stride = cfg.stride,
+              .pad = 1,
+              .time_channel = cfg.time_channel},
+             name_ + ".conv1"),
+      bn1_(cfg.out_channels, name_ + ".bn1"),
+      relu_(name_ + ".relu"),
+      conv2_({.in_channels = cfg.out_channels,
+              .out_channels = cfg.out_channels,
+              .kernel = 3,
+              .stride = 1,
+              .pad = 1,
+              .time_channel = cfg.time_channel},
+             name_ + ".conv2"),
+      bn2_(cfg.out_channels, name_ + ".bn2") {
+  ODENET_CHECK(cfg.stride == 1 || cfg.stride == 2,
+               name_ << ": stride must be 1 or 2");
+  ODENET_CHECK(cfg.stride == 1 ? true : cfg.out_channels >= cfg.in_channels,
+               name_ << ": stride-2 block must not shrink channels");
+  ODENET_CHECK(!(cfg.time_channel && cfg.stride != 1),
+               name_ << ": ODE-capable blocks are stride-1 (they must "
+                        "preserve the state shape)");
+}
+
+std::vector<Param*> BuildingBlock::params() {
+  std::vector<Param*> out;
+  for (Layer* l :
+       std::initializer_list<Layer*>{&conv1_, &bn1_, &conv2_, &bn2_}) {
+    for (Param* p : l->params()) out.push_back(p);
+  }
+  return out;
+}
+
+void BuildingBlock::set_training(bool training) {
+  Layer::set_training(training);
+  conv1_.set_training(training);
+  bn1_.set_training(training);
+  relu_.set_training(training);
+  conv2_.set_training(training);
+  bn2_.set_training(training);
+}
+
+Tensor BuildingBlock::branch_forward(const Tensor& z, float t) {
+  time_ = t;
+  conv1_.set_time(t);
+  conv2_.set_time(t);
+  Tensor h = conv1_.forward(z);
+  h = bn1_.forward(h);
+  h = relu_.forward(h);
+  h = conv2_.forward(h);
+  h = bn2_.forward(h);
+  return h;
+}
+
+Tensor BuildingBlock::branch_backward(const Tensor& grad_out) {
+  Tensor g = bn2_.backward(grad_out);
+  g = conv2_.backward(g);
+  g = relu_.backward(g);
+  g = bn1_.backward(g);
+  g = conv1_.backward(g);
+  return g;
+}
+
+Tensor BuildingBlock::shortcut(const Tensor& x, int stride, int out_channels) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  if (stride == 1 && out_channels == c) return x;
+  const int ho = (h + stride - 1) / stride;
+  const int wo = (w + stride - 1) / stride;
+  Tensor out({n, out_channels, ho, wo});
+  for (int ni = 0; ni < n; ++ni) {
+    for (int ci = 0; ci < c && ci < out_channels; ++ci) {
+      for (int oh = 0; oh < ho; ++oh) {
+        for (int ow = 0; ow < wo; ++ow) {
+          out.at(ni, ci, oh, ow) = x.at(ni, ci, oh * stride, ow * stride);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BuildingBlock::shortcut_backward(const Tensor& grad_out,
+                                        const std::vector<int>& in_shape,
+                                        int stride) {
+  const int n = in_shape[0], c = in_shape[1], h = in_shape[2], w = in_shape[3];
+  if (stride == 1 && grad_out.dim(1) == c) return grad_out;
+  Tensor grad_in(in_shape);
+  const int ho = grad_out.dim(2), wo = grad_out.dim(3);
+  for (int ni = 0; ni < n; ++ni) {
+    for (int ci = 0; ci < c && ci < grad_out.dim(1); ++ci) {
+      for (int oh = 0; oh < ho; ++oh) {
+        const int ih = oh * stride;
+        if (ih >= h) continue;
+        for (int ow = 0; ow < wo; ++ow) {
+          const int iw = ow * stride;
+          if (iw >= w) continue;
+          grad_in.at(ni, ci, ih, iw) = grad_out.at(ni, ci, oh, ow);
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+Tensor BuildingBlock::forward(const Tensor& x) {
+  if (training_) cached_in_shape_ = x.shape();
+  Tensor branch = branch_forward(x, time_);
+  Tensor sc = shortcut(x, cfg_.stride, cfg_.out_channels);
+  ODENET_CHECK(branch.same_shape(sc),
+               name_ << ": branch " << branch.shape_str() << " vs shortcut "
+                     << sc.shape_str());
+  branch.add(sc);
+  return branch;
+}
+
+Tensor BuildingBlock::backward(const Tensor& grad_out) {
+  ODENET_CHECK(!cached_in_shape_.empty(),
+               name_ << ": backward without forward in training mode");
+  Tensor g_branch = branch_backward(grad_out);
+  Tensor g_shortcut =
+      shortcut_backward(grad_out, cached_in_shape_, cfg_.stride);
+  g_branch.add(g_shortcut);
+  return g_branch;
+}
+
+std::uint64_t BuildingBlock::mac_count(int in_h, int in_w) const {
+  const int ho = Conv2d::out_extent(in_h, 3, cfg_.stride, 1);
+  const int wo = Conv2d::out_extent(in_w, 3, cfg_.stride, 1);
+  // Count data channels only (time channel folds into a bias plane on HW).
+  const std::uint64_t macs1 = static_cast<std::uint64_t>(ho) * wo *
+                              cfg_.out_channels * cfg_.in_channels * 9;
+  const std::uint64_t macs2 = static_cast<std::uint64_t>(ho) * wo *
+                              cfg_.out_channels * cfg_.out_channels * 9;
+  return macs1 + macs2;
+}
+
+}  // namespace odenet::core

@@ -1,0 +1,274 @@
+#include "core/conv2d.hpp"
+
+#include <cstring>
+
+#include "core/im2col.hpp"
+#include "util/thread_pool.hpp"
+
+namespace odenet::core {
+
+Conv2d::Conv2d(const Conv2dConfig& cfg, std::string name)
+    : cfg_(cfg),
+      name_(std::move(name)),
+      weight_(name_ + ".weight",
+              Tensor({cfg.out_channels,
+                      cfg.in_channels + (cfg.time_channel ? 1 : 0),
+                      cfg.kernel, cfg.kernel})) {
+  ODENET_CHECK(cfg.in_channels > 0 && cfg.out_channels > 0,
+               "conv2d needs positive channel counts");
+  ODENET_CHECK(cfg.kernel > 0 && cfg.stride > 0 && cfg.pad >= 0,
+               "invalid conv2d geometry");
+}
+
+int Conv2d::out_extent(int in, int kernel, int stride, int pad) {
+  ODENET_CHECK(in + 2 * pad >= kernel, "conv input smaller than kernel");
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+std::uint64_t Conv2d::mac_count(int in_h, int in_w) const {
+  const std::uint64_t ho = out_extent(in_h, cfg_.kernel, cfg_.stride, cfg_.pad);
+  const std::uint64_t wo = out_extent(in_w, cfg_.kernel, cfg_.stride, cfg_.pad);
+  return ho * wo * static_cast<std::uint64_t>(cfg_.out_channels) *
+         static_cast<std::uint64_t>(cfg_.in_channels) *
+         static_cast<std::uint64_t>(cfg_.kernel) *
+         static_cast<std::uint64_t>(cfg_.kernel);
+}
+
+Tensor Conv2d::augment(const Tensor& x) const {
+  if (!cfg_.time_channel) return x;
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  ODENET_CHECK(c == cfg_.in_channels,
+               name_ << ": expected " << cfg_.in_channels << " channels, got "
+                     << c);
+  Tensor out({n, c + 1, h, w});
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  const std::size_t in_sample = static_cast<std::size_t>(c) * plane;
+  const std::size_t out_sample = static_cast<std::size_t>(c + 1) * plane;
+  for (int i = 0; i < n; ++i) {
+    std::memcpy(out.data() + i * out_sample, x.data() + i * in_sample,
+                in_sample * sizeof(float));
+    float* tplane = out.data() + i * out_sample + in_sample;
+    for (std::size_t j = 0; j < plane; ++j) tplane[j] = time_;
+  }
+  return out;
+}
+
+Tensor Conv2d::forward_direct(const Tensor& in) const {
+  const int n = in.dim(0), ci = in.dim(1), h = in.dim(2), w = in.dim(3);
+  const int k = cfg_.kernel, s = cfg_.stride, p = cfg_.pad;
+  const int ho = out_extent(h, k, s, p);
+  const int wo = out_extent(w, k, s, p);
+  const int co = cfg_.out_channels;
+
+  Tensor out({n, co, ho, wo});
+  const float* wt = weight_.value.data();
+
+  // Parallelize over (sample, output channel) pairs: writes are disjoint.
+  util::parallel_for(
+      0, static_cast<std::size_t>(n) * co,
+      [&](std::size_t idx) {
+        const int ni = static_cast<int>(idx) / co;
+        const int coi = static_cast<int>(idx) % co;
+        const std::size_t wbase =
+            static_cast<std::size_t>(coi) * ci * k * k;
+        float* dst = out.data() +
+                     ((static_cast<std::size_t>(ni) * co + coi) *
+                      static_cast<std::size_t>(ho) * wo);
+        const float* src =
+            in.data() + static_cast<std::size_t>(ni) * ci * h * w;
+        for (int cii = 0; cii < ci; ++cii) {
+          const float* plane = src + static_cast<std::size_t>(cii) * h * w;
+          for (int kh = 0; kh < k; ++kh) {
+            for (int kw = 0; kw < k; ++kw) {
+              const float wv = wt[wbase + (static_cast<std::size_t>(cii) * k +
+                                           kh) * k + kw];
+              if (wv == 0.0f) continue;
+              for (int oh = 0; oh < ho; ++oh) {
+                const int ih = oh * s - p + kh;
+                if (ih < 0 || ih >= h) continue;
+                const float* row = plane + static_cast<std::size_t>(ih) * w;
+                float* orow = dst + static_cast<std::size_t>(oh) * wo;
+                for (int ow = 0; ow < wo; ++ow) {
+                  const int iw = ow * s - p + kw;
+                  if (iw < 0 || iw >= w) continue;
+                  orow[ow] += wv * row[iw];
+                }
+              }
+            }
+          }
+        }
+      });
+  return out;
+}
+
+Tensor Conv2d::forward_im2col(const Tensor& in) const {
+  const int n = in.dim(0), ci = in.dim(1), h = in.dim(2), w = in.dim(3);
+  const LoweringGeometry g{.channels = ci, .height = h, .width = w,
+                           .kernel = cfg_.kernel, .stride = cfg_.stride,
+                           .pad = cfg_.pad};
+  const int ho = g.out_h(), wo = g.out_w();
+  const int co = cfg_.out_channels;
+  Tensor out({n, co, ho, wo});
+
+  const std::size_t in_sample = static_cast<std::size_t>(ci) * h * w;
+  const std::size_t out_sample =
+      static_cast<std::size_t>(co) * ho * wo;
+  // Batched: one task per sample, each with its own lowering buffer (the
+  // nested gemm parallelism degrades to inline inside workers). Single
+  // image: let gemm parallelize over output channels instead.
+  util::parallel_for(0, static_cast<std::size_t>(n), [&](std::size_t ni) {
+    std::vector<float> cols(g.col_rows() * g.col_cols());
+    im2col(in.data() + ni * in_sample, g, cols.data());
+    gemm(weight_.value.data(), cols.data(), out.data() + ni * out_sample, co,
+         static_cast<int>(g.col_rows()), static_cast<int>(g.col_cols()),
+         /*accumulate=*/false);
+  });
+  return out;
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  ODENET_CHECK(x.ndim() == 4, name_ << ": conv2d expects NCHW input, got "
+                                    << x.shape_str());
+  Tensor in = augment(x);
+  ODENET_CHECK(in.dim(1) == weight_.value.dim(1),
+               name_ << ": channel mismatch " << in.dim(1) << " vs weight "
+                     << weight_.value.shape_str());
+  Tensor out = cfg_.algo == ConvAlgo::kIm2col ? forward_im2col(in)
+                                              : forward_direct(in);
+  if (training_) cached_input_ = std::move(in);
+  return out;
+}
+
+void Conv2d::backward_direct(const Tensor& in, const Tensor& grad_out,
+                             Tensor& grad_in_aug) {
+  const int n = in.dim(0), ci = in.dim(1), h = in.dim(2), w = in.dim(3);
+  const int k = cfg_.kernel, s = cfg_.stride, p = cfg_.pad;
+  const int co = cfg_.out_channels;
+  const int ho = grad_out.dim(2), wo = grad_out.dim(3);
+
+  // dL/dW: independent per output channel.
+  float* gw = weight_.grad.data();
+  util::parallel_for(0, static_cast<std::size_t>(co), [&](std::size_t coi) {
+    for (int ni = 0; ni < n; ++ni) {
+      const float* go = grad_out.data() +
+                        ((static_cast<std::size_t>(ni) * co + coi) *
+                         static_cast<std::size_t>(ho) * wo);
+      const float* src = in.data() + static_cast<std::size_t>(ni) * ci * h * w;
+      for (int cii = 0; cii < ci; ++cii) {
+        const float* plane = src + static_cast<std::size_t>(cii) * h * w;
+        for (int kh = 0; kh < k; ++kh) {
+          for (int kw = 0; kw < k; ++kw) {
+            double acc = 0.0;
+            for (int oh = 0; oh < ho; ++oh) {
+              const int ih = oh * s - p + kh;
+              if (ih < 0 || ih >= h) continue;
+              const float* row = plane + static_cast<std::size_t>(ih) * w;
+              const float* grow = go + static_cast<std::size_t>(oh) * wo;
+              for (int ow = 0; ow < wo; ++ow) {
+                const int iw = ow * s - p + kw;
+                if (iw < 0 || iw >= w) continue;
+                acc += static_cast<double>(grow[ow]) * row[iw];
+              }
+            }
+            gw[(coi * ci + cii) * static_cast<std::size_t>(k) * k +
+               static_cast<std::size_t>(kh) * k + kw] +=
+                static_cast<float>(acc);
+          }
+        }
+      }
+    }
+  });
+
+  // dL/dX on the augmented input; independent per sample.
+  const float* wt = weight_.value.data();
+  util::parallel_for(0, static_cast<std::size_t>(n), [&](std::size_t ni) {
+    float* gi = grad_in_aug.data() + ni * static_cast<std::size_t>(ci) * h * w;
+    for (int coi = 0; coi < co; ++coi) {
+      const float* go = grad_out.data() +
+                        ((ni * co + coi) * static_cast<std::size_t>(ho) * wo);
+      const std::size_t wbase = static_cast<std::size_t>(coi) * ci * k * k;
+      for (int cii = 0; cii < ci; ++cii) {
+        float* gplane = gi + static_cast<std::size_t>(cii) * h * w;
+        for (int kh = 0; kh < k; ++kh) {
+          for (int kw = 0; kw < k; ++kw) {
+            const float wv =
+                wt[wbase + (static_cast<std::size_t>(cii) * k + kh) * k + kw];
+            if (wv == 0.0f) continue;
+            for (int oh = 0; oh < ho; ++oh) {
+              const int ih = oh * s - p + kh;
+              if (ih < 0 || ih >= h) continue;
+              float* grow = gplane + static_cast<std::size_t>(ih) * w;
+              const float* gorow = go + static_cast<std::size_t>(oh) * wo;
+              for (int ow = 0; ow < wo; ++ow) {
+                const int iw = ow * s - p + kw;
+                if (iw < 0 || iw >= w) continue;
+                grow[iw] += wv * gorow[ow];
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+void Conv2d::backward_im2col(const Tensor& in, const Tensor& grad_out,
+                             Tensor& grad_in_aug) {
+  const int n = in.dim(0), ci = in.dim(1), h = in.dim(2), w = in.dim(3);
+  const LoweringGeometry g{.channels = ci, .height = h, .width = w,
+                           .kernel = cfg_.kernel, .stride = cfg_.stride,
+                           .pad = cfg_.pad};
+  const int co = cfg_.out_channels;
+  const int kk = static_cast<int>(g.col_rows());
+  const int nn = static_cast<int>(g.col_cols());
+
+  std::vector<float> cols(g.col_rows() * g.col_cols());
+  std::vector<float> grad_cols(cols.size());
+  const std::size_t in_sample = static_cast<std::size_t>(ci) * h * w;
+  const std::size_t out_sample = static_cast<std::size_t>(co) * nn;
+
+  for (int ni = 0; ni < n; ++ni) {
+    const float* go = grad_out.data() + ni * out_sample;
+    // dW[co, kk] += G[co, nn] x cols^T (cols stored [kk, nn]).
+    im2col(in.data() + ni * in_sample, g, cols.data());
+    gemm_bt(go, cols.data(), weight_.grad.data(), co, nn, kk,
+            /*accumulate=*/true);
+    // grad_cols[kk, nn] = W^T[kk, co] x G[co, nn] (W stored [co, kk]).
+    gemm_at(weight_.value.data(), go, grad_cols.data(), kk, co, nn,
+            /*accumulate=*/false);
+    col2im(grad_cols.data(), g, grad_in_aug.data() + ni * in_sample);
+  }
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  ODENET_CHECK(!cached_input_.empty(),
+               name_ << ": backward without forward in training mode");
+  const Tensor& in = cached_input_;
+  const int n = in.dim(0), ci = in.dim(1), h = in.dim(2), w = in.dim(3);
+  ODENET_CHECK(grad_out.ndim() == 4 && grad_out.dim(0) == n &&
+                   grad_out.dim(1) == cfg_.out_channels,
+               name_ << ": grad_out shape " << grad_out.shape_str());
+
+  Tensor grad_in_aug({n, ci, h, w});
+  if (cfg_.algo == ConvAlgo::kIm2col) {
+    backward_im2col(in, grad_out, grad_in_aug);
+  } else {
+    backward_direct(in, grad_out, grad_in_aug);
+  }
+
+  if (!cfg_.time_channel) return grad_in_aug;
+
+  // Strip the gradient of the constant time plane (t is not trained).
+  const int cd = cfg_.in_channels;
+  Tensor grad_in({n, cd, h, w});
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  for (int ni = 0; ni < n; ++ni) {
+    std::memcpy(grad_in.data() + static_cast<std::size_t>(ni) * cd * plane,
+                grad_in_aug.data() +
+                    static_cast<std::size_t>(ni) * ci * plane,
+                static_cast<std::size_t>(cd) * plane * sizeof(float));
+  }
+  return grad_in;
+}
+
+}  // namespace odenet::core

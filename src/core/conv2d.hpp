@@ -1,0 +1,79 @@
+// 3x3 (general KxK) 2-D convolution with optional concatenated time channel.
+//
+// The paper's ODE-capable blocks follow the reference Neural-ODE design in
+// which the scalar integration time t is concatenated to the input as one
+// constant feature plane before each convolution (ConcatConv2d). This is
+// what makes layer1/layer2_2/layer3_2 parameter sizes in Table 2 come out to
+// 19.84 / 76.544 / 300.544 kB: weights are Cout x (Cin+1) x 3 x 3.
+//
+// Convolutions carry no bias (matching the paper's byte-exact parameter
+// accounting); biasing is delegated to the following batch norm.
+#pragma once
+
+#include <optional>
+
+#include "core/layer.hpp"
+
+namespace odenet::core {
+
+/// Software convolution algorithm. kDirect walks the kernel taps in place
+/// (mirrors the hardware loop nest); kIm2col lowers to a matrix product
+/// (src/core/im2col.hpp), typically 2-3x faster for training. Both produce
+/// the same values up to float summation order.
+enum class ConvAlgo { kDirect, kIm2col };
+
+struct Conv2dConfig {
+  int in_channels = 0;
+  int out_channels = 0;
+  int kernel = 3;
+  int stride = 1;
+  int pad = 1;
+  /// When true the layer consumes in_channels data planes plus one implicit
+  /// plane filled with the current time value (set via set_time()).
+  bool time_channel = false;
+  ConvAlgo algo = ConvAlgo::kIm2col;
+};
+
+class Conv2d final : public Layer {
+ public:
+  explicit Conv2d(const Conv2dConfig& cfg, std::string name = "conv");
+
+  const std::string& name() const override { return name_; }
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_}; }
+
+  /// Integration time used to fill the implicit channel; only meaningful
+  /// when cfg.time_channel is set.
+  void set_time(float t) { time_ = t; }
+
+  const Conv2dConfig& config() const { return cfg_; }
+  Param& weight() { return weight_; }
+
+  /// Output spatial size for an input of extent `in` (same formula for H/W).
+  static int out_extent(int in, int kernel, int stride, int pad);
+
+  /// MAC count for one forward pass over a HxW input (excluding the time
+  /// channel, which hardware folds into a bias plane — see DESIGN.md §3.2).
+  std::uint64_t mac_count(int in_h, int in_w) const;
+
+ private:
+  /// Returns x with the constant time plane appended (or x itself untouched
+  /// when the layer has no time channel).
+  Tensor augment(const Tensor& x) const;
+
+  Tensor forward_direct(const Tensor& in) const;
+  Tensor forward_im2col(const Tensor& in) const;
+  void backward_direct(const Tensor& in, const Tensor& grad_out,
+                       Tensor& grad_in_aug);
+  void backward_im2col(const Tensor& in, const Tensor& grad_out,
+                       Tensor& grad_in_aug);
+
+  Conv2dConfig cfg_;
+  std::string name_;
+  Param weight_;  // [Cout, Cin(+1), K, K]
+  float time_ = 0.0f;
+  Tensor cached_input_;  // augmented input, cached in training mode
+};
+
+}  // namespace odenet::core

@@ -1,0 +1,113 @@
+#include "core/im2col.hpp"
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace odenet::core {
+
+void im2col(const float* src, const LoweringGeometry& g, float* dst) {
+  const int ho = g.out_h(), wo = g.out_w();
+  const std::size_t plane = static_cast<std::size_t>(g.height) * g.width;
+  const std::size_t n_cols = g.col_cols();
+  std::size_t row = 0;
+  for (int c = 0; c < g.channels; ++c) {
+    const float* cplane = src + static_cast<std::size_t>(c) * plane;
+    for (int kh = 0; kh < g.kernel; ++kh) {
+      for (int kw = 0; kw < g.kernel; ++kw, ++row) {
+        float* out_row = dst + row * n_cols;
+        for (int oh = 0; oh < ho; ++oh) {
+          const int ih = oh * g.stride - g.pad + kh;
+          float* out = out_row + static_cast<std::size_t>(oh) * wo;
+          if (ih < 0 || ih >= g.height) {
+            for (int ow = 0; ow < wo; ++ow) out[ow] = 0.0f;
+            continue;
+          }
+          const float* in_row = cplane + static_cast<std::size_t>(ih) * g.width;
+          for (int ow = 0; ow < wo; ++ow) {
+            const int iw = ow * g.stride - g.pad + kw;
+            out[ow] = (iw < 0 || iw >= g.width) ? 0.0f : in_row[iw];
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* cols, const LoweringGeometry& g, float* dst) {
+  const int ho = g.out_h(), wo = g.out_w();
+  const std::size_t plane = static_cast<std::size_t>(g.height) * g.width;
+  const std::size_t n_cols = g.col_cols();
+  std::size_t row = 0;
+  for (int c = 0; c < g.channels; ++c) {
+    float* cplane = dst + static_cast<std::size_t>(c) * plane;
+    for (int kh = 0; kh < g.kernel; ++kh) {
+      for (int kw = 0; kw < g.kernel; ++kw, ++row) {
+        const float* in_row = cols + row * n_cols;
+        for (int oh = 0; oh < ho; ++oh) {
+          const int ih = oh * g.stride - g.pad + kh;
+          if (ih < 0 || ih >= g.height) continue;
+          float* out = cplane + static_cast<std::size_t>(ih) * g.width;
+          const float* in = in_row + static_cast<std::size_t>(oh) * wo;
+          for (int ow = 0; ow < wo; ++ow) {
+            const int iw = ow * g.stride - g.pad + kw;
+            if (iw >= 0 && iw < g.width) out[iw] += in[ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemm(const float* a, const float* b, float* c, int m, int k, int n,
+          bool accumulate) {
+  ODENET_CHECK(m >= 0 && k >= 0 && n >= 0, "bad gemm dimensions");
+  util::parallel_for(0, static_cast<std::size_t>(m), [&](std::size_t i) {
+    float* crow = c + i * n;
+    if (!accumulate) {
+      for (int j = 0; j < n; ++j) crow[j] = 0.0f;
+    }
+    const float* arow = a + i * k;
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<std::size_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  });
+}
+
+void gemm_at(const float* a, const float* b, float* c, int m, int k, int n,
+             bool accumulate) {
+  // A stored [k, m]: A^T[i, p] = a[p*m + i].
+  util::parallel_for(0, static_cast<std::size_t>(m), [&](std::size_t i) {
+    float* crow = c + i * n;
+    if (!accumulate) {
+      for (int j = 0; j < n; ++j) crow[j] = 0.0f;
+    }
+    for (int p = 0; p < k; ++p) {
+      const float av = a[static_cast<std::size_t>(p) * m + i];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<std::size_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  });
+}
+
+void gemm_bt(const float* a, const float* b, float* c, int m, int k, int n,
+             bool accumulate) {
+  // B stored [n, k]: B^T[p, j] = b[j*k + p].
+  util::parallel_for(0, static_cast<std::size_t>(m), [&](std::size_t i) {
+    float* crow = c + i * n;
+    const float* arow = a + i * k;
+    for (int j = 0; j < n; ++j) {
+      double acc = accumulate ? crow[j] : 0.0;
+      const float* bcol = b + static_cast<std::size_t>(j) * k;
+      for (int p = 0; p < k; ++p) {
+        acc += static_cast<double>(arow[p]) * bcol[p];
+      }
+      crow[j] = static_cast<float>(acc);
+    }
+  });
+}
+
+}  // namespace odenet::core

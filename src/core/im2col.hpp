@@ -1,0 +1,53 @@
+// im2col / col2im lowering and a small GEMM — the fast software
+// convolution path (Conv2d's kIm2col algorithm).
+//
+// im2col unfolds each KxK receptive field of a [C,H,W] plane stack into a
+// column of a [C*K*K, Ho*Wo] matrix so convolution becomes one matrix
+// product with the [Cout, C*K*K] weight view. col2im is its adjoint
+// (scatter-add), used for the input gradient.
+#pragma once
+
+#include <cstddef>
+
+namespace odenet::core {
+
+/// Geometry for one lowering (square input, square kernel).
+struct LoweringGeometry {
+  int channels = 0;
+  int height = 0;
+  int width = 0;
+  int kernel = 3;
+  int stride = 1;
+  int pad = 1;
+
+  int out_h() const { return (height + 2 * pad - kernel) / stride + 1; }
+  int out_w() const { return (width + 2 * pad - kernel) / stride + 1; }
+  std::size_t col_rows() const {
+    return static_cast<std::size_t>(channels) * kernel * kernel;
+  }
+  std::size_t col_cols() const {
+    return static_cast<std::size_t>(out_h()) * out_w();
+  }
+};
+
+/// dst must hold col_rows() * col_cols() floats. Out-of-image taps read 0.
+void im2col(const float* src, const LoweringGeometry& g, float* dst);
+
+/// Adjoint of im2col: scatter-adds cols back into a [C,H,W] image buffer.
+/// dst must be zero-initialized by the caller (or hold a partial sum).
+void col2im(const float* cols, const LoweringGeometry& g, float* dst);
+
+/// C[m,n] (+)= A[m,k] * B[k,n], row-major. When accumulate is false C is
+/// overwritten. Parallelized over rows of C.
+void gemm(const float* a, const float* b, float* c, int m, int k, int n,
+          bool accumulate);
+
+/// C[m,n] (+)= A^T[m,k] * B[k,n] where A is stored [k,m] row-major.
+void gemm_at(const float* a, const float* b, float* c, int m, int k, int n,
+             bool accumulate);
+
+/// C[m,n] (+)= A[m,k] * B^T[k,n] where B is stored [n,k] row-major.
+void gemm_bt(const float* a, const float* b, float* c, int m, int k, int n,
+             bool accumulate);
+
+}  // namespace odenet::core

@@ -1,0 +1,39 @@
+#include "core/init.hpp"
+
+#include <cmath>
+
+namespace odenet::core {
+
+void he_normal(Tensor& t, int fan_in, util::Rng& rng) {
+  ODENET_CHECK(fan_in > 0, "he_normal needs positive fan_in");
+  const double std = std::sqrt(2.0 / fan_in);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(rng.normal(0.0, std));
+  }
+}
+
+void xavier_uniform(Tensor& t, int fan_in, int fan_out, util::Rng& rng) {
+  ODENET_CHECK(fan_in > 0 && fan_out > 0, "xavier needs positive fans");
+  const double a = std::sqrt(6.0 / (fan_in + fan_out));
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(rng.uniform(-a, a));
+  }
+}
+
+void init_conv(Conv2d& conv, util::Rng& rng) {
+  const auto& w = conv.weight().value.shape();
+  const int fan_in = w[1] * w[2] * w[3];
+  he_normal(conv.weight().value, fan_in, rng);
+}
+
+void init_linear(Linear& fc, util::Rng& rng) {
+  xavier_uniform(fc.weight().value, fc.in_features(), fc.out_features(), rng);
+  fc.bias().value.zero();
+}
+
+void init_block(BuildingBlock& block, util::Rng& rng) {
+  init_conv(block.conv1(), rng);
+  init_conv(block.conv2(), rng);
+}
+
+}  // namespace odenet::core

@@ -1,0 +1,24 @@
+// Weight initialization (He for conv+ReLU stacks, Xavier for the head).
+#pragma once
+
+#include "core/block.hpp"
+#include "core/conv2d.hpp"
+#include "core/linear.hpp"
+#include "util/rng.hpp"
+
+namespace odenet::core {
+
+/// Fills `t` with N(0, sqrt(2/fan_in)) — He et al. initialization.
+void he_normal(Tensor& t, int fan_in, util::Rng& rng);
+
+/// Fills `t` with U(-a, a), a = sqrt(6/(fan_in+fan_out)).
+void xavier_uniform(Tensor& t, int fan_in, int fan_out, util::Rng& rng);
+
+/// Initializes one convolution (He, fan_in = Cin*K*K).
+void init_conv(Conv2d& conv, util::Rng& rng);
+/// Initializes a linear head (Xavier weights, zero bias).
+void init_linear(Linear& fc, util::Rng& rng);
+/// Initializes both convolutions of a block (BN starts at gamma=1, beta=0).
+void init_block(BuildingBlock& block, util::Rng& rng);
+
+}  // namespace odenet::core

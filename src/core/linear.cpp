@@ -1,0 +1,67 @@
+#include "core/linear.hpp"
+
+namespace odenet::core {
+
+Linear::Linear(int in_features, int out_features, std::string name)
+    : in_(in_features),
+      out_(out_features),
+      name_(std::move(name)),
+      weight_(name_ + ".weight", Tensor({out_features, in_features})),
+      bias_(name_ + ".bias", Tensor({out_features})) {
+  ODENET_CHECK(in_features > 0 && out_features > 0,
+               "linear needs positive feature counts");
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  ODENET_CHECK(x.ndim() == 2 && x.dim(1) == in_,
+               name_ << ": expected [N," << in_ << "], got " << x.shape_str());
+  const int n = x.dim(0);
+  Tensor out({n, out_});
+  for (int ni = 0; ni < n; ++ni) {
+    for (int o = 0; o < out_; ++o) {
+      double acc = bias_.value.at1(o);
+      const float* wrow = weight_.value.data() + static_cast<std::size_t>(o) * in_;
+      const float* xrow = x.data() + static_cast<std::size_t>(ni) * in_;
+      for (int i = 0; i < in_; ++i) acc += static_cast<double>(wrow[i]) * xrow[i];
+      out.at2(ni, o) = static_cast<float>(acc);
+    }
+  }
+  if (training_) cached_input_ = x;
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  ODENET_CHECK(!cached_input_.empty(),
+               name_ << ": backward without forward in training mode");
+  const Tensor& x = cached_input_;
+  const int n = x.dim(0);
+  ODENET_CHECK(grad_out.ndim() == 2 && grad_out.dim(0) == n &&
+                   grad_out.dim(1) == out_,
+               name_ << ": grad shape " << grad_out.shape_str());
+
+  for (int o = 0; o < out_; ++o) {
+    float* gw = weight_.grad.data() + static_cast<std::size_t>(o) * in_;
+    double gb = 0.0;
+    for (int ni = 0; ni < n; ++ni) {
+      const float g = grad_out.at2(ni, o);
+      gb += g;
+      const float* xrow = x.data() + static_cast<std::size_t>(ni) * in_;
+      for (int i = 0; i < in_; ++i) gw[i] += g * xrow[i];
+    }
+    bias_.grad.at1(o) += static_cast<float>(gb);
+  }
+
+  Tensor grad_in({n, in_});
+  for (int ni = 0; ni < n; ++ni) {
+    float* dst = grad_in.data() + static_cast<std::size_t>(ni) * in_;
+    for (int o = 0; o < out_; ++o) {
+      const float g = grad_out.at2(ni, o);
+      const float* wrow =
+          weight_.value.data() + static_cast<std::size_t>(o) * in_;
+      for (int i = 0; i < in_; ++i) dst[i] += g * wrow[i];
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace odenet::core

@@ -1,0 +1,45 @@
+#include "core/pooling.hpp"
+
+namespace odenet::core {
+
+Tensor GlobalAvgPool::forward(const Tensor& x) {
+  ODENET_CHECK(x.ndim() == 4, name_ << ": expects NCHW, got " << x.shape_str());
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  Tensor out({n, c});
+  for (int ni = 0; ni < n; ++ni) {
+    for (int ci = 0; ci < c; ++ci) {
+      const float* p =
+          x.data() + ((static_cast<std::size_t>(ni) * c) + ci) * plane;
+      double acc = 0.0;
+      for (std::size_t i = 0; i < plane; ++i) acc += p[i];
+      out.at2(ni, ci) = static_cast<float>(acc / static_cast<double>(plane));
+    }
+  }
+  if (training_) cached_shape_ = x.shape();
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  ODENET_CHECK(!cached_shape_.empty(),
+               name_ << ": backward without forward in training mode");
+  const int n = cached_shape_[0], c = cached_shape_[1], h = cached_shape_[2],
+            w = cached_shape_[3];
+  ODENET_CHECK(grad_out.ndim() == 2 && grad_out.dim(0) == n &&
+                   grad_out.dim(1) == c,
+               name_ << ": grad shape " << grad_out.shape_str());
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  const float inv = 1.0f / static_cast<float>(plane);
+  Tensor grad_in(cached_shape_);
+  for (int ni = 0; ni < n; ++ni) {
+    for (int ci = 0; ci < c; ++ci) {
+      const float g = grad_out.at2(ni, ci) * inv;
+      float* dst =
+          grad_in.data() + ((static_cast<std::size_t>(ni) * c) + ci) * plane;
+      for (std::size_t i = 0; i < plane; ++i) dst[i] = g;
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace odenet::core

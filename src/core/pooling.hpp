@@ -1,0 +1,21 @@
+// Global average pooling: [N,C,H,W] -> [N,C] (the paper's fc pre-step).
+#pragma once
+
+#include "core/layer.hpp"
+
+namespace odenet::core {
+
+class GlobalAvgPool final : public Layer {
+ public:
+  explicit GlobalAvgPool(std::string name = "gap") : name_(std::move(name)) {}
+
+  const std::string& name() const override { return name_; }
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  std::string name_;
+  std::vector<int> cached_shape_;
+};
+
+}  // namespace odenet::core

@@ -1,0 +1,72 @@
+#include "core/softmax.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace odenet::core {
+
+Tensor SoftmaxCrossEntropy::softmax(const Tensor& logits) {
+  ODENET_CHECK(logits.ndim() == 2, "softmax expects [N,C], got "
+                                       << logits.shape_str());
+  const int n = logits.dim(0), c = logits.dim(1);
+  Tensor out({n, c});
+  for (int ni = 0; ni < n; ++ni) {
+    const float* row = logits.data() + static_cast<std::size_t>(ni) * c;
+    float* dst = out.data() + static_cast<std::size_t>(ni) * c;
+    float mx = row[0];
+    for (int ci = 1; ci < c; ++ci) mx = std::max(mx, row[ci]);
+    double denom = 0.0;
+    for (int ci = 0; ci < c; ++ci) {
+      dst[ci] = std::exp(row[ci] - mx);
+      denom += dst[ci];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int ci = 0; ci < c; ++ci) dst[ci] *= inv;
+  }
+  return out;
+}
+
+float SoftmaxCrossEntropy::loss(const Tensor& logits,
+                                const std::vector<int>& labels) {
+  const int n = logits.dim(0), c = logits.dim(1);
+  ODENET_CHECK(static_cast<int>(labels.size()) == n,
+               "labels size " << labels.size() << " != batch " << n);
+  cached_probs_ = softmax(logits);
+  cached_labels_ = labels;
+  double total = 0.0;
+  for (int ni = 0; ni < n; ++ni) {
+    ODENET_CHECK(labels[ni] >= 0 && labels[ni] < c,
+                 "label " << labels[ni] << " out of range " << c);
+    const float p = cached_probs_.at2(ni, labels[ni]);
+    total += -std::log(std::max(p, 1e-12f));
+  }
+  return static_cast<float>(total / n);
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  ODENET_CHECK(!cached_probs_.empty(), "backward before loss()");
+  const int n = cached_probs_.dim(0), c = cached_probs_.dim(1);
+  Tensor grad = cached_probs_;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int ni = 0; ni < n; ++ni) {
+    grad.at2(ni, cached_labels_[ni]) -= 1.0f;
+    for (int ci = 0; ci < c; ++ci) grad.at2(ni, ci) *= inv_n;
+  }
+  return grad;
+}
+
+std::vector<int> SoftmaxCrossEntropy::argmax(const Tensor& logits) {
+  const int n = logits.dim(0), c = logits.dim(1);
+  std::vector<int> out(static_cast<std::size_t>(n));
+  for (int ni = 0; ni < n; ++ni) {
+    const float* row = logits.data() + static_cast<std::size_t>(ni) * c;
+    int best = 0;
+    for (int ci = 1; ci < c; ++ci) {
+      if (row[ci] > row[best]) best = ci;
+    }
+    out[static_cast<std::size_t>(ni)] = best;
+  }
+  return out;
+}
+
+}  // namespace odenet::core

@@ -1,0 +1,34 @@
+// Softmax + cross-entropy, fused for numerical stability.
+//
+// forward() returns per-class probabilities; loss() computes the mean
+// negative log-likelihood against integer labels and caches what
+// backward_from_labels() needs (the classic softmax-minus-onehot gradient).
+#pragma once
+
+#include <cstdint>
+
+#include "core/layer.hpp"
+
+namespace odenet::core {
+
+class SoftmaxCrossEntropy {
+ public:
+  /// logits: [N, C] -> probabilities [N, C] (stable log-sum-exp).
+  static Tensor softmax(const Tensor& logits);
+
+  /// Mean cross-entropy of `logits` against `labels` (size N, values < C).
+  /// Caches softmax output for backward().
+  float loss(const Tensor& logits, const std::vector<int>& labels);
+
+  /// dL/dlogits for the last loss() call: (p - onehot) / N.
+  Tensor backward() const;
+
+  /// Top-1 predictions.
+  static std::vector<int> argmax(const Tensor& logits);
+
+ private:
+  Tensor cached_probs_;
+  std::vector<int> cached_labels_;
+};
+
+}  // namespace odenet::core

@@ -1,0 +1,141 @@
+#include "core/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace odenet::core {
+
+std::size_t shape_numel(const std::vector<int>& shape) {
+  std::size_t n = 1;
+  for (int d : shape) {
+    ODENET_CHECK(d >= 0, "negative dimension " << d);
+    n *= static_cast<std::size_t>(d);
+  }
+  return n;
+}
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor Tensor::full(std::vector<int> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+int Tensor::dim(int i) const {
+  ODENET_CHECK(i >= 0 && i < ndim(), "dim index " << i << " out of range for "
+                                                  << shape_str());
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+std::size_t Tensor::offset4(int n, int c, int h, int w) const {
+  ODENET_DCHECK(ndim() == 4, "expected 4-d tensor, got " << shape_str());
+  ODENET_DCHECK(n >= 0 && n < shape_[0] && c >= 0 && c < shape_[1] &&
+                    h >= 0 && h < shape_[2] && w >= 0 && w < shape_[3],
+                "index (" << n << "," << c << "," << h << "," << w
+                          << ") out of " << shape_str());
+  return ((static_cast<std::size_t>(n) * shape_[1] + c) * shape_[2] + h) *
+             shape_[3] +
+         w;
+}
+
+float& Tensor::at(int n, int c, int h, int w) { return data_[offset4(n, c, h, w)]; }
+float Tensor::at(int n, int c, int h, int w) const {
+  return data_[offset4(n, c, h, w)];
+}
+
+float& Tensor::at2(int r, int c) {
+  ODENET_DCHECK(ndim() == 2, "expected 2-d tensor, got " << shape_str());
+  ODENET_DCHECK(r >= 0 && r < shape_[0] && c >= 0 && c < shape_[1],
+                "index (" << r << "," << c << ") out of " << shape_str());
+  return data_[static_cast<std::size_t>(r) * shape_[1] + c];
+}
+float Tensor::at2(int r, int c) const {
+  return const_cast<Tensor*>(this)->at2(r, c);
+}
+
+float& Tensor::at1(int i) {
+  ODENET_DCHECK(i >= 0 && static_cast<std::size_t>(i) < data_.size(),
+                "index " << i << " out of " << shape_str());
+  return data_[static_cast<std::size_t>(i)];
+}
+float Tensor::at1(int i) const { return const_cast<Tensor*>(this)->at1(i); }
+
+Tensor& Tensor::fill(float v) {
+  std::fill(data_.begin(), data_.end(), v);
+  return *this;
+}
+
+Tensor& Tensor::scale(float a) {
+  for (float& x : data_) x *= a;
+  return *this;
+}
+
+Tensor& Tensor::axpy(float a, const Tensor& x) {
+  ODENET_CHECK(same_shape(x), "axpy shape mismatch: " << shape_str() << " vs "
+                                                      << x.shape_str());
+  const float* src = x.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += a * src[i];
+  return *this;
+}
+
+Tensor& Tensor::mul(const Tensor& x) {
+  ODENET_CHECK(same_shape(x), "mul shape mismatch: " << shape_str() << " vs "
+                                                     << x.shape_str());
+  const float* src = x.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= src[i];
+  return *this;
+}
+
+float Tensor::sum() const {
+  double acc = 0.0;
+  for (float x : data_) acc += x;
+  return static_cast<float>(acc);
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (float x : data_) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+float Tensor::sqnorm() const {
+  double acc = 0.0;
+  for (float x : data_) acc += static_cast<double>(x) * x;
+  return static_cast<float>(acc);
+}
+
+float Tensor::dot(const Tensor& x) const {
+  ODENET_CHECK(same_shape(x), "dot shape mismatch: " << shape_str() << " vs "
+                                                     << x.shape_str());
+  double acc = 0.0;
+  const float* src = x.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    acc += static_cast<double>(data_[i]) * src[i];
+  }
+  return static_cast<float>(acc);
+}
+
+Tensor Tensor::reshaped(std::vector<int> new_shape) const {
+  ODENET_CHECK(shape_numel(new_shape) == numel(),
+               "reshape from " << shape_str() << " changes element count");
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  return out;
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ",";
+    os << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace odenet::core

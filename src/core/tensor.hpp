@@ -1,0 +1,88 @@
+// Dense float32 tensor in NCHW layout.
+//
+// This is the single numeric container used across the library: network
+// activations ([N,C,H,W]), fully-connected activations ([N,F]), convolution
+// weights ([Cout,Cin,Kh,Kw]) and per-channel vectors ([C]). Storage is a
+// contiguous row-major buffer; the class is a value type (copyable,
+// movable) with element access helpers and the handful of BLAS-1 style
+// operations the ODE solvers need (axpy, scale, fill).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace odenet::core {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  /// Allocates a zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<int> shape);
+
+  static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+  static Tensor full(std::vector<int> shape, float value);
+
+  const std::vector<int>& shape() const { return shape_; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  int dim(int i) const;
+  std::size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& storage() { return data_; }
+  const std::vector<float>& storage() const { return data_; }
+
+  /// 4-D accessors ([N,C,H,W] or any 4-d layout).
+  float& at(int n, int c, int h, int w);
+  float at(int n, int c, int h, int w) const;
+  /// 2-D accessors ([rows, cols]).
+  float& at2(int r, int c);
+  float at2(int r, int c) const;
+  /// 1-D accessor.
+  float& at1(int i);
+  float at1(int i) const;
+
+  /// In-place operations (return *this for chaining).
+  Tensor& fill(float v);
+  Tensor& zero() { return fill(0.0f); }
+  Tensor& scale(float a);
+  /// this += a * x (shapes must match).
+  Tensor& axpy(float a, const Tensor& x);
+  /// this += x.
+  Tensor& add(const Tensor& x) { return axpy(1.0f, x); }
+  /// Element-wise this *= x.
+  Tensor& mul(const Tensor& x);
+
+  /// Reductions.
+  float sum() const;
+  float abs_max() const;
+  /// Squared L2 norm.
+  float sqnorm() const;
+
+  /// Dot product with another tensor of identical shape.
+  float dot(const Tensor& x) const;
+
+  /// True when shapes are identical.
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// Returns a copy with a different shape but identical contents.
+  /// numel must be preserved.
+  Tensor reshaped(std::vector<int> new_shape) const;
+
+  std::string shape_str() const;
+
+ private:
+  std::size_t offset4(int n, int c, int h, int w) const;
+
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// Element count implied by a shape vector (validates non-negative dims).
+std::size_t shape_numel(const std::vector<int>& shape);
+
+}  // namespace odenet::core

@@ -1,0 +1,63 @@
+#include "data/cifar.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+namespace odenet::data {
+
+namespace {
+
+constexpr std::size_t kImageBytes = 3072;  // 3 x 32 x 32
+
+Dataset load_cifar_binary(const std::string& path, int label_bytes,
+                          int label_offset, int num_classes,
+                          std::size_t max_images) {
+  std::ifstream is(path, std::ios::binary);
+  ODENET_CHECK(is.good(), "cannot open CIFAR file: " << path);
+
+  Dataset ds;
+  ds.name = path;
+  ds.num_classes = num_classes;
+
+  const std::size_t record = static_cast<std::size_t>(label_bytes) + kImageBytes;
+  std::vector<char> buf(record);
+  while (is.read(buf.data(), static_cast<std::streamsize>(record))) {
+    const int label =
+        static_cast<std::uint8_t>(buf[static_cast<std::size_t>(label_offset)]);
+    ds.labels.push_back(label);
+    const auto* px = reinterpret_cast<const std::uint8_t*>(buf.data()) +
+                     label_bytes;
+    ds.pixels.insert(ds.pixels.end(), px, px + kImageBytes);
+    if (max_images != 0 && ds.size() >= max_images) break;
+  }
+  ODENET_CHECK(!ds.labels.empty(), "no records in CIFAR file: " << path);
+  ds.validate();
+  return ds;
+}
+
+}  // namespace
+
+Dataset load_cifar100_file(const std::string& path, std::size_t max_images) {
+  // Record: [coarse, fine, pixels]; we use the fine label (100 classes).
+  return load_cifar_binary(path, /*label_bytes=*/2, /*label_offset=*/1,
+                           /*num_classes=*/100, max_images);
+}
+
+Dataset load_cifar10_file(const std::string& path, std::size_t max_images) {
+  return load_cifar_binary(path, /*label_bytes=*/1, /*label_offset=*/0,
+                           /*num_classes=*/10, max_images);
+}
+
+std::optional<TrainTest> try_load_cifar100(const std::string& dir,
+                                           std::size_t max_train,
+                                           std::size_t max_test) {
+  namespace fs = std::filesystem;
+  const fs::path train = fs::path(dir) / "train.bin";
+  const fs::path test = fs::path(dir) / "test.bin";
+  if (!fs::exists(train) || !fs::exists(test)) return std::nullopt;
+  TrainTest out{load_cifar100_file(train.string(), max_train),
+                load_cifar100_file(test.string(), max_test)};
+  return out;
+}
+
+}  // namespace odenet::data

@@ -1,0 +1,33 @@
+// CIFAR binary format loaders.
+//
+// CIFAR-100: each record is 1 coarse-label byte + 1 fine-label byte + 3072
+// pixel bytes (CHW). CIFAR-10: 1 label byte + 3072 pixel bytes. Files:
+// cifar-100-binary/{train.bin,test.bin}, cifar-10-batches-bin/data_batch_*.
+//
+// The evaluation harness calls try_load_cifar100() and falls back to the
+// synthetic generator when the dataset is not on disk (see DESIGN.md §1).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace odenet::data {
+
+/// Loads one CIFAR-100 binary file (train.bin or test.bin).
+Dataset load_cifar100_file(const std::string& path, std::size_t max_images = 0);
+
+/// Loads one CIFAR-10 batch file.
+Dataset load_cifar10_file(const std::string& path, std::size_t max_images = 0);
+
+/// Looks for `dir`/train.bin and `dir`/test.bin; nullopt when missing.
+struct TrainTest {
+  Dataset train;
+  Dataset test;
+};
+std::optional<TrainTest> try_load_cifar100(const std::string& dir,
+                                           std::size_t max_train = 0,
+                                           std::size_t max_test = 0);
+
+}  // namespace odenet::data

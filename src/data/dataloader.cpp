@@ -1,0 +1,101 @@
+#include "data/dataloader.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace odenet::data {
+
+DataLoader::DataLoader(const Dataset& dataset, const DataLoaderConfig& cfg)
+    : dataset_(dataset), cfg_(cfg), rng_(cfg.seed) {
+  ODENET_CHECK(cfg.batch_size > 0, "batch_size must be positive");
+  ODENET_CHECK(dataset.size() > 0, "dataset is empty");
+  ODENET_CHECK(cfg.mean.empty() ||
+                   static_cast<int>(cfg.mean.size()) == dataset.channels,
+               "mean size must match channels");
+  ODENET_CHECK(cfg.stddev.size() == cfg.mean.size(),
+               "mean/stddev must have equal size");
+  order_.resize(dataset.size());
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  reset();
+}
+
+void DataLoader::reset() {
+  cursor_ = 0;
+  if (cfg_.shuffle) rng_.shuffle(order_);
+}
+
+bool DataLoader::has_next() const {
+  const std::size_t remaining = dataset_.size() - cursor_;
+  if (remaining == 0) return false;
+  if (cfg_.drop_last && remaining < static_cast<std::size_t>(cfg_.batch_size)) {
+    return false;
+  }
+  return true;
+}
+
+int DataLoader::batches_per_epoch() const {
+  const std::size_t n = dataset_.size();
+  const std::size_t b = static_cast<std::size_t>(cfg_.batch_size);
+  return static_cast<int>(cfg_.drop_last ? n / b : (n + b - 1) / b);
+}
+
+void DataLoader::fill_image(std::size_t dataset_index, float* dst) {
+  const int c = dataset_.channels, h = dataset_.height, w = dataset_.width;
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  const std::uint8_t* src =
+      dataset_.pixels.data() + dataset_index * dataset_.image_bytes();
+
+  int dy = 0, dx = 0;
+  bool flip = false;
+  if (cfg_.augment) {
+    constexpr int kPad = 4;
+    dy = static_cast<int>(rng_.uniform_int(2 * kPad + 1)) - kPad;
+    dx = static_cast<int>(rng_.uniform_int(2 * kPad + 1)) - kPad;
+    flip = rng_.bernoulli(0.5);
+  }
+
+  for (int ci = 0; ci < c; ++ci) {
+    const float m = cfg_.mean.empty() ? 0.0f : cfg_.mean[ci];
+    const float inv_s =
+        cfg_.mean.empty()
+            ? 1.0f
+            : 1.0f / (cfg_.stddev[ci] > 1e-8f ? cfg_.stddev[ci] : 1.0f);
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const int sx0 = flip ? w - 1 - x : x;
+        const int sy = y + dy;
+        const int sx = sx0 + dx;
+        float v = 0.0f;  // zero padding outside
+        if (sy >= 0 && sy < h && sx >= 0 && sx < w) {
+          v = static_cast<float>(src[static_cast<std::size_t>(ci) * plane +
+                                     static_cast<std::size_t>(sy) * w + sx]) /
+              255.0f;
+        }
+        dst[static_cast<std::size_t>(ci) * plane +
+            static_cast<std::size_t>(y) * w + x] = (v - m) * inv_s;
+      }
+    }
+  }
+}
+
+Batch DataLoader::next() {
+  ODENET_CHECK(has_next(), "next() past the end of the epoch");
+  const std::size_t remaining = dataset_.size() - cursor_;
+  const int b = static_cast<int>(std::min(
+      remaining, static_cast<std::size_t>(cfg_.batch_size)));
+
+  Batch batch;
+  batch.images = core::Tensor(
+      {b, dataset_.channels, dataset_.height, dataset_.width});
+  batch.labels.resize(static_cast<std::size_t>(b));
+  const std::size_t stride = dataset_.image_bytes();
+  for (int i = 0; i < b; ++i) {
+    const std::size_t idx = order_[cursor_ + i];
+    fill_image(idx, batch.images.data() + static_cast<std::size_t>(i) * stride);
+    batch.labels[static_cast<std::size_t>(i)] = dataset_.labels[idx];
+  }
+  cursor_ += static_cast<std::size_t>(b);
+  return batch;
+}
+
+}  // namespace odenet::data

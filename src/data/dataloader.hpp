@@ -1,0 +1,52 @@
+// Mini-batch iteration with shuffling, normalization and the standard
+// CIFAR augmentation (pad-4 random crop + horizontal flip).
+#pragma once
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace odenet::data {
+
+struct DataLoaderConfig {
+  int batch_size = 32;
+  bool shuffle = true;
+  /// Pad-4 random crop + random horizontal flip (training only).
+  bool augment = false;
+  /// Per-channel normalization; empty -> identity.
+  std::vector<float> mean;
+  std::vector<float> stddev;
+  std::uint64_t seed = 11;
+  /// Drop the final short batch (keeps BN batch statistics well-defined).
+  bool drop_last = false;
+};
+
+struct Batch {
+  core::Tensor images;  // [B, C, H, W]
+  std::vector<int> labels;
+  int size() const { return static_cast<int>(labels.size()); }
+};
+
+class DataLoader {
+ public:
+  DataLoader(const Dataset& dataset, const DataLoaderConfig& cfg);
+
+  /// Starts a new epoch (reshuffles when configured).
+  void reset();
+  bool has_next() const;
+  Batch next();
+
+  /// Batches per epoch.
+  int batches_per_epoch() const;
+  const DataLoaderConfig& config() const { return cfg_; }
+
+ private:
+  void fill_image(std::size_t dataset_index, float* dst);
+
+  const Dataset& dataset_;
+  DataLoaderConfig cfg_;
+  util::Rng rng_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace odenet::data

@@ -1,0 +1,55 @@
+#include "data/dataset.hpp"
+
+#include <cmath>
+
+namespace odenet::data {
+
+core::Tensor Dataset::image(std::size_t index) const {
+  ODENET_CHECK(index < size(), "image index " << index << " out of range");
+  core::Tensor out({channels, height, width});
+  const std::uint8_t* src = pixels.data() + index * image_bytes();
+  for (std::size_t i = 0; i < image_bytes(); ++i) {
+    out.data()[i] = static_cast<float>(src[i]) / 255.0f;
+  }
+  return out;
+}
+
+void Dataset::validate() const {
+  ODENET_CHECK(pixels.size() == size() * image_bytes(),
+               name << ": pixel buffer size " << pixels.size()
+                    << " != images " << size() << " x " << image_bytes());
+  for (int l : labels) {
+    ODENET_CHECK(l >= 0 && l < num_classes,
+                 name << ": label " << l << " out of range " << num_classes);
+  }
+}
+
+ChannelStats compute_channel_stats(const Dataset& ds) {
+  ChannelStats stats;
+  stats.mean.assign(ds.channels, 0.0f);
+  stats.stddev.assign(ds.channels, 0.0f);
+  if (ds.size() == 0) return stats;
+  const std::size_t plane = static_cast<std::size_t>(ds.height) * ds.width;
+  std::vector<double> sum(ds.channels, 0.0), sq(ds.channels, 0.0);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const std::uint8_t* img = ds.pixels.data() + i * ds.image_bytes();
+    for (int c = 0; c < ds.channels; ++c) {
+      const std::uint8_t* p = img + static_cast<std::size_t>(c) * plane;
+      for (std::size_t j = 0; j < plane; ++j) {
+        const double v = p[j] / 255.0;
+        sum[c] += v;
+        sq[c] += v * v;
+      }
+    }
+  }
+  const double count = static_cast<double>(ds.size()) * plane;
+  for (int c = 0; c < ds.channels; ++c) {
+    const double m = sum[c] / count;
+    stats.mean[c] = static_cast<float>(m);
+    const double var = sq[c] / count - m * m;
+    stats.stddev[c] = static_cast<float>(std::sqrt(var > 0 ? var : 0.0));
+  }
+  return stats;
+}
+
+}  // namespace odenet::data

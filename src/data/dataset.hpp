@@ -1,0 +1,41 @@
+// In-memory labeled image dataset (CHW uint8 pixels, as CIFAR ships).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace odenet::data {
+
+struct Dataset {
+  std::string name;
+  int channels = 3;
+  int height = 32;
+  int width = 32;
+  int num_classes = 100;
+  /// size() * channels * height * width bytes, CHW per image.
+  std::vector<std::uint8_t> pixels;
+  std::vector<int> labels;
+
+  std::size_t size() const { return labels.size(); }
+  std::size_t image_bytes() const {
+    return static_cast<std::size_t>(channels) * height * width;
+  }
+
+  /// One image as a float tensor in [0,1], shape [C,H,W].
+  core::Tensor image(std::size_t index) const;
+
+  /// Throws odenet::Error when sizes are inconsistent.
+  void validate() const;
+};
+
+/// Per-channel mean and stddev over the whole dataset (pixel scale [0,1]).
+struct ChannelStats {
+  std::vector<float> mean;
+  std::vector<float> stddev;
+};
+ChannelStats compute_channel_stats(const Dataset& ds);
+
+}  // namespace odenet::data

@@ -1,0 +1,45 @@
+#include "fixed/fixed_math.hpp"
+
+#include "util/check.hpp"
+
+namespace odenet::fixed {
+
+std::uint64_t isqrt_u64(std::uint64_t x) {
+  // Non-restoring square root: processes two radicand bits per iteration,
+  // producing one result bit, MSB first.
+  std::uint64_t result = 0;
+  std::uint64_t remainder = 0;
+  for (int i = 62; i >= 0; i -= 2) {
+    remainder = (remainder << 2) | ((x >> i) & 0x3u);
+    const std::uint64_t trial = (result << 2) | 1u;
+    result <<= 1;
+    if (remainder >= trial) {
+      remainder -= trial;
+      result |= 1u;
+    }
+  }
+  return result;
+}
+
+std::int64_t idiv_i64(std::int64_t num, std::int64_t den) {
+  ODENET_CHECK(den != 0, "fixed-point division by zero");
+  const bool neg = (num < 0) != (den < 0);
+  // Work in unsigned magnitudes to sidestep INT64_MIN overflow.
+  std::uint64_t n = num < 0 ? 0ULL - static_cast<std::uint64_t>(num)
+                            : static_cast<std::uint64_t>(num);
+  std::uint64_t d = den < 0 ? 0ULL - static_cast<std::uint64_t>(den)
+                            : static_cast<std::uint64_t>(den);
+  // Shift-subtract restoring division, one quotient bit per iteration.
+  std::uint64_t q = 0, r = 0;
+  for (int i = 63; i >= 0; --i) {
+    r = (r << 1) | ((n >> i) & 1u);
+    q <<= 1;
+    if (r >= d) {
+      r -= d;
+      q |= 1u;
+    }
+  }
+  return neg ? -static_cast<std::int64_t>(q) : static_cast<std::int64_t>(q);
+}
+
+}  // namespace odenet::fixed

@@ -1,0 +1,74 @@
+#include "fixed/fixed_tensor.hpp"
+
+#include <cmath>
+
+namespace odenet::fixed {
+
+namespace {
+
+std::int32_t quantize_value(float v, int frac_bits, bool* saturated) {
+  const double one = static_cast<double>(std::int64_t{1} << frac_bits);
+  const double scaled = static_cast<double>(v) * one;
+  const double rounded = scaled >= 0.0 ? scaled + 0.5 : scaled - 0.5;
+  const auto wide = static_cast<std::int64_t>(rounded);
+  const std::int64_t mx = std::numeric_limits<std::int32_t>::max();
+  const std::int64_t mn = std::numeric_limits<std::int32_t>::min();
+  if (wide > mx) {
+    if (saturated) *saturated = true;
+    return static_cast<std::int32_t>(mx);
+  }
+  if (wide < mn) {
+    if (saturated) *saturated = true;
+    return static_cast<std::int32_t>(mn);
+  }
+  return static_cast<std::int32_t>(wide);
+}
+
+}  // namespace
+
+FixedTensor quantize(const core::Tensor& t, int frac_bits) {
+  ODENET_CHECK(frac_bits > 0 && frac_bits < 31, "bad frac_bits " << frac_bits);
+  FixedTensor out;
+  out.shape = t.shape();
+  out.frac_bits = frac_bits;
+  out.raw.resize(t.numel());
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    out.raw[i] = quantize_value(t.data()[i], frac_bits, nullptr);
+  }
+  return out;
+}
+
+core::Tensor dequantize(const FixedTensor& t) {
+  core::Tensor out(t.shape);
+  const double inv = 1.0 / static_cast<double>(std::int64_t{1} << t.frac_bits);
+  for (std::size_t i = 0; i < t.raw.size(); ++i) {
+    out.data()[i] = static_cast<float>(t.raw[i] * inv);
+  }
+  return out;
+}
+
+QuantizationError measure_quantization(const core::Tensor& t, int frac_bits) {
+  QuantizationError err;
+  const double inv = 1.0 / static_cast<double>(std::int64_t{1} << frac_bits);
+  double sq_signal = 0.0, sq_noise = 0.0, abs_sum = 0.0;
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    bool sat = false;
+    const std::int32_t q = quantize_value(t.data()[i], frac_bits, &sat);
+    if (sat) ++err.saturated;
+    const double back = q * inv;
+    const double e = back - static_cast<double>(t.data()[i]);
+    err.max_abs_error = std::max(err.max_abs_error, std::fabs(e));
+    abs_sum += std::fabs(e);
+    sq_noise += e * e;
+    sq_signal += static_cast<double>(t.data()[i]) * t.data()[i];
+  }
+  const auto n = static_cast<double>(t.numel());
+  err.mean_abs_error = n > 0 ? abs_sum / n : 0.0;
+  err.rmse = n > 0 ? std::sqrt(sq_noise / n) : 0.0;
+  err.snr_db = sq_noise > 0.0
+                   ? 10.0 * std::log10(sq_signal / sq_noise)
+                   : std::numeric_limits<double>::infinity();
+  return err;
+}
+
+}  // namespace odenet::fixed

@@ -1,0 +1,43 @@
+// Quantization between float tensors and raw fixed-point buffers, plus the
+// error statistics the bit-width ablation reports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tensor.hpp"
+#include "fixed/qformat.hpp"
+
+namespace odenet::fixed {
+
+/// Raw Q-format buffer with shape metadata. The FPGA engines operate on
+/// int32 raw words regardless of the logical format; `frac_bits` records
+/// the binary point.
+struct FixedTensor {
+  std::vector<int> shape;
+  std::vector<std::int32_t> raw;
+  int frac_bits = 20;
+
+  std::size_t numel() const { return raw.size(); }
+};
+
+/// Quantizes a float tensor to the given fractional precision (saturating).
+FixedTensor quantize(const core::Tensor& t, int frac_bits = 20);
+
+/// Back to float.
+core::Tensor dequantize(const FixedTensor& t);
+
+struct QuantizationError {
+  double max_abs_error = 0.0;
+  double mean_abs_error = 0.0;
+  double rmse = 0.0;
+  /// Signal-to-quantization-noise ratio in dB (inf when exact).
+  double snr_db = 0.0;
+  /// Elements clipped by saturation.
+  std::size_t saturated = 0;
+};
+
+/// Round-trip error of quantizing `t` at `frac_bits` (32-bit storage).
+QuantizationError measure_quantization(const core::Tensor& t, int frac_bits);
+
+}  // namespace odenet::fixed

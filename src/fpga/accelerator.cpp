@@ -1,0 +1,148 @@
+#include "fpga/accelerator.hpp"
+
+namespace odenet::fpga {
+
+OdeBlockAccelerator::OdeBlockAccelerator(const Config& cfg,
+                                         const FpgaDevice& device)
+    : cfg_(cfg),
+      conv1_({.in_channels = cfg.channels,
+              .out_channels = cfg.channels,
+              .extent = cfg.extent,
+              .parallelism = cfg.parallelism,
+              .frac_bits = cfg.frac_bits}),
+      bn1_({.channels = cfg.channels,
+            .extent = cfg.extent,
+            .frac_bits = cfg.frac_bits,
+            .fused_relu = true}),
+      conv2_({.in_channels = cfg.channels,
+              .out_channels = cfg.channels,
+              .extent = cfg.extent,
+              .parallelism = cfg.parallelism,
+              .frac_bits = cfg.frac_bits}),
+      bn2_({.channels = cfg.channels,
+            .extent = cfg.extent,
+            .frac_bits = cfg.frac_bits,
+            .fused_relu = false}),
+      bram_(device) {
+  ODENET_CHECK(!cfg.enforce_timing ||
+                   meets_timing(cfg.parallelism, cfg.clock_mhz),
+               "conv_x" << cfg.parallelism << " fails timing closure at "
+                        << cfg.clock_mhz << " MHz on " << device.part
+                        << " (paper §3.1; lower the clock or parallelism)");
+
+  // BRAM plan: weight banks (one per MAC unit, per conv), three fmap
+  // buffers (in, mid, out), BN parameter store.
+  const std::size_t wwords =
+      static_cast<std::size_t>(cfg.channels) * cfg.channels * 9;
+  const int bits = cfg.frac_bits >= 16 ? 32 : 16;
+  bram_.allocate("conv1.weights", wwords, cfg.parallelism, bits);
+  bram_.allocate("conv2.weights", wwords, cfg.parallelism, bits);
+  const std::size_t fwords =
+      static_cast<std::size_t>(cfg.channels) * cfg.extent * cfg.extent;
+  bram_.allocate("fmap.in", fwords, 1, 32);
+  bram_.allocate("fmap.mid", fwords, 1, 32);
+  bram_.allocate("fmap.out", fwords, 1, 32);
+  bram_.allocate("bn.params", static_cast<std::size_t>(4) * cfg.channels, 1,
+                 32);
+}
+
+void OdeBlockAccelerator::load_weights(core::BuildingBlock& block) {
+  ODENET_CHECK(block.config().in_channels == cfg_.channels &&
+                   block.config().out_channels == cfg_.channels &&
+                   block.config().stride == 1,
+               "accelerator: block geometry mismatch");
+  conv1_.load_weights(
+      fixed::quantize(block.conv1().weight().value, cfg_.frac_bits));
+  conv2_.load_weights(
+      fixed::quantize(block.conv2().weight().value, cfg_.frac_bits));
+  bn1_.load_params(fixed::quantize(block.bn1().gamma().value, cfg_.frac_bits),
+                   fixed::quantize(block.bn1().beta().value, cfg_.frac_bits));
+  bn2_.load_params(fixed::quantize(block.bn2().gamma().value, cfg_.frac_bits),
+                   fixed::quantize(block.bn2().beta().value, cfg_.frac_bits));
+  weights_loaded_ = true;
+}
+
+fixed::FixedTensor OdeBlockAccelerator::to_fixed_fmap(
+    const core::Tensor& z) const {
+  core::Tensor squeezed = z;
+  if (z.ndim() == 4) {
+    ODENET_CHECK(z.dim(0) == 1, "accelerator processes one image at a time");
+    squeezed = z.reshaped({z.dim(1), z.dim(2), z.dim(3)});
+  }
+  ODENET_CHECK(squeezed.ndim() == 3 && squeezed.dim(0) == cfg_.channels &&
+                   squeezed.dim(1) == cfg_.extent &&
+                   squeezed.dim(2) == cfg_.extent,
+               "accelerator input shape mismatch: " << z.shape_str());
+  return fixed::quantize(squeezed, cfg_.frac_bits);
+}
+
+core::Tensor OdeBlockAccelerator::to_float_fmap(const fixed::FixedTensor& f,
+                                                bool batched) const {
+  core::Tensor out = fixed::dequantize(f);
+  if (batched) {
+    return out.reshaped({1, cfg_.channels, cfg_.extent, cfg_.extent});
+  }
+  return out;
+}
+
+core::Tensor OdeBlockAccelerator::eval_branch(const core::Tensor& z, float t,
+                                              CycleBreakdown* cycles) {
+  ODENET_CHECK(weights_loaded_, "accelerator: weights not loaded");
+  fixed::FixedTensor f = to_fixed_fmap(z);
+  CycleBreakdown local;
+  f = conv1_.run(f, t, &local.conv1);
+  f = bn1_.run(f, &local.bn1);
+  f = conv2_.run(f, t, &local.conv2);
+  f = bn2_.run(f, &local.bn2);
+  if (cycles != nullptr) *cycles = local;
+  return to_float_fmap(f, z.ndim() == 4);
+}
+
+core::Tensor OdeBlockAccelerator::solve_euler(const core::Tensor& z0,
+                                              int steps, float h,
+                                              AcceleratorReport* report) {
+  ODENET_CHECK(weights_loaded_, "accelerator: weights not loaded");
+  ODENET_CHECK(steps >= 1, "solve_euler needs steps >= 1");
+  const bool batched = z0.ndim() == 4;
+  fixed::FixedTensor z = to_fixed_fmap(z0);
+  const fixed::Q20 h_fixed = fixed::Q20::from_float(h);
+
+  for (int i = 0; i < steps; ++i) {
+    const float t = h * static_cast<float>(i);
+    fixed::FixedTensor f = conv1_.run(z, t);
+    f = bn1_.run(f);
+    f = conv2_.run(f, t);
+    f = bn2_.run(f);
+    // Euler update on the BN2 writeback adder: z += h * f (fixed-point).
+    for (std::size_t j = 0; j < z.raw.size(); ++j) {
+      const auto zf = fixed::Q20::from_raw(z.raw[j]);
+      const auto ff = fixed::Q20::from_raw(f.raw[j]);
+      z.raw[j] = (zf + h_fixed * ff).raw();
+    }
+  }
+
+  if (report != nullptr) {
+    report->per_execution = cycles_per_execution();
+    report->transfer_cycles_per_execution = transfer_cycles_per_execution();
+    report->executions = steps;
+    report->clock_mhz = cfg_.clock_mhz;
+  }
+  return to_float_fmap(z, batched);
+}
+
+CycleBreakdown OdeBlockAccelerator::cycles_per_execution() const {
+  CycleBreakdown c;
+  c.conv1 = conv1_.cycles_per_run();
+  c.bn1 = bn1_.cycles_per_run();
+  c.conv2 = conv2_.cycles_per_run();
+  c.bn2 = bn2_.cycles_per_run();
+  return c;
+}
+
+std::uint64_t OdeBlockAccelerator::transfer_cycles_per_execution() const {
+  const std::size_t fwords =
+      static_cast<std::size_t>(cfg_.channels) * cfg_.extent * cfg_.extent;
+  return roundtrip_cycles(fwords, fwords, cfg_.axi);
+}
+
+}  // namespace odenet::fpga

@@ -1,0 +1,21 @@
+#include "fpga/axi.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace odenet::fpga {
+
+std::uint64_t transfer_cycles(std::size_t words, const AxiConfig& cfg) {
+  ODENET_CHECK(cfg.cycles_per_word > 0.0, "cycles_per_word must be positive");
+  return cfg.setup_cycles +
+         static_cast<std::uint64_t>(
+             std::ceil(static_cast<double>(words) * cfg.cycles_per_word));
+}
+
+std::uint64_t roundtrip_cycles(std::size_t in_words, std::size_t out_words,
+                               const AxiConfig& cfg) {
+  return transfer_cycles(in_words, cfg) + transfer_cycles(out_words, cfg);
+}
+
+}  // namespace odenet::fpga

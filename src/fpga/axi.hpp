@@ -1,0 +1,28 @@
+// PS <-> PL transfer model.
+//
+// The paper assumes DMA over AXI at 1 cycle per float32 word ("an
+// optimistic assumption, but we use this value for simplicity") — the
+// default here, with knobs for setup latency and wider/burstier links so
+// the sensitivity can be explored.
+#pragma once
+
+#include <cstdint>
+
+namespace odenet::fpga {
+
+struct AxiConfig {
+  /// PL cycles per 32-bit word moved (paper: 1.0).
+  double cycles_per_word = 1.0;
+  /// Fixed per-transfer setup cost (descriptor + interrupt), in PL cycles.
+  std::uint64_t setup_cycles = 0;
+};
+
+/// Cycles to move `words` 32-bit words one way.
+std::uint64_t transfer_cycles(std::size_t words, const AxiConfig& cfg = {});
+
+/// Cycles to stream a feature map in and the result back out
+/// (in_words down, out_words up; half-duplex, as a single DMA channel).
+std::uint64_t roundtrip_cycles(std::size_t in_words, std::size_t out_words,
+                               const AxiConfig& cfg = {});
+
+}  // namespace odenet::fpga

@@ -1,0 +1,43 @@
+#include "fpga/bram.hpp"
+
+#include "util/check.hpp"
+
+namespace odenet::fpga {
+
+BramAllocator::BramAllocator(const FpgaDevice& device) : device_(device) {}
+
+int BramAllocator::allocate(const std::string& name, std::size_t words,
+                            int banks, int bits_per_word) {
+  ODENET_CHECK(banks >= 1, "buffer " << name << ": banks must be >= 1");
+  ODENET_CHECK(bits_per_word > 0 && bits_per_word <= 36,
+               "buffer " << name << ": unsupported word width "
+                         << bits_per_word);
+  // BRAM18 = 18Kb: 512 x 36-bit entries; narrower words pack two per entry
+  // at 18 bits or less.
+  const std::size_t words_per_bram18 =
+      bits_per_word <= 18 ? 2 * FpgaDevice::kBram18Words
+                          : FpgaDevice::kBram18Words;
+  const std::size_t per_bank = (words + banks - 1) / banks;
+  const std::size_t tiles_per_bank =
+      per_bank == 0 ? 1 : (per_bank + words_per_bram18 - 1) / words_per_bram18;
+  const int bram18 = static_cast<int>(tiles_per_bank) * banks;
+
+  buffers_.push_back(BramBuffer{.name = name,
+                                .words = words,
+                                .banks = banks,
+                                .bram18 = bram18});
+  bram18_used_ += bram18;
+  return bram18;
+}
+
+double BramAllocator::utilization() const {
+  return static_cast<double>(bram36_used()) /
+         static_cast<double>(device_.bram36);
+}
+
+int BramAllocator::bram36_placed() const {
+  const int used = bram36_used();
+  return used > device_.bram36 ? device_.bram36 : used;
+}
+
+}  // namespace odenet::fpga

@@ -1,0 +1,137 @@
+#include "fpga/conv_engine.hpp"
+
+namespace odenet::fpga {
+
+ConvEngine::ConvEngine(const ConvEngineConfig& cfg)
+    : cfg_(cfg), macs_(cfg.parallelism) {
+  ODENET_CHECK(cfg.in_channels > 0 && cfg.out_channels > 0,
+               "conv engine needs positive channel counts");
+  ODENET_CHECK(cfg.extent > 0, "conv engine needs positive extent");
+  ODENET_CHECK(cfg.frac_bits > 0 && cfg.frac_bits < 31,
+               "bad frac_bits " << cfg.frac_bits);
+}
+
+void ConvEngine::load_weights(const fixed::FixedTensor& w) {
+  ODENET_CHECK(w.shape.size() == 4, "weights must be 4-d");
+  const int co = w.shape[0], ci = w.shape[1], kh = w.shape[2], kw = w.shape[3];
+  ODENET_CHECK(co == cfg_.out_channels && kh == 3 && kw == 3,
+               "weight shape mismatch");
+  ODENET_CHECK(ci == cfg_.in_channels || ci == cfg_.in_channels + 1,
+               "weights must have Cin or Cin+1 input planes, got " << ci);
+  has_time_weights_ = (ci == cfg_.in_channels + 1);
+
+  const std::size_t per_out_in = static_cast<std::size_t>(ci) * 9;
+  weights_.assign(static_cast<std::size_t>(co) * cfg_.in_channels * 9, 0);
+  time_weights_.assign(has_time_weights_ ? static_cast<std::size_t>(co) * 9 : 0,
+                       0);
+  for (int o = 0; o < co; ++o) {
+    for (int c = 0; c < cfg_.in_channels; ++c) {
+      for (int k = 0; k < 9; ++k) {
+        weights_[(static_cast<std::size_t>(o) * cfg_.in_channels + c) * 9 + k] =
+            w.raw[static_cast<std::size_t>(o) * per_out_in +
+                  static_cast<std::size_t>(c) * 9 + k];
+      }
+    }
+    if (has_time_weights_) {
+      for (int k = 0; k < 9; ++k) {
+        time_weights_[static_cast<std::size_t>(o) * 9 + k] =
+            w.raw[static_cast<std::size_t>(o) * per_out_in +
+                  static_cast<std::size_t>(cfg_.in_channels) * 9 + k];
+      }
+    }
+  }
+}
+
+std::uint64_t ConvEngine::conv_cycles(int out_channels, int in_channels,
+                                      int extent, int parallelism) {
+  MacArray macs(parallelism);
+  const std::uint64_t beats_per_channel =
+      static_cast<std::uint64_t>(extent) * extent * in_channels * 9;
+  return macs.cycles(beats_per_channel, out_channels);
+}
+
+std::uint64_t ConvEngine::cycles_per_run() const {
+  return conv_cycles(cfg_.out_channels, cfg_.in_channels, cfg_.extent,
+                     cfg_.parallelism);
+}
+
+fixed::FixedTensor ConvEngine::run(const fixed::FixedTensor& input, float t,
+                                   std::uint64_t* cycles) const {
+  ODENET_CHECK(!weights_.empty(), "conv engine: weights not loaded");
+  // Accept [C,H,W] or [1,C,H,W].
+  std::vector<int> shape = input.shape;
+  if (shape.size() == 4) {
+    ODENET_CHECK(shape[0] == 1, "conv engine processes one image at a time");
+    shape.erase(shape.begin());
+  }
+  ODENET_CHECK(shape.size() == 3 && shape[0] == cfg_.in_channels &&
+                   shape[1] == cfg_.extent && shape[2] == cfg_.extent,
+               "conv engine input shape mismatch");
+
+  const int h = cfg_.extent, w = cfg_.extent;
+  const int ci = cfg_.in_channels, co = cfg_.out_channels;
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+
+  // Fold the constant time plane into a per-output-channel bias plane:
+  // a constant input contributes t * (sum of the time-kernel taps whose
+  // input position is in bounds). Computed once per run; edge positions
+  // see fewer taps because padding is zero, not t.
+  const std::int64_t t_raw =
+      static_cast<std::int64_t>(static_cast<double>(t) *
+                                    static_cast<double>(std::int64_t{1}
+                                                        << cfg_.frac_bits) +
+                                (t >= 0 ? 0.5 : -0.5));
+
+  fixed::FixedTensor out;
+  out.shape = {co, h, w};
+  out.frac_bits = cfg_.frac_bits;
+  out.raw.assign(static_cast<std::size_t>(co) * plane, 0);
+
+  for (int o = 0; o < co; ++o) {
+    const std::int32_t* wbase =
+        weights_.data() + static_cast<std::size_t>(o) * ci * 9;
+    const std::int32_t* tw =
+        has_time_weights_ ? time_weights_.data() + static_cast<std::size_t>(o) * 9
+                          : nullptr;
+    for (int oh = 0; oh < h; ++oh) {
+      for (int ow = 0; ow < w; ++ow) {
+        std::int64_t acc = 0;
+        for (int c = 0; c < ci; ++c) {
+          const std::int32_t* wk = wbase + static_cast<std::size_t>(c) * 9;
+          const std::int32_t* in_plane =
+              input.raw.data() + static_cast<std::size_t>(c) * plane;
+          for (int kh = 0; kh < 3; ++kh) {
+            const int ih = oh - 1 + kh;
+            if (ih < 0 || ih >= h) continue;
+            for (int kw = 0; kw < 3; ++kw) {
+              const int iw = ow - 1 + kw;
+              if (iw < 0 || iw >= w) continue;
+              acc = MacArray::mac(acc, in_plane[static_cast<std::size_t>(ih) * w + iw],
+                                  wk[kh * 3 + kw]);
+            }
+          }
+        }
+        if (tw != nullptr) {
+          // Time plane: constant value t at every in-bounds position.
+          for (int kh = 0; kh < 3; ++kh) {
+            const int ih = oh - 1 + kh;
+            if (ih < 0 || ih >= h) continue;
+            for (int kw = 0; kw < 3; ++kw) {
+              const int iw = ow - 1 + kw;
+              if (iw < 0 || iw >= w) continue;
+              acc += t_raw * static_cast<std::int64_t>(tw[kh * 3 + kw]);
+            }
+          }
+        }
+        out.raw[static_cast<std::size_t>(o) * plane +
+                static_cast<std::size_t>(oh) * w + ow] =
+            MacArray::writeback(acc, cfg_.frac_bits);
+      }
+    }
+  }
+
+  if (cycles != nullptr) *cycles += cycles_per_run();
+  return out;
+}
+
+}  // namespace odenet::fpga

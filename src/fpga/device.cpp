@@ -1,0 +1,47 @@
+#include "fpga/device.hpp"
+
+#include "util/check.hpp"
+
+namespace odenet::fpga {
+
+const FpgaDevice& xc7z020() {
+  static const FpgaDevice dev{
+      .part = "XC7Z020-1CLG400C",
+      .bram36 = 140,
+      .dsp = 220,
+      .lut = 53200,
+      .ff = 106400,
+  };
+  return dev;
+}
+
+const BoardSpec& pynq_z2() {
+  static const BoardSpec board{
+      .name = "TUL PYNQ-Z2",
+      .os = "PYNQ Linux (Ubuntu 18.04)",
+      .cpu = "ARM Cortex-A9",
+      .cpu_mhz = 650.0,
+      .cores = 2,
+      .dram_mb = 512,
+      .fpga = xc7z020(),
+      .pl_clock_mhz = 100.0,
+  };
+  return board;
+}
+
+bool meets_timing(int parallelism, double clock_mhz) {
+  ODENET_CHECK(parallelism >= 1, "parallelism must be >= 1");
+  ODENET_CHECK(clock_mhz > 0.0, "clock must be positive");
+  return parallelism <= max_parallelism_at(clock_mhz);
+}
+
+int max_parallelism_at(double clock_mhz) {
+  // Calibrated to the paper: 16 closes at 100 MHz, 32 does not. The product
+  // parallelism x clock is held constant at 16 x 100 = 1600 MHz-units, so
+  // conv_x32 would require lowering the clock to 50 MHz.
+  constexpr double kClosureProduct = 1600.0;
+  const int max_par = static_cast<int>(kClosureProduct / clock_mhz);
+  return max_par < 1 ? 1 : max_par;
+}
+
+}  // namespace odenet::fpga

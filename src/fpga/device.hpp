@@ -1,0 +1,51 @@
+// Target device and board models (paper Table 1 / §3).
+//
+// The paper targets the TUL PYNQ-Z2: a Zynq XC7Z020 SoC whose processing
+// system (PS) runs two Cortex-A9 cores at 650 MHz and whose programmable
+// logic (PL) hosts the ODEBlock accelerator at 100 MHz. The device model
+// carries the resource inventory used for utilization percentages and the
+// timing-closure rule the paper reports (conv_x32 fails 100 MHz).
+#pragma once
+
+#include <string>
+
+namespace odenet::fpga {
+
+struct FpgaDevice {
+  std::string part;
+  int bram36 = 0;   // 36Kb block RAM tiles
+  int dsp = 0;      // DSP48E1 slices
+  int lut = 0;
+  int ff = 0;
+  /// Words (32-bit) per BRAM36 / BRAM18 tile.
+  static constexpr int kBram36Words = 1024;
+  static constexpr int kBram18Words = 512;
+};
+
+/// Zynq XC7Z020-1CLG400C (the PYNQ-Z2 part).
+const FpgaDevice& xc7z020();
+
+struct BoardSpec {
+  std::string name;
+  std::string os;
+  std::string cpu;
+  double cpu_mhz = 0.0;
+  int cores = 0;
+  int dram_mb = 0;
+  FpgaDevice fpga;
+  double pl_clock_mhz = 0.0;
+};
+
+/// TUL PYNQ-Z2 (paper Table 1).
+const BoardSpec& pynq_z2();
+
+/// Timing closure on the XC7Z020 at the given clock: the paper reports that
+/// conv_x32 misses 100 MHz while conv_x16 and below close. We model the
+/// closure boundary as a maximum parallelism that scales inversely with
+/// frequency (placement congestion grows with the MAC column width).
+bool meets_timing(int parallelism, double clock_mhz);
+
+/// Largest conv_xn that closes timing at the given clock (>= 1).
+int max_parallelism_at(double clock_mhz);
+
+}  // namespace odenet::fpga

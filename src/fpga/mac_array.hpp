@@ -1,0 +1,53 @@
+// Multiply-add unit array (the paper's conv_xn scaling knob, §3.1).
+//
+// One MAC beat on the unpipelined Verilog datapath takes five cycles:
+// read activation, read weight, multiply, accumulate, write back. With n
+// units the convolution parallelizes across output channels (capped at
+// Cout), so execution cycles shrink by ceil(Cout/n)/Cout — the published
+// layer3_2 series 23.78/6.07/3.12/1.64/0.90 Mcycles for n=1/4/8/16/32
+// falls out of exactly this model plus the BN fixed part.
+//
+// Functionally a MAC unit multiplies two Q-format raws into a 48-bit-style
+// wide accumulator (modeled as int64) — precision loss only happens at the
+// final writeback rounding, like a DSP48 cascade.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace odenet::fpga {
+
+/// Cycles per multiply-accumulate beat (see file comment).
+inline constexpr std::uint64_t kCyclesPerMacBeat = 5;
+
+/// DSP48 slices consumed: 4 per 32x32-bit MAC unit plus 4 shared by the BN
+/// multiplier path (matches every Table-3 point: DSP = 4n + 4).
+int dsp_for_parallelism(int parallelism);
+
+class MacArray {
+ public:
+  explicit MacArray(int units);
+
+  int units() const { return units_; }
+
+  /// Cycles to issue `beats` MAC operations over `channels` output channels:
+  /// channel groups execute sequentially, channels inside a group in
+  /// lockstep across units. `beats` counts per-channel MACs.
+  std::uint64_t cycles(std::uint64_t beats_per_channel, int channels) const;
+
+  /// Functional beat: acc += a * w (raw Q products; caller holds the wide
+  /// accumulator, as the DSP cascade does).
+  static inline std::int64_t mac(std::int64_t acc, std::int32_t a,
+                                 std::int32_t w) {
+    return acc + static_cast<std::int64_t>(a) * static_cast<std::int64_t>(w);
+  }
+
+  /// Rounding writeback: wide Q(2F) accumulator -> saturated Q(F) raw.
+  static std::int32_t writeback(std::int64_t acc, int frac_bits);
+
+ private:
+  int units_;
+};
+
+}  // namespace odenet::fpga

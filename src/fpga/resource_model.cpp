@@ -1,0 +1,127 @@
+#include "fpga/resource_model.hpp"
+
+#include "fpga/mac_array.hpp"
+#include "util/check.hpp"
+
+namespace odenet::fpga {
+
+namespace {
+
+struct PaperPoint {
+  models::StageId layer;
+  int parallelism;
+  ResourceUsage usage;
+};
+
+/// Table 3 of the paper, verbatim (Zynq XC7Z020, Vivado 2017.2).
+constexpr int kNumPaperPoints = 12;
+const PaperPoint kPaperTable[kNumPaperPoints] = {
+    {models::StageId::kLayer1, 1, {56, 8, 1486, 835}},
+    {models::StageId::kLayer1, 4, {56, 20, 2992, 1358}},
+    {models::StageId::kLayer1, 8, {56, 36, 4740, 2058}},
+    {models::StageId::kLayer1, 16, {64, 68, 8994, 4145}},
+    {models::StageId::kLayer2_2, 1, {56, 8, 1482, 833}},
+    {models::StageId::kLayer2_2, 4, {56, 20, 2946, 1346}},
+    {models::StageId::kLayer2_2, 8, {56, 36, 4737, 2032}},
+    {models::StageId::kLayer2_2, 16, {56, 68, 8844, 4873}},
+    {models::StageId::kLayer3_2, 1, {140, 8, 1692, 927}},
+    {models::StageId::kLayer3_2, 4, {140, 20, 3048, 1411}},
+    {models::StageId::kLayer3_2, 8, {140, 36, 4907, 2059}},
+    {models::StageId::kLayer3_2, 16, {140, 68, 12720, 6378}},
+};
+
+/// Linear LUT/FF fits over the published points (see header).
+constexpr double kLutBase = 980.0, kLutPerUnit = 560.0;
+constexpr double kFfBase = 600.0, kFfPerUnit = 270.0;
+
+}  // namespace
+
+ResourceModel::ResourceModel(const FpgaDevice& device) : device_(device) {}
+
+std::optional<ResourceUsage> ResourceModel::paper_point(models::StageId layer,
+                                                        int parallelism) {
+  for (const auto& p : kPaperTable) {
+    if (p.layer == layer && p.parallelism == parallelism) return p.usage;
+  }
+  return std::nullopt;
+}
+
+ResourceModel::Geometry ResourceModel::geometry_for(
+    models::StageId layer, const models::WidthConfig& width) {
+  const int c = width.base_channels;
+  const int s = width.input_size;
+  switch (layer) {
+    case models::StageId::kLayer1: return {c, c, s};
+    case models::StageId::kLayer2_2: return {2 * c, 2 * c, s / 2};
+    case models::StageId::kLayer3_2: return {4 * c, 4 * c, s / 4};
+    default:
+      ODENET_CHECK(false, "layer " << stage_name(layer)
+                                   << " is not offloadable");
+  }
+  return {};
+}
+
+ResourceUsage ResourceModel::estimate(const Geometry& g, int parallelism,
+                                      int weight_bits) const {
+  ODENET_CHECK(g.in_channels == g.out_channels,
+               "accelerated blocks preserve channel count");
+  ODENET_CHECK(weight_bits == 16 || weight_bits == 32,
+               "supported weight widths: 16, 32");
+
+  // Same allocation plan as OdeBlockAccelerator.
+  BramAllocator bram(device_);
+  const std::size_t wwords =
+      static_cast<std::size_t>(g.out_channels) * g.in_channels * 9;
+  bram.allocate("conv1.weights", wwords, parallelism, weight_bits);
+  bram.allocate("conv2.weights", wwords, parallelism, weight_bits);
+  const std::size_t fwords =
+      static_cast<std::size_t>(g.out_channels) * g.extent * g.extent;
+  bram.allocate("fmap.in", fwords, 1, 32);
+  bram.allocate("fmap.mid", fwords, 1, 32);
+  bram.allocate("fmap.out", fwords, 1, 32);
+  bram.allocate("bn.params", static_cast<std::size_t>(4) * g.out_channels, 1,
+                32);
+
+  ResourceUsage usage;
+  usage.bram36 = bram.bram36_used();
+  usage.dsp = dsp_for_parallelism(parallelism);
+  usage.lut = static_cast<int>(kLutBase + kLutPerUnit * parallelism);
+  usage.ff = static_cast<int>(kFfBase + kFfPerUnit * parallelism);
+  return usage;
+}
+
+UtilizationReport ResourceModel::finalize(const std::string& name,
+                                          int parallelism, ResourceUsage usage,
+                                          bool from_table,
+                                          double clock_mhz) const {
+  UtilizationReport r;
+  r.layer = name;
+  r.parallelism = parallelism;
+  // A synthesized design cannot exceed the device; demand above capacity
+  // reports as saturated 100% (the paper's layer3_2 case).
+  r.bram_saturated = usage.bram36 >= device_.bram36;
+  if (usage.bram36 > device_.bram36) usage.bram36 = device_.bram36;
+  r.usage = usage;
+  r.bram_pct = 100.0 * usage.bram36 / device_.bram36;
+  r.dsp_pct = 100.0 * usage.dsp / device_.dsp;
+  r.lut_pct = 100.0 * usage.lut / device_.lut;
+  r.ff_pct = 100.0 * usage.ff / device_.ff;
+  r.timing_met = meets_timing(parallelism, clock_mhz);
+  r.from_paper_table = from_table;
+  return r;
+}
+
+UtilizationReport ResourceModel::report(models::StageId layer, int parallelism,
+                                        double clock_mhz,
+                                        int weight_bits) const {
+  if (weight_bits == 32) {
+    if (auto p = paper_point(layer, parallelism)) {
+      return finalize(stage_name(layer), parallelism, *p, true, clock_mhz);
+    }
+  }
+  const Geometry g = geometry_for(layer);
+  return finalize(stage_name(layer), parallelism,
+                  estimate(g, parallelism, weight_bits), false, clock_mhz);
+}
+
+}  // namespace odenet::fpga

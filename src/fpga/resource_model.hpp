@@ -1,0 +1,84 @@
+// FPGA resource utilization model (paper Table 3).
+//
+// Two tiers:
+//  * paper_point(): the 12 published Vivado-2017.2 synthesis results
+//    (layer1/layer2_2/layer3_2 x conv_x1/4/8/16), embedded exactly —
+//    LUT/FF counts are synthesizer-specific and cannot be derived from
+//    first principles.
+//  * estimate(): a structural model for any geometry/parallelism/weight
+//    width — BRAM from the same allocation plan the accelerator uses,
+//    DSP = 4n+4 (exact for all published points), LUT/FF from a linear fit
+//    of the published points (documented accuracy: within ~±40%).
+// report() merges the two: exact where published, estimated elsewhere.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fpga/bram.hpp"
+#include "models/architecture.hpp"
+
+namespace odenet::fpga {
+
+struct ResourceUsage {
+  int bram36 = 0;
+  int dsp = 0;
+  int lut = 0;
+  int ff = 0;
+};
+
+struct UtilizationReport {
+  std::string layer;
+  int parallelism = 0;
+  ResourceUsage usage;
+  double bram_pct = 0.0;
+  double dsp_pct = 0.0;
+  double lut_pct = 0.0;
+  double ff_pct = 0.0;
+  /// True when the layer exhausts device BRAM (paper: layer3_2, any n).
+  bool bram_saturated = false;
+  /// Timing closure at 100 MHz (paper: conv_x32 fails).
+  bool timing_met = true;
+  /// True when the numbers come from the published synthesis table.
+  bool from_paper_table = false;
+};
+
+class ResourceModel {
+ public:
+  explicit ResourceModel(const FpgaDevice& device = xc7z020());
+
+  struct Geometry {
+    int in_channels = 0;
+    int out_channels = 0;
+    int extent = 0;
+  };
+
+  /// Published Table-3 point, if this (layer, parallelism) was synthesized.
+  static std::optional<ResourceUsage> paper_point(models::StageId layer,
+                                                  int parallelism);
+
+  /// Structural + fitted estimate (see file comment).
+  ResourceUsage estimate(const Geometry& g, int parallelism,
+                         int weight_bits = 32) const;
+
+  /// Geometry of an offloadable stage under a width configuration.
+  static Geometry geometry_for(models::StageId layer,
+                               const models::WidthConfig& width = {});
+
+  /// Full report for one of the paper's offloadable layers.
+  UtilizationReport report(models::StageId layer, int parallelism,
+                           double clock_mhz = 100.0,
+                           int weight_bits = 32) const;
+
+  const FpgaDevice& device() const { return device_; }
+
+ private:
+  UtilizationReport finalize(const std::string& name, int parallelism,
+                             ResourceUsage usage, bool from_table,
+                             double clock_mhz) const;
+
+  FpgaDevice device_;
+};
+
+}  // namespace odenet::fpga

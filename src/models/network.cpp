@@ -1,0 +1,192 @@
+#include "models/network.hpp"
+
+#include "core/init.hpp"
+#include "core/softmax.hpp"
+#include "util/serialize.hpp"
+
+namespace odenet::models {
+
+Network::Network(const NetworkSpec& spec, const SolverConfig& solver_cfg)
+    : spec_(spec),
+      name_(arch_name(spec.arch) + "-" + std::to_string(spec.n)),
+      stem_conv_({.in_channels = spec.width.input_channels,
+                  .out_channels = spec.width.base_channels,
+                  .kernel = 3,
+                  .stride = 1,
+                  .pad = 1,
+                  .time_channel = false},
+                 "conv1"),
+      stem_bn_(spec.width.base_channels, "conv1.bn"),
+      stem_relu_("conv1.relu"),
+      gap_("gap"),
+      fc_(4 * spec.width.base_channels, spec.width.num_classes, "fc") {
+  stages_.reserve(spec.stages.size());
+  for (const auto& s : spec.stages) {
+    stages_.push_back(std::make_unique<Stage>(s, solver_cfg));
+  }
+}
+
+core::Tensor Network::stem_forward(const Tensor& x) {
+  ODENET_CHECK(x.ndim() == 4 && x.dim(1) == spec_.width.input_channels &&
+                   x.dim(2) == spec_.width.input_size &&
+                   x.dim(3) == spec_.width.input_size,
+               name_ << ": expected [N," << spec_.width.input_channels << ","
+                     << spec_.width.input_size << "," << spec_.width.input_size
+                     << "], got " << x.shape_str());
+  core::Tensor h = stem_conv_.forward(x);
+  h = stem_bn_.forward(h);
+  return stem_relu_.forward(h);
+}
+
+core::Tensor Network::head_forward(const Tensor& features) {
+  core::Tensor h = gap_.forward(features);
+  return fc_.forward(h);
+}
+
+core::Tensor Network::forward(const Tensor& x) {
+  core::Tensor h = stem_forward(x);
+  for (auto& s : stages_) {
+    if (!s->is_empty()) h = s->forward(h);
+  }
+  return head_forward(h);
+}
+
+core::Tensor Network::backward(const Tensor& grad_logits) {
+  core::Tensor g = fc_.backward(grad_logits);
+  g = gap_.backward(g);
+  for (auto it = stages_.rbegin(); it != stages_.rend(); ++it) {
+    if (!(*it)->is_empty()) g = (*it)->backward(g);
+  }
+  g = stem_relu_.backward(g);
+  g = stem_bn_.backward(g);
+  return stem_conv_.backward(g);
+}
+
+std::vector<core::Param*> Network::params() {
+  std::vector<core::Param*> out;
+  auto append = [&out](std::vector<core::Param*> ps) {
+    out.insert(out.end(), ps.begin(), ps.end());
+  };
+  append(stem_conv_.params());
+  append(stem_bn_.params());
+  for (auto& s : stages_) append(s->params());
+  append(gap_.params());
+  append(fc_.params());
+  return out;
+}
+
+void Network::set_training(bool training) {
+  core::Layer::set_training(training);
+  stem_conv_.set_training(training);
+  stem_bn_.set_training(training);
+  stem_relu_.set_training(training);
+  for (auto& s : stages_) s->set_training(training);
+  gap_.set_training(training);
+  fc_.set_training(training);
+}
+
+void Network::init(util::Rng& rng) {
+  core::init_conv(stem_conv_, rng);
+  for (auto& s : stages_) {
+    if (s->is_empty()) continue;
+    if (s->is_ode()) {
+      core::init_block(s->ode()->block(), rng);
+    } else {
+      for (auto& b : s->blocks()) core::init_block(*b, rng);
+    }
+  }
+  core::init_linear(fc_, rng);
+}
+
+std::vector<int> Network::predict(const Tensor& x) {
+  const bool was_training = training();
+  set_training(false);
+  core::Tensor logits = forward(x);
+  set_training(was_training);
+  return core::SoftmaxCrossEntropy::argmax(logits);
+}
+
+Stage* Network::stage(StageId id) {
+  for (auto& s : stages_) {
+    if (s->spec().id == id) return s.get();
+  }
+  return nullptr;
+}
+
+void Network::save_weights(std::ostream& os) {
+  util::BinaryWriter w(os);
+  util::write_weights_header(w);
+  auto ps = params();
+  w.write_u64(ps.size());
+  for (core::Param* p : ps) {
+    w.write_string(p->name);
+    w.write_floats(p->value.storage());
+  }
+  // Running BN statistics travel with the checkpoint so that eval-mode
+  // inference after load matches eval-mode inference before save.
+  std::vector<core::BatchNorm2d*> bns;
+  bns.push_back(&stem_bn_);
+  for (auto& s : stages_) {
+    if (s->is_empty()) continue;
+    if (s->is_ode()) {
+      bns.push_back(&s->ode()->block().bn1());
+      bns.push_back(&s->ode()->block().bn2());
+    } else {
+      for (auto& b : s->blocks()) {
+        bns.push_back(&b->bn1());
+        bns.push_back(&b->bn2());
+      }
+    }
+  }
+  w.write_u64(bns.size());
+  for (core::BatchNorm2d* bn : bns) {
+    w.write_floats(bn->running_mean().storage());
+    w.write_floats(bn->running_var().storage());
+  }
+}
+
+void Network::load_weights(std::istream& is) {
+  util::BinaryReader r(is);
+  util::read_weights_header(r);
+  auto ps = params();
+  const std::uint64_t n = r.read_u64();
+  ODENET_CHECK(n == ps.size(), name_ << ": checkpoint has " << n
+                                     << " params, network has " << ps.size());
+  for (core::Param* p : ps) {
+    const std::string pname = r.read_string();
+    ODENET_CHECK(pname == p->name,
+                 name_ << ": checkpoint param '" << pname
+                       << "' does not match network param '" << p->name << "'");
+    auto vals = r.read_floats();
+    ODENET_CHECK(vals.size() == p->value.numel(),
+                 name_ << ": size mismatch for " << pname);
+    p->value.storage() = std::move(vals);
+  }
+  std::vector<core::BatchNorm2d*> bns;
+  bns.push_back(&stem_bn_);
+  for (auto& s : stages_) {
+    if (s->is_empty()) continue;
+    if (s->is_ode()) {
+      bns.push_back(&s->ode()->block().bn1());
+      bns.push_back(&s->ode()->block().bn2());
+    } else {
+      for (auto& b : s->blocks()) {
+        bns.push_back(&b->bn1());
+        bns.push_back(&b->bn2());
+      }
+    }
+  }
+  const std::uint64_t nb = r.read_u64();
+  ODENET_CHECK(nb == bns.size(), name_ << ": checkpoint BN count mismatch");
+  for (core::BatchNorm2d* bn : bns) {
+    auto mean = r.read_floats();
+    auto var = r.read_floats();
+    ODENET_CHECK(mean.size() == bn->running_mean().numel() &&
+                     var.size() == bn->running_var().numel(),
+                 name_ << ": BN stat size mismatch");
+    bn->running_mean().storage() = std::move(mean);
+    bn->running_var().storage() = std::move(var);
+  }
+}
+
+}  // namespace odenet::models

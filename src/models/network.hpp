@@ -1,0 +1,61 @@
+// Full network assembly (paper Figure 2 / Table 2):
+//   conv1 (3x3 conv + BN + ReLU) -> layer1 -> layer2_1 -> layer2_2
+//   -> layer3_1 -> layer3_2 -> global average pool -> fc (+softmax outside).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+
+#include "core/activation.hpp"
+#include "core/batchnorm.hpp"
+#include "core/conv2d.hpp"
+#include "core/linear.hpp"
+#include "core/pooling.hpp"
+#include "models/stage.hpp"
+#include "util/rng.hpp"
+
+namespace odenet::models {
+
+class Network final : public core::Layer {
+ public:
+  Network(const NetworkSpec& spec, const SolverConfig& solver_cfg = {});
+
+  const std::string& name() const override { return name_; }
+  /// x: [N, in_ch, S, S] -> logits [N, classes].
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_logits) override;
+  std::vector<core::Param*> params() override;
+  void set_training(bool training) override;
+
+  /// He/Xavier initialization of every trainable tensor.
+  void init(util::Rng& rng);
+
+  /// Top-1 class predictions for a batch.
+  std::vector<int> predict(const Tensor& x);
+
+  const NetworkSpec& spec() const { return spec_; }
+  std::vector<std::unique_ptr<Stage>>& stages() { return stages_; }
+  Stage* stage(StageId id);
+
+  /// Pieces of the forward pass, exposed so external executors (e.g. the
+  /// PS/PL co-simulator in src/sched/system_sim.hpp) can interleave their
+  /// own stage implementations with the network's stem and head.
+  Tensor stem_forward(const Tensor& x);
+  Tensor head_forward(const Tensor& features);
+
+  /// Checkpoint I/O (binary format, see util/serialize.hpp).
+  void save_weights(std::ostream& os);
+  void load_weights(std::istream& is);
+
+ private:
+  NetworkSpec spec_;
+  std::string name_;
+  core::Conv2d stem_conv_;
+  core::BatchNorm2d stem_bn_;
+  core::ReLU stem_relu_;
+  std::vector<std::unique_ptr<Stage>> stages_;
+  core::GlobalAvgPool gap_;
+  core::Linear fc_;
+};
+
+}  // namespace odenet::models

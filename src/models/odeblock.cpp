@@ -1,0 +1,63 @@
+#include "models/odeblock.hpp"
+
+namespace odenet::models {
+
+OdeBlock::OdeBlock(const OdeBlockConfig& cfg, std::string name)
+    : cfg_(cfg),
+      name_(std::move(name)),
+      block_({.in_channels = cfg.channels,
+              .out_channels = cfg.channels,
+              .stride = 1,
+              .time_channel = cfg.time_channel},
+             name_ + ".block"),
+      dynamics_(block_) {
+  ODENET_CHECK(cfg.executions >= 1, name_ << ": executions must be >= 1");
+  ODENET_CHECK(!(cfg.method == solver::Method::kDopri5 && training_),
+               name_ << ": adaptive solver is inference-only");
+}
+
+void OdeBlock::set_training(bool training) {
+  core::Layer::set_training(training);
+  block_.set_training(training);
+}
+
+core::Tensor OdeBlock::forward(const Tensor& x) {
+  solver::SolveOptions opts;
+  opts.method = cfg_.method;
+  opts.steps = cfg_.executions;
+  opts.rtol = cfg_.rtol;
+  opts.atol = cfg_.atol;
+  core::Tensor out = solver::ode_solve(dynamics_, x, t0(), t1(), opts, &stats_);
+  if (training_) {
+    ODENET_CHECK(cfg_.method != solver::Method::kDopri5,
+                 name_ << ": training with Dopri5 is not supported; "
+                          "use a fixed-step method");
+    if (cfg_.gradient == GradientMode::kDiscreteBackprop) {
+      cached_z0_ = x;
+    } else {
+      cached_z1_ = out;
+    }
+  }
+  return out;
+}
+
+core::Tensor OdeBlock::backward(const Tensor& grad_out) {
+  // Replays must not re-apply BN running-stat momentum updates.
+  block_.set_freeze_running_stats(true);
+  solver::BackwardResult res;
+  if (cfg_.gradient == GradientMode::kDiscreteBackprop) {
+    ODENET_CHECK(!cached_z0_.empty(),
+                 name_ << ": backward without forward in training mode");
+    res = solver::discrete_backward(dynamics_, cached_z0_, grad_out, t0(),
+                                    t1(), cfg_.method, cfg_.executions);
+  } else {
+    ODENET_CHECK(!cached_z1_.empty(),
+                 name_ << ": backward without forward in training mode");
+    res = solver::adjoint_backward(dynamics_, cached_z1_, grad_out, t0(), t1(),
+                                   cfg_.executions);
+  }
+  block_.set_freeze_running_stats(false);
+  return std::move(res.grad_z0);
+}
+
+}  // namespace odenet::models

@@ -1,0 +1,64 @@
+#include "sched/cpu_model.hpp"
+
+#include "util/check.hpp"
+
+namespace odenet::sched {
+
+CpuModel::CpuModel(const CpuModelConfig& cfg) : cfg_(cfg) {
+  ODENET_CHECK(cfg.clock_mhz > 0.0, "cpu clock must be positive");
+}
+
+std::uint64_t CpuModel::block_macs(const models::StageSpec& spec) {
+  const int out_extent = spec.in_size / spec.stride;
+  const std::uint64_t hw =
+      static_cast<std::uint64_t>(out_extent) * out_extent;
+  const std::uint64_t conv1 =
+      hw * spec.out_channels * spec.in_channels * 9;
+  const std::uint64_t conv2 =
+      hw * spec.out_channels * spec.out_channels * 9;
+  return conv1 + conv2;
+}
+
+double CpuModel::cycles_per_mac(models::StageId id) const {
+  switch (id) {
+    case models::StageId::kLayer1: return cfg_.cpm_layer1;
+    case models::StageId::kLayer2_2: return cfg_.cpm_layer2_2;
+    case models::StageId::kLayer3_2: return cfg_.cpm_layer3_2;
+    case models::StageId::kLayer2_1:
+    case models::StageId::kLayer3_1: return cfg_.cpm_transition;
+    case models::StageId::kConv1: return cfg_.cpm_stem;
+    case models::StageId::kFc: return 0.0;
+  }
+  return 0.0;
+}
+
+double CpuModel::block_seconds(const models::StageSpec& spec) const {
+  const double cycles =
+      static_cast<double>(block_macs(spec)) * cycles_per_mac(spec.id);
+  return cycles / (cfg_.clock_mhz * 1e6);
+}
+
+double CpuModel::stem_seconds(const models::WidthConfig& w) const {
+  const std::uint64_t macs = static_cast<std::uint64_t>(w.base_channels) *
+                             w.input_size * w.input_size *
+                             w.input_channels * 9;
+  return static_cast<double>(macs) * cfg_.cpm_stem / (cfg_.clock_mhz * 1e6);
+}
+
+double CpuModel::head_seconds(const models::WidthConfig& w) const {
+  return cfg_.fc_base_seconds * static_cast<double>(w.num_classes) / 100.0;
+}
+
+double CpuModel::stage_seconds(const models::StageSpec& spec) const {
+  return block_seconds(spec) * static_cast<double>(spec.total_executions());
+}
+
+double CpuModel::network_seconds(const models::NetworkSpec& spec) const {
+  double total = stem_seconds(spec.width) + head_seconds(spec.width);
+  for (const auto& s : spec.stages) {
+    if (s.stacked_blocks > 0) total += stage_seconds(s);
+  }
+  return total;
+}
+
+}  // namespace odenet::sched

@@ -1,0 +1,63 @@
+// Software (PS-side) execution-time model: ARM Cortex-A9 @ 650 MHz.
+//
+// The paper's software baselines are wall-clock measurements on the
+// PYNQ-Z2's A9; we model them analytically as MACs x effective
+// cycles-per-MAC. The per-stage constants are calibrated from Table 5
+// itself — each "Target w/o PL" divided by its execution count is stable
+// across N to <2%, giving per-block-execution times of 61.8 / 55.4 /
+// 57.5 ms for layer1 / layer2_2 / layer3_2 (DESIGN.md §3.3). The spread
+// across stages (same MAC count!) reflects cache behaviour: layer1 streams
+// 32x32 maps with few channels, layer3_2 runs 64-channel loops over small
+// maps with a 288 kB weight set.
+//
+// Only the sum conv1 + layer2_1 + layer3_1 + fc (~121 ms) is observable in
+// Table 5; the split below is a documented fit.
+#pragma once
+
+#include "models/architecture.hpp"
+
+namespace odenet::sched {
+
+struct CpuModelConfig {
+  double clock_mhz = 650.0;
+  /// Effective cycles per MAC, by stage class (calibrated, see above).
+  double cpm_layer1 = 8.513;
+  double cpm_layer2_2 = 7.631;
+  double cpm_layer3_2 = 7.920;
+  double cpm_transition = 10.47;  // layer2_1 / layer3_1 (fitted)
+  double cpm_stem = 7.35;         // conv1 (fitted)
+  /// Head (pool + fc + softmax) is overhead-dominated: fixed seconds,
+  /// scaled by class count relative to the paper's 100.
+  double fc_base_seconds = 2.0e-3;
+};
+
+class CpuModel {
+ public:
+  explicit CpuModel(const CpuModelConfig& cfg = {});
+
+  /// Seconds for ONE execution of one block of the given stage.
+  double block_seconds(const models::StageSpec& spec) const;
+
+  /// Seconds for the conv1 stem / the fc head.
+  double stem_seconds(const models::WidthConfig& w) const;
+  double head_seconds(const models::WidthConfig& w) const;
+
+  /// Seconds for a full stage (all stacked blocks x executions).
+  double stage_seconds(const models::StageSpec& spec) const;
+
+  /// Whole-network software prediction latency for one image.
+  double network_seconds(const models::NetworkSpec& spec) const;
+
+  const CpuModelConfig& config() const { return cfg_; }
+
+  /// MACs of one block execution of this stage (both convs; the first
+  /// stacked block of a transition stage differs from the rest, so this is
+  /// the per-stage average used by the time model).
+  static std::uint64_t block_macs(const models::StageSpec& spec);
+
+ private:
+  double cycles_per_mac(models::StageId id) const;
+  CpuModelConfig cfg_;
+};
+
+}  // namespace odenet::sched

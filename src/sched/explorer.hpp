@@ -1,0 +1,51 @@
+// Design-space exploration over PS/PL partitions (an extension of the
+// paper's four hand-picked offload cases in §3.2).
+//
+// Enumerates every subset of the architecture's single-instance
+// shape-preserving stages and every MAC parallelism, filters by device
+// resources (summed BRAM/DSP/LUT/FF of the co-resident accelerators) and
+// timing closure, and ranks by modeled end-to-end latency.
+#pragma once
+
+#include <vector>
+
+#include "sched/latency_model.hpp"
+
+namespace odenet::sched {
+
+struct ExplorerOptions {
+  std::vector<int> parallelism_choices = {1, 4, 8, 16, 32};
+  double pl_clock_mhz = 100.0;
+  /// Skip candidates that fail 100 MHz closure instead of down-clocking.
+  bool require_timing = true;
+  int weight_bits = 32;
+};
+
+struct Candidate {
+  Partition partition;
+  LatencyRow row;
+  fpga::ResourceUsage resources;  // summed over offloaded stages
+  bool fits = false;
+  bool timing_met = false;
+};
+
+class PartitionExplorer {
+ public:
+  explicit PartitionExplorer(const LatencyModel& model,
+                             const fpga::ResourceModel& resources);
+
+  /// All candidates (feasible first, each group sorted by latency).
+  std::vector<Candidate> enumerate(const models::NetworkSpec& spec,
+                                   const ExplorerOptions& opts = {}) const;
+
+  /// The fastest feasible candidate (throws if none — the empty partition
+  /// is always feasible, so this cannot happen in practice).
+  Candidate best(const models::NetworkSpec& spec,
+                 const ExplorerOptions& opts = {}) const;
+
+ private:
+  LatencyModel model_;
+  fpga::ResourceModel resources_;
+};
+
+}  // namespace odenet::sched

@@ -1,0 +1,85 @@
+#include "sched/latency_model.hpp"
+
+#include <algorithm>
+
+#include "fpga/bn_engine.hpp"
+#include "fpga/conv_engine.hpp"
+
+namespace odenet::sched {
+
+Partition Partition::single(models::StageId id, int parallelism) {
+  Partition p;
+  p.offloaded.insert(id);
+  p.parallelism = parallelism;
+  return p;
+}
+
+LatencyModel::LatencyModel(const CpuModel& cpu) : cpu_(cpu) {}
+
+std::uint64_t LatencyModel::pl_block_cycles(const models::StageSpec& spec,
+                                            int parallelism) {
+  ODENET_CHECK(spec.stride == 1 && spec.in_channels == spec.out_channels,
+               "only shape-preserving stages are offloadable");
+  const std::uint64_t conv = fpga::ConvEngine::conv_cycles(
+      spec.out_channels, spec.in_channels, spec.in_size, parallelism);
+  const std::uint64_t bn =
+      fpga::BnEngine::bn_cycles(spec.out_channels, spec.in_size);
+  return 2 * conv + 2 * bn;
+}
+
+double LatencyModel::pl_block_seconds(const models::StageSpec& spec,
+                                      const Partition& partition) const {
+  const std::uint64_t compute =
+      pl_block_cycles(spec, partition.parallelism);
+  const std::size_t fwords = static_cast<std::size_t>(spec.out_channels) *
+                             spec.in_size * spec.in_size;
+  const std::uint64_t xfer =
+      fpga::roundtrip_cycles(fwords, fwords, partition.axi);
+  return static_cast<double>(compute + xfer) /
+         (partition.pl_clock_mhz * 1e6);
+}
+
+LatencyRow LatencyModel::evaluate(const models::NetworkSpec& spec,
+                                  const Partition& partition) const {
+  LatencyRow row;
+  row.model = arch_name(spec.arch);
+  row.n = spec.n;
+  row.total_without_pl = cpu_.network_seconds(spec);
+
+  if (partition.offloaded.empty()) {
+    row.offload_target = "-";
+    row.total_with_pl = row.total_without_pl;
+    row.overall_speedup = 1.0;
+    return row;
+  }
+
+  double with_pl = row.total_without_pl;
+  std::string target_names;
+  for (const auto& s : spec.stages) {
+    if (!partition.offloaded.count(s.id)) continue;
+    ODENET_CHECK(s.stacked_blocks == 1,
+                 stage_name(s.id)
+                     << ": offloading implements ONE block instance on the "
+                        "PL; the stage must not stack multiple instances");
+    TargetTiming t;
+    t.stage = s.id;
+    t.executions = s.total_executions();
+    t.seconds_without_pl = cpu_.stage_seconds(s);
+    t.seconds_with_pl =
+        pl_block_seconds(s, partition) * static_cast<double>(t.executions);
+    t.ratio_of_total = t.seconds_without_pl / row.total_without_pl;
+    with_pl += t.seconds_with_pl - t.seconds_without_pl;
+    if (!target_names.empty()) target_names += " / ";
+    target_names += stage_name(s.id);
+    row.targets.push_back(t);
+  }
+  ODENET_CHECK(!row.targets.empty(),
+               "partition offloads no stage present in " << row.model);
+
+  row.offload_target = target_names;
+  row.total_with_pl = with_pl;
+  row.overall_speedup = row.total_without_pl / row.total_with_pl;
+  return row;
+}
+
+}  // namespace odenet::sched

@@ -1,0 +1,75 @@
+// End-to-end PS/PL latency model — reproduces the paper's Table 5.
+//
+// A Partition names which ODE-capable stages run on the PL (as dedicated
+// circuits at conv_xn parallelism) while everything else runs as software
+// on the PS. For each offloaded stage the PL time per block execution is
+// the engine cycle model (2 convs + 2 BNs) plus one feature-map round trip
+// over AXI; for software stages the CpuModel applies.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fpga/axi.hpp"
+#include "fpga/resource_model.hpp"
+#include "sched/cpu_model.hpp"
+
+namespace odenet::sched {
+
+struct Partition {
+  /// Stages implemented on the PL (must exist in the architecture and be
+  /// among {layer1, layer2_2, layer3_2}).
+  std::set<models::StageId> offloaded;
+  int parallelism = 16;  // conv_xn
+  double pl_clock_mhz = 100.0;
+  fpga::AxiConfig axi{};
+
+  static Partition none() { return Partition{}; }
+  static Partition single(models::StageId id, int parallelism = 16);
+};
+
+/// Per-offload-target timing (one entry per offloaded stage, in stage
+/// order — rODENet-1+2 rows have two).
+struct TargetTiming {
+  models::StageId stage{};
+  int executions = 0;
+  double seconds_without_pl = 0.0;
+  double seconds_with_pl = 0.0;  // includes AXI transfers
+  double ratio_of_total = 0.0;   // seconds_without_pl / total_without_pl
+};
+
+/// One row of Table 5.
+struct LatencyRow {
+  std::string model;
+  int n = 0;
+  std::string offload_target;  // "-" for pure software
+  double total_without_pl = 0.0;
+  std::vector<TargetTiming> targets;
+  double total_with_pl = 0.0;
+  double overall_speedup = 1.0;  // total_without / total_with
+};
+
+class LatencyModel {
+ public:
+  explicit LatencyModel(const CpuModel& cpu = CpuModel{});
+
+  /// Evaluates one architecture under one partition.
+  LatencyRow evaluate(const models::NetworkSpec& spec,
+                      const Partition& partition) const;
+
+  /// PL seconds for ONE execution of one block of this stage (compute +
+  /// fmap round trip).
+  double pl_block_seconds(const models::StageSpec& spec,
+                          const Partition& partition) const;
+  /// Compute-only PL cycles for one block execution.
+  static std::uint64_t pl_block_cycles(const models::StageSpec& spec,
+                                       int parallelism);
+
+  const CpuModel& cpu() const { return cpu_; }
+
+ private:
+  CpuModel cpu_;
+};
+
+}  // namespace odenet::sched

@@ -1,0 +1,71 @@
+// Functional PS/PL co-simulation of a whole network (Figure 3 end to end).
+//
+// LatencyModel answers "how long would this partition take"; SystemSimulator
+// additionally *computes* the prediction the hybrid system would produce:
+// offloaded ODE stages execute on the simulated PL (Q-format fixed point,
+// per-image, cycle-counted, with AXI transfers), every other layer runs as
+// float software. The report carries both the modeled wall-clock split and
+// the exact PL cycle counts of the run.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "fpga/accelerator.hpp"
+#include "models/network.hpp"
+#include "sched/latency_model.hpp"
+
+namespace odenet::sched {
+
+struct StageExecution {
+  models::StageId stage{};
+  bool on_pl = false;
+  /// Modeled seconds for this stage over the whole batch.
+  double seconds = 0.0;
+  /// PL cycles actually consumed (0 for software stages).
+  std::uint64_t pl_cycles = 0;
+};
+
+struct SystemRunReport {
+  /// Per-image modeled latency split (batch-normalized).
+  double ps_seconds = 0.0;
+  double pl_seconds = 0.0;
+  double total_seconds() const { return ps_seconds + pl_seconds; }
+  /// Aggregate PL cycles across the batch (compute + AXI).
+  std::uint64_t pl_cycles = 0;
+  std::vector<StageExecution> stages;
+};
+
+class SystemSimulator {
+ public:
+  /// Builds one accelerator per offloaded stage and loads the network's
+  /// (quantized) weights into its simulated BRAM. The offloaded stages'
+  /// software BN is switched to on-the-fly batch statistics so that the
+  /// software reference and the hardware datapath implement the same
+  /// function (the PL has no running statistics).
+  SystemSimulator(models::Network& net, const Partition& partition,
+                  const CpuModel& cpu = CpuModel{});
+
+  /// Inference for a batch: [B, C, S, S] -> logits [B, classes].
+  core::Tensor forward(const core::Tensor& x,
+                       SystemRunReport* report = nullptr);
+
+  /// Top-1 predictions, with the same reporting.
+  std::vector<int> predict(const core::Tensor& x,
+                           SystemRunReport* report = nullptr);
+
+  /// Reload accelerator weights after the network changed (e.g. after
+  /// further training steps).
+  void reload_weights();
+
+  const Partition& partition() const { return partition_; }
+
+ private:
+  models::Network& net_;
+  Partition partition_;
+  CpuModel cpu_;
+  std::map<models::StageId, std::unique_ptr<fpga::OdeBlockAccelerator>>
+      accelerators_;
+};
+
+}  // namespace odenet::sched

@@ -1,0 +1,107 @@
+#include "sched/train_offload.hpp"
+
+#include "fpga/bn_engine.hpp"
+#include "fpga/conv_engine.hpp"
+
+namespace odenet::sched {
+
+namespace {
+/// Forward + input-grad + weight-grad convolution passes.
+constexpr double kConvTrainFactor = 3.0;
+/// BN backward re-reads the map once more (dgamma/dbeta pass + dx pass
+/// fold into two streaming passes).
+constexpr double kBnTrainFactor = 2.0;
+/// Stored-activation buffers roughly double the fmap BRAM of the
+/// inference accelerator.
+constexpr double kTrainBramFactor = 2.0;
+}  // namespace
+
+TrainingLatencyModel::TrainingLatencyModel(
+    const CpuModel& cpu, const fpga::ResourceModel& resources)
+    : cpu_(cpu), resources_(resources) {}
+
+double TrainingLatencyModel::sw_image_seconds(
+    const models::NetworkSpec& spec) const {
+  // The calibrated per-block inference times are conv-dominated; training
+  // triples the conv work. The optimizer update is memory-bound and small
+  // (parameters are ~100x fewer than activations x executions); folded
+  // into the same factor.
+  return kConvTrainFactor * cpu_.network_seconds(spec);
+}
+
+std::uint64_t TrainingLatencyModel::pl_train_block_cycles(
+    const models::StageSpec& spec, int parallelism) {
+  const std::uint64_t conv = fpga::ConvEngine::conv_cycles(
+      spec.out_channels, spec.in_channels, spec.in_size, parallelism);
+  const std::uint64_t bn =
+      fpga::BnEngine::bn_cycles(spec.out_channels, spec.in_size);
+  return static_cast<std::uint64_t>(kConvTrainFactor * 2.0 *
+                                    static_cast<double>(conv)) +
+         static_cast<std::uint64_t>(kBnTrainFactor * 2.0 *
+                                    static_cast<double>(bn));
+}
+
+TrainingRow TrainingLatencyModel::evaluate(const models::NetworkSpec& spec,
+                                           const Partition& partition,
+                                           int batch_size,
+                                           int weight_bits) const {
+  ODENET_CHECK(batch_size >= 1, "batch size must be >= 1");
+  TrainingRow row;
+  row.model = arch_name(spec.arch);
+  row.n = spec.n;
+  row.batch_size = batch_size;
+  row.image_seconds_sw = sw_image_seconds(spec);
+
+  if (partition.offloaded.empty()) {
+    row.offload_target = "-";
+    row.image_seconds_hybrid = row.image_seconds_sw;
+    return row;
+  }
+
+  double hybrid = row.image_seconds_sw;
+  std::string names;
+  int bram_total = 0;
+  for (const auto& s : spec.stages) {
+    if (!partition.offloaded.count(s.id)) continue;
+    ODENET_CHECK(s.stacked_blocks == 1,
+                 stage_name(s.id) << ": offload needs a single instance");
+
+    const double sw_stage = kConvTrainFactor * cpu_.stage_seconds(s);
+
+    // PL compute per execution + 4 fmap transfers; weight-grad readback
+    // once per batch, amortized per image.
+    const std::uint64_t compute =
+        pl_train_block_cycles(s, partition.parallelism);
+    const std::size_t fwords = static_cast<std::size_t>(s.out_channels) *
+                               s.in_size * s.in_size;
+    const std::uint64_t xfer =
+        2 * fpga::roundtrip_cycles(fwords, fwords, partition.axi);
+    const std::size_t wwords = static_cast<std::size_t>(s.out_channels) *
+                               s.in_channels * 9 * 2;
+    const double wgrad_per_image =
+        static_cast<double>(fpga::transfer_cycles(wwords, partition.axi)) /
+        static_cast<double>(batch_size);
+    const double pl_stage =
+        (static_cast<double>(compute + xfer) *
+             static_cast<double>(s.total_executions()) +
+         wgrad_per_image) /
+        (partition.pl_clock_mhz * 1e6);
+
+    hybrid += pl_stage - sw_stage;
+    if (!names.empty()) names += " / ";
+    names += stage_name(s.id);
+
+    const auto g = fpga::ResourceModel::geometry_for(s.id, spec.width);
+    const auto usage = resources_.estimate(g, partition.parallelism,
+                                           weight_bits);
+    bram_total += static_cast<int>(kTrainBramFactor * usage.bram36);
+  }
+
+  row.offload_target = names;
+  row.image_seconds_hybrid = hybrid;
+  row.speedup = row.image_seconds_sw / row.image_seconds_hybrid;
+  row.fits_device = bram_total <= resources_.device().bram36;
+  return row;
+}
+
+}  // namespace odenet::sched

@@ -1,0 +1,62 @@
+// EXTENSION (paper §5 future work): "we are planning to offload the
+// training process of the rODENet variants to FPGA devices."
+//
+// This models that proposal with the same calibrated machinery as the
+// inference LatencyModel. One training step of a building block costs
+// roughly three convolution passes (forward, input-gradient and
+// weight-gradient convolutions all have the same MAC count) plus a second
+// pass through each batch norm:
+//
+//   software: 3x the calibrated per-block inference time
+//   PL:       3x the conv engine cycles + 2x the BN engine cycles,
+//             4 feature-map AXI transfers per execution (activation down,
+//             activation up, gradient down, gradient up), and one
+//             weight-gradient readback per batch.
+//
+// The BRAM cost roughly doubles (stored activations for backward), which
+// the resource check below accounts for; with 32-bit weights layer3_2
+// cannot host training on the XC7Z020 at all — quantified support for the
+// paper's footnote-2 argument that narrower weights are the way forward.
+#pragma once
+
+#include "sched/latency_model.hpp"
+
+namespace odenet::sched {
+
+struct TrainingRow {
+  std::string model;
+  int n = 0;
+  std::string offload_target;
+  int batch_size = 0;
+  /// Seconds per training image (forward + backward + update).
+  double image_seconds_sw = 0.0;
+  double image_seconds_hybrid = 0.0;
+  double speedup = 1.0;
+  /// Whether the training-mode accelerator (weights + activations +
+  /// gradients in BRAM) fits the device.
+  bool fits_device = true;
+};
+
+class TrainingLatencyModel {
+ public:
+  explicit TrainingLatencyModel(const CpuModel& cpu = CpuModel{},
+                                const fpga::ResourceModel& resources = {});
+
+  /// Software-only training time per image.
+  double sw_image_seconds(const models::NetworkSpec& spec) const;
+
+  /// Hybrid PS/PL training time per image for the given partition.
+  TrainingRow evaluate(const models::NetworkSpec& spec,
+                       const Partition& partition, int batch_size = 32,
+                       int weight_bits = 32) const;
+
+  /// PL cycles of one block-execution training step (compute only).
+  static std::uint64_t pl_train_block_cycles(const models::StageSpec& spec,
+                                             int parallelism);
+
+ private:
+  CpuModel cpu_;
+  fpga::ResourceModel resources_;
+};
+
+}  // namespace odenet::sched

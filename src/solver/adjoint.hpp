@@ -1,0 +1,48 @@
+// Gradient computation through ODESolve.
+//
+// Two methods, both returning dL/dz(t0) and accumulating dL/dθ into the
+// dynamics' parameter gradients:
+//
+//  * adjoint_backward — the paper's Eq. 9 (Pontryagin adjoint, ref [10]):
+//    reconstructs z(t) by integrating the dynamics *backward* from z(t1),
+//    integrating the adjoint a(t) and the parameter gradient alongside.
+//    O(1) memory in the number of steps, but the reconstruction error is
+//    the instability source discussed in §4.3 (ANODE, ref [13]).
+//
+//  * discrete_backward — exact reverse-mode differentiation of the chosen
+//    discretization (checkpointing: forward states are stored, dynamics are
+//    re-evaluated per stage in reverse order). Gradients match finite
+//    differences of the discrete forward pass to machine precision.
+//
+// Both need DifferentiableDynamics: eval(z, t) followed by vjp(v), where
+// vjp returns vT df/dz and accumulates vT df/dθ.
+#pragma once
+
+#include "solver/ode.hpp"
+
+namespace odenet::solver {
+
+struct BackwardResult {
+  /// dL/dz(t0).
+  core::Tensor grad_z0;
+  /// Number of dynamics evaluations consumed.
+  int function_evals = 0;
+};
+
+/// Adjoint method (Eq. 7-9). Integrates [z, a, gθ] backward from t1 to t0
+/// with `steps` Euler steps (the solver the paper uses on-device). grad_z1
+/// is a(t1) = dL/dz(t1).
+BackwardResult adjoint_backward(DifferentiableDynamics& f,
+                                const core::Tensor& z1,
+                                const core::Tensor& grad_z1, float t0,
+                                float t1, int steps);
+
+/// Exact discrete gradients through the fixed-step forward solve that
+/// produced z(t1) from z0. Stores the per-step states (checkpointing) and
+/// replays each stage for its VJP. Supports Euler, Heun and RK4.
+BackwardResult discrete_backward(DifferentiableDynamics& f,
+                                 const core::Tensor& z0,
+                                 const core::Tensor& grad_z1, float t0,
+                                 float t1, Method method, int steps);
+
+}  // namespace odenet::solver

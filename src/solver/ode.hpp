@@ -1,0 +1,90 @@
+// ODE solving interfaces (paper §2.2, Eq. 2-5).
+//
+// The state z is a core::Tensor of arbitrary shape; dynamics implement
+// dz/dt = f(z, t, θ). ODESolve (Eq. 4) advances an initial value problem
+// from t0 to t1 with a chosen numerical method. The paper uses the Euler
+// method on hardware; Heun (2nd order), classic RK4 (4th order) and
+// adaptive Dormand-Prince (RK45) are provided for the solver-order
+// experiments the paper lists as future work.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace odenet::solver {
+
+/// Continuous dynamics f(z, t). Implementations may hold parameters θ.
+class OdeFunction {
+ public:
+  virtual ~OdeFunction() = default;
+  virtual core::Tensor eval(const core::Tensor& z, float t) = 0;
+};
+
+/// Dynamics that can also compute vector-Jacobian products, which both the
+/// adjoint method and discrete backprop need. Protocol: call eval(z, t)
+/// (which caches intermediate state), then vjp(v) which returns vT df/dz
+/// and accumulates vT df/dθ into the owner's parameter gradients.
+class DifferentiableDynamics : public OdeFunction {
+ public:
+  virtual core::Tensor vjp(const core::Tensor& v) = 0;
+};
+
+/// Adapter turning a lambda into dynamics (used heavily in tests, where
+/// analytic ODEs with known solutions validate convergence orders).
+class FunctionDynamics final : public OdeFunction {
+ public:
+  using Fn = std::function<core::Tensor(const core::Tensor&, float)>;
+  explicit FunctionDynamics(Fn fn) : fn_(std::move(fn)) {}
+  core::Tensor eval(const core::Tensor& z, float t) override {
+    return fn_(z, t);
+  }
+
+ private:
+  Fn fn_;
+};
+
+enum class Method { kEuler, kHeun, kRk4, kDopri5 };
+
+std::string method_name(Method m);
+/// Number of dynamics evaluations per fixed step (1 / 2 / 4; Dopri5 uses 6
+/// fresh evaluations per accepted step thanks to FSAL).
+int evals_per_step(Method m);
+/// Classical convergence order (1 / 2 / 4 / 5).
+int method_order(Method m);
+
+struct SolveOptions {
+  Method method = Method::kEuler;
+  /// Fixed-step methods: number of steps across [t0, t1].
+  int steps = 1;
+  /// Adaptive (Dopri5) tolerances.
+  double rtol = 1e-6;
+  double atol = 1e-9;
+  /// Adaptive: hard cap on accepted+rejected steps.
+  int max_steps = 100000;
+  /// When set, solvers append every intermediate state (including z0) here.
+  std::vector<core::Tensor>* trajectory = nullptr;
+};
+
+struct SolveStats {
+  int steps_taken = 0;
+  int steps_rejected = 0;
+  int function_evals = 0;
+};
+
+/// Eq. 4: ODESolve(z(t0), t0, t1, f). Fixed-step for Euler/Heun/RK4;
+/// adaptive for Dopri5. t1 < t0 integrates backward.
+core::Tensor ode_solve(OdeFunction& f, const core::Tensor& z0, float t0,
+                       float t1, const SolveOptions& opts,
+                       SolveStats* stats = nullptr);
+
+/// Single fixed steps (exposed for the checkpointing backward passes).
+core::Tensor euler_step(OdeFunction& f, const core::Tensor& z, float t,
+                        float h);
+core::Tensor heun_step(OdeFunction& f, const core::Tensor& z, float t,
+                       float h);
+core::Tensor rk4_step(OdeFunction& f, const core::Tensor& z, float t, float h);
+
+}  // namespace odenet::solver

@@ -1,0 +1,36 @@
+#include "train/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace odenet::train {
+
+double top1_accuracy(const core::Tensor& logits,
+                     const std::vector<int>& labels) {
+  return topk_accuracy(logits, labels, 1);
+}
+
+double topk_accuracy(const core::Tensor& logits, const std::vector<int>& labels,
+                     int k) {
+  ODENET_CHECK(logits.ndim() == 2, "logits must be [N,C]");
+  const int n = logits.dim(0), c = logits.dim(1);
+  ODENET_CHECK(static_cast<int>(labels.size()) == n, "labels size mismatch");
+  ODENET_CHECK(k >= 1 && k <= c, "k out of range");
+  if (n == 0) return 0.0;
+
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    const float* row = logits.data() + static_cast<std::size_t>(i) * c;
+    const float target = row[labels[static_cast<std::size_t>(i)]];
+    // Rank of the target = number of strictly larger entries.
+    int larger = 0;
+    for (int j = 0; j < c; ++j) {
+      if (row[j] > target) ++larger;
+    }
+    if (larger < k) ++hits;
+  }
+  return static_cast<double>(hits) / n;
+}
+
+}  // namespace odenet::train

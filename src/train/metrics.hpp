@@ -1,0 +1,32 @@
+// Classification metrics.
+#pragma once
+
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace odenet::train {
+
+/// Fraction of rows whose argmax equals the label.
+double top1_accuracy(const core::Tensor& logits, const std::vector<int>& labels);
+
+/// Fraction of rows whose label is among the k largest logits.
+double topk_accuracy(const core::Tensor& logits, const std::vector<int>& labels,
+                     int k);
+
+/// Streaming mean.
+class RunningMean {
+ public:
+  void add(double v, std::size_t weight = 1) {
+    sum_ += v * static_cast<double>(weight);
+    count_ += weight;
+  }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  std::size_t count() const { return count_; }
+
+ private:
+  double sum_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace odenet::train

@@ -1,0 +1,38 @@
+#include "train/sgd.hpp"
+
+namespace odenet::train {
+
+Sgd::Sgd(std::vector<core::Param*> params, const SgdConfig& cfg)
+    : params_(std::move(params)), cfg_(cfg) {
+  ODENET_CHECK(!params_.empty(), "optimizer has no parameters");
+  ODENET_CHECK(cfg.learning_rate > 0.0, "learning rate must be positive");
+  ODENET_CHECK(cfg.momentum >= 0.0 && cfg.momentum < 1.0,
+               "momentum must be in [0,1)");
+  velocity_.reserve(params_.size());
+  for (core::Param* p : params_) {
+    velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void Sgd::step() {
+  const auto lr = static_cast<float>(cfg_.learning_rate);
+  const auto mu = static_cast<float>(cfg_.momentum);
+  const auto wd = static_cast<float>(cfg_.weight_decay);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    core::Param* p = params_[i];
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* v = velocity_[i].data();
+    for (std::size_t j = 0; j < p->value.numel(); ++j) {
+      const float grad = g[j] + wd * w[j];
+      v[j] = mu * v[j] + grad;
+      w[j] -= lr * v[j];
+    }
+  }
+}
+
+void Sgd::zero_grads() {
+  for (core::Param* p : params_) p->grad.zero();
+}
+
+}  // namespace odenet::train

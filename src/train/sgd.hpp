@@ -1,0 +1,52 @@
+// SGD with momentum and L2 regularization (paper §4.3: SGD, L2 = 1e-4,
+// lr 0.01 divided by 10 at epochs 100 and 150 over 200 epochs).
+#pragma once
+
+#include <vector>
+
+#include "core/layer.hpp"
+
+namespace odenet::train {
+
+struct SgdConfig {
+  double learning_rate = 0.01;
+  double momentum = 0.9;
+  /// L2 regularization coefficient, "added to each layer" per the paper
+  /// (applied to every parameter, including BN affine params).
+  double weight_decay = 1e-4;
+};
+
+class Sgd {
+ public:
+  explicit Sgd(std::vector<core::Param*> params, const SgdConfig& cfg = {});
+
+  /// v <- mu*v + (g + wd*w); w <- w - lr*v. Gradients are NOT zeroed here.
+  void step();
+  void zero_grads();
+
+  void set_learning_rate(double lr) { cfg_.learning_rate = lr; }
+  double learning_rate() const { return cfg_.learning_rate; }
+  const SgdConfig& config() const { return cfg_; }
+
+ private:
+  std::vector<core::Param*> params_;
+  std::vector<core::Tensor> velocity_;
+  SgdConfig cfg_;
+};
+
+/// Step schedule: lr = base * factor^(#milestones passed).
+struct LrSchedule {
+  double base_lr = 0.01;
+  std::vector<int> milestones = {100, 150};
+  double factor = 0.1;
+
+  double lr_at(int epoch) const {
+    double lr = base_lr;
+    for (int m : milestones) {
+      if (epoch >= m) lr *= factor;
+    }
+    return lr;
+  }
+};
+
+}  // namespace odenet::train

@@ -1,0 +1,82 @@
+#include "train/trainer.hpp"
+
+#include <cmath>
+
+#include "core/softmax.hpp"
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
+
+namespace odenet::train {
+
+Trainer::Trainer(models::Network& net, const TrainerConfig& cfg)
+    : net_(net), cfg_(cfg), sgd_(net.params(), cfg.sgd) {}
+
+EpochStats Trainer::train_epoch(data::DataLoader& loader, int epoch) {
+  util::Stopwatch watch;
+  net_.set_training(true);
+  sgd_.set_learning_rate(cfg_.schedule.lr_at(epoch));
+
+  core::SoftmaxCrossEntropy criterion;
+  RunningMean loss_mean;
+  RunningMean acc_mean;
+
+  loader.reset();
+  while (loader.has_next()) {
+    data::Batch batch = loader.next();
+    sgd_.zero_grads();
+    core::Tensor logits = net_.forward(batch.images);
+    const float loss = criterion.loss(logits, batch.labels);
+    ODENET_CHECK(std::isfinite(loss),
+                 net_.name() << ": training diverged (loss is not finite at "
+                                "epoch " << epoch << "); lower the learning "
+                                "rate or switch to discrete gradients");
+    const double acc = top1_accuracy(logits, batch.labels);
+    net_.backward(criterion.backward());
+    sgd_.step();
+    loss_mean.add(loss, static_cast<std::size_t>(batch.size()));
+    acc_mean.add(acc, static_cast<std::size_t>(batch.size()));
+  }
+
+  EpochStats stats;
+  stats.epoch = epoch;
+  stats.train_loss = loss_mean.mean();
+  stats.train_accuracy = acc_mean.mean();
+  stats.learning_rate = sgd_.learning_rate();
+  stats.seconds = watch.seconds();
+  return stats;
+}
+
+double Trainer::evaluate(data::DataLoader& loader) {
+  net_.set_training(false);
+  RunningMean acc;
+  loader.reset();
+  while (loader.has_next()) {
+    data::Batch batch = loader.next();
+    core::Tensor logits = net_.forward(batch.images);
+    acc.add(top1_accuracy(logits, batch.labels),
+            static_cast<std::size_t>(batch.size()));
+  }
+  return acc.mean();
+}
+
+std::vector<EpochStats> Trainer::fit(data::DataLoader& train_loader,
+                                     data::DataLoader& test_loader) {
+  std::vector<EpochStats> history;
+  history.reserve(static_cast<std::size_t>(cfg_.epochs));
+  for (int e = 0; e < cfg_.epochs; ++e) {
+    EpochStats stats = train_epoch(train_loader, e);
+    stats.test_accuracy = evaluate(test_loader);
+    if (cfg_.on_epoch) {
+      cfg_.on_epoch(stats);
+    } else {
+      ODENET_LOG(Debug) << net_.name() << " epoch " << e << " loss "
+                        << stats.train_loss << " train_acc "
+                        << stats.train_accuracy << " test_acc "
+                        << stats.test_accuracy;
+    }
+    history.push_back(stats);
+  }
+  return history;
+}
+
+}  // namespace odenet::train

@@ -1,0 +1,53 @@
+// Training loop driving Network + Sgd over DataLoaders, with the paper's
+// schedule as the default configuration.
+#pragma once
+
+#include <functional>
+
+#include "data/dataloader.hpp"
+#include "models/network.hpp"
+#include "train/metrics.hpp"
+#include "train/sgd.hpp"
+
+namespace odenet::train {
+
+struct EpochStats {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  double learning_rate = 0.0;
+  double seconds = 0.0;
+};
+
+struct TrainerConfig {
+  int epochs = 200;
+  SgdConfig sgd{};
+  LrSchedule schedule{};
+  /// Called after every epoch (progress reporting); may be empty.
+  std::function<void(const EpochStats&)> on_epoch;
+};
+
+class Trainer {
+ public:
+  Trainer(models::Network& net, const TrainerConfig& cfg);
+
+  /// One pass over the loader; returns (mean loss, accuracy).
+  EpochStats train_epoch(data::DataLoader& loader, int epoch);
+
+  /// Eval-mode top-1 accuracy over a loader.
+  double evaluate(data::DataLoader& loader);
+
+  /// Full schedule; returns per-epoch history.
+  std::vector<EpochStats> fit(data::DataLoader& train_loader,
+                              data::DataLoader& test_loader);
+
+  Sgd& optimizer() { return sgd_; }
+
+ private:
+  models::Network& net_;
+  TrainerConfig cfg_;
+  Sgd sgd_;
+};
+
+}  // namespace odenet::train

@@ -1,0 +1,48 @@
+// Runtime invariant checking for the odenet library.
+//
+// ODENET_CHECK(cond, msg) throws odenet::Error with file/line context when
+// `cond` is false. Used for argument validation on public API boundaries;
+// internal hot loops use assert() semantics via ODENET_DCHECK which compiles
+// out in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace odenet {
+
+/// Exception type thrown by all odenet libraries on precondition violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* cond, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "ODENET_CHECK failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace odenet
+
+#define ODENET_CHECK(cond, msg)                                           \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::odenet::detail::throw_check_failure(#cond, __FILE__, __LINE__,    \
+                                            (std::ostringstream{} << msg) \
+                                                .str());                  \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define ODENET_DCHECK(cond, msg) \
+  do {                           \
+  } while (0)
+#else
+#define ODENET_DCHECK(cond, msg) ODENET_CHECK(cond, msg)
+#endif

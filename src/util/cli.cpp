@@ -1,0 +1,113 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace odenet::util {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  ODENET_CHECK(!entries_.count(name), "duplicate cli entry " << name);
+  Entry e;
+  e.is_flag = true;
+  e.help = help;
+  entries_[name] = e;
+  order_.push_back(name);
+}
+
+void CliParser::add_option(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  ODENET_CHECK(!entries_.count(name), "duplicate cli entry " << name);
+  Entry e;
+  e.value = default_value;
+  e.default_value = default_value;
+  e.help = help;
+  entries_[name] = e;
+  order_.push_back(name);
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    ODENET_CHECK(arg.rfind("--", 0) == 0, "unexpected argument: " << arg);
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = entries_.find(arg);
+    ODENET_CHECK(it != entries_.end(), "unknown option --" << arg);
+    Entry& e = it->second;
+    if (e.is_flag) {
+      ODENET_CHECK(!has_value, "flag --" << arg << " does not take a value");
+      e.flag_set = true;
+    } else {
+      if (!has_value) {
+        ODENET_CHECK(i + 1 < argc, "option --" << arg << " needs a value");
+        value = argv[++i];
+      }
+      e.value = value;
+    }
+  }
+  return true;
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  auto it = entries_.find(name);
+  ODENET_CHECK(it != entries_.end() && it->second.is_flag,
+               "unknown flag " << name);
+  return it->second.flag_set;
+}
+
+std::string CliParser::get(const std::string& name) const {
+  auto it = entries_.find(name);
+  ODENET_CHECK(it != entries_.end() && !it->second.is_flag,
+               "unknown option " << name);
+  return it->second.value;
+}
+
+int CliParser::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  char* end = nullptr;
+  long out = std::strtol(v.c_str(), &end, 10);
+  ODENET_CHECK(end && *end == '\0', "option --" << name
+                                                << " is not an integer: " << v);
+  return static_cast<int>(out);
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  char* end = nullptr;
+  double out = std::strtod(v.c_str(), &end);
+  ODENET_CHECK(end && *end == '\0',
+               "option --" << name << " is not a number: " << v);
+  return out;
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nOptions:\n";
+  for (const auto& name : order_) {
+    const Entry& e = entries_.at(name);
+    os << "  --" << name;
+    if (!e.is_flag) os << "=<value> (default: " << e.default_value << ")";
+    os << "\n      " << e.help << "\n";
+  }
+  os << "  --help\n      show this message\n";
+  return os.str();
+}
+
+}  // namespace odenet::util

@@ -1,0 +1,51 @@
+// Tiny declarative command-line parser for the examples and benches.
+//
+//   CliParser cli("train_synthetic", "Train rODENet-3 on synthetic data");
+//   cli.add_flag("verbose", "print per-batch losses");
+//   cli.add_option("epochs", "4", "number of training epochs");
+//   cli.parse(argc, argv);            // throws odenet::Error on bad input
+//   int epochs = cli.get_int("epochs");
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace odenet::util {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  /// Boolean switch: --name (no value).
+  void add_flag(const std::string& name, const std::string& help);
+  /// Valued option: --name=value or --name value.
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Parses argv. Recognizes --help (prints usage, returns false).
+  /// Returns true when the program should proceed.
+  bool parse(int argc, const char* const* argv);
+
+  bool get_flag(const std::string& name) const;
+  std::string get(const std::string& name) const;
+  int get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  struct Entry {
+    bool is_flag = false;
+    std::string value;
+    std::string default_value;
+    std::string help;
+    bool flag_set = false;
+  };
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace odenet::util

@@ -1,0 +1,51 @@
+// Minimal leveled logger. Thread-safe; writes to stderr.
+//
+// Usage:
+//   ODENET_LOG(INFO) << "trained epoch " << e << " acc=" << acc;
+// Level is controlled globally via set_log_level() or the ODENET_LOG_LEVEL
+// environment variable (TRACE|DEBUG|INFO|WARN|ERROR|OFF).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace odenet::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Set the minimum level that will be emitted.
+void set_log_level(LogLevel level);
+/// Current minimum level (initialized from ODENET_LOG_LEVEL, default INFO).
+LogLevel log_level();
+/// Parse "debug", "INFO", ... ; returns kInfo on unknown input.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace odenet::util
+
+#define ODENET_LOG(severity)                                      \
+  if (::odenet::util::LogLevel::k##severity >=                    \
+      ::odenet::util::log_level())                                \
+  ::odenet::util::detail::LogMessage(                             \
+      ::odenet::util::LogLevel::k##severity, __FILE__, __LINE__)

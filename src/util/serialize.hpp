@@ -1,0 +1,53 @@
+// Binary serialization for model checkpoints.
+//
+// Format: little-endian, magic "ODNW", u32 version, then a sequence of
+// tagged float arrays (u64 length + payload). Readers validate magic and
+// length so truncated files fail loudly instead of producing garbage nets.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace odenet::util {
+
+inline constexpr std::uint32_t kWeightsMagic = 0x4F444E57;  // "ODNW"
+inline constexpr std::uint32_t kWeightsVersion = 1;
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& os);
+
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_f32(float v);
+  void write_string(const std::string& s);
+  void write_floats(const std::vector<float>& v);
+
+ private:
+  std::ostream& os_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& is);
+
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  float read_f32();
+  std::string read_string();
+  std::vector<float> read_floats();
+
+ private:
+  void read_raw(void* dst, std::size_t bytes);
+  std::istream& is_;
+};
+
+/// Writes the standard checkpoint header (magic + version).
+void write_weights_header(BinaryWriter& w);
+/// Validates the header; throws odenet::Error on mismatch.
+void read_weights_header(BinaryReader& r);
+
+}  // namespace odenet::util

@@ -1,0 +1,86 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace odenet::util {
+
+TableWriter::TableWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  ODENET_CHECK(!header_.empty(), "table header must be non-empty");
+}
+
+void TableWriter::add_row(std::vector<std::string> row) {
+  ODENET_CHECK(row.size() == header_.size(),
+               "row arity " << row.size() << " != header " << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TableWriter::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TableWriter::fmt_int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string TableWriter::fmt_percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+void TableWriter::print(std::ostream& os, Style style) const {
+  if (style == Style::kCsv) {
+    auto emit = [&os](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i) os << ",";
+        os << cells[i];
+      }
+      os << "\n";
+    };
+    emit(header_);
+    for (const auto& r : rows_) emit(r);
+    return;
+  }
+
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      width[i] = std::max(width[i], r[i].size());
+    }
+  }
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << " " << cells[i] << std::string(width[i] - cells[i].size(), ' ')
+         << " |";
+    }
+    os << "\n";
+  };
+  emit(header_);
+  os << "|";
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    os << std::string(width[i] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& r : rows_) emit(r);
+  (void)style;
+}
+
+std::string TableWriter::to_string(Style style) const {
+  std::ostringstream os;
+  print(os, style);
+  return os.str();
+}
+
+}  // namespace odenet::util

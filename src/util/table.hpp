@@ -1,0 +1,39 @@
+// Console table formatter for the benchmark harness.
+//
+// Every bench binary reproduces one table or figure of the paper and prints
+// it in the same row/column layout; TableWriter handles alignment, markdown
+// and CSV output so the harness code stays declarative.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace odenet::util {
+
+class TableWriter {
+ public:
+  enum class Style { kAligned, kMarkdown, kCsv };
+
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Number formatting helpers.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(long long v);
+  static std::string fmt_percent(double fraction, int precision = 2);
+
+  void print(std::ostream& os, Style style = Style::kAligned) const;
+  std::string to_string(Style style = Style::kAligned) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace odenet::util

@@ -1,0 +1,128 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+#include "util/check.hpp"
+
+namespace odenet::util {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ODENET_CHECK(!stop_, "submit() on a stopped ThreadPool");
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+namespace {
+/// True while the current thread is executing a pool task. parallel_for
+/// consults this to run nested parallelism inline instead of deadlocking
+/// on wait_idle() from inside a worker.
+thread_local bool tl_in_pool_worker = false;
+}  // namespace
+
+void ThreadPool::worker_loop() {
+  tl_in_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("ODENET_THREADS")) {
+      long n = std::strtol(env, nullptr, 10);
+      if (n > 0) return static_cast<std::size_t>(n);
+    }
+    return std::size_t{0};
+  }());
+  return pool;
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t workers = pool.worker_count();
+  if (tl_in_pool_worker || workers <= 1 || n <= grain) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const std::size_t chunks = std::min(workers, (n + grain - 1) / grain);
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+
+  // First exception wins; the rest of the work still runs to completion so
+  // the pool stays consistent.
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    pool.submit([lo, hi, &fn, &failed, &first_error, &error_mutex] {
+      try {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        if (!failed.exchange(true)) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          first_error = std::current_exception();
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+  if (failed.load() && first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain) {
+  parallel_for(ThreadPool::global(), begin, end, fn, grain);
+}
+
+}  // namespace odenet::util

@@ -1,0 +1,201 @@
+// BatchNorm2d: statistics, modes, running estimates, gradients.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/batchnorm.hpp"
+#include "util/rng.hpp"
+
+using odenet::core::BatchNorm2d;
+using odenet::core::Tensor;
+namespace ou = odenet::util;
+
+namespace {
+Tensor random_tensor(std::vector<int> shape, ou::Rng& rng, double mean = 0.0,
+                     double std = 1.0) {
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(rng.normal(mean, std));
+  }
+  return t;
+}
+
+void channel_stats(const Tensor& x, int c, double* mean, double* var) {
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  double sum = 0, sq = 0;
+  for (int ni = 0; ni < n; ++ni)
+    for (int hi = 0; hi < h; ++hi)
+      for (int wi = 0; wi < w; ++wi) {
+        const double v = x.at(ni, c, hi, wi);
+        sum += v;
+        sq += v * v;
+      }
+  const double count = static_cast<double>(n) * h * w;
+  *mean = sum / count;
+  *var = sq / count - (*mean) * (*mean);
+}
+}  // namespace
+
+TEST(BatchNorm, NormalizesToZeroMeanUnitVar) {
+  ou::Rng rng(1);
+  BatchNorm2d bn(3);
+  bn.set_training(true);
+  Tensor x = random_tensor({4, 3, 5, 5}, rng, 2.5, 3.0);
+  Tensor y = bn.forward(x);
+  for (int c = 0; c < 3; ++c) {
+    double m, v;
+    channel_stats(y, c, &m, &v);
+    EXPECT_NEAR(m, 0.0, 1e-4);
+    EXPECT_NEAR(v, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, GammaBetaAffineApplied) {
+  ou::Rng rng(2);
+  BatchNorm2d bn(2);
+  bn.set_training(true);
+  bn.gamma().value.at1(0) = 2.0f;
+  bn.beta().value.at1(0) = -1.0f;
+  Tensor x = random_tensor({2, 2, 4, 4}, rng);
+  Tensor y = bn.forward(x);
+  double m, v;
+  channel_stats(y, 0, &m, &v);
+  EXPECT_NEAR(m, -1.0, 1e-4);
+  EXPECT_NEAR(v, 4.0, 5e-2);
+  channel_stats(y, 1, &m, &v);
+  EXPECT_NEAR(m, 0.0, 1e-4);
+}
+
+TEST(BatchNorm, RunningStatsConverge) {
+  ou::Rng rng(3);
+  BatchNorm2d bn(1);
+  bn.set_training(true);
+  // Feed many batches with mean 4, var 9.
+  for (int i = 0; i < 200; ++i) {
+    bn.forward(random_tensor({8, 1, 4, 4}, rng, 4.0, 3.0));
+  }
+  EXPECT_NEAR(bn.running_mean().at1(0), 4.0f, 0.2f);
+  EXPECT_NEAR(bn.running_var().at1(0), 9.0f, 0.8f);
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  BatchNorm2d bn(1);
+  bn.running_mean().at1(0) = 10.0f;
+  bn.running_var().at1(0) = 4.0f;
+  bn.set_training(false);
+  Tensor x = Tensor::full({1, 1, 2, 2}, 12.0f);
+  Tensor y = bn.forward(x);
+  // (12 - 10)/2 = 1.
+  EXPECT_NEAR(y.at(0, 0, 0, 0), 1.0f, 1e-3f);
+}
+
+TEST(BatchNorm, BatchStatsInEvalMode) {
+  BatchNorm2d bn(1);
+  bn.set_use_batch_stats_in_eval(true);
+  bn.set_training(false);
+  // Running stats deliberately absurd: must be ignored.
+  bn.running_mean().at1(0) = 100.0f;
+  ou::Rng rng(4);
+  Tensor x = random_tensor({1, 1, 8, 8}, rng, 5.0, 2.0);
+  Tensor y = bn.forward(x);
+  double m, v;
+  channel_stats(y, 0, &m, &v);
+  EXPECT_NEAR(m, 0.0, 1e-4);
+}
+
+TEST(BatchNorm, FreezeRunningStats) {
+  ou::Rng rng(5);
+  BatchNorm2d bn(1);
+  bn.set_training(true);
+  bn.forward(random_tensor({2, 1, 4, 4}, rng, 1.0, 1.0));
+  const float m1 = bn.running_mean().at1(0);
+  bn.set_freeze_running_stats(true);
+  bn.forward(random_tensor({2, 1, 4, 4}, rng, 50.0, 1.0));
+  EXPECT_EQ(bn.running_mean().at1(0), m1);  // unchanged under freeze
+  bn.set_freeze_running_stats(false);
+  bn.forward(random_tensor({2, 1, 4, 4}, rng, 50.0, 1.0));
+  EXPECT_NE(bn.running_mean().at1(0), m1);
+}
+
+TEST(BatchNorm, GradMatchesFiniteDifference) {
+  ou::Rng rng(6);
+  BatchNorm2d bn(2);
+  bn.set_training(true);
+  bn.gamma().value.at1(0) = 1.3f;
+  bn.beta().value.at1(1) = 0.4f;
+  Tensor x = random_tensor({2, 2, 3, 3}, rng);
+  Tensor gout = random_tensor({2, 2, 3, 3}, rng);
+
+  bn.forward(x);
+  Tensor gin = bn.backward(gout);
+
+  const float eps = 1e-3f;
+  for (std::size_t i : {std::size_t{0}, std::size_t{9}, std::size_t{20}}) {
+    const float orig = x.data()[i];
+    x.data()[i] = orig + eps;
+    const float up = bn.forward(x).dot(gout);
+    x.data()[i] = orig - eps;
+    const float dn = bn.forward(x).dot(gout);
+    x.data()[i] = orig;
+    EXPECT_NEAR(gin.data()[i], (up - dn) / (2 * eps), 5e-2f) << "x index " << i;
+  }
+}
+
+TEST(BatchNorm, GammaBetaGradMatchesFiniteDifference) {
+  ou::Rng rng(7);
+  BatchNorm2d bn(2);
+  bn.set_training(true);
+  Tensor x = random_tensor({1, 2, 4, 4}, rng);
+  Tensor gout = random_tensor({1, 2, 4, 4}, rng);
+  bn.forward(x);
+  bn.backward(gout);
+  const float ga = bn.gamma().grad.at1(0);
+  const float ba = bn.beta().grad.at1(1);
+
+  const float eps = 1e-3f;
+  float orig = bn.gamma().value.at1(0);
+  bn.gamma().value.at1(0) = orig + eps;
+  const float up = bn.forward(x).dot(gout);
+  bn.gamma().value.at1(0) = orig - eps;
+  const float dn = bn.forward(x).dot(gout);
+  bn.gamma().value.at1(0) = orig;
+  EXPECT_NEAR(ga, (up - dn) / (2 * eps), 2e-2f);
+
+  orig = bn.beta().value.at1(1);
+  bn.beta().value.at1(1) = orig + eps;
+  const float upb = bn.forward(x).dot(gout);
+  bn.beta().value.at1(1) = orig - eps;
+  const float dnb = bn.forward(x).dot(gout);
+  bn.beta().value.at1(1) = orig;
+  EXPECT_NEAR(ba, (upb - dnb) / (2 * eps), 2e-2f);
+}
+
+TEST(BatchNorm, BackwardGradSumsToZeroPerChannel) {
+  // BN output is invariant to adding a constant to a channel, so the
+  // input gradient must sum to ~0 per channel.
+  ou::Rng rng(8);
+  BatchNorm2d bn(2);
+  bn.set_training(true);
+  Tensor x = random_tensor({2, 2, 4, 4}, rng);
+  bn.forward(x);
+  Tensor gin = bn.backward(random_tensor({2, 2, 4, 4}, rng));
+  for (int c = 0; c < 2; ++c) {
+    double sum = 0;
+    for (int n = 0; n < 2; ++n)
+      for (int h = 0; h < 4; ++h)
+        for (int w = 0; w < 4; ++w) sum += gin.at(n, c, h, w);
+    EXPECT_NEAR(sum, 0.0, 1e-3);
+  }
+}
+
+TEST(BatchNorm, RejectsWrongShape) {
+  BatchNorm2d bn(4);
+  EXPECT_THROW(bn.forward(Tensor({1, 3, 2, 2})), odenet::Error);
+  EXPECT_THROW(bn.backward(Tensor({1, 4, 2, 2})), odenet::Error);
+  EXPECT_THROW(BatchNorm2d(0), odenet::Error);
+}
+
+TEST(BatchNorm, ParamCountIsTwoPerChannel) {
+  BatchNorm2d bn(16);
+  EXPECT_EQ(bn.param_count(), 32u);  // the Table-2 accounting rule
+}

@@ -1,0 +1,176 @@
+// BuildingBlock: residual semantics, option-A shortcut, gradients, and the
+// block-equals-Euler-step property the paper builds on.
+#include <gtest/gtest.h>
+
+#include "core/block.hpp"
+#include "core/init.hpp"
+#include "util/rng.hpp"
+
+using namespace odenet::core;
+namespace ou = odenet::util;
+
+namespace {
+Tensor random_tensor(std::vector<int> shape, ou::Rng& rng) {
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  return t;
+}
+}  // namespace
+
+TEST(Shortcut, IdentityWhenShapePreserved) {
+  ou::Rng rng(1);
+  Tensor x = random_tensor({1, 4, 6, 6}, rng);
+  Tensor y = BuildingBlock::shortcut(x, 1, 4);
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    EXPECT_EQ(y.data()[i], x.data()[i]);
+  }
+}
+
+TEST(Shortcut, Stride2Subsamples) {
+  Tensor x({1, 1, 4, 4});
+  for (int h = 0; h < 4; ++h)
+    for (int w = 0; w < 4; ++w) x.at(0, 0, h, w) = static_cast<float>(h * 10 + w);
+  Tensor y = BuildingBlock::shortcut(x, 2, 1);
+  EXPECT_EQ(y.dim(2), 2);
+  EXPECT_EQ(y.at(0, 0, 0, 0), 0.0f);
+  EXPECT_EQ(y.at(0, 0, 0, 1), 2.0f);
+  EXPECT_EQ(y.at(0, 0, 1, 0), 20.0f);
+  EXPECT_EQ(y.at(0, 0, 1, 1), 22.0f);
+}
+
+TEST(Shortcut, ChannelZeroPadding) {
+  Tensor x = Tensor::full({1, 2, 4, 4}, 3.0f);
+  Tensor y = BuildingBlock::shortcut(x, 2, 4);
+  EXPECT_EQ(y.dim(1), 4);
+  EXPECT_EQ(y.at(0, 0, 0, 0), 3.0f);
+  EXPECT_EQ(y.at(0, 1, 1, 1), 3.0f);
+  EXPECT_EQ(y.at(0, 2, 0, 0), 0.0f);  // padded channel
+  EXPECT_EQ(y.at(0, 3, 1, 1), 0.0f);
+}
+
+TEST(Shortcut, BackwardIsAdjoint) {
+  // <shortcut(x), g> == <x, shortcut_backward(g)> — adjoint identity.
+  ou::Rng rng(2);
+  Tensor x = random_tensor({2, 2, 4, 4}, rng);
+  Tensor fx = BuildingBlock::shortcut(x, 2, 4);
+  Tensor g = random_tensor(fx.shape(), rng);
+  Tensor bg = BuildingBlock::shortcut_backward(g, x.shape(), 2);
+  EXPECT_NEAR(fx.dot(g), x.dot(bg), 1e-3f);
+}
+
+TEST(Block, ForwardIsBranchPlusShortcut) {
+  ou::Rng rng(3);
+  BuildingBlock block({.in_channels = 3, .out_channels = 3, .stride = 1});
+  init_block(block, rng);
+  // Batch-stat BN in eval mode makes branch_forward deterministic.
+  block.bn1().set_use_batch_stats_in_eval(true);
+  block.bn2().set_use_batch_stats_in_eval(true);
+  Tensor x = random_tensor({1, 3, 5, 5}, rng);
+  Tensor branch = block.branch_forward(x, 0.0f);
+  Tensor full = block.forward(x);
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    EXPECT_NEAR(full.data()[i], branch.data()[i] + x.data()[i], 1e-5f);
+  }
+}
+
+TEST(Block, Stride2ChangesGeometry) {
+  ou::Rng rng(4);
+  BuildingBlock block({.in_channels = 4, .out_channels = 8, .stride = 2});
+  init_block(block, rng);
+  block.set_training(true);
+  Tensor y = block.forward(random_tensor({2, 4, 8, 8}, rng));
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 8, 4, 4}));
+  Tensor gin = block.backward(random_tensor({2, 8, 4, 4}, rng));
+  EXPECT_EQ(gin.shape(), (std::vector<int>{2, 4, 8, 8}));
+}
+
+TEST(Block, GradMatchesFiniteDifference) {
+  ou::Rng rng(5);
+  BuildingBlock block({.in_channels = 2, .out_channels = 2, .stride = 1});
+  init_block(block, rng);
+  block.set_training(true);
+  Tensor x = random_tensor({1, 2, 4, 4}, rng);
+  Tensor gout = random_tensor({1, 2, 4, 4}, rng);
+
+  block.forward(x);
+  Tensor gin = block.backward(gout);
+
+  auto loss = [&](const Tensor& xx) { return block.forward(xx).dot(gout); };
+  const float eps = 1e-3f;
+  for (std::size_t i : {std::size_t{0}, std::size_t{13}, std::size_t{30}}) {
+    Tensor xp = x;
+    xp.data()[i] += eps;
+    Tensor xm = x;
+    xm.data()[i] -= eps;
+    const float fd = (loss(xp) - loss(xm)) / (2 * eps);
+    EXPECT_NEAR(gin.data()[i], fd, 8e-2f) << "index " << i;
+  }
+}
+
+TEST(Block, WeightGradViaFiniteDifference) {
+  ou::Rng rng(6);
+  BuildingBlock block({.in_channels = 2, .out_channels = 2, .stride = 1});
+  init_block(block, rng);
+  block.set_training(true);
+  Tensor x = random_tensor({1, 2, 4, 4}, rng);
+  Tensor gout = random_tensor({1, 2, 4, 4}, rng);
+  block.forward(x);
+  block.backward(gout);
+
+  auto& w = block.conv1().weight();
+  const std::size_t idx = 5;
+  const float analytic = w.grad.data()[idx];
+  const float eps = 1e-3f;
+  const float orig = w.value.data()[idx];
+  w.value.data()[idx] = orig + eps;
+  const float up = block.forward(x).dot(gout);
+  w.value.data()[idx] = orig - eps;
+  const float dn = block.forward(x).dot(gout);
+  w.value.data()[idx] = orig;
+  EXPECT_NEAR(analytic, (up - dn) / (2 * eps), 8e-2f);
+}
+
+TEST(Block, TimeChannelParamCount) {
+  BuildingBlock ode({.in_channels = 16, .out_channels = 16, .stride = 1,
+                     .time_channel = true});
+  // 2 convs of 16x17x3x3 + 2 BN of 2*16 = 4896 + 64 = 4960 params
+  // = 19.84 kB: the Table-2 layer1 row.
+  EXPECT_EQ(ode.param_count(), 4960u);
+
+  BuildingBlock plain({.in_channels = 16, .out_channels = 16, .stride = 1});
+  EXPECT_EQ(plain.param_count(), 4672u);  // 18.688 kB
+}
+
+TEST(Block, TransitionParamCountsMatchTable2) {
+  BuildingBlock l21({.in_channels = 16, .out_channels = 32, .stride = 2});
+  EXPECT_EQ(l21.param_count() * 4, 55808u);  // 55.808 kB (layer2_1)
+  BuildingBlock l31({.in_channels = 32, .out_channels = 64, .stride = 2});
+  EXPECT_EQ(l31.param_count() * 4, 222208u);  // 222.208 kB (layer3_1)
+}
+
+TEST(Block, OdeCapableMustBeStride1) {
+  EXPECT_THROW(BuildingBlock({.in_channels = 4,
+                              .out_channels = 8,
+                              .stride = 2,
+                              .time_channel = true}),
+               odenet::Error);
+}
+
+TEST(Block, MacCountExcludesTimeChannel) {
+  BuildingBlock ode({.in_channels = 64, .out_channels = 64, .stride = 1,
+                     .time_channel = true});
+  // Hardware folds the time plane: 2 x 8*8*64*64*9.
+  EXPECT_EQ(ode.mac_count(8, 8), 2u * 2359296u);
+}
+
+TEST(Block, ParamsListCompleteAndDistinct) {
+  BuildingBlock b({.in_channels = 2, .out_channels = 2, .stride = 1});
+  auto ps = b.params();
+  // conv1.w, bn1.gamma, bn1.beta, conv2.w, bn2.gamma, bn2.beta
+  EXPECT_EQ(ps.size(), 6u);
+  for (std::size_t i = 0; i < ps.size(); ++i)
+    for (std::size_t j = i + 1; j < ps.size(); ++j)
+      EXPECT_NE(ps[i], ps[j]);
+}

@@ -1,0 +1,112 @@
+// Cortex-A9 software model: per-block calibration and whole-network totals
+// against Table 5's "w/o PL" columns.
+#include <gtest/gtest.h>
+
+#include "sched/cpu_model.hpp"
+
+using namespace odenet::sched;
+using namespace odenet::models;
+
+TEST(CpuModel, BlockMacsMatchHandCounts) {
+  StageSpec layer1{.id = StageId::kLayer1, .stacked_blocks = 1,
+                   .executions = 1, .in_channels = 16, .out_channels = 16,
+                   .stride = 1, .in_size = 32};
+  // 2 x 32*32*16*16*9.
+  EXPECT_EQ(CpuModel::block_macs(layer1), 2u * 2359296u);
+
+  StageSpec layer2_1{.id = StageId::kLayer2_1, .stacked_blocks = 1,
+                     .executions = 1, .in_channels = 16, .out_channels = 32,
+                     .stride = 2, .in_size = 32};
+  // 16*16*(32*16*9 + 32*32*9).
+  EXPECT_EQ(CpuModel::block_macs(layer2_1), 1179648u + 2359296u);
+}
+
+TEST(CpuModel, PerBlockTimesMatchTable5Calibration) {
+  CpuModel cpu;
+  NetworkSpec spec = make_spec(Arch::kOdeNet, 56);
+  // Table 5 "Target w/o PL" / executions: 61.8 / 55.4 / 57.5 ms.
+  EXPECT_NEAR(cpu.block_seconds(spec.stage(StageId::kLayer1)) * 1e3, 61.8,
+              0.7);
+  EXPECT_NEAR(cpu.block_seconds(spec.stage(StageId::kLayer2_2)) * 1e3, 55.4,
+              0.6);
+  EXPECT_NEAR(cpu.block_seconds(spec.stage(StageId::kLayer3_2)) * 1e3, 57.5,
+              0.6);
+}
+
+TEST(CpuModel, StemHeadAndTransitionFit) {
+  CpuModel cpu;
+  WidthConfig w;
+  // Fitted split of the ~121 ms residual (DESIGN.md §3.3).
+  EXPECT_NEAR(cpu.stem_seconds(w) * 1e3, 5.0, 0.3);
+  EXPECT_NEAR(cpu.head_seconds(w) * 1e3, 2.0, 0.1);
+  NetworkSpec spec = make_spec(Arch::kResNet, 20);
+  EXPECT_NEAR(cpu.block_seconds(spec.stage(StageId::kLayer2_1)) * 1e3, 57.0,
+              1.0);
+  EXPECT_NEAR(cpu.block_seconds(spec.stage(StageId::kLayer3_1)) * 1e3, 57.0,
+              1.0);
+}
+
+struct TotalCase {
+  Arch arch;
+  int n;
+  double paper_seconds;
+};
+
+class Table5Totals : public ::testing::TestWithParam<TotalCase> {};
+
+TEST_P(Table5Totals, NetworkSecondsWithinSixPercent) {
+  const auto p = GetParam();
+  CpuModel cpu;
+  const double got = cpu.network_seconds(make_spec(p.arch, p.n));
+  EXPECT_NEAR(got, p.paper_seconds, p.paper_seconds * 0.06)
+      << arch_name(p.arch) << "-" << p.n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperColumn, Table5Totals,
+    ::testing::Values(
+        TotalCase{Arch::kResNet, 20, 0.54}, TotalCase{Arch::kResNet, 32, 0.89},
+        TotalCase{Arch::kResNet, 44, 1.24}, TotalCase{Arch::kResNet, 56, 1.58},
+        TotalCase{Arch::kROdeNet1, 20, 0.57},
+        TotalCase{Arch::kROdeNet1, 32, 0.94},
+        TotalCase{Arch::kROdeNet1, 44, 1.30},
+        TotalCase{Arch::kROdeNet1, 56, 1.67},
+        TotalCase{Arch::kROdeNet2, 20, 0.52},
+        TotalCase{Arch::kROdeNet2, 56, 1.52},
+        TotalCase{Arch::kROdeNet12, 20, 0.55},
+        TotalCase{Arch::kROdeNet12, 56, 1.60},
+        TotalCase{Arch::kROdeNet3, 20, 0.54},
+        TotalCase{Arch::kROdeNet3, 32, 0.88},
+        TotalCase{Arch::kROdeNet3, 44, 1.23},
+        TotalCase{Arch::kROdeNet3, 56, 1.57},
+        TotalCase{Arch::kOdeNet, 20, 0.56},
+        TotalCase{Arch::kOdeNet, 56, 1.60},
+        TotalCase{Arch::kHybrid3, 20, 0.53},
+        TotalCase{Arch::kHybrid3, 56, 1.56}));
+
+TEST(CpuModel, ScalesLinearlyWithClock) {
+  // The MAC-bound part halves when the clock doubles (the fixed fc
+  // overhead term is excluded from both configs).
+  CpuModelConfig fast, base;
+  fast.clock_mhz = 1300.0;  // 2x the A9
+  fast.fc_base_seconds = 0.0;
+  base.fc_base_seconds = 0.0;
+  CpuModel cpu_fast(fast), cpu_base(base);
+  NetworkSpec spec = make_spec(Arch::kResNet, 20);
+  EXPECT_NEAR(cpu_fast.network_seconds(spec) * 2.0,
+              cpu_base.network_seconds(spec), 1e-6);
+}
+
+TEST(CpuModel, SmallerWidthIsFaster) {
+  CpuModel cpu;
+  WidthConfig small{.input_channels = 3, .input_size = 16, .base_channels = 8,
+                    .num_classes = 10};
+  EXPECT_LT(cpu.network_seconds(make_spec(Arch::kResNet, 20, small)),
+            cpu.network_seconds(make_spec(Arch::kResNet, 20)));
+}
+
+TEST(CpuModel, RejectsBadClock) {
+  CpuModelConfig cfg;
+  cfg.clock_mhz = 0.0;
+  EXPECT_THROW(CpuModel{cfg}, odenet::Error);
+}

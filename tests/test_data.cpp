@@ -1,0 +1,262 @@
+// Datasets: synthetic generator, CIFAR binary loader, DataLoader.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "data/cifar.hpp"
+#include "data/dataloader.hpp"
+#include "data/synthetic.hpp"
+
+using namespace odenet::data;
+
+TEST(Dataset, ImageConversionAndValidation) {
+  Dataset ds;
+  ds.name = "t";
+  ds.channels = 1;
+  ds.height = 2;
+  ds.width = 2;
+  ds.num_classes = 2;
+  ds.pixels = {0, 128, 255, 64};
+  ds.labels = {1};
+  ds.validate();
+  auto img = ds.image(0);
+  EXPECT_EQ(img.shape(), (std::vector<int>{1, 2, 2}));
+  EXPECT_NEAR(img.at1(1), 128.0f / 255.0f, 1e-6f);
+  EXPECT_THROW(ds.image(1), odenet::Error);
+  ds.labels = {5};
+  EXPECT_THROW(ds.validate(), odenet::Error);
+}
+
+TEST(Dataset, ChannelStats) {
+  Dataset ds;
+  ds.channels = 2;
+  ds.height = 1;
+  ds.width = 2;
+  ds.num_classes = 1;
+  // ch0: 0 and 255 -> mean 0.5; ch1: 255, 255 -> mean 1.0, std 0.
+  ds.pixels = {0, 255, 255, 255};
+  ds.labels = {0};
+  auto stats = compute_channel_stats(ds);
+  EXPECT_NEAR(stats.mean[0], 0.5f, 1e-3f);
+  EXPECT_NEAR(stats.mean[1], 1.0f, 1e-6f);
+  EXPECT_NEAR(stats.stddev[0], 0.5f, 1e-3f);
+  EXPECT_NEAR(stats.stddev[1], 0.0f, 1e-6f);
+}
+
+TEST(Synthetic, DeterministicForSeed) {
+  SyntheticConfig cfg{.num_classes = 5, .images_per_class = 3, .seed = 99};
+  Dataset a = make_synthetic(cfg);
+  Dataset b = make_synthetic(cfg);
+  EXPECT_EQ(a.pixels, b.pixels);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  SyntheticConfig cfg{.num_classes = 3, .images_per_class = 2, .seed = 1};
+  SyntheticConfig cfg2 = cfg;
+  cfg2.seed = 2;
+  EXPECT_NE(make_synthetic(cfg).pixels, make_synthetic(cfg2).pixels);
+}
+
+TEST(Synthetic, ShapesAndBalance) {
+  SyntheticConfig cfg{.num_classes = 10, .images_per_class = 4};
+  Dataset ds = make_synthetic(cfg);
+  EXPECT_EQ(ds.size(), 40u);
+  EXPECT_EQ(ds.pixels.size(), 40u * 3 * 32 * 32);
+  std::vector<int> counts(10, 0);
+  for (int l : ds.labels) ++counts[l];
+  for (int c : counts) EXPECT_EQ(c, 4);
+}
+
+TEST(Synthetic, SameClassSamplesCorrelateMoreThanCrossClass) {
+  // Prototype structure: two samples of one class must be closer on
+  // average than samples of different classes.
+  SyntheticConfig cfg{.num_classes = 4, .images_per_class = 6,
+                      .noise_std = 0.08, .seed = 5};
+  Dataset ds = make_synthetic(cfg);
+  auto dist = [&](std::size_t i, std::size_t j) {
+    double acc = 0;
+    const auto* a = ds.pixels.data() + i * ds.image_bytes();
+    const auto* b = ds.pixels.data() + j * ds.image_bytes();
+    for (std::size_t k = 0; k < ds.image_bytes(); ++k) {
+      const double d = (static_cast<double>(a[k]) - b[k]) / 255.0;
+      acc += d * d;
+    }
+    return acc;
+  };
+  // Class 0 occupies indices 0..5; class 1: 6..11.
+  double same = 0, cross = 0;
+  int ns = 0, nc = 0;
+  for (int i = 0; i < 6; ++i)
+    for (int j = i + 1; j < 6; ++j) {
+      same += dist(i, j);
+      ++ns;
+    }
+  for (int i = 0; i < 6; ++i)
+    for (int j = 6; j < 12; ++j) {
+      cross += dist(i, j);
+      ++nc;
+    }
+  EXPECT_LT(same / ns, cross / nc);
+}
+
+TEST(Synthetic, PairSharesPrototypes) {
+  SyntheticConfig cfg{.num_classes = 3, .images_per_class = 4,
+                      .noise_std = 0.05, .seed = 8};
+  auto pair = make_synthetic_pair(cfg, 2);
+  EXPECT_EQ(pair.train.size(), 12u);
+  EXPECT_EQ(pair.test.size(), 6u);
+  // Same prototypes: a class-0 test image must be closer to class-0 train
+  // images than to class-2 train images (checked via mean distance).
+  auto mean_dist = [&](const Dataset& a, std::size_t ia, const Dataset& b,
+                       std::size_t lo, std::size_t hi) {
+    double acc = 0;
+    for (std::size_t j = lo; j < hi; ++j) {
+      double d2 = 0;
+      for (std::size_t k = 0; k < a.image_bytes(); ++k) {
+        const double d = (static_cast<double>(
+                              a.pixels[ia * a.image_bytes() + k]) -
+                          b.pixels[j * b.image_bytes() + k]) /
+                         255.0;
+        d2 += d * d;
+      }
+      acc += d2;
+    }
+    return acc / static_cast<double>(hi - lo);
+  };
+  const double to_class0 = mean_dist(pair.test, 0, pair.train, 0, 4);
+  const double to_class2 = mean_dist(pair.test, 0, pair.train, 8, 12);
+  EXPECT_LT(to_class0, to_class2);
+}
+
+TEST(Cifar, LoadsCraftedBinaryFile) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "odenet_cifar_test";
+  fs::create_directories(dir);
+  const fs::path file = dir / "train.bin";
+  {
+    std::ofstream os(file, std::ios::binary);
+    // Two CIFAR-100 records: [coarse, fine, 3072 pixels].
+    for (int rec = 0; rec < 2; ++rec) {
+      os.put(static_cast<char>(7));             // coarse (ignored)
+      os.put(static_cast<char>(42 + rec));      // fine label
+      for (int i = 0; i < 3072; ++i) {
+        os.put(static_cast<char>((i + rec) % 256));
+      }
+    }
+  }
+  Dataset ds = load_cifar100_file(file.string());
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds.labels[0], 42);
+  EXPECT_EQ(ds.labels[1], 43);
+  EXPECT_EQ(ds.pixels[0], 0);
+  EXPECT_EQ(ds.pixels[ds.image_bytes()], 1);  // second record shifted by 1
+  // max_images cap.
+  EXPECT_EQ(load_cifar100_file(file.string(), 1).size(), 1u);
+  fs::remove_all(dir);
+}
+
+TEST(Cifar, MissingDirectoryReturnsNullopt) {
+  EXPECT_FALSE(try_load_cifar100("/nonexistent/dir").has_value());
+}
+
+TEST(Cifar, MissingFileThrows) {
+  EXPECT_THROW(load_cifar100_file("/nonexistent/file.bin"), odenet::Error);
+}
+
+TEST(DataLoader, CoversEveryImageExactlyOnce) {
+  SyntheticConfig cfg{.num_classes = 4, .images_per_class = 5};
+  Dataset ds = make_synthetic(cfg);
+  DataLoader loader(ds, {.batch_size = 3, .shuffle = true});
+  std::multiset<int> labels_seen;
+  int batches = 0;
+  while (loader.has_next()) {
+    auto b = loader.next();
+    for (int l : b.labels) labels_seen.insert(l);
+    ++batches;
+  }
+  EXPECT_EQ(batches, 7);  // ceil(20/3)
+  EXPECT_EQ(labels_seen.size(), 20u);
+  for (int c = 0; c < 4; ++c) EXPECT_EQ(labels_seen.count(c), 5u);
+}
+
+TEST(DataLoader, BatchShapesAndDropLast) {
+  SyntheticConfig cfg{.num_classes = 2, .images_per_class = 5};
+  Dataset ds = make_synthetic(cfg);  // 10 images
+  DataLoader loader(ds, {.batch_size = 4, .shuffle = false,
+                         .drop_last = true});
+  EXPECT_EQ(loader.batches_per_epoch(), 2);
+  auto b = loader.next();
+  EXPECT_EQ(b.images.shape(), (std::vector<int>{4, 3, 32, 32}));
+  loader.next();
+  EXPECT_FALSE(loader.has_next());  // remaining 2 dropped
+}
+
+TEST(DataLoader, ResetReshufflesDeterministically) {
+  SyntheticConfig cfg{.num_classes = 5, .images_per_class = 4};
+  Dataset ds = make_synthetic(cfg);
+  DataLoader a(ds, {.batch_size = 20, .shuffle = true, .seed = 3});
+  DataLoader b(ds, {.batch_size = 20, .shuffle = true, .seed = 3});
+  EXPECT_EQ(a.next().labels, b.next().labels);
+}
+
+TEST(DataLoader, NormalizationApplied) {
+  Dataset ds;
+  ds.channels = 1;
+  ds.height = 1;
+  ds.width = 1;
+  ds.num_classes = 1;
+  ds.pixels = {255};
+  ds.labels = {0};
+  DataLoader loader(ds, {.batch_size = 1, .shuffle = false,
+                         .mean = {0.5f}, .stddev = {0.25f}});
+  auto b = loader.next();
+  // (1.0 - 0.5) / 0.25 = 2.
+  EXPECT_NEAR(b.images.at(0, 0, 0, 0), 2.0f, 1e-5f);
+}
+
+TEST(DataLoader, AugmentationKeepsShapeAndRange) {
+  SyntheticConfig cfg{.num_classes = 2, .images_per_class = 8};
+  Dataset ds = make_synthetic(cfg);
+  DataLoader loader(ds, {.batch_size = 16, .shuffle = false,
+                         .augment = true});
+  auto b = loader.next();
+  EXPECT_EQ(b.images.shape(), (std::vector<int>{16, 3, 32, 32}));
+  for (std::size_t i = 0; i < b.images.numel(); ++i) {
+    EXPECT_GE(b.images.data()[i], 0.0f);
+    EXPECT_LE(b.images.data()[i], 1.0f);
+  }
+}
+
+TEST(DataLoader, AugmentationChangesPixels) {
+  SyntheticConfig cfg{.num_classes = 1, .images_per_class = 1};
+  Dataset ds = make_synthetic(cfg);
+  DataLoader plain(ds, {.batch_size = 1, .shuffle = false, .augment = false});
+  DataLoader aug(ds, {.batch_size = 1, .shuffle = false, .augment = true,
+                      .seed = 1234});
+  auto a = plain.next().images;
+  // Several augmented draws: at least one must differ from the clean image.
+  bool changed = false;
+  for (int trial = 0; trial < 4 && !changed; ++trial) {
+    aug.reset();
+    auto b = aug.next().images;
+    for (std::size_t i = 0; i < a.numel(); ++i) {
+      if (a.data()[i] != b.data()[i]) {
+        changed = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(DataLoader, RejectsBadConfig) {
+  SyntheticConfig cfg{.num_classes = 1, .images_per_class = 1};
+  Dataset ds = make_synthetic(cfg);
+  EXPECT_THROW(DataLoader(ds, {.batch_size = 0}), odenet::Error);
+  EXPECT_THROW(DataLoader(ds, {.batch_size = 1, .mean = {0.5f}}),
+               odenet::Error);  // stddev missing
+}

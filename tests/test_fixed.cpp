@@ -1,0 +1,188 @@
+// Fixed-point arithmetic: the paper's 32-bit Q20 format plus the narrower
+// ablation formats, the bit-serial sqrt/divide hardware kernels, and
+// tensor quantization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fixed/fixed_math.hpp"
+#include "fixed/fixed_tensor.hpp"
+#include "fixed/qformat.hpp"
+#include "util/rng.hpp"
+
+using namespace odenet::fixed;
+namespace ou = odenet::util;
+
+TEST(QFormat, StaticProperties) {
+  EXPECT_EQ(Q20::kFracBits, 20);
+  EXPECT_EQ(Q20::kIntBits, 11);
+  EXPECT_EQ(Q20::kTotalBits, 32);
+  EXPECT_NEAR(Q20::resolution(), std::pow(2.0, -20), 1e-12);
+  // Representable range: ~±2048.
+  EXPECT_NEAR(Q20::max_value(), 2048.0, 0.001);
+  EXPECT_NEAR(Q20::min_value(), -2048.0, 0.001);
+}
+
+TEST(QFormat, FloatRoundTripWithinResolution) {
+  ou::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-100.0, 100.0);
+    const double back = Q20::from_double(v).to_double();
+    EXPECT_NEAR(back, v, Q20::resolution());
+  }
+}
+
+TEST(QFormat, IntegersExact) {
+  for (int v : {-2048, -17, -1, 0, 1, 42, 2047}) {
+    EXPECT_EQ(Q20::from_int(v).to_double(), static_cast<double>(v));
+  }
+}
+
+TEST(QFormat, AdditionAndSubtraction) {
+  const auto a = Q20::from_double(1.5);
+  const auto b = Q20::from_double(-0.25);
+  EXPECT_NEAR((a + b).to_double(), 1.25, Q20::resolution());
+  EXPECT_NEAR((a - b).to_double(), 1.75, Q20::resolution());
+  EXPECT_NEAR((-a).to_double(), -1.5, Q20::resolution());
+}
+
+TEST(QFormat, SaturatesInsteadOfWrapping) {
+  const auto big = Q20::from_double(2000.0);
+  const auto sum = big + big;
+  EXPECT_NEAR(sum.to_double(), Q20::max_value(), 0.01);
+  const auto neg = Q20::from_double(-2000.0);
+  EXPECT_NEAR((neg + neg).to_double(), Q20::min_value(), 0.01);
+  // from_double saturates too.
+  EXPECT_NEAR(Q20::from_double(1e9).to_double(), Q20::max_value(), 0.01);
+}
+
+TEST(QFormat, MultiplicationAccuracy) {
+  ou::Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = rng.uniform(-30.0, 30.0);
+    const double b = rng.uniform(-30.0, 30.0);
+    const double got = (Q20::from_double(a) * Q20::from_double(b)).to_double();
+    EXPECT_NEAR(got, a * b, 64 * Q20::resolution()) << a << " * " << b;
+  }
+}
+
+TEST(QFormat, DivisionAccuracy) {
+  ou::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.uniform(-50.0, 50.0);
+    double b = rng.uniform(0.5, 20.0);
+    if (rng.bernoulli(0.5)) b = -b;
+    const double got = (Q20::from_double(a) / Q20::from_double(b)).to_double();
+    EXPECT_NEAR(got, a / b, 1e-4) << a << " / " << b;
+  }
+}
+
+TEST(QFormat, SqrtAccuracy) {
+  ou::Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(0.0, 1000.0);
+    const double got = sqrt(Q20::from_double(v)).to_double();
+    EXPECT_NEAR(got, std::sqrt(v), 1e-3) << "sqrt(" << v << ")";
+  }
+  EXPECT_THROW(sqrt(Q20::from_double(-1.0)), odenet::Error);
+}
+
+TEST(QFormat, ComparisonOperators) {
+  const auto a = Q20::from_double(1.0);
+  const auto b = Q20::from_double(2.0);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(a == Q20::from_double(1.0));
+  EXPECT_EQ(abs(Q20::from_double(-3.5)).to_double(), 3.5);
+}
+
+TEST(QFormat, SixteenBitFormats) {
+  // Q8 in 16 bits: range ±128, resolution 2^-8.
+  EXPECT_EQ(Q8_16bit::kIntBits, 7);
+  EXPECT_NEAR(Q8_16bit::max_value(), 128.0, 0.01);
+  const double v = 3.14159;
+  EXPECT_NEAR(Q8_16bit::from_double(v).to_double(), v,
+              Q8_16bit::resolution());
+  // Coarser than Q20.
+  EXPECT_GT(Q8_16bit::resolution(), Q20::resolution());
+  // Saturation at the narrow range.
+  EXPECT_NEAR(Q12_16bit::from_double(100.0).to_double(),
+              Q12_16bit::max_value(), 0.01);
+}
+
+TEST(QFormat, MulIsCommutativeOnRaws) {
+  ou::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = Q20::from_double(rng.uniform(-10, 10));
+    const auto b = Q20::from_double(rng.uniform(-10, 10));
+    EXPECT_EQ((a * b).raw(), (b * a).raw());
+  }
+}
+
+TEST(FixedMath, IsqrtExactOnPerfectSquares) {
+  for (std::uint64_t r : {0ull, 1ull, 2ull, 100ull, 65535ull, 1000000ull}) {
+    EXPECT_EQ(isqrt_u64(r * r), r);
+  }
+}
+
+TEST(FixedMath, IsqrtIsFloor) {
+  ou::Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t x = rng.next_u64() >> (i % 32);
+    const std::uint64_t s = isqrt_u64(x);
+    // s^2 <= x < (s+1)^2, guarding overflow on s+1.
+    EXPECT_LE(s * s, x);
+    if (s < 0xFFFFFFFFull) EXPECT_GT((s + 1) * (s + 1), x);
+  }
+}
+
+TEST(FixedMath, IdivMatchesHardwareTruncation) {
+  ou::Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    std::int64_t num = static_cast<std::int64_t>(rng.next_u64() >> 20);
+    std::int64_t den = static_cast<std::int64_t>(rng.next_u64() >> 40) + 1;
+    if (rng.bernoulli(0.5)) num = -num;
+    if (rng.bernoulli(0.5)) den = -den;
+    EXPECT_EQ(idiv_i64(num, den), num / den) << num << "/" << den;
+  }
+  EXPECT_THROW(idiv_i64(1, 0), odenet::Error);
+}
+
+TEST(FixedTensor, QuantizeDequantizeRoundTrip) {
+  ou::Rng rng(8);
+  odenet::core::Tensor t({3, 4});
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(rng.uniform(-5.0, 5.0));
+  }
+  FixedTensor q = quantize(t, 20);
+  EXPECT_EQ(q.shape, t.shape());
+  odenet::core::Tensor back = dequantize(q);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    EXPECT_NEAR(back.data()[i], t.data()[i], 1e-5f);
+  }
+}
+
+TEST(FixedTensor, QuantizationErrorShrinksWithMoreFracBits) {
+  ou::Rng rng(9);
+  odenet::core::Tensor t({1000});
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  const auto e8 = measure_quantization(t, 8);
+  const auto e16 = measure_quantization(t, 16);
+  const auto e20 = measure_quantization(t, 20);
+  EXPECT_GT(e8.rmse, e16.rmse);
+  EXPECT_GT(e16.rmse, e20.rmse);
+  EXPECT_LT(e8.snr_db, e16.snr_db);
+  EXPECT_EQ(e20.saturated, 0u);
+}
+
+TEST(FixedTensor, SaturationCounted) {
+  odenet::core::Tensor t({2});
+  t.at1(0) = 1e9f;  // far beyond Q20 range
+  t.at1(1) = 0.5f;
+  const auto e = measure_quantization(t, 20);
+  EXPECT_EQ(e.saturated, 1u);
+  EXPECT_THROW(quantize(t, 0), odenet::Error);
+  EXPECT_THROW(quantize(t, 31), odenet::Error);
+}

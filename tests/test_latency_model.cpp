@@ -1,0 +1,209 @@
+// End-to-end latency model vs the paper's Table 5, plus the partition
+// explorer.
+#include <gtest/gtest.h>
+
+#include "sched/explorer.hpp"
+#include "sched/latency_model.hpp"
+
+using namespace odenet::sched;
+using namespace odenet::models;
+
+namespace {
+LatencyRow eval(Arch arch, int n, StageId target) {
+  LatencyModel model;
+  return model.evaluate(make_spec(arch, n), Partition::single(target, 16));
+}
+}  // namespace
+
+struct Table5Case {
+  Arch arch;
+  int n;
+  StageId target;
+  double total_wo;     // s
+  double target_wo;    // s
+  double ratio_pct;    // %
+  double target_w;     // s
+  double total_w;      // s
+  double speedup;
+};
+
+class Table5Rows : public ::testing::TestWithParam<Table5Case> {};
+
+TEST_P(Table5Rows, AllColumnsWithinTolerance) {
+  const auto p = GetParam();
+  LatencyRow row = eval(p.arch, p.n, p.target);
+  ASSERT_EQ(row.targets.size(), 1u);
+  const auto& t = row.targets[0];
+  EXPECT_NEAR(row.total_without_pl, p.total_wo, p.total_wo * 0.06);
+  EXPECT_NEAR(t.seconds_without_pl, p.target_wo,
+              std::max(p.target_wo * 0.05, 0.01));
+  EXPECT_NEAR(t.ratio_of_total * 100.0, p.ratio_pct, 2.0);
+  EXPECT_NEAR(t.seconds_with_pl, p.target_w,
+              std::max(p.target_w * 0.07, 0.012));
+  EXPECT_NEAR(row.total_with_pl, p.total_w, p.total_w * 0.07);
+  EXPECT_NEAR(row.overall_speedup, p.speedup, p.speedup * 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, Table5Rows,
+    ::testing::Values(
+        // rODENet-1: offload layer1.
+        Table5Case{Arch::kROdeNet1, 20, StageId::kLayer1, 0.57, 0.44, 76.89,
+                   0.15, 0.28, 1.99},
+        Table5Case{Arch::kROdeNet1, 32, StageId::kLayer1, 0.94, 0.81, 86.06,
+                   0.29, 0.42, 2.26},
+        Table5Case{Arch::kROdeNet1, 44, StageId::kLayer1, 1.30, 1.17, 89.91,
+                   0.42, 0.55, 2.37},
+        Table5Case{Arch::kROdeNet1, 56, StageId::kLayer1, 1.67, 1.54, 92.14,
+                   0.55, 0.68, 2.45},
+        // rODENet-2: offload layer2_2.
+        Table5Case{Arch::kROdeNet2, 20, StageId::kLayer2_2, 0.52, 0.33, 63.82,
+                   0.11, 0.30, 1.75},
+        Table5Case{Arch::kROdeNet2, 56, StageId::kLayer2_2, 1.52, 1.33, 87.46,
+                   0.44, 0.63, 2.40},
+        // rODENet-3: offload layer3_2 (the paper's headline rows).
+        Table5Case{Arch::kROdeNet3, 20, StageId::kLayer3_2, 0.54, 0.35, 64.48,
+                   0.10, 0.29, 1.85},
+        Table5Case{Arch::kROdeNet3, 32, StageId::kLayer3_2, 0.88, 0.69, 78.44,
+                   0.20, 0.39, 2.26},
+        Table5Case{Arch::kROdeNet3, 44, StageId::kLayer3_2, 1.23, 1.04, 84.44,
+                   0.30, 0.49, 2.50},
+        Table5Case{Arch::kROdeNet3, 56, StageId::kLayer3_2, 1.57, 1.38, 87.87,
+                   0.40, 0.59, 2.66},
+        // ODENet-3: full ODENet, layer3_2 on PL.
+        Table5Case{Arch::kOdeNet, 20, StageId::kLayer3_2, 0.56, 0.12, 21.24,
+                   0.03, 0.47, 1.18},
+        Table5Case{Arch::kOdeNet, 56, StageId::kLayer3_2, 1.60, 0.46, 28.98,
+                   0.13, 1.27, 1.26},
+        // Hybrid-3.
+        Table5Case{Arch::kHybrid3, 20, StageId::kLayer3_2, 0.53, 0.12, 22.38,
+                   0.03, 0.44, 1.19},
+        Table5Case{Arch::kHybrid3, 56, StageId::kLayer3_2, 1.56, 0.46, 29.64,
+                   0.13, 1.23, 1.27}));
+
+TEST(LatencyModel, ResNetPureSoftwareRow) {
+  LatencyModel model;
+  LatencyRow row = model.evaluate(make_spec(Arch::kResNet, 56),
+                                  Partition::none());
+  EXPECT_EQ(row.offload_target, "-");
+  EXPECT_EQ(row.total_with_pl, row.total_without_pl);
+  EXPECT_EQ(row.overall_speedup, 1.0);
+  EXPECT_TRUE(row.targets.empty());
+}
+
+TEST(LatencyModel, ROdeNet12OffloadsTwoStages) {
+  // rODENet-1+2-56: layer1 0.81 s / layer2_2 0.66 s targets, speedup 2.52.
+  LatencyModel model;
+  Partition p;
+  p.offloaded = {StageId::kLayer1, StageId::kLayer2_2};
+  LatencyRow row = model.evaluate(make_spec(Arch::kROdeNet12, 56), p);
+  ASSERT_EQ(row.targets.size(), 2u);
+  EXPECT_EQ(row.targets[0].stage, StageId::kLayer1);
+  EXPECT_NEAR(row.targets[0].seconds_without_pl, 0.81, 0.05);
+  EXPECT_NEAR(row.targets[1].seconds_without_pl, 0.66, 0.04);
+  EXPECT_NEAR(row.overall_speedup, 2.52, 0.13);
+  EXPECT_EQ(row.offload_target, "layer1 / layer2_2");
+}
+
+TEST(LatencyModel, PaperHeadlineClaim) {
+  // rODENet-3-56 with layer3_2 on PL is ~2.66x faster than its own pure
+  // software execution and ~2.67x faster than software ResNet-56.
+  LatencyModel model;
+  LatencyRow r3 = eval(Arch::kROdeNet3, 56, StageId::kLayer3_2);
+  const double vs_resnet =
+      model.evaluate(make_spec(Arch::kResNet, 56), Partition::none())
+          .total_without_pl /
+      r3.total_with_pl;
+  EXPECT_NEAR(r3.overall_speedup, 2.66, 0.15);
+  EXPECT_NEAR(vs_resnet, 2.67, 0.15);
+}
+
+TEST(LatencyModel, SpeedupGrowsWithN) {
+  // The heavier the offloaded stage's share, the better the speedup
+  // (Table 5's monotone trend for every rODENet).
+  double prev = 0.0;
+  for (int n : {20, 32, 44, 56}) {
+    LatencyRow row = eval(Arch::kROdeNet3, n, StageId::kLayer3_2);
+    EXPECT_GT(row.overall_speedup, prev) << "N=" << n;
+    prev = row.overall_speedup;
+  }
+}
+
+TEST(LatencyModel, LowerParallelismIsSlower) {
+  LatencyModel model;
+  NetworkSpec spec = make_spec(Arch::kROdeNet3, 56);
+  LatencyRow x16 = model.evaluate(spec, Partition::single(StageId::kLayer3_2,
+                                                          16));
+  LatencyRow x4 = model.evaluate(spec, Partition::single(StageId::kLayer3_2,
+                                                         4));
+  EXPECT_LT(x16.total_with_pl, x4.total_with_pl);
+  EXPECT_GT(x16.overall_speedup, x4.overall_speedup);
+}
+
+TEST(LatencyModel, RejectsOffloadingStackedStage) {
+  // ResNet's layer3_2 stacks (N-8)/6 instances; there is no single block
+  // to put on the PL.
+  LatencyModel model;
+  EXPECT_THROW(model.evaluate(make_spec(Arch::kResNet, 56),
+                              Partition::single(StageId::kLayer3_2)),
+               odenet::Error);
+}
+
+TEST(LatencyModel, RejectsOffloadingRemovedStage) {
+  LatencyModel model;
+  EXPECT_THROW(model.evaluate(make_spec(Arch::kROdeNet3, 56),
+                              Partition::single(StageId::kLayer2_2)),
+               odenet::Error);
+}
+
+TEST(Explorer, BestPartitionForROdeNet3IsLayer32AtX16) {
+  LatencyModel model;
+  odenet::fpga::ResourceModel resources;
+  PartitionExplorer explorer(model, resources);
+  Candidate best = explorer.best(make_spec(Arch::kROdeNet3, 56));
+  // layer3_2 saturates BRAM on its own (140/140), so no combination with
+  // layer1 fits — the explorer must pick exactly the paper's partition:
+  // layer3_2 alone at the fastest timing-feasible parallelism.
+  EXPECT_EQ(best.partition.offloaded.size(), 1u);
+  EXPECT_TRUE(best.partition.offloaded.count(StageId::kLayer3_2));
+  EXPECT_EQ(best.partition.parallelism, 16);
+  EXPECT_TRUE(best.fits);
+}
+
+TEST(Explorer, TimingFilterExcludesX32) {
+  LatencyModel model;
+  odenet::fpga::ResourceModel resources;
+  PartitionExplorer explorer(model, resources);
+  auto all = explorer.enumerate(make_spec(Arch::kROdeNet3, 56));
+  for (const auto& c : all) {
+    if (!c.partition.offloaded.empty()) {
+      EXPECT_NE(c.partition.parallelism, 32);
+    }
+  }
+}
+
+TEST(Explorer, EnumeratesAllSubsets) {
+  LatencyModel model;
+  odenet::fpga::ResourceModel resources;
+  PartitionExplorer explorer(model, resources);
+  // rODENet-1+2 has two offloadable stages -> subsets {}, {1}, {2}, {1,2};
+  // non-empty subsets x 4 feasible parallelism choices + 1 empty.
+  auto all = explorer.enumerate(make_spec(Arch::kROdeNet12, 56));
+  EXPECT_EQ(all.size(), 1u + 3u * 4u);
+}
+
+TEST(Explorer, InfeasibleCombosReported) {
+  // layer1 + layer2_2 + layer3_2 is only possible for ODENet; BRAM for
+  // layer3_2 alone saturates the device, so the triple must not fit.
+  LatencyModel model;
+  odenet::fpga::ResourceModel resources;
+  PartitionExplorer explorer(model, resources);
+  auto all = explorer.enumerate(make_spec(Arch::kOdeNet, 56));
+  bool found_infeasible_triple = false;
+  for (const auto& c : all) {
+    if (c.partition.offloaded.size() == 3 && !c.fits) {
+      found_infeasible_triple = true;
+    }
+  }
+  EXPECT_TRUE(found_infeasible_triple);
+}

@@ -1,0 +1,298 @@
+// Property-based sweeps across modules: invariants that must hold over
+// whole parameter grids, not just the paper's configurations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/init.hpp"
+#include "fixed/qformat.hpp"
+#include "fpga/accelerator.hpp"
+#include "models/network.hpp"
+#include "models/param_count.hpp"
+#include "sched/latency_model.hpp"
+#include "solver/ode.hpp"
+#include "util/rng.hpp"
+
+using namespace odenet;
+namespace ou = odenet::util;
+
+// ---------------------------------------------------------------------------
+// Parameter accounting: analytic == constructed, for a grid of widths.
+
+using WidthCase = std::tuple<int /*base*/, int /*input*/, int /*classes*/>;
+
+class ParamAccountingSweep
+    : public ::testing::TestWithParam<std::tuple<models::Arch, WidthCase>> {};
+
+TEST_P(ParamAccountingSweep, AnalyticMatchesConstructedNetwork) {
+  const auto [arch, wc] = GetParam();
+  const auto [base, input, classes] = wc;
+  models::WidthConfig width{.input_channels = 3, .input_size = input,
+                            .base_channels = base, .num_classes = classes};
+  const int n = 20;
+  models::NetworkSpec spec = models::make_spec(arch, n, width);
+  models::Network net(spec);
+  EXPECT_EQ(net.param_count(), models::network_param_count(spec))
+      << models::arch_name(arch) << " base=" << base << " input=" << input;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ParamAccountingSweep,
+    ::testing::Combine(::testing::ValuesIn(models::all_archs()),
+                       ::testing::Values(WidthCase{4, 16, 10},
+                                         WidthCase{8, 32, 100},
+                                         WidthCase{12, 16, 7})));
+
+// ---------------------------------------------------------------------------
+// Parameter monotonicity: ODE variants flat in N, stacked variants growing.
+
+TEST(ParamProperties, OdeVariantsFlatInN) {
+  for (models::Arch a : {models::Arch::kOdeNet, models::Arch::kROdeNet1,
+                         models::Arch::kROdeNet2, models::Arch::kROdeNet3}) {
+    const double base = models::network_param_kb(models::make_spec(a, 20));
+    for (int n : {32, 44, 56}) {
+      EXPECT_DOUBLE_EQ(models::network_param_kb(models::make_spec(a, n)),
+                       base)
+          << models::arch_name(a);
+    }
+  }
+}
+
+TEST(ParamProperties, StackedVariantsStrictlyGrowInN) {
+  for (models::Arch a : {models::Arch::kResNet, models::Arch::kHybrid3}) {
+    double prev = 0.0;
+    for (int n : {20, 32, 44, 56}) {
+      const double kb = models::network_param_kb(models::make_spec(a, n));
+      EXPECT_GT(kb, prev) << models::arch_name(a) << " N=" << n;
+      prev = kb;
+    }
+  }
+}
+
+TEST(ParamProperties, OrderingAtEveryN) {
+  // rODENet-1 < rODENet-2 ~ rODENet-1+2 < rODENet-3 < ODENet < Hybrid-3
+  // <= ResNet, the Figure-5 bar ordering.
+  for (int n : {20, 32, 44, 56}) {
+    auto kb = [n](models::Arch a) {
+      return models::network_param_kb(models::make_spec(a, n));
+    };
+    EXPECT_LT(kb(models::Arch::kROdeNet1), kb(models::Arch::kROdeNet2));
+    EXPECT_LT(kb(models::Arch::kROdeNet2), kb(models::Arch::kROdeNet3));
+    EXPECT_LT(kb(models::Arch::kROdeNet3), kb(models::Arch::kOdeNet));
+    EXPECT_LT(kb(models::Arch::kOdeNet), kb(models::Arch::kHybrid3));
+    EXPECT_LE(kb(models::Arch::kHybrid3), kb(models::Arch::kResNet));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Latency model: monotonicity properties.
+
+TEST(LatencyProperties, SoftwareTimeStrictlyGrowsWithN) {
+  sched::CpuModel cpu;
+  for (models::Arch a : models::all_archs()) {
+    double prev = 0.0;
+    for (int n : {20, 32, 44, 56}) {
+      const double s = cpu.network_seconds(models::make_spec(a, n));
+      EXPECT_GT(s, prev) << models::arch_name(a) << " N=" << n;
+      prev = s;
+    }
+  }
+}
+
+TEST(LatencyProperties, PlCyclesMonotoneInParallelism) {
+  models::NetworkSpec spec = models::make_spec(models::Arch::kROdeNet3, 56);
+  const auto& s = spec.stage(models::StageId::kLayer3_2);
+  std::uint64_t prev = UINT64_MAX;
+  for (int par : {1, 2, 4, 8, 16, 32, 64}) {
+    const std::uint64_t c = sched::LatencyModel::pl_block_cycles(s, par);
+    EXPECT_LE(c, prev) << "par=" << par;
+    prev = c;
+  }
+  // Beyond the channel count parallelism stops helping.
+  EXPECT_EQ(sched::LatencyModel::pl_block_cycles(s, 64),
+            sched::LatencyModel::pl_block_cycles(s, 64));
+}
+
+TEST(LatencyProperties, SlowerAxiNeverImprovesLatency) {
+  sched::LatencyModel model;
+  models::NetworkSpec spec = models::make_spec(models::Arch::kROdeNet3, 56);
+  sched::Partition fast = sched::Partition::single(
+      models::StageId::kLayer3_2, 16);
+  sched::Partition slow = fast;
+  slow.axi.cycles_per_word = 8.0;  // pessimistic DMA
+  const double t_fast = model.evaluate(spec, fast).total_with_pl;
+  const double t_slow = model.evaluate(spec, slow).total_with_pl;
+  EXPECT_GT(t_slow, t_fast);
+  // Even 8 cycles/word keeps the offload profitable for rODENet-3-56.
+  EXPECT_GT(model.evaluate(spec, slow).overall_speedup, 1.5);
+}
+
+TEST(LatencyProperties, RatioColumnsSumBelowOne) {
+  sched::LatencyModel model;
+  for (models::Arch a : {models::Arch::kROdeNet12}) {
+    sched::Partition p;
+    p.offloaded = {models::StageId::kLayer1, models::StageId::kLayer2_2};
+    for (int n : {20, 32, 44, 56}) {
+      auto row = model.evaluate(models::make_spec(a, n), p);
+      double sum = 0.0;
+      for (const auto& t : row.targets) sum += t.ratio_of_total;
+      EXPECT_LT(sum, 1.0) << "N=" << n;
+      EXPECT_GT(sum, 0.5) << "N=" << n;  // the targets dominate by design
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fixed point: algebraic properties across formats.
+
+template <typename Q>
+void check_fixed_algebra(std::uint64_t seed) {
+  ou::Rng rng(seed);
+  const double bound = Q::max_value() / 4.0;
+  for (int i = 0; i < 300; ++i) {
+    const double av = rng.uniform(-bound, bound);
+    const double bv = rng.uniform(-bound, bound);
+    const auto a = Q::from_double(av);
+    const auto b = Q::from_double(bv);
+    // Commutativity (bit exact).
+    EXPECT_EQ((a + b).raw(), (b + a).raw());
+    EXPECT_EQ((a * b).raw(), (b * a).raw());
+    // Identity elements.
+    EXPECT_EQ((a + Q::from_int(0)).raw(), a.raw());
+    EXPECT_EQ((a * Q::from_int(1)).raw(), a.raw());
+    // Negation round trip.
+    EXPECT_EQ((-(-a)).raw(), a.raw());
+    // Subtraction consistency.
+    EXPECT_EQ((a - b).raw(), (a + (-b)).raw());
+  }
+}
+
+TEST(FixedProperties, AlgebraQ20) { check_fixed_algebra<fixed::Q20>(1); }
+TEST(FixedProperties, AlgebraQ16) { check_fixed_algebra<fixed::Q16>(2); }
+TEST(FixedProperties, AlgebraQ24) { check_fixed_algebra<fixed::Q24>(3); }
+TEST(FixedProperties, AlgebraQ8_16bit) {
+  check_fixed_algebra<fixed::Q8_16bit>(4);
+}
+
+TEST(FixedProperties, ConversionMonotone) {
+  // x <= y implies fixed(x) <= fixed(y), for every format.
+  ou::Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    double x = rng.uniform(-100.0, 100.0);
+    double y = rng.uniform(-100.0, 100.0);
+    if (x > y) std::swap(x, y);
+    EXPECT_LE(fixed::Q20::from_double(x).raw(),
+              fixed::Q20::from_double(y).raw());
+    EXPECT_LE(fixed::Q12_16bit::from_double(x).raw(),
+              fixed::Q12_16bit::from_double(y).raw());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Solvers: superposition on linear dynamics, for every fixed-step method.
+
+class SolverLinearity : public ::testing::TestWithParam<solver::Method> {};
+
+TEST_P(SolverLinearity, SuperpositionHolds) {
+  // For dz/dt = A z (linear), solve(a*x + b*y) == a*solve(x) + b*solve(y)
+  // holds exactly for any one-step method built from matrix-vector ops.
+  const auto method = GetParam();
+  solver::FunctionDynamics f([](const core::Tensor& z, float) {
+    core::Tensor out({2});
+    out.at1(0) = 0.3f * z.at1(0) - 0.8f * z.at1(1);
+    out.at1(1) = 0.5f * z.at1(0) + 0.1f * z.at1(1);
+    return out;
+  });
+  core::Tensor x({2}), y({2});
+  x.at1(0) = 1.0f;
+  x.at1(1) = -0.5f;
+  y.at1(0) = 0.25f;
+  y.at1(1) = 2.0f;
+  const float a = 1.5f, b = -0.75f;
+
+  solver::SolveOptions opts{.method = method, .steps = 8};
+  core::Tensor combined = x;
+  combined.scale(a);
+  combined.axpy(b, y);
+  core::Tensor lhs = solver::ode_solve(f, combined, 0.0f, 1.0f, opts);
+  core::Tensor sx = solver::ode_solve(f, x, 0.0f, 1.0f, opts);
+  core::Tensor sy = solver::ode_solve(f, y, 0.0f, 1.0f, opts);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_NEAR(lhs.at1(i), a * sx.at1(i) + b * sy.at1(i), 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FixedStep, SolverLinearity,
+                         ::testing::Values(solver::Method::kEuler,
+                                           solver::Method::kHeun,
+                                           solver::Method::kRk4));
+
+// ---------------------------------------------------------------------------
+// Accelerator: functional equivalence across a geometry/precision grid.
+
+using AccelCase = std::tuple<int /*channels*/, int /*extent*/, int /*par*/,
+                             int /*frac*/>;
+
+class AcceleratorSweep : public ::testing::TestWithParam<AccelCase> {};
+
+TEST_P(AcceleratorSweep, BranchEvalTracksSoftware) {
+  const auto [channels, extent, par, frac] = GetParam();
+  ou::Rng rng(99);
+  core::BuildingBlock block({.in_channels = channels,
+                             .out_channels = channels, .stride = 1,
+                             .time_channel = true});
+  core::init_block(block, rng);
+  block.bn1().set_use_batch_stats_in_eval(true);
+  block.bn2().set_use_batch_stats_in_eval(true);
+  for (auto* p : block.params()) {
+    p->value = fixed::dequantize(fixed::quantize(p->value, frac));
+  }
+
+  fpga::OdeBlockAccelerator accel({.channels = channels, .extent = extent,
+                                   .parallelism = par, .frac_bits = frac});
+  accel.load_weights(block);
+
+  core::Tensor z({1, channels, extent, extent});
+  for (std::size_t i = 0; i < z.numel(); ++i) {
+    z.data()[i] = static_cast<float>(rng.normal(0.0, 0.4));
+  }
+  core::Tensor want = block.branch_forward(z, 0.5f);
+  core::Tensor got = accel.eval_branch(z, 0.5f);
+
+  // Error budget scales with the quantization step.
+  const double tol = frac >= 16 ? 3e-2 : 0.3;
+  for (std::size_t i = 0; i < want.numel(); ++i) {
+    EXPECT_NEAR(got.data()[i], want.data()[i], tol)
+        << "c=" << channels << " e=" << extent << " par=" << par
+        << " frac=" << frac << " at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AcceleratorSweep,
+    ::testing::Values(AccelCase{2, 4, 1, 20}, AccelCase{4, 6, 2, 20},
+                      AccelCase{8, 8, 8, 20}, AccelCase{4, 4, 4, 16},
+                      AccelCase{4, 4, 4, 12}, AccelCase{6, 5, 16, 20}));
+
+// ---------------------------------------------------------------------------
+// Network: logits are finite for every architecture over random inputs.
+
+TEST(NetworkProperties, FiniteLogitsAcrossArchitectures) {
+  models::WidthConfig width{.input_channels = 3, .input_size = 16,
+                            .base_channels = 4, .num_classes = 6};
+  ou::Rng rng(7);
+  for (models::Arch a : models::all_archs()) {
+    if (!models::valid_depth(a, 20)) continue;
+    models::Network net(models::make_spec(a, 20, width));
+    net.init(rng);
+    core::Tensor x({2, 3, 16, 16});
+    for (std::size_t i = 0; i < x.numel(); ++i) {
+      x.data()[i] = static_cast<float>(rng.normal(0.0, 1.0));
+    }
+    core::Tensor logits = net.forward(x);
+    for (std::size_t i = 0; i < logits.numel(); ++i) {
+      EXPECT_TRUE(std::isfinite(logits.data()[i])) << models::arch_name(a);
+    }
+  }
+}

@@ -1,0 +1,134 @@
+// Resource model vs the paper's Table 3 (exact) and the structural
+// estimator (approximate, documented tolerance).
+#include <gtest/gtest.h>
+
+#include "fpga/resource_model.hpp"
+
+using namespace odenet::fpga;
+using odenet::models::StageId;
+
+struct Table3Case {
+  StageId layer;
+  int parallelism;
+  int bram, dsp, lut, ff;
+  double bram_pct, dsp_pct, lut_pct, ff_pct;
+};
+
+class Table3 : public ::testing::TestWithParam<Table3Case> {};
+
+TEST_P(Table3, PaperPointsExact) {
+  const auto p = GetParam();
+  auto point = ResourceModel::paper_point(p.layer, p.parallelism);
+  ASSERT_TRUE(point.has_value());
+  EXPECT_EQ(point->bram36, p.bram);
+  EXPECT_EQ(point->dsp, p.dsp);
+  EXPECT_EQ(point->lut, p.lut);
+  EXPECT_EQ(point->ff, p.ff);
+}
+
+TEST_P(Table3, ReportPercentagesMatchPaper) {
+  const auto p = GetParam();
+  ResourceModel model;
+  auto r = model.report(p.layer, p.parallelism);
+  EXPECT_TRUE(r.from_paper_table);
+  EXPECT_NEAR(r.bram_pct, p.bram_pct, 0.01);
+  EXPECT_NEAR(r.dsp_pct, p.dsp_pct, 0.01);
+  EXPECT_NEAR(r.lut_pct, p.lut_pct, 0.01);
+  EXPECT_NEAR(r.ff_pct, p.ff_pct, 0.01);
+  EXPECT_TRUE(r.timing_met);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, Table3,
+    ::testing::Values(
+        Table3Case{StageId::kLayer1, 1, 56, 8, 1486, 835, 40.00, 3.63, 2.79,
+                   0.78},
+        Table3Case{StageId::kLayer1, 4, 56, 20, 2992, 1358, 40.00, 9.09, 5.62,
+                   1.28},
+        Table3Case{StageId::kLayer1, 8, 56, 36, 4740, 2058, 40.00, 16.36,
+                   8.91, 1.93},
+        Table3Case{StageId::kLayer1, 16, 64, 68, 8994, 4145, 45.71, 30.91,
+                   16.91, 3.90},
+        Table3Case{StageId::kLayer2_2, 1, 56, 8, 1482, 833, 40.00, 3.63, 2.79,
+                   0.78},
+        Table3Case{StageId::kLayer2_2, 4, 56, 20, 2946, 1346, 40.00, 9.09,
+                   5.53, 1.27},
+        Table3Case{StageId::kLayer2_2, 8, 56, 36, 4737, 2032, 40.00, 16.36,
+                   8.90, 1.91},
+        Table3Case{StageId::kLayer2_2, 16, 56, 68, 8844, 4873, 40.00, 30.91,
+                   16.62, 4.58},
+        Table3Case{StageId::kLayer3_2, 1, 140, 8, 1692, 927, 100.00, 3.63,
+                   3.18, 0.87},
+        Table3Case{StageId::kLayer3_2, 4, 140, 20, 3048, 1411, 100.00, 9.09,
+                   5.73, 1.33},
+        Table3Case{StageId::kLayer3_2, 8, 140, 36, 4907, 2059, 100.00, 16.36,
+                   9.22, 1.94},
+        Table3Case{StageId::kLayer3_2, 16, 140, 68, 12720, 6378, 100.00,
+                   30.91, 23.91, 5.99}));
+
+TEST(ResourceModel, Layer32SaturatesBram) {
+  ResourceModel model;
+  for (int n : {1, 4, 8, 16}) {
+    auto r = model.report(StageId::kLayer3_2, n);
+    EXPECT_TRUE(r.bram_saturated) << "conv_x" << n;
+    EXPECT_EQ(r.usage.bram36, 140);
+  }
+  EXPECT_FALSE(model.report(StageId::kLayer1, 8).bram_saturated);
+  EXPECT_FALSE(model.report(StageId::kLayer2_2, 16).bram_saturated);
+}
+
+TEST(ResourceModel, UnpublishedPointsUseEstimator) {
+  ResourceModel model;
+  auto r = model.report(StageId::kLayer1, 32, /*clock_mhz=*/50.0);
+  EXPECT_FALSE(r.from_paper_table);
+  EXPECT_EQ(r.usage.dsp, 132);  // 4*32 + 4
+  EXPECT_TRUE(r.timing_met);    // at 50 MHz
+  auto r100 = model.report(StageId::kLayer1, 32, /*clock_mhz=*/100.0);
+  EXPECT_FALSE(r100.timing_met);  // paper: conv_x32 fails 100 MHz
+}
+
+TEST(ResourceModel, EstimatorWithinDocumentedBandOfPaper) {
+  // The structural/fitted estimator must land within ±45% of every
+  // published point for LUT/FF and DSP exactly; BRAM is structural and may
+  // differ more for layer3_2 (the saturated case).
+  ResourceModel model;
+  for (StageId layer : {StageId::kLayer1, StageId::kLayer2_2,
+                        StageId::kLayer3_2}) {
+    for (int n : {1, 4, 8, 16}) {
+      const auto paper = *ResourceModel::paper_point(layer, n);
+      const auto g = ResourceModel::geometry_for(layer);
+      const auto est = model.estimate(g, n);
+      EXPECT_EQ(est.dsp, paper.dsp) << stage_name(layer) << " x" << n;
+      EXPECT_NEAR(est.lut, paper.lut, paper.lut * 0.45)
+          << stage_name(layer) << " x" << n;
+      EXPECT_NEAR(est.ff, paper.ff, paper.ff * 0.45)
+          << stage_name(layer) << " x" << n;
+    }
+  }
+}
+
+TEST(ResourceModel, GeometryForPaperLayers) {
+  auto g1 = ResourceModel::geometry_for(StageId::kLayer1);
+  EXPECT_EQ(g1.out_channels, 16);
+  EXPECT_EQ(g1.extent, 32);
+  auto g3 = ResourceModel::geometry_for(StageId::kLayer3_2);
+  EXPECT_EQ(g3.out_channels, 64);
+  EXPECT_EQ(g3.extent, 8);
+  EXPECT_THROW(ResourceModel::geometry_for(StageId::kConv1), odenet::Error);
+}
+
+TEST(ResourceModel, SixteenBitWeightsShrinkBram) {
+  // Footnote 2: reduced bit widths can fit more layers in PL.
+  ResourceModel model;
+  const auto g = ResourceModel::geometry_for(StageId::kLayer3_2);
+  const auto wide = model.estimate(g, 16, 32);
+  const auto narrow = model.estimate(g, 16, 16);
+  EXPECT_LT(narrow.bram36, wide.bram36);
+  EXPECT_THROW(model.estimate(g, 16, 12), odenet::Error);
+}
+
+TEST(ResourceModel, SixteenBitReportBypassesPaperTable) {
+  ResourceModel model;
+  auto r = model.report(StageId::kLayer3_2, 16, 100.0, /*weight_bits=*/16);
+  EXPECT_FALSE(r.from_paper_table);
+}

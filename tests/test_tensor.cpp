@@ -1,0 +1,116 @@
+// Unit tests for core::Tensor.
+#include <gtest/gtest.h>
+
+#include "core/tensor.hpp"
+
+using odenet::core::Tensor;
+using odenet::core::shape_numel;
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0u);
+}
+
+TEST(Tensor, ShapeAndNumel) {
+  Tensor t({2, 3, 4, 5});
+  EXPECT_EQ(t.ndim(), 4);
+  EXPECT_EQ(t.numel(), 120u);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(3), 5);
+  EXPECT_THROW(t.dim(4), odenet::Error);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({3, 3});
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.data()[i], 0.0f);
+}
+
+TEST(Tensor, FullAndFill) {
+  Tensor t = Tensor::full({2, 2}, 7.0f);
+  EXPECT_EQ(t.at2(1, 1), 7.0f);
+  t.fill(-1.0f);
+  EXPECT_EQ(t.at2(0, 0), -1.0f);
+  t.zero();
+  EXPECT_EQ(t.sum(), 0.0f);
+}
+
+TEST(Tensor, FourDAccessorRowMajor) {
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 42.0f;
+  // NCHW row-major: offset = ((n*C + c)*H + h)*W + w
+  EXPECT_EQ(t.data()[((1 * 3 + 2) * 4 + 3) * 5 + 4], 42.0f);
+}
+
+TEST(Tensor, TwoDAccessor) {
+  Tensor t({3, 4});
+  t.at2(2, 1) = 5.0f;
+  EXPECT_EQ(t.data()[2 * 4 + 1], 5.0f);
+}
+
+TEST(Tensor, ScaleAxpyMul) {
+  Tensor a = Tensor::full({4}, 2.0f);
+  Tensor b = Tensor::full({4}, 3.0f);
+  a.scale(2.0f);           // 4
+  a.axpy(0.5f, b);         // 4 + 1.5 = 5.5
+  EXPECT_FLOAT_EQ(a.at1(0), 5.5f);
+  a.mul(b);                // 16.5
+  EXPECT_FLOAT_EQ(a.at1(3), 16.5f);
+  a.add(b);                // 19.5
+  EXPECT_FLOAT_EQ(a.at1(1), 19.5f);
+}
+
+TEST(Tensor, AxpyShapeMismatchThrows) {
+  Tensor a({2, 2}), b({4});
+  EXPECT_THROW(a.axpy(1.0f, b), odenet::Error);
+  EXPECT_THROW(a.mul(b), odenet::Error);
+  EXPECT_THROW(a.dot(b), odenet::Error);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({4});
+  t.at1(0) = 1;
+  t.at1(1) = -5;
+  t.at1(2) = 3;
+  t.at1(3) = 0.5;
+  EXPECT_FLOAT_EQ(t.sum(), -0.5f);
+  EXPECT_FLOAT_EQ(t.abs_max(), 5.0f);
+  EXPECT_FLOAT_EQ(t.sqnorm(), 1 + 25 + 9 + 0.25f);
+}
+
+TEST(Tensor, Dot) {
+  Tensor a({3}), b({3});
+  for (int i = 0; i < 3; ++i) {
+    a.at1(i) = static_cast<float>(i + 1);
+    b.at1(i) = 2.0f;
+  }
+  EXPECT_FLOAT_EQ(a.dot(b), 12.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  t.at2(1, 2) = 9.0f;
+  Tensor r = t.reshaped({3, 4});
+  EXPECT_EQ(r.dim(0), 3);
+  EXPECT_EQ(r.data()[1 * 6 + 2], 9.0f);
+  EXPECT_THROW(t.reshaped({5, 5}), odenet::Error);
+}
+
+TEST(Tensor, ShapeStr) {
+  Tensor t({1, 2, 3});
+  EXPECT_EQ(t.shape_str(), "[1,2,3]");
+}
+
+TEST(Tensor, ShapeNumelRejectsNegative) {
+  EXPECT_THROW(shape_numel({2, -1}), odenet::Error);
+  EXPECT_EQ(shape_numel({2, 0, 3}), 0u);
+  EXPECT_EQ(shape_numel({}), 1u);
+}
+
+TEST(Tensor, CopySemantics) {
+  Tensor a = Tensor::full({2}, 1.0f);
+  Tensor b = a;
+  b.fill(2.0f);
+  EXPECT_FLOAT_EQ(a.at1(0), 1.0f);  // deep copy
+  EXPECT_FLOAT_EQ(b.at1(0), 2.0f);
+}

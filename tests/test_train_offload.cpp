@@ -1,0 +1,87 @@
+// Training-offload extension model (paper §5 future work).
+#include <gtest/gtest.h>
+
+#include "fpga/bn_engine.hpp"
+#include "fpga/conv_engine.hpp"
+#include "sched/train_offload.hpp"
+
+using namespace odenet;
+using namespace odenet::models;
+using namespace odenet::sched;
+
+TEST(TrainOffload, SoftwareTrainingIsTripleInference) {
+  TrainingLatencyModel train_model;
+  LatencyModel infer_model;
+  NetworkSpec spec = make_spec(Arch::kROdeNet3, 56);
+  const double infer =
+      infer_model.evaluate(spec, Partition::none()).total_without_pl;
+  EXPECT_NEAR(train_model.sw_image_seconds(spec), 3.0 * infer, 1e-9);
+}
+
+TEST(TrainOffload, HybridSpeedupNearInferenceSpeedup) {
+  // Both sides scale by ~3x, so the training speedup should be within a
+  // modest band of the inference speedup (extra transfers pull it down).
+  TrainingLatencyModel train_model;
+  LatencyModel infer_model;
+  NetworkSpec spec = make_spec(Arch::kROdeNet3, 56);
+  Partition part = Partition::single(StageId::kLayer3_2, 16);
+  const double infer_speedup =
+      infer_model.evaluate(spec, part).overall_speedup;
+  TrainingRow row = train_model.evaluate(spec, part);
+  EXPECT_GT(row.speedup, 0.75 * infer_speedup);
+  EXPECT_LT(row.speedup, 1.15 * infer_speedup);
+}
+
+TEST(TrainOffload, NoPartitionIsIdentity) {
+  TrainingLatencyModel model;
+  TrainingRow row = model.evaluate(make_spec(Arch::kROdeNet2, 32),
+                                   Partition::none());
+  EXPECT_EQ(row.offload_target, "-");
+  EXPECT_EQ(row.image_seconds_hybrid, row.image_seconds_sw);
+  EXPECT_EQ(row.speedup, 1.0);
+}
+
+TEST(TrainOffload, SpeedupGrowsWithN) {
+  TrainingLatencyModel model;
+  double prev = 0.0;
+  for (int n : {20, 32, 44, 56}) {
+    TrainingRow row = model.evaluate(make_spec(Arch::kROdeNet3, n),
+                                     Partition::single(StageId::kLayer3_2,
+                                                       16));
+    EXPECT_GT(row.speedup, prev) << "N=" << n;
+    prev = row.speedup;
+  }
+  EXPECT_GT(prev, 2.0);  // large-N training offload is clearly worthwhile
+}
+
+TEST(TrainOffload, Layer32TrainingNeedsNarrowWeights) {
+  // Stored activations double the fmap BRAM: 32-bit layer3_2 training
+  // exceeds the device, 16-bit fits (the paper's footnote-2 direction).
+  TrainingLatencyModel model;
+  NetworkSpec spec = make_spec(Arch::kROdeNet3, 56);
+  Partition part = Partition::single(StageId::kLayer3_2, 16);
+  EXPECT_FALSE(model.evaluate(spec, part, 32, 32).fits_device);
+  EXPECT_TRUE(model.evaluate(spec, part, 32, 16).fits_device);
+}
+
+TEST(TrainOffload, LargerBatchAmortizesWeightReadback) {
+  TrainingLatencyModel model;
+  NetworkSpec spec = make_spec(Arch::kROdeNet3, 56);
+  Partition part = Partition::single(StageId::kLayer3_2, 16);
+  const double b1 = model.evaluate(spec, part, 1).image_seconds_hybrid;
+  const double b128 = model.evaluate(spec, part, 128).image_seconds_hybrid;
+  EXPECT_LT(b128, b1);
+  EXPECT_THROW(model.evaluate(spec, part, 0), odenet::Error);
+}
+
+TEST(TrainOffload, PlCycleModelComposition) {
+  // 3x conv pair + 2x BN pair.
+  NetworkSpec spec = make_spec(Arch::kROdeNet3, 56);
+  const auto& s = spec.stage(StageId::kLayer3_2);
+  const std::uint64_t got =
+      TrainingLatencyModel::pl_train_block_cycles(s, 16);
+  const std::uint64_t conv =
+      fpga::ConvEngine::conv_cycles(64, 64, 8, 16);
+  const std::uint64_t bn = fpga::BnEngine::bn_cycles(64, 8);
+  EXPECT_EQ(got, 6 * conv + 4 * bn);
+}
