@@ -1,0 +1,164 @@
+// Serving throughput: images/sec versus micro-batch size and backend.
+//
+// Baseline: sequential single-image Network::forward calls (the pre-runtime
+// serving pattern — one synchronous request at a time). Against it, the
+// InferenceEngine with growing max_batch on the float backend, plus the
+// fixed-point and FPGA-sim backends at one batch setting. Dynamic batching
+// amortizes per-call dispatch/allocation overhead across the batch, so
+// engine throughput at max_batch > 1 should beat the sequential baseline.
+//
+// Every configuration prints one machine-readable JSON line prefixed with
+// "JSON "; the final line aggregates the sweep.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "runtime/engine.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace odenet;
+
+namespace {
+
+core::Tensor random_images(int n, int channels, int size, util::Rng& rng) {
+  core::Tensor x({n, channels, size, size});
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x.data()[i] = static_cast<float>(rng.normal(0.0, 0.5));
+  }
+  return x;
+}
+
+struct Row {
+  std::string mode;     // "sequential" or "engine"
+  std::string backend;  // executor backend
+  int max_batch = 1;
+  int images = 0;
+  double seconds = 0.0;
+  double images_per_sec = 0.0;
+  double speedup = 1.0;  // vs the sequential float baseline
+  std::uint64_t pl_cycles = 0;
+};
+
+void print_row(const Row& r) {
+  std::printf("%-11s %-9s %9d %8d %10.4f %12.1f %9.2fx %14llu\n",
+              r.mode.c_str(), r.backend.c_str(), r.max_batch, r.images,
+              r.seconds, r.images_per_sec, r.speedup,
+              static_cast<unsigned long long>(r.pl_cycles));
+  std::printf("JSON {\"bench\":\"runtime_throughput\",\"mode\":\"%s\","
+              "\"backend\":\"%s\",\"max_batch\":%d,\"images\":%d,"
+              "\"seconds\":%.6f,\"images_per_sec\":%.2f,\"speedup\":%.4f,"
+              "\"pl_cycles\":%llu}\n",
+              r.mode.c_str(), r.backend.c_str(), r.max_batch, r.images,
+              r.seconds, r.images_per_sec, r.speedup,
+              static_cast<unsigned long long>(r.pl_cycles));
+}
+
+Row run_engine(models::Network& net, const core::Tensor& images,
+               core::ExecBackend backend, int max_batch) {
+  runtime::EngineConfig cfg;
+  cfg.max_batch = max_batch;
+  cfg.max_delay = std::chrono::microseconds(2000);
+  runtime::BackendConfig bc;
+  bc.backend = backend;
+  cfg.backends = {bc};
+  runtime::InferenceEngine engine(net, cfg);
+
+  util::Stopwatch watch;
+  auto futures = engine.submit_batch(images);
+  for (auto& f : futures) (void)f.get();
+  const double seconds = watch.seconds();
+
+  Row row;
+  row.mode = "engine";
+  row.backend = core::backend_name(backend);
+  row.max_batch = max_batch;
+  row.images = images.dim(0);
+  row.seconds = seconds;
+  row.images_per_sec = images.dim(0) / seconds;
+  row.pl_cycles = engine.stats().pl_cycles();
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("bench_runtime_throughput",
+                      "Images/sec vs micro-batch size and backend");
+  cli.add_option("images", "128", "images per configuration");
+  cli.add_option("max-batch", "16", "largest micro-batch in the sweep");
+  cli.add_option("base-channels", "8", "network width (paper: 16)");
+  cli.add_option("input-size", "16", "input extent (paper: 32)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const int kImages = cli.get_int("images");
+  const int kMaxBatch = cli.get_int("max-batch");
+  models::WidthConfig width{.input_channels = 3,
+                            .input_size = cli.get_int("input-size"),
+                            .base_channels = cli.get_int("base-channels"),
+                            .num_classes = 10};
+  models::Network net(models::make_spec(models::Arch::kROdeNet3, 14, width));
+  util::Rng rng(1);
+  net.init(rng);
+  net.set_training(false);
+
+  core::Tensor images = random_images(kImages, 3, width.input_size, rng);
+
+  // Warm-up: first-touch page faults and lazy allocations must not land on
+  // the sequential baseline.
+  for (int i = 0; i < 3; ++i) {
+    (void)net.forward(random_images(1, 3, width.input_size, rng));
+  }
+
+  std::printf("=== Serving throughput: %s, %d images ===\n",
+              net.name().c_str(), kImages);
+  std::printf("%-11s %-9s %9s %8s %10s %12s %9s %14s\n", "mode", "backend",
+              "max_batch", "images", "seconds", "images/sec", "speedup",
+              "pl_cycles");
+
+  // Baseline: synchronous single-image forward calls.
+  const std::size_t stride = static_cast<std::size_t>(3) *
+                             width.input_size * width.input_size;
+  util::Stopwatch watch;
+  for (int i = 0; i < kImages; ++i) {
+    core::Tensor one({1, 3, width.input_size, width.input_size});
+    std::copy_n(images.data() + static_cast<std::size_t>(i) * stride, stride,
+                one.data());
+    (void)net.forward(one);
+  }
+  Row base;
+  base.mode = "sequential";
+  base.backend = "float";
+  base.max_batch = 1;
+  base.images = kImages;
+  base.seconds = watch.seconds();
+  base.images_per_sec = kImages / base.seconds;
+  print_row(base);
+
+  // Engine sweep on the float backend: batching amortization.
+  double best_batched = 0.0;
+  for (int mb = 1; mb <= kMaxBatch; mb *= 2) {
+    Row row = run_engine(net, images, core::ExecBackend::kFloat, mb);
+    row.speedup = row.images_per_sec / base.images_per_sec;
+    if (mb > 1) best_batched = std::max(best_batched, row.images_per_sec);
+    print_row(row);
+  }
+
+  // The other backends at the largest batch.
+  for (core::ExecBackend backend :
+       {core::ExecBackend::kFixed, core::ExecBackend::kFpgaSim}) {
+    Row row = run_engine(net, images, backend, kMaxBatch);
+    row.speedup = row.images_per_sec / base.images_per_sec;
+    print_row(row);
+  }
+
+  const double batched_speedup = best_batched / base.images_per_sec;
+  std::printf("JSON {\"bench\":\"runtime_throughput\",\"summary\":true,"
+              "\"images\":%d,\"sequential_images_per_sec\":%.2f,"
+              "\"best_batched_images_per_sec\":%.2f,"
+              "\"batched_speedup\":%.4f,\"batching_wins\":%s}\n",
+              kImages, base.images_per_sec, best_batched, batched_speedup,
+              batched_speedup > 1.0 ? "true" : "false");
+  return 0;
+}

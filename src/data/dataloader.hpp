@@ -13,8 +13,8 @@ struct DataLoaderConfig {
   /// Pad-4 random crop + random horizontal flip (training only).
   bool augment = false;
   /// Per-channel normalization; empty -> identity.
-  std::vector<float> mean;
-  std::vector<float> stddev;
+  std::vector<float> mean = {};
+  std::vector<float> stddev = {};
   std::uint64_t seed = 11;
   /// Drop the final short batch (keeps BN batch statistics well-defined).
   bool drop_last = false;

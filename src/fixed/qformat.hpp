@@ -102,7 +102,11 @@ class Fixed {
   Fixed& operator/=(Fixed b) { return *this = *this / b; }
 
   friend constexpr bool operator==(Fixed a, Fixed b) { return a.raw_ == b.raw_; }
-  friend constexpr auto operator<=>(Fixed a, Fixed b) { return a.raw_ <=> b.raw_; }
+  friend constexpr bool operator!=(Fixed a, Fixed b) { return a.raw_ != b.raw_; }
+  friend constexpr bool operator<(Fixed a, Fixed b) { return a.raw_ < b.raw_; }
+  friend constexpr bool operator<=(Fixed a, Fixed b) { return a.raw_ <= b.raw_; }
+  friend constexpr bool operator>(Fixed a, Fixed b) { return a.raw_ > b.raw_; }
+  friend constexpr bool operator>=(Fixed a, Fixed b) { return a.raw_ >= b.raw_; }
 
   /// Hardware-style sqrt: isqrt(raw << FracBits). Requires non-negative.
   friend Fixed sqrt(Fixed a) {

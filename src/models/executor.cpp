@@ -1,0 +1,84 @@
+#include "models/executor.hpp"
+
+#include "fixed/fixed_tensor.hpp"
+#include "util/stopwatch.hpp"
+
+namespace odenet::models {
+
+double NetworkRunStats::stage_seconds() const {
+  double total = 0.0;
+  for (const auto& s : stages) total += s.stats.seconds;
+  return total;
+}
+
+std::uint64_t NetworkRunStats::pl_cycles() const {
+  std::uint64_t total = 0;
+  for (const auto& s : stages) total += s.stats.pl_cycles;
+  return total;
+}
+
+FloatStageExecutor::FloatStageExecutor(CostModel modeled_seconds)
+    : name_("float_cpu"), modeled_seconds_(std::move(modeled_seconds)) {}
+
+core::Tensor FloatStageExecutor::run(Stage& stage, const core::Tensor& x,
+                                     core::StageRunStats* stats) {
+  util::Stopwatch watch;
+  core::Tensor out = stage.forward(x);
+  if (stats != nullptr) {
+    stats->backend = core::ExecBackend::kFloat;
+    stats->on_accelerator = false;
+    stats->pl_cycles = 0;
+    stats->seconds = modeled_seconds_ ? modeled_seconds_(stage.spec())
+                                      : watch.seconds();
+  }
+  return out;
+}
+
+namespace {
+
+/// Saturating round trip through Qx.frac_bits — the activation precision a
+/// fixed-point datapath would keep between stages.
+core::Tensor qdq(const core::Tensor& t, int frac_bits) {
+  return fixed::dequantize(fixed::quantize(t, frac_bits));
+}
+
+}  // namespace
+
+FixedStageExecutor::FixedStageExecutor(int frac_bits)
+    : name_("fixed_cpu_q" + std::to_string(frac_bits)),
+      frac_bits_(frac_bits) {}
+
+core::Tensor FixedStageExecutor::run(Stage& stage, const core::Tensor& x,
+                                     core::StageRunStats* stats) {
+  ODENET_CHECK(!stage.is_empty(),
+               stage.name() << ": fixed executor on removed stage");
+  util::Stopwatch watch;
+  core::Tensor z = qdq(x, frac_bits_);
+  if (stage.is_ode()) {
+    // Explicit Euler with the activation quantized after every update —
+    // the same step scheme the PL implements (accelerator solve_euler).
+    OdeBlock* ode = stage.ode();
+    const int steps = ode->config().executions;
+    const float h = (ode->t1() - ode->t0()) / static_cast<float>(steps);
+    float t = ode->t0();
+    for (int k = 0; k < steps; ++k) {
+      core::Tensor f = ode->block().branch_forward(z, t);
+      z.axpy(h, f);
+      z = qdq(z, frac_bits_);
+      t += h;
+    }
+  } else {
+    for (auto& block : stage.blocks()) {
+      z = qdq(block->forward(z), frac_bits_);
+    }
+  }
+  if (stats != nullptr) {
+    stats->backend = core::ExecBackend::kFixed;
+    stats->on_accelerator = false;
+    stats->pl_cycles = 0;
+    stats->seconds = watch.seconds();
+  }
+  return z;
+}
+
+}  // namespace odenet::models

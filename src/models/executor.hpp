@@ -1,0 +1,130 @@
+// Pluggable stage-execution backends.
+//
+// A StageExecutor runs one network stage over a batch; a StagePlan maps
+// each stage to the executor that should run it. Network::forward_stages
+// is the single dispatch loop — the float software path, the fixed-point
+// path and the PS/PL co-simulator (sched/system_sim.hpp) all route through
+// it, differing only in the plan they pass.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "core/execution.hpp"
+#include "models/stage.hpp"
+
+namespace odenet::models {
+
+class StageExecutor {
+ public:
+  virtual ~StageExecutor() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual core::ExecBackend backend() const = 0;
+
+  /// Runs one stage over a batch: x [N,C,S,S] -> [N,C',S',S']. The stage
+  /// must be non-empty. When `stats` is non-null the executor records what
+  /// the run cost (measured or modeled, see each implementation).
+  virtual core::Tensor run(Stage& stage, const core::Tensor& x,
+                           core::StageRunStats* stats) = 0;
+
+  /// Re-syncs any backend-held copy of the stage's weights (e.g. the
+  /// accelerator's BRAM image) after the network's parameters changed.
+  /// CPU backends read the live parameters and need no sync.
+  virtual void reload_weights(Stage& stage) { (void)stage; }
+};
+
+/// Float32 reference backend: delegates to Stage::forward (the training
+/// path — forward caches survive for Network::backward). `seconds` is
+/// measured wall clock unless a cost model is installed, in which case the
+/// modeled latency is reported instead (the co-simulator installs the
+/// Cortex-A9 model).
+class FloatStageExecutor final : public StageExecutor {
+ public:
+  using CostModel = std::function<double(const StageSpec&)>;
+
+  explicit FloatStageExecutor(CostModel modeled_seconds = nullptr);
+
+  const std::string& name() const override { return name_; }
+  core::ExecBackend backend() const override {
+    return core::ExecBackend::kFloat;
+  }
+  core::Tensor run(Stage& stage, const core::Tensor& x,
+                   core::StageRunStats* stats) override;
+
+ private:
+  std::string name_;
+  CostModel modeled_seconds_;
+};
+
+/// Q-format fixed-point CPU backend: emulates reduced-precision activations
+/// by saturating every stage-internal feature map to Qx.frac_bits (weights
+/// stay float — the full weight quantization lives in the accelerator
+/// simulation). ODE stages integrate with explicit Euler steps, mirroring
+/// the hardware solver, regardless of the stage's configured software
+/// solver.
+class FixedStageExecutor final : public StageExecutor {
+ public:
+  explicit FixedStageExecutor(int frac_bits = 20);
+
+  const std::string& name() const override { return name_; }
+  core::ExecBackend backend() const override {
+    return core::ExecBackend::kFixed;
+  }
+  core::Tensor run(Stage& stage, const core::Tensor& x,
+                   core::StageRunStats* stats) override;
+
+  int frac_bits() const { return frac_bits_; }
+
+ private:
+  std::string name_;
+  int frac_bits_;
+};
+
+/// Stage -> executor routing with a default fallback. Executors are not
+/// owned; they must outlive the plan. A default-constructed plan routes
+/// everything to the caller's fallback (Network keeps a built-in float
+/// executor for exactly that).
+class StagePlan {
+ public:
+  StagePlan() = default;
+  explicit StagePlan(StageExecutor* default_executor)
+      : default_(default_executor) {}
+
+  StagePlan& assign(StageId id, StageExecutor* executor) {
+    overrides_[id] = executor;
+    return *this;
+  }
+
+  /// The executor for this stage: the per-stage override, else the plan
+  /// default, else nullptr (caller falls back to its own executor).
+  StageExecutor* executor_for(StageId id) const {
+    auto it = overrides_.find(id);
+    if (it != overrides_.end()) return it->second;
+    return default_;
+  }
+
+  StageExecutor* default_executor() const { return default_; }
+  const std::map<StageId, StageExecutor*>& overrides() const {
+    return overrides_;
+  }
+
+ private:
+  StageExecutor* default_ = nullptr;
+  std::map<StageId, StageExecutor*> overrides_;
+};
+
+/// Per-stage record of one routed forward pass.
+struct StageRun {
+  StageId id{};
+  core::StageRunStats stats;
+};
+
+struct NetworkRunStats {
+  std::vector<StageRun> stages;
+
+  double stage_seconds() const;
+  std::uint64_t pl_cycles() const;
+};
+
+}  // namespace odenet::models

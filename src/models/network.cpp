@@ -8,6 +8,7 @@ namespace odenet::models {
 
 Network::Network(const NetworkSpec& spec, const SolverConfig& solver_cfg)
     : spec_(spec),
+      solver_cfg_(solver_cfg),
       name_(arch_name(spec.arch) + "-" + std::to_string(spec.n)),
       stem_conv_({.in_channels = spec.width.input_channels,
                   .out_channels = spec.width.base_channels,
@@ -44,11 +45,28 @@ core::Tensor Network::head_forward(const Tensor& features) {
 }
 
 core::Tensor Network::forward(const Tensor& x) {
+  return forward_with(x, StagePlan{});
+}
+
+core::Tensor Network::forward_with(const Tensor& x, const StagePlan& plan,
+                                   NetworkRunStats* stats) {
   core::Tensor h = stem_forward(x);
-  for (auto& s : stages_) {
-    if (!s->is_empty()) h = s->forward(h);
-  }
+  h = forward_stages(std::move(h), plan, stats);
   return head_forward(h);
+}
+
+core::Tensor Network::forward_stages(Tensor h, const StagePlan& plan,
+                                     NetworkRunStats* stats) {
+  for (auto& s : stages_) {
+    if (s->is_empty()) continue;
+    StageExecutor* exec = plan.executor_for(s->spec().id);
+    if (exec == nullptr) exec = &float_exec_;
+    StageRun run;
+    run.id = s->spec().id;
+    h = exec->run(*s, h, stats != nullptr ? &run.stats : nullptr);
+    if (stats != nullptr) stats->stages.push_back(std::move(run));
+  }
+  return h;
 }
 
 core::Tensor Network::backward(const Tensor& grad_logits) {
@@ -98,10 +116,11 @@ void Network::init(util::Rng& rng) {
   core::init_linear(fc_, rng);
 }
 
-std::vector<int> Network::predict(const Tensor& x) {
+std::vector<int> Network::predict(const Tensor& x, const StagePlan* plan) {
   const bool was_training = training();
   set_training(false);
-  core::Tensor logits = forward(x);
+  core::Tensor logits =
+      plan != nullptr ? forward_with(x, *plan) : forward(x);
   set_training(was_training);
   return core::SoftmaxCrossEntropy::argmax(logits);
 }

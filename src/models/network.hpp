@@ -11,6 +11,7 @@
 #include "core/conv2d.hpp"
 #include "core/linear.hpp"
 #include "core/pooling.hpp"
+#include "models/executor.hpp"
 #include "models/stage.hpp"
 #include "util/rng.hpp"
 
@@ -21,19 +22,35 @@ class Network final : public core::Layer {
   Network(const NetworkSpec& spec, const SolverConfig& solver_cfg = {});
 
   const std::string& name() const override { return name_; }
-  /// x: [N, in_ch, S, S] -> logits [N, classes].
+  /// x: [N, in_ch, S, S] -> logits [N, classes]. Routes every stage through
+  /// the built-in float executor (an empty StagePlan).
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_logits) override;
   std::vector<core::Param*> params() override;
   void set_training(bool training) override;
 
+  /// Full forward pass with per-stage backend routing: stem -> stages (per
+  /// `plan`) -> head. Stages the plan does not cover fall back to the
+  /// built-in float executor. Backward is only valid after an all-float
+  /// pass (the other backends keep no gradient caches).
+  Tensor forward_with(const Tensor& x, const StagePlan& plan,
+                      NetworkRunStats* stats = nullptr);
+
+  /// THE per-stage dispatch loop: runs every non-empty stage through the
+  /// plan's executor for it. `h` is the stem output. Exposed so executors
+  /// stacked on stem/head pieces (the co-simulator, the serving runtime)
+  /// share one loop instead of reimplementing it.
+  Tensor forward_stages(Tensor h, const StagePlan& plan,
+                        NetworkRunStats* stats = nullptr);
+
   /// He/Xavier initialization of every trainable tensor.
   void init(util::Rng& rng);
 
-  /// Top-1 class predictions for a batch.
-  std::vector<int> predict(const Tensor& x);
+  /// Top-1 class predictions for a batch, optionally through a plan.
+  std::vector<int> predict(const Tensor& x, const StagePlan* plan = nullptr);
 
   const NetworkSpec& spec() const { return spec_; }
+  const SolverConfig& solver_config() const { return solver_cfg_; }
   std::vector<std::unique_ptr<Stage>>& stages() { return stages_; }
   Stage* stage(StageId id);
 
@@ -49,7 +66,9 @@ class Network final : public core::Layer {
 
  private:
   NetworkSpec spec_;
+  SolverConfig solver_cfg_;
   std::string name_;
+  FloatStageExecutor float_exec_;  // fallback for unplanned stages
   core::Conv2d stem_conv_;
   core::BatchNorm2d stem_bn_;
   core::ReLU stem_relu_;

@@ -1,0 +1,73 @@
+#include "runtime/batch_queue.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+#include "util/check.hpp"
+
+namespace odenet::runtime {
+
+BatchQueue::BatchQueue(int max_batch, std::chrono::microseconds max_delay)
+    : max_batch_(max_batch), max_delay_(max_delay) {
+  ODENET_CHECK(max_batch >= 1, "batch queue needs max_batch >= 1, got "
+                                   << max_batch);
+}
+
+bool BatchQueue::push(PendingRequest&& req) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return false;
+    req.enqueued_at = Clock::now();
+    queue_.push_back(std::move(req));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+bool BatchQueue::pop_batch(std::vector<PendingRequest>& out) {
+  out.clear();
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return false;  // closed and drained
+    // Hold for more work until the batch is full or the oldest request's
+    // deadline passes; a close() flushes immediately.
+    const auto deadline = queue_.front().enqueued_at + max_delay_;
+    cv_.wait_until(lock, deadline, [&] {
+      return closed_ || queue_.empty() ||
+             static_cast<int>(queue_.size()) >= max_batch_;
+    });
+    if (!queue_.empty()) break;
+    if (closed_) return false;
+    // Another worker took the whole batch; go back to waiting.
+  }
+  const std::size_t n = std::min<std::size_t>(
+      queue_.size(), static_cast<std::size_t>(max_batch_));
+  out.reserve(n);
+  std::move(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(n),
+            std::back_inserter(out));
+  queue_.erase(queue_.begin(),
+               queue_.begin() + static_cast<std::ptrdiff_t>(n));
+  if (!queue_.empty()) cv_.notify_one();  // burst larger than one batch
+  return true;
+}
+
+void BatchQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool BatchQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t BatchQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace odenet::runtime

@@ -1,0 +1,52 @@
+// Micro-batching request queue.
+//
+// Producers push single-image requests; one or more backend workers pop
+// *batches*. A worker holding the first request of a batch waits until
+// either max_batch requests are available or the oldest request has been
+// queued for max_delay — the classic dynamic-batching flush rule — so a
+// lone request never waits longer than the deadline and a burst fills the
+// batch immediately. close() wakes everyone; pending requests are still
+// drained (pop keeps returning batches until the queue is empty).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "runtime/request.hpp"
+
+namespace odenet::runtime {
+
+class BatchQueue {
+ public:
+  BatchQueue(int max_batch, std::chrono::microseconds max_delay);
+
+  /// Enqueues one request. Returns false (and leaves `req` untouched
+  /// semantically — the caller still owns the promise) when the queue has
+  /// been closed.
+  bool push(PendingRequest&& req);
+
+  /// Blocks until a batch is ready per the flush rule, then moves up to
+  /// max_batch requests into `out` (cleared first). Returns false only
+  /// when the queue is closed *and* empty — the worker-loop exit signal.
+  /// After close(), remaining requests flush immediately (no deadline
+  /// wait).
+  bool pop_batch(std::vector<PendingRequest>& out);
+
+  /// Closes the queue for new work and wakes all waiters.
+  void close();
+
+  bool closed() const;
+  std::size_t size() const;
+
+ private:
+  const int max_batch_;
+  const std::chrono::microseconds max_delay_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<PendingRequest> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace odenet::runtime

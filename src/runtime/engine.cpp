@@ -1,0 +1,266 @@
+#include "runtime/engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/softmax.hpp"
+
+namespace odenet::runtime {
+
+namespace {
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(models::Network& prototype,
+                                 const EngineConfig& cfg)
+    : cfg_(cfg), spec_(prototype.spec()),
+      solver_cfg_(prototype.solver_config()) {
+  ODENET_CHECK(!cfg_.backends.empty(), "engine needs at least one backend");
+  std::ostringstream weights;
+  prototype.save_weights(weights);
+  const std::string blob = weights.str();
+
+  std::size_t total_workers = 0;
+  for (const auto& bc : cfg_.backends) {
+    ODENET_CHECK(bc.workers >= 1, "backend needs at least one worker");
+    auto backend = std::make_unique<Backend>();
+    backend->cfg = bc;
+    backend->label = core::backend_name(bc.backend);
+    backend->queue =
+        std::make_unique<BatchQueue>(cfg_.max_batch, cfg_.max_delay);
+    backend->stats.backend = bc.backend;
+    for (int w = 0; w < bc.workers; ++w) {
+      backend->workers.push_back(build_worker(bc, blob));
+    }
+    total_workers += static_cast<std::size_t>(bc.workers);
+    backends_.push_back(std::move(backend));
+  }
+  // Disambiguate duplicate backend labels ("float", "float#1", ...).
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    int dup = 0;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (backends_[j]->cfg.backend == backends_[i]->cfg.backend) ++dup;
+    }
+    if (dup > 0) backends_[i]->label += "#" + std::to_string(dup);
+    backends_[i]->stats.name = backends_[i]->label;
+  }
+
+  // Workers last: every queue and replica exists before a loop can run.
+  pool_ = std::make_unique<util::ThreadPool>(total_workers);
+  for (auto& backend : backends_) {
+    for (auto& worker : backend->workers) {
+      Backend* b = backend.get();
+      Worker* w = worker.get();
+      pool_->submit([this, b, w] { worker_loop(*b, *w); });
+    }
+  }
+}
+
+InferenceEngine::~InferenceEngine() { shutdown(); }
+
+std::unique_ptr<InferenceEngine::Worker> InferenceEngine::build_worker(
+    const BackendConfig& cfg, const std::string& weight_blob) {
+  auto worker = std::make_unique<Worker>();
+  worker->net = std::make_unique<models::Network>(spec_, solver_cfg_);
+  std::istringstream is(weight_blob);
+  worker->net->load_weights(is);
+  worker->net->set_training(false);
+  if (cfg.per_image_batch_norm) {
+    for (auto& stage : worker->net->stages()) {
+      if (!stage->is_empty() && stage->is_ode()) {
+        stage->ode()->block().bn1().set_use_batch_stats_in_eval(true);
+        stage->ode()->block().bn2().set_use_batch_stats_in_eval(true);
+      }
+    }
+  }
+  switch (cfg.backend) {
+    case core::ExecBackend::kFloat:
+      worker->plan = models::StagePlan(&worker->float_exec);
+      break;
+    case core::ExecBackend::kFixed:
+      worker->fixed_exec =
+          std::make_unique<models::FixedStageExecutor>(cfg.frac_bits);
+      worker->plan = models::StagePlan(worker->fixed_exec.get());
+      break;
+    case core::ExecBackend::kFpgaSim: {
+      worker->plan = models::StagePlan(&worker->float_exec);
+      std::set<models::StageId> offloaded = cfg.offloaded;
+      if (offloaded.empty()) {
+        for (auto& stage : worker->net->stages()) {
+          if (!stage->is_empty() && stage->is_ode()) {
+            offloaded.insert(stage->spec().id);
+          }
+        }
+      }
+      ODENET_CHECK(!offloaded.empty(),
+                   "fpga_sim backend: no ODE stage to offload in "
+                       << models::arch_name(spec_.arch));
+      for (models::StageId id : offloaded) {
+        models::Stage* stage = worker->net->stage(id);
+        ODENET_CHECK(stage != nullptr, "cannot offload absent stage "
+                                           << models::stage_name(id));
+        auto exec = std::make_unique<sched::FpgaStageExecutor>(
+            *stage,
+            sched::FpgaStageExecutor::Config{.parallelism = cfg.parallelism,
+                                             .clock_mhz = cfg.pl_clock_mhz,
+                                             .axi = cfg.axi,
+                                             .frac_bits = cfg.frac_bits});
+        worker->plan.assign(id, exec.get());
+        worker->fpga_execs.push_back(std::move(exec));
+      }
+      break;
+    }
+  }
+  return worker;
+}
+
+std::future<InferenceResult> InferenceEngine::submit(
+    core::Tensor image, std::size_t backend_index) {
+  ODENET_CHECK(backend_index < backends_.size(),
+               "backend index " << backend_index << " out of range (have "
+                                << backends_.size() << ")");
+  const auto& w = spec_.width;
+  if (image.ndim() == 4) {
+    ODENET_CHECK(image.dim(0) == 1, "submit() takes one image, got batch of "
+                                        << image.dim(0)
+                                        << "; use submit_batch()");
+    image = image.reshaped({image.dim(1), image.dim(2), image.dim(3)});
+  }
+  ODENET_CHECK(image.ndim() == 3 && image.dim(0) == w.input_channels &&
+                   image.dim(1) == w.input_size &&
+                   image.dim(2) == w.input_size,
+               "expected image [" << w.input_channels << "," << w.input_size
+                                  << "," << w.input_size << "], got "
+                                  << image.shape_str());
+
+  PendingRequest req;
+  req.image = std::move(image);
+  std::future<InferenceResult> future = req.promise.get_future();
+  const bool accepted = backends_[backend_index]->queue->push(std::move(req));
+  ODENET_CHECK(accepted, "submit() after engine shutdown");
+  return future;
+}
+
+std::vector<std::future<InferenceResult>> InferenceEngine::submit_batch(
+    const core::Tensor& images, std::size_t backend_index) {
+  ODENET_CHECK(images.ndim() == 4,
+               "submit_batch expects [N,C,S,S], got " << images.shape_str());
+  const int n = images.dim(0);
+  const int c = images.dim(1), s = images.dim(2);
+  const std::size_t stride =
+      static_cast<std::size_t>(c) * s * images.dim(3);
+  std::vector<std::future<InferenceResult>> futures;
+  futures.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    core::Tensor image({c, s, images.dim(3)});
+    std::copy_n(images.data() + static_cast<std::size_t>(i) * stride, stride,
+                image.data());
+    futures.push_back(submit(std::move(image), backend_index));
+  }
+  return futures;
+}
+
+void InferenceEngine::worker_loop(Backend& backend, Worker& worker) {
+  std::vector<PendingRequest> batch;
+  while (backend.queue->pop_batch(batch)) {
+    serve_batch(backend, worker, batch);
+  }
+}
+
+void InferenceEngine::serve_batch(Backend& backend, Worker& worker,
+                                  std::vector<PendingRequest>& batch) {
+  const auto picked_up = Clock::now();
+  const int n = static_cast<int>(batch.size());
+  try {
+    const auto& w = spec_.width;
+    core::Tensor x({n, w.input_channels, w.input_size, w.input_size});
+    const std::size_t stride = static_cast<std::size_t>(w.input_channels) *
+                               w.input_size * w.input_size;
+    for (int i = 0; i < n; ++i) {
+      std::copy_n(batch[static_cast<std::size_t>(i)].image.data(), stride,
+                  x.data() + static_cast<std::size_t>(i) * stride);
+    }
+
+    models::NetworkRunStats run_stats;
+    util::Stopwatch watch;
+    core::Tensor logits = worker.net->forward_with(x, worker.plan,
+                                                   &run_stats);
+    const double compute_seconds = watch.seconds();
+    const std::vector<int> preds = core::SoftmaxCrossEntropy::argmax(logits);
+    const std::uint64_t batch_pl_cycles = run_stats.pl_cycles();
+    const int classes = logits.dim(1);
+    const auto done = Clock::now();
+
+    std::vector<InferenceResult> results(static_cast<std::size_t>(n));
+    double queue_total = 0.0, latency_total = 0.0, latency_max = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const auto& req = batch[static_cast<std::size_t>(i)];
+      InferenceResult& result = results[static_cast<std::size_t>(i)];
+      result.logits = core::Tensor({classes});
+      std::copy_n(logits.data() + static_cast<std::size_t>(i) * classes,
+                  static_cast<std::size_t>(classes), result.logits.data());
+      result.predicted = preds[static_cast<std::size_t>(i)];
+      result.backend = backend.cfg.backend;
+      result.batch_size = n;
+      result.queue_seconds = seconds_between(req.enqueued_at, picked_up);
+      result.compute_seconds = compute_seconds;
+      result.total_seconds = seconds_between(req.enqueued_at, done);
+      result.pl_cycles = batch_pl_cycles / static_cast<std::uint64_t>(n);
+      queue_total += result.queue_seconds;
+      latency_total += result.total_seconds;
+      latency_max = std::max(latency_max, result.total_seconds);
+    }
+
+    // Account before fulfilling: a caller who saw their future resolve must
+    // find their request already reflected in stats().
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      backend.stats.requests += static_cast<std::uint64_t>(n);
+      backend.stats.batches += 1;
+      backend.stats.busy_seconds += compute_seconds;
+      backend.stats.queue_seconds_total += queue_total;
+      backend.stats.latency_seconds_total += latency_total;
+      backend.stats.max_latency_seconds =
+          std::max(backend.stats.max_latency_seconds, latency_max);
+      backend.stats.pl_cycles += batch_pl_cycles;
+    }
+    for (int i = 0; i < n; ++i) {
+      batch[static_cast<std::size_t>(i)].promise.set_value(
+          std::move(results[static_cast<std::size_t>(i)]));
+    }
+  } catch (...) {
+    // A failed batch fails each rider; the engine keeps serving.
+    for (auto& req : batch) {
+      req.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+void InferenceEngine::shutdown() {
+  // Closed queues both refuse new submits and flush what is left; the
+  // worker loops exit once their queue is drained.
+  for (auto& backend : backends_) backend->queue->close();
+  if (pool_ != nullptr) pool_->wait_idle();
+}
+
+const std::string& InferenceEngine::backend_label(std::size_t index) const {
+  ODENET_CHECK(index < backends_.size(), "backend index out of range");
+  return backends_[index]->label;
+}
+
+EngineStats InferenceEngine::stats() const {
+  EngineStats out;
+  out.wall_seconds = uptime_.seconds();
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  out.backends.reserve(backends_.size());
+  for (const auto& backend : backends_) {
+    out.backends.push_back(backend->stats);
+  }
+  return out;
+}
+
+}  // namespace odenet::runtime

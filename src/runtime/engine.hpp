@@ -1,0 +1,124 @@
+// Batched asynchronous inference engine.
+//
+// The serving layer the ROADMAP's scaling work builds on: callers submit()
+// single images and get std::futures; per-backend worker threads (on a
+// dedicated util::ThreadPool) pull dynamically-formed micro-batches from a
+// BatchQueue (flush on max-batch or deadline) and run them through the
+// StageExecutor plan of their backend — float software, fixed-point CPU,
+// or the simulated PL accelerator. Each worker owns a full Network replica
+// (weights copied from the prototype at construction), so workers never
+// share mutable layer state and backends can serve concurrently.
+//
+// Shutdown drains: close the queues, finish every in-flight and queued
+// request, then join. Every future handed out is eventually fulfilled.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "models/network.hpp"
+#include "runtime/batch_queue.hpp"
+#include "runtime/stats.hpp"
+#include "sched/fpga_executor.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace odenet::runtime {
+
+struct BackendConfig {
+  core::ExecBackend backend = core::ExecBackend::kFloat;
+  /// kFpgaSim: stages served by dedicated PL circuits. Empty means every
+  /// ODE stage of the architecture (the paper's full-offload setting).
+  std::set<models::StageId> offloaded;
+  int parallelism = 16;  // conv_xn
+  double pl_clock_mhz = 100.0;
+  fpga::AxiConfig axi{};
+  /// Fractional bits of the fixed-point backends (kFixed activations, and
+  /// the kFpgaSim datapath).
+  int frac_bits = 20;
+  /// Worker threads (each with its own Network replica).
+  int workers = 1;
+  /// Switch the replica's ODE-stage batch norms to on-the-fly statistics,
+  /// matching the accelerator's per-image normalization. Set this on a
+  /// float/fixed backend when comparing its logits against a kFpgaSim
+  /// backend (see sched/fpga_executor.hpp); kFpgaSim aligns its own
+  /// offloaded stages regardless.
+  bool per_image_batch_norm = false;
+};
+
+struct EngineConfig {
+  /// Micro-batching flush rule: dispatch when a backend has max_batch
+  /// requests queued, or when its oldest request has waited max_delay.
+  int max_batch = 8;
+  std::chrono::microseconds max_delay{2000};
+  std::vector<BackendConfig> backends{BackendConfig{}};
+};
+
+class InferenceEngine {
+ public:
+  /// Copies the prototype's weights into one replica per worker. The
+  /// prototype is not referenced after construction.
+  explicit InferenceEngine(models::Network& prototype,
+                           const EngineConfig& cfg = {});
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Enqueues one image ([C,S,S] or [1,C,S,S]) on the given backend.
+  /// Throws after shutdown(). The future is fulfilled when the micro-batch
+  /// containing the request completes (or carries the batch's exception).
+  std::future<InferenceResult> submit(core::Tensor image,
+                                      std::size_t backend_index = 0);
+
+  /// Splits [N,C,S,S] into N requests; returns one future per image.
+  std::vector<std::future<InferenceResult>> submit_batch(
+      const core::Tensor& images, std::size_t backend_index = 0);
+
+  /// Stops accepting work, serves everything already queued, joins the
+  /// workers. Idempotent; the destructor calls it.
+  void shutdown();
+
+  std::size_t backend_count() const { return backends_.size(); }
+  const std::string& backend_label(std::size_t index) const;
+  const EngineConfig& config() const { return cfg_; }
+
+  /// Aggregated counters since construction (thread-safe snapshot).
+  EngineStats stats() const;
+
+ private:
+  struct Worker {
+    std::unique_ptr<models::Network> net;
+    models::FloatStageExecutor float_exec;
+    std::unique_ptr<models::FixedStageExecutor> fixed_exec;
+    std::vector<std::unique_ptr<sched::FpgaStageExecutor>> fpga_execs;
+    models::StagePlan plan;
+  };
+  struct Backend {
+    BackendConfig cfg;
+    std::string label;
+    std::unique_ptr<BatchQueue> queue;
+    std::vector<std::unique_ptr<Worker>> workers;
+    BackendStats stats;  // guarded by stats_mutex_
+  };
+
+  std::unique_ptr<Worker> build_worker(const BackendConfig& cfg,
+                                       const std::string& weight_blob);
+  void worker_loop(Backend& backend, Worker& worker);
+  void serve_batch(Backend& backend, Worker& worker,
+                   std::vector<PendingRequest>& batch);
+
+  EngineConfig cfg_;
+  models::NetworkSpec spec_;
+  models::SolverConfig solver_cfg_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+  mutable std::mutex stats_mutex_;
+  util::Stopwatch uptime_;
+  /// Last member: joined (via shutdown's queue close + wait) before the
+  /// backends it references are torn down.
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace odenet::runtime

@@ -1,0 +1,45 @@
+// Request/response types of the serving runtime.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+
+#include "core/execution.hpp"
+#include "core/tensor.hpp"
+
+namespace odenet::runtime {
+
+using Clock = std::chrono::steady_clock;
+
+/// What the engine hands back for one submitted image.
+struct InferenceResult {
+  /// Logits for this image, [classes].
+  core::Tensor logits;
+  /// Top-1 class.
+  int predicted = -1;
+  /// Backend that served the request.
+  core::ExecBackend backend = core::ExecBackend::kFloat;
+  /// Size of the micro-batch the request rode in.
+  int batch_size = 0;
+  /// Seconds spent queued before its batch was picked up.
+  double queue_seconds = 0.0;
+  /// Wall-clock seconds of the whole batch forward pass.
+  double compute_seconds = 0.0;
+  /// Submit-to-completion seconds for this request.
+  double total_seconds = 0.0;
+  /// This image's share of the simulated PL cycles its batch consumed
+  /// (zero on pure-software backends).
+  std::uint64_t pl_cycles = 0;
+};
+
+/// A queued single-image request. The image is [C,S,S] (or [1,C,S,S],
+/// normalized at submit); the promise is fulfilled by the backend worker
+/// that executes the batch containing it.
+struct PendingRequest {
+  core::Tensor image;
+  std::promise<InferenceResult> promise;
+  Clock::time_point enqueued_at{};
+};
+
+}  // namespace odenet::runtime

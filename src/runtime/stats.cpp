@@ -1,0 +1,41 @@
+#include "runtime/stats.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace odenet::runtime {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string EngineStats::to_json() const {
+  std::ostringstream os;
+  os << "{\"requests\":" << requests()
+     << ",\"wall_seconds\":" << fmt(wall_seconds)
+     << ",\"images_per_sec\":" << fmt(images_per_second())
+     << ",\"pl_cycles\":" << pl_cycles() << ",\"backends\":[";
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    const BackendStats& b = backends[i];
+    if (i > 0) os << ",";
+    os << "{\"name\":\"" << b.name << "\",\"backend\":\""
+       << core::backend_name(b.backend) << "\",\"requests\":" << b.requests
+       << ",\"batches\":" << b.batches
+       << ",\"mean_batch\":" << fmt(b.mean_batch_size())
+       << ",\"busy_seconds\":" << fmt(b.busy_seconds)
+       << ",\"mean_queue_ms\":" << fmt(b.mean_queue_seconds() * 1e3)
+       << ",\"mean_latency_ms\":" << fmt(b.mean_latency_seconds() * 1e3)
+       << ",\"max_latency_ms\":" << fmt(b.max_latency_seconds * 1e3)
+       << ",\"pl_cycles\":" << b.pl_cycles << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace odenet::runtime

@@ -1,0 +1,73 @@
+// Aggregated serving statistics.
+//
+// Each backend accumulates request/batch/latency counters plus the
+// simulated-PL cycle totals its executors reported, so a hybrid engine's
+// stats line shows both the host-side throughput and the modeled hardware
+// utilization in one place.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/execution.hpp"
+
+namespace odenet::runtime {
+
+struct BackendStats {
+  std::string name;  // engine label, e.g. "float" or "fpga_sim"
+  core::ExecBackend backend = core::ExecBackend::kFloat;
+  std::uint64_t requests = 0;
+  std::uint64_t batches = 0;
+  /// Sum of batch forward-pass wall-clock seconds (worker busy time).
+  double busy_seconds = 0.0;
+  /// Sums over requests, for means.
+  double queue_seconds_total = 0.0;
+  double latency_seconds_total = 0.0;
+  double max_latency_seconds = 0.0;
+  /// Simulated PL cycles consumed on behalf of this backend's requests.
+  std::uint64_t pl_cycles = 0;
+
+  double mean_batch_size() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(requests) /
+                              static_cast<double>(batches);
+  }
+  double mean_latency_seconds() const {
+    return requests == 0 ? 0.0
+                         : latency_seconds_total /
+                               static_cast<double>(requests);
+  }
+  double mean_queue_seconds() const {
+    return requests == 0 ? 0.0
+                         : queue_seconds_total /
+                               static_cast<double>(requests);
+  }
+};
+
+struct EngineStats {
+  std::vector<BackendStats> backends;
+  /// Seconds since the engine started serving.
+  double wall_seconds = 0.0;
+
+  std::uint64_t requests() const {
+    std::uint64_t total = 0;
+    for (const auto& b : backends) total += b.requests;
+    return total;
+  }
+  std::uint64_t pl_cycles() const {
+    std::uint64_t total = 0;
+    for (const auto& b : backends) total += b.pl_cycles;
+    return total;
+  }
+  double images_per_second() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(requests()) / wall_seconds
+               : 0.0;
+  }
+
+  /// One machine-readable JSON line (no trailing newline).
+  std::string to_json() const;
+};
+
+}  // namespace odenet::runtime

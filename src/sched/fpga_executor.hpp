@@ -1,0 +1,57 @@
+// StageExecutor backend wrapping the simulated PL accelerator.
+//
+// One FpgaStageExecutor owns one OdeBlockAccelerator sized for one ODE
+// stage — the paper's "one dedicated circuit per offloaded layer" — and
+// runs the stage image by image (the PL holds a single feature map).
+// Construction quantizes the stage's weights into the simulated BRAM and
+// switches the stage's software batch norms to on-the-fly statistics so
+// that the float reference and the hardware datapath implement the same
+// function (the PL has no running statistics).
+#pragma once
+
+#include <memory>
+
+#include "fpga/accelerator.hpp"
+#include "models/executor.hpp"
+
+namespace odenet::sched {
+
+class FpgaStageExecutor final : public models::StageExecutor {
+ public:
+  struct Config {
+    int parallelism = 16;  // conv_xn
+    double clock_mhz = 100.0;
+    fpga::AxiConfig axi{};
+    int frac_bits = 20;
+  };
+
+  /// Builds the accelerator for `stage` and loads its weights. The stage
+  /// must be a non-empty ODE stage (the PL implements one weight-shared
+  /// block instance).
+  FpgaStageExecutor(models::Stage& stage, const Config& cfg);
+
+  const std::string& name() const override { return name_; }
+  core::ExecBackend backend() const override {
+    return core::ExecBackend::kFpgaSim;
+  }
+
+  /// Per-image PL execution of the whole stage (spec().executions Euler
+  /// steps on the accelerator, one fmap AXI round trip per execution).
+  /// stats->seconds is the modeled per-image latency share of the batch;
+  /// stats->pl_cycles the exact cycles consumed over the batch.
+  core::Tensor run(models::Stage& stage, const core::Tensor& x,
+                   core::StageRunStats* stats) override;
+
+  /// Re-quantizes the stage's (possibly retrained) weights into BRAM.
+  void reload_weights(models::Stage& stage) override;
+
+  const fpga::OdeBlockAccelerator& accelerator() const { return *accel_; }
+  const Config& config() const { return cfg_; }
+
+ private:
+  std::string name_;
+  Config cfg_;
+  std::unique_ptr<fpga::OdeBlockAccelerator> accel_;
+};
+
+}  // namespace odenet::sched

@@ -7,91 +7,63 @@ namespace odenet::sched {
 SystemSimulator::SystemSimulator(models::Network& net,
                                  const Partition& partition,
                                  const CpuModel& cpu)
-    : net_(net), partition_(partition), cpu_(cpu) {
+    : net_(net),
+      partition_(partition),
+      cpu_(cpu),
+      sw_exec_([this](const models::StageSpec& spec) {
+        return cpu_.stage_seconds(spec);
+      }),
+      plan_(&sw_exec_) {
   for (models::StageId id : partition.offloaded) {
     models::Stage* stage = net_.stage(id);
-    ODENET_CHECK(stage != nullptr && !stage->is_empty(),
+    ODENET_CHECK(stage != nullptr,
                  "cannot offload absent stage " << models::stage_name(id));
-    ODENET_CHECK(stage->is_ode(),
-                 models::stage_name(id)
-                     << ": the PL implements one weight-shared block; only "
-                        "ODE stages are offloadable in the co-simulator");
-    const auto& spec = stage->spec();
-    auto accel = std::make_unique<fpga::OdeBlockAccelerator>(
-        fpga::OdeBlockAccelerator::Config{
-            .channels = spec.out_channels,
-            .extent = spec.in_size,
-            .parallelism = partition.parallelism,
-            .frac_bits = 20,
-            .clock_mhz = partition.pl_clock_mhz,
-            .axi = partition.axi});
-    accel->load_weights(stage->ode()->block());
-    // Align the software reference semantics with the hardware BN.
-    stage->ode()->block().bn1().set_use_batch_stats_in_eval(true);
-    stage->ode()->block().bn2().set_use_batch_stats_in_eval(true);
-    accelerators_[id] = std::move(accel);
+    auto exec = std::make_unique<FpgaStageExecutor>(
+        *stage, FpgaStageExecutor::Config{.parallelism = partition.parallelism,
+                                          .clock_mhz = partition.pl_clock_mhz,
+                                          .axi = partition.axi,
+                                          .frac_bits = 20});
+    plan_.assign(id, exec.get());
+    offloaded_[id] = std::move(exec);
   }
 }
 
 void SystemSimulator::reload_weights() {
-  for (auto& [id, accel] : accelerators_) {
-    accel->load_weights(net_.stage(id)->ode()->block());
+  for (auto& [id, exec] : offloaded_) {
+    exec->reload_weights(*net_.stage(id));
   }
 }
 
 core::Tensor SystemSimulator::forward(const core::Tensor& x,
                                       SystemRunReport* report) {
   net_.set_training(false);
-  const int batch = x.dim(0);
 
-  SystemRunReport local;
-  local.ps_seconds = cpu_.stem_seconds(net_.spec().width) +
-                     cpu_.head_seconds(net_.spec().width);
-
+  models::NetworkRunStats stats;
   core::Tensor h = net_.stem_forward(x);
-  for (auto& stage : net_.stages()) {
-    if (stage->is_empty()) continue;
-    const auto& spec = stage->spec();
-    StageExecution exec;
-    exec.stage = spec.id;
-
-    auto it = accelerators_.find(spec.id);
-    if (it == accelerators_.end()) {
-      h = stage->forward(h);
-      exec.on_pl = false;
-      exec.seconds = cpu_.stage_seconds(spec);
-      local.ps_seconds += exec.seconds;
-    } else {
-      // Per-image PL execution: the accelerator owns one feature map.
-      const int c = h.dim(1), s = h.dim(2);
-      core::Tensor out({batch, c, s, s});
-      std::uint64_t cycles = 0;
-      for (int b = 0; b < batch; ++b) {
-        core::Tensor zi({1, c, s, s});
-        std::copy_n(h.data() + static_cast<std::size_t>(b) * c * s * s,
-                    static_cast<std::size_t>(c) * s * s, zi.data());
-        fpga::AcceleratorReport ar;
-        core::Tensor zo =
-            it->second->solve_euler(zi, spec.executions, 1.0f, &ar);
-        std::copy_n(zo.data(), static_cast<std::size_t>(c) * s * s,
-                    out.data() + static_cast<std::size_t>(b) * c * s * s);
-        cycles += ar.total_cycles();
-      }
-      h = std::move(out);
-      exec.on_pl = true;
-      exec.pl_cycles = cycles;
-      // Per-image latency: one image's share of the cycles.
-      exec.seconds = static_cast<double>(cycles) /
-                     (partition_.pl_clock_mhz * 1e6) /
-                     static_cast<double>(batch);
-      local.pl_cycles += cycles;
-      local.pl_seconds += exec.seconds;
-    }
-    local.stages.push_back(exec);
-  }
-
+  h = net_.forward_stages(std::move(h), plan_,
+                          report != nullptr ? &stats : nullptr);
   core::Tensor logits = net_.head_forward(h);
-  if (report != nullptr) *report = std::move(local);
+
+  if (report != nullptr) {
+    SystemRunReport local;
+    local.ps_seconds = cpu_.stem_seconds(net_.spec().width) +
+                       cpu_.head_seconds(net_.spec().width);
+    for (const auto& run : stats.stages) {
+      StageExecution exec;
+      exec.stage = run.id;
+      exec.on_pl = run.stats.on_accelerator;
+      exec.seconds = run.stats.seconds;
+      exec.pl_cycles = run.stats.pl_cycles;
+      if (exec.on_pl) {
+        local.pl_cycles += exec.pl_cycles;
+        local.pl_seconds += exec.seconds;
+      } else {
+        local.ps_seconds += exec.seconds;
+      }
+      local.stages.push_back(exec);
+    }
+    *report = std::move(local);
+  }
   return logits;
 }
 

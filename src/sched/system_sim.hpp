@@ -11,8 +11,8 @@
 #include <map>
 #include <memory>
 
-#include "fpga/accelerator.hpp"
 #include "models/network.hpp"
+#include "sched/fpga_executor.hpp"
 #include "sched/latency_model.hpp"
 
 namespace odenet::sched {
@@ -38,13 +38,18 @@ struct SystemRunReport {
 
 class SystemSimulator {
  public:
-  /// Builds one accelerator per offloaded stage and loads the network's
-  /// (quantized) weights into its simulated BRAM. The offloaded stages'
+  /// Builds one FpgaStageExecutor (accelerator + BRAM weight image) per
+  /// offloaded stage and a CpuModel-costed float executor for everything
+  /// else, then composes them into a StagePlan. The offloaded stages'
   /// software BN is switched to on-the-fly batch statistics so that the
   /// software reference and the hardware datapath implement the same
   /// function (the PL has no running statistics).
   SystemSimulator(models::Network& net, const Partition& partition,
                   const CpuModel& cpu = CpuModel{});
+
+  // Not movable: plan_ points at sw_exec_, whose cost model captures this.
+  SystemSimulator(const SystemSimulator&) = delete;
+  SystemSimulator& operator=(const SystemSimulator&) = delete;
 
   /// Inference for a batch: [B, C, S, S] -> logits [B, classes].
   core::Tensor forward(const core::Tensor& x,
@@ -60,12 +65,17 @@ class SystemSimulator {
 
   const Partition& partition() const { return partition_; }
 
+  /// The executor routing this simulator composed; the serving runtime
+  /// reuses it to run hybrid PS/PL inference through the same plan.
+  const models::StagePlan& plan() const { return plan_; }
+
  private:
   models::Network& net_;
   Partition partition_;
   CpuModel cpu_;
-  std::map<models::StageId, std::unique_ptr<fpga::OdeBlockAccelerator>>
-      accelerators_;
+  models::FloatStageExecutor sw_exec_;
+  std::map<models::StageId, std::unique_ptr<FpgaStageExecutor>> offloaded_;
+  models::StagePlan plan_;
 };
 
 }  // namespace odenet::sched

@@ -39,8 +39,9 @@ struct TrainingRow {
 
 class TrainingLatencyModel {
  public:
-  explicit TrainingLatencyModel(const CpuModel& cpu = CpuModel{},
-                                const fpga::ResourceModel& resources = {});
+  explicit TrainingLatencyModel(
+      const CpuModel& cpu = CpuModel{},
+      const fpga::ResourceModel& resources = fpga::ResourceModel());
 
   /// Software-only training time per image.
   double sw_image_seconds(const models::NetworkSpec& spec) const;

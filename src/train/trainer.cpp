@@ -52,7 +52,10 @@ double Trainer::evaluate(data::DataLoader& loader) {
   loader.reset();
   while (loader.has_next()) {
     data::Batch batch = loader.next();
-    core::Tensor logits = net_.forward(batch.images);
+    core::Tensor logits =
+        cfg_.eval_plan != nullptr
+            ? net_.forward_with(batch.images, *cfg_.eval_plan)
+            : net_.forward(batch.images);
     acc.add(top1_accuracy(logits, batch.labels),
             static_cast<std::size_t>(batch.size()));
   }

@@ -26,6 +26,12 @@ struct TrainerConfig {
   LrSchedule schedule{};
   /// Called after every epoch (progress reporting); may be empty.
   std::function<void(const EpochStats&)> on_epoch;
+  /// Backend routing for evaluation passes (not owned; must outlive the
+  /// trainer). Null means the network's built-in float executor. Training
+  /// itself always runs the float path — the other backends keep no
+  /// gradient caches — so this quantifies e.g. quantized-eval accuracy
+  /// while the float weights train.
+  const models::StagePlan* eval_plan = nullptr;
 };
 
 class Trainer {

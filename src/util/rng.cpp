@@ -1,7 +1,6 @@
 #include "util/rng.hpp"
 
 #include <cmath>
-#include <numbers>
 
 namespace odenet::util {
 
@@ -57,7 +56,8 @@ double Rng::normal() {
   double u1 = 1.0 - uniform();
   double u2 = uniform();
   double r = std::sqrt(-2.0 * std::log(u1));
-  double theta = 2.0 * std::numbers::pi * u2;
+  constexpr double kPi = 3.141592653589793238462643383279502884;
+  double theta = 2.0 * kPi * u2;
   cached_normal_ = r * std::sin(theta);
   have_cached_normal_ = true;
   return r * std::cos(theta);

@@ -44,14 +44,16 @@ void ThreadPool::wait_idle() {
 }
 
 namespace {
-/// True while the current thread is executing a pool task. parallel_for
-/// consults this to run nested parallelism inline instead of deadlocking
-/// on wait_idle() from inside a worker.
-thread_local bool tl_in_pool_worker = false;
+/// The pool whose task the current thread is executing (nullptr outside
+/// workers). parallel_for consults this to run nested parallelism on the
+/// SAME pool inline instead of deadlocking on wait_idle() from inside a
+/// worker; a worker of one pool (e.g. a serving-runtime backend thread)
+/// can still fan out onto a different pool.
+thread_local const ThreadPool* tl_worker_pool = nullptr;
 }  // namespace
 
 void ThreadPool::worker_loop() {
-  tl_in_pool_worker = true;
+  tl_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -87,7 +89,7 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
   if (begin >= end) return;
   const std::size_t n = end - begin;
   const std::size_t workers = pool.worker_count();
-  if (tl_in_pool_worker || workers <= 1 || n <= grain) {
+  if (tl_worker_pool == &pool || workers <= 1 || n <= grain) {
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }

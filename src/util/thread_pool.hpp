@@ -53,9 +53,10 @@ class ThreadPool {
 
 /// Runs fn(i) for i in [begin, end), split into one contiguous chunk per
 /// worker. Executes inline when the range is small, the pool has a single
-/// worker, or the caller is itself a pool worker (nested parallel_for is
-/// safe — it degrades to sequential execution instead of deadlocking).
-/// fn must be safe to call concurrently for distinct i.
+/// worker, or the caller is itself a worker of THIS pool (nested
+/// parallel_for on the same pool is safe — it degrades to sequential
+/// execution instead of deadlocking; workers of other pools fan out
+/// normally). fn must be safe to call concurrently for distinct i.
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t grain = 1);

@@ -1,0 +1,169 @@
+// StageExecutor backends and StagePlan routing (models/executor.hpp,
+// sched/fpga_executor.hpp): backend parity within quantization tolerance,
+// single dispatch loop, per-stage stats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/executor.hpp"
+#include "models/network.hpp"
+#include "sched/fpga_executor.hpp"
+#include "sched/latency_model.hpp"
+#include "util/rng.hpp"
+
+using namespace odenet;
+using models::Arch;
+using models::StageId;
+
+namespace {
+
+models::WidthConfig tiny_width() {
+  return {.input_channels = 3, .input_size = 16, .base_channels = 4,
+          .num_classes = 5};
+}
+
+core::Tensor random_input(int batch, util::Rng& rng) {
+  core::Tensor x({batch, 3, 16, 16});
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x.data()[i] = static_cast<float>(rng.normal(0.0, 0.5));
+  }
+  return x;
+}
+
+double max_abs_diff(const core::Tensor& a, const core::Tensor& b) {
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    diff = std::max(diff, std::fabs(static_cast<double>(a.data()[i]) -
+                                    b.data()[i]));
+  }
+  return diff;
+}
+
+}  // namespace
+
+TEST(Executor, ExplicitFloatPlanMatchesDefaultForward) {
+  util::Rng rng(1);
+  models::Network net(models::make_spec(Arch::kROdeNet3, 14, tiny_width()));
+  net.init(rng);
+  net.set_training(false);
+  core::Tensor x = random_input(2, rng);
+
+  core::Tensor base = net.forward(x);
+  models::FloatStageExecutor float_exec;
+  models::StagePlan plan(&float_exec);
+  core::Tensor routed = net.forward_with(x, plan);
+
+  ASSERT_TRUE(base.same_shape(routed));
+  for (std::size_t i = 0; i < base.numel(); ++i) {
+    EXPECT_FLOAT_EQ(base.data()[i], routed.data()[i]);
+  }
+}
+
+TEST(Executor, FixedBackendWithinQuantizationTolerance) {
+  util::Rng rng(2);
+  models::Network net(models::make_spec(Arch::kROdeNet3, 14, tiny_width()));
+  net.init(rng);
+  net.set_training(false);
+  core::Tensor x = random_input(1, rng);
+
+  core::Tensor base = net.forward(x);
+  models::FixedStageExecutor q20(20);
+  models::StagePlan plan(&q20);
+  core::Tensor fixed_out = net.forward_with(x, plan);
+
+  ASSERT_TRUE(base.same_shape(fixed_out));
+  // Q11.20 activations: per-element error ~1e-6, a handful of steps deep.
+  EXPECT_LT(max_abs_diff(base, fixed_out), 1e-3);
+
+  // A much narrower format must sit strictly farther from the reference
+  // (and still in the same ballpark — sanity that it ran the same math).
+  models::FixedStageExecutor q8(8);
+  models::StagePlan coarse(&q8);
+  core::Tensor coarse_out = net.forward_with(x, coarse);
+  EXPECT_GT(max_abs_diff(base, coarse_out),
+            max_abs_diff(base, fixed_out));
+  EXPECT_LT(max_abs_diff(base, coarse_out), 1.0);
+}
+
+TEST(Executor, FpgaSimBackendMatchesFloatWithinTolerance) {
+  util::Rng rng(3);
+  models::Network net(models::make_spec(Arch::kROdeNet3, 14, tiny_width()));
+  net.init(rng);
+
+  // Constructing the executor aligns the stage's BN semantics with the
+  // hardware (per-batch statistics), so take the float reference after.
+  sched::FpgaStageExecutor fpga(*net.stage(StageId::kLayer3_2),
+                                sched::FpgaStageExecutor::Config{});
+  net.set_training(false);
+  core::Tensor x = random_input(1, rng);
+  core::Tensor base = net.forward(x);
+
+  models::StagePlan plan;  // float fallback, PL for layer3_2
+  plan.assign(StageId::kLayer3_2, &fpga);
+  core::Tensor hybrid = net.forward_with(x, plan);
+
+  ASSERT_TRUE(base.same_shape(hybrid));
+  EXPECT_LT(max_abs_diff(base, hybrid), 0.15);
+}
+
+TEST(Executor, RunStatsCoverEveryStageAndFoldPlCycles) {
+  util::Rng rng(4);
+  models::Network net(models::make_spec(Arch::kROdeNet3, 14, tiny_width()));
+  net.init(rng);
+  sched::FpgaStageExecutor fpga(*net.stage(StageId::kLayer3_2),
+                                sched::FpgaStageExecutor::Config{
+                                    .parallelism = 8});
+  net.set_training(false);
+
+  models::StagePlan plan;
+  plan.assign(StageId::kLayer3_2, &fpga);
+  models::NetworkRunStats stats;
+  const int batch = 3;
+  net.forward_with(random_input(batch, rng), plan, &stats);
+
+  // layer1, layer2_1, layer3_1, layer3_2 (layer2_2 removed in rODENet-3).
+  ASSERT_EQ(stats.stages.size(), 4u);
+  int on_pl = 0;
+  for (const auto& run : stats.stages) {
+    if (run.id == StageId::kLayer3_2) {
+      EXPECT_EQ(run.stats.backend, core::ExecBackend::kFpgaSim);
+      EXPECT_TRUE(run.stats.on_accelerator);
+      EXPECT_GT(run.stats.pl_cycles, 0u);
+      ++on_pl;
+    } else {
+      EXPECT_EQ(run.stats.backend, core::ExecBackend::kFloat);
+      EXPECT_FALSE(run.stats.on_accelerator);
+      EXPECT_EQ(run.stats.pl_cycles, 0u);
+    }
+  }
+  EXPECT_EQ(on_pl, 1);
+
+  // The folded cycle count matches the static latency model, execution for
+  // execution (same invariant the co-simulator test checks).
+  const auto& spec = net.stage(StageId::kLayer3_2)->spec();
+  const std::uint64_t per_exec = sched::LatencyModel::pl_block_cycles(spec, 8);
+  const std::size_t fwords = static_cast<std::size_t>(spec.out_channels) *
+                             spec.in_size * spec.in_size;
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(batch) * spec.executions *
+      (per_exec + fpga::roundtrip_cycles(fwords, fwords));
+  EXPECT_EQ(stats.pl_cycles(), expected);
+}
+
+TEST(Executor, ModeledCostHookReplacesMeasuredSeconds) {
+  util::Rng rng(5);
+  models::Network net(models::make_spec(Arch::kResNet, 14, tiny_width()));
+  net.init(rng);
+  net.set_training(false);
+
+  models::FloatStageExecutor modeled(
+      [](const models::StageSpec&) { return 42.0; });
+  models::StagePlan plan(&modeled);
+  models::NetworkRunStats stats;
+  net.forward_with(random_input(1, rng), plan, &stats);
+  ASSERT_FALSE(stats.stages.empty());
+  for (const auto& run : stats.stages) {
+    EXPECT_DOUBLE_EQ(run.stats.seconds, 42.0);
+  }
+  EXPECT_DOUBLE_EQ(stats.stage_seconds(), 42.0 * stats.stages.size());
+}

@@ -132,7 +132,9 @@ TEST(FixedMath, IsqrtIsFloor) {
     const std::uint64_t s = isqrt_u64(x);
     // s^2 <= x < (s+1)^2, guarding overflow on s+1.
     EXPECT_LE(s * s, x);
-    if (s < 0xFFFFFFFFull) EXPECT_GT((s + 1) * (s + 1), x);
+    if (s < 0xFFFFFFFFull) {
+      EXPECT_GT((s + 1) * (s + 1), x);
+    }
   }
 }
 

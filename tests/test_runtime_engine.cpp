@@ -1,0 +1,259 @@
+// The batched async serving runtime (src/runtime/): micro-batch formation,
+// batching determinism, backend parity through the engine, shutdown with
+// in-flight requests, aggregated stats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "runtime/engine.hpp"
+#include "util/rng.hpp"
+
+using namespace odenet;
+using models::Arch;
+using models::StageId;
+using runtime::BackendConfig;
+using runtime::EngineConfig;
+using runtime::InferenceEngine;
+using runtime::InferenceResult;
+
+namespace {
+
+models::WidthConfig tiny_width() {
+  return {.input_channels = 3, .input_size = 16, .base_channels = 4,
+          .num_classes = 5};
+}
+
+models::Network make_net(std::uint64_t seed) {
+  models::Network net(models::make_spec(Arch::kROdeNet3, 14, tiny_width()));
+  util::Rng rng(seed);
+  net.init(rng);
+  return net;
+}
+
+core::Tensor random_image(util::Rng& rng) {
+  core::Tensor x({3, 16, 16});
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x.data()[i] = static_cast<float>(rng.normal(0.0, 0.5));
+  }
+  return x;
+}
+
+double max_abs_diff(const core::Tensor& a, const core::Tensor& b) {
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    diff = std::max(diff, std::fabs(static_cast<double>(a.data()[i]) -
+                                    b.data()[i]));
+  }
+  return diff;
+}
+
+}  // namespace
+
+TEST(InferenceEngine, ResultsMatchDirectForward) {
+  models::Network net = make_net(1);
+  EngineConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_delay = std::chrono::microseconds(500);
+  InferenceEngine engine(net, cfg);
+
+  util::Rng rng(11);
+  core::Tensor image = random_image(rng);
+  InferenceResult result = engine.submit(image).get();
+
+  net.set_training(false);
+  core::Tensor batch({1, 3, 16, 16});
+  std::copy_n(image.data(), image.numel(), batch.data());
+  core::Tensor reference = net.forward(batch);
+
+  ASSERT_EQ(result.logits.numel(), 5u);
+  for (int c = 0; c < 5; ++c) {
+    EXPECT_FLOAT_EQ(result.logits.at1(c), reference.at2(0, c)) << c;
+  }
+  EXPECT_GE(result.predicted, 0);
+  EXPECT_LT(result.predicted, 5);
+  EXPECT_EQ(result.backend, core::ExecBackend::kFloat);
+  EXPECT_GE(result.batch_size, 1);
+  EXPECT_GT(result.total_seconds, 0.0);
+}
+
+TEST(InferenceEngine, BatchingIsDeterministicAcrossArrivalOrderAndSplit) {
+  models::Network net = make_net(2);
+  util::Rng rng(22);
+  const int kImages = 10;
+  std::vector<core::Tensor> images;
+  images.reserve(kImages);
+  for (int i = 0; i < kImages; ++i) images.push_back(random_image(rng));
+
+  auto serve = [&](int max_batch, bool reversed) {
+    EngineConfig cfg;
+    cfg.max_batch = max_batch;
+    cfg.max_delay = std::chrono::microseconds(2000);
+    InferenceEngine engine(net, cfg);
+    std::vector<std::future<InferenceResult>> futures(kImages);
+    for (int i = 0; i < kImages; ++i) {
+      const int idx = reversed ? kImages - 1 - i : i;
+      futures[static_cast<std::size_t>(idx)] =
+          engine.submit(images[static_cast<std::size_t>(idx)]);
+    }
+    std::vector<InferenceResult> results;
+    results.reserve(kImages);
+    for (auto& f : futures) results.push_back(f.get());
+    return results;
+  };
+
+  const auto batched = serve(4, /*reversed=*/false);
+  const auto singles = serve(1, /*reversed=*/true);
+
+  for (int i = 0; i < kImages; ++i) {
+    const auto& a = batched[static_cast<std::size_t>(i)];
+    const auto& b = singles[static_cast<std::size_t>(i)];
+    EXPECT_EQ(a.predicted, b.predicted) << "image " << i;
+    ASSERT_TRUE(a.logits.same_shape(b.logits));
+    for (std::size_t c = 0; c < a.logits.numel(); ++c) {
+      EXPECT_FLOAT_EQ(a.logits.data()[c], b.logits.data()[c])
+          << "image " << i << " logit " << c;
+    }
+  }
+}
+
+TEST(InferenceEngine, FormsFullBatchesUnderBurst) {
+  models::Network net = make_net(3);
+  EngineConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_delay = std::chrono::seconds(2);  // flush only on full batches
+  InferenceEngine engine(net, cfg);
+
+  util::Rng rng(33);
+  core::Tensor batch({8, 3, 16, 16});
+  for (std::size_t i = 0; i < batch.numel(); ++i) {
+    batch.data()[i] = static_cast<float>(rng.normal(0.0, 0.5));
+  }
+  auto futures = engine.submit_batch(batch);
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().batch_size, 4);
+  }
+  const auto stats = engine.stats();
+  ASSERT_EQ(stats.backends.size(), 1u);
+  EXPECT_EQ(stats.backends[0].requests, 8u);
+  EXPECT_EQ(stats.backends[0].batches, 2u);
+  EXPECT_DOUBLE_EQ(stats.backends[0].mean_batch_size(), 4.0);
+}
+
+TEST(InferenceEngine, DeadlineFlushesPartialBatch) {
+  models::Network net = make_net(4);
+  EngineConfig cfg;
+  cfg.max_batch = 64;  // never fills
+  cfg.max_delay = std::chrono::microseconds(20000);
+  InferenceEngine engine(net, cfg);
+
+  util::Rng rng(44);
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 3; ++i) futures.push_back(engine.submit(random_image(rng)));
+  for (auto& f : futures) {
+    const InferenceResult r = f.get();
+    EXPECT_EQ(r.batch_size, 3);
+    // The batch had to wait for the deadline, not a full window.
+    EXPECT_GE(r.total_seconds, 0.015);
+  }
+  EXPECT_EQ(engine.stats().backends[0].batches, 1u);
+}
+
+TEST(InferenceEngine, ShutdownDrainsInFlightRequests) {
+  models::Network net = make_net(5);
+  EngineConfig cfg;
+  cfg.max_batch = 64;
+  cfg.max_delay = std::chrono::seconds(30);  // would park without drain
+  InferenceEngine engine(net, cfg);
+
+  util::Rng rng(55);
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 5; ++i) futures.push_back(engine.submit(random_image(rng)));
+  engine.shutdown();  // must flush the queue immediately and serve it
+
+  for (auto& f : futures) {
+    const InferenceResult r = f.get();
+    EXPECT_GE(r.predicted, 0);
+    EXPECT_EQ(r.batch_size, 5);
+  }
+  EXPECT_EQ(engine.stats().requests(), 5u);
+  EXPECT_THROW(engine.submit(random_image(rng)), odenet::Error);
+}
+
+TEST(InferenceEngine, DestructorFulfillsEveryFuture) {
+  models::Network net = make_net(6);
+  util::Rng rng(66);
+  std::vector<std::future<InferenceResult>> futures;
+  {
+    EngineConfig cfg;
+    cfg.max_batch = 64;
+    cfg.max_delay = std::chrono::seconds(30);
+    InferenceEngine engine(net, cfg);
+    for (int i = 0; i < 3; ++i) {
+      futures.push_back(engine.submit(random_image(rng)));
+    }
+  }  // ~InferenceEngine drains
+  for (auto& f : futures) {
+    EXPECT_NO_THROW((void)f.get());
+  }
+}
+
+TEST(InferenceEngine, BackendParityWithinQuantizationTolerance) {
+  models::Network net = make_net(7);
+  EngineConfig cfg;
+  cfg.max_batch = 1;  // per-image, so batch-stat BN sees one image everywhere
+  cfg.max_delay = std::chrono::microseconds(500);
+  BackendConfig float_ref;
+  float_ref.backend = core::ExecBackend::kFloat;
+  float_ref.per_image_batch_norm = true;  // align with the PL's BN semantics
+  BackendConfig fixed_cpu;
+  fixed_cpu.backend = core::ExecBackend::kFixed;
+  fixed_cpu.per_image_batch_norm = true;
+  BackendConfig fpga_sim;
+  fpga_sim.backend = core::ExecBackend::kFpgaSim;  // offloads every ODE stage
+  cfg.backends = {float_ref, fixed_cpu, fpga_sim};
+  InferenceEngine engine(net, cfg);
+  ASSERT_EQ(engine.backend_count(), 3u);
+
+  util::Rng rng(77);
+  core::Tensor image = random_image(rng);
+  InferenceResult rf = engine.submit(image, 0).get();
+  InferenceResult rq = engine.submit(image, 1).get();
+  InferenceResult ra = engine.submit(image, 2).get();
+
+  EXPECT_LT(max_abs_diff(rf.logits, rq.logits), 1e-3);   // Q11.20 activations
+  EXPECT_LT(max_abs_diff(rf.logits, ra.logits), 0.15);   // full PL datapath
+  EXPECT_EQ(rf.pl_cycles, 0u);
+  EXPECT_EQ(rq.pl_cycles, 0u);
+  EXPECT_GT(ra.pl_cycles, 0u);
+}
+
+TEST(InferenceEngine, StatsFoldPlCyclesAndEmitJson) {
+  models::Network net = make_net(8);
+  EngineConfig cfg;
+  cfg.max_batch = 2;
+  cfg.max_delay = std::chrono::microseconds(500);
+  BackendConfig fpga_sim;
+  fpga_sim.backend = core::ExecBackend::kFpgaSim;
+  cfg.backends = {fpga_sim};
+  InferenceEngine engine(net, cfg);
+
+  util::Rng rng(88);
+  std::vector<std::future<InferenceResult>> futures;
+  std::uint64_t result_cycles = 0;
+  for (int i = 0; i < 4; ++i) futures.push_back(engine.submit(random_image(rng)));
+  for (auto& f : futures) result_cycles += f.get().pl_cycles;
+
+  const auto stats = engine.stats();
+  ASSERT_EQ(stats.backends.size(), 1u);
+  EXPECT_EQ(stats.backends[0].requests, 4u);
+  EXPECT_GT(stats.pl_cycles(), 0u);
+  // Per-result shares are the batch total split evenly; integer division
+  // can only lose remainders, never invent cycles.
+  EXPECT_LE(result_cycles, stats.pl_cycles());
+  EXPECT_GT(result_cycles, stats.pl_cycles() / 2);
+
+  const std::string json = stats.to_json();
+  EXPECT_NE(json.find("\"images_per_sec\""), std::string::npos);
+  EXPECT_NE(json.find("\"fpga_sim\""), std::string::npos);
+  EXPECT_NE(json.find("\"pl_cycles\""), std::string::npos);
+}

@@ -3,7 +3,6 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
-#include <numbers>
 
 #include "solver/ode.hpp"
 
@@ -102,7 +101,7 @@ TEST(Solvers, RotationReturnsToStartAfterFullPeriod) {
   Tensor z0({2});
   z0.at1(0) = 1.0f;
   SolveOptions opts{.method = Method::kRk4, .steps = 100};
-  const float two_pi = static_cast<float>(2.0 * std::numbers::pi);
+  const float two_pi = static_cast<float>(2.0 * 3.141592653589793);
   Tensor z1 = ode_solve(f, z0, 0.0f, two_pi, opts);
   EXPECT_NEAR(z1.at1(0), 1.0f, 1e-4f);
   EXPECT_NEAR(z1.at1(1), 0.0f, 1e-4f);
