@@ -7,10 +7,29 @@
 // amortizes per-call dispatch/allocation overhead across the batch, so
 // engine throughput at max_batch > 1 should beat the sequential baseline.
 //
+// Second act — routing policies under skewed load: the paper's PS/PL SoC
+// as a heterogeneous engine — float software (one A9 core), the
+// fixed-point CPU path (the second A9 core), and the simulated PL
+// accelerator — fed paced bursts of mixed-priority requests through each
+// Router policy. Static pins every request to backend 0 (the pre-router
+// behavior), so the load skew is total; load-aware policies spread by live
+// queue pressure and the sched/ cost model.
+//
+// Each policy reports two throughputs: host wall-clock (every backend is
+// ultimately simulated on this machine, so on few-core hosts the engines
+// time-slice one another) and the modeled deployment makespan — per
+// engine, requests x modeled service seconds (CpuModel / the PS/PL
+// LatencyModel), max over engines, i.e. the drain time on the real SoC
+// where PS cores and the PL genuinely run in parallel. The headline
+// routing_wins is judged on the modeled deployment, matching how the rest
+// of the repo scores hardware (Table 5).
+//
 // Every configuration prints one machine-readable JSON line prefixed with
-// "JSON "; the final line aggregates the sweep.
+// "JSON "; the final lines aggregate the sweep and the policy comparison.
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "runtime/engine.hpp"
@@ -78,6 +97,110 @@ Row run_engine(models::Network& net, const core::Tensor& images,
   row.seconds = seconds;
   row.images_per_sec = images.dim(0) / seconds;
   row.pl_cycles = engine.stats().pl_cycles();
+  return row;
+}
+
+struct RoutingRow {
+  std::string policy;
+  int images = 0;
+  double host_seconds = 0.0;
+  double host_images_per_sec = 0.0;
+  /// Modeled drain time of the PS/PL deployment: max over engines of
+  /// requests x modeled service seconds.
+  double modeled_seconds = 0.0;
+  double modeled_images_per_sec = 0.0;
+  double modeled_speedup_vs_static = 1.0;
+  std::vector<std::uint64_t> backend_requests;
+  std::uint64_t timeouts = 0;
+};
+
+void print_routing_row(const RoutingRow& r) {
+  std::printf("%-16s %8d %12.4f %12.1f %14.4f %14.1f %9.2fx  [",
+              r.policy.c_str(), r.images, r.host_seconds,
+              r.host_images_per_sec, r.modeled_seconds,
+              r.modeled_images_per_sec, r.modeled_speedup_vs_static);
+  for (std::size_t i = 0; i < r.backend_requests.size(); ++i) {
+    std::printf("%s%llu", i > 0 ? " " : "",
+                static_cast<unsigned long long>(r.backend_requests[i]));
+  }
+  std::printf("]\n");
+  std::printf("JSON {\"bench\":\"runtime_throughput\",\"mode\":\"routing\","
+              "\"policy\":\"%s\",\"images\":%d,\"host_seconds\":%.6f,"
+              "\"host_images_per_sec\":%.2f,\"modeled_seconds\":%.6f,"
+              "\"modeled_images_per_sec\":%.2f,"
+              "\"modeled_speedup_vs_static\":%.4f,\"timeouts\":%llu,"
+              "\"backend_requests\":[",
+              r.policy.c_str(), r.images, r.host_seconds,
+              r.host_images_per_sec, r.modeled_seconds,
+              r.modeled_images_per_sec, r.modeled_speedup_vs_static,
+              static_cast<unsigned long long>(r.timeouts));
+  for (std::size_t i = 0; i < r.backend_requests.size(); ++i) {
+    std::printf("%s%llu", i > 0 ? "," : "",
+                static_cast<unsigned long long>(r.backend_requests[i]));
+  }
+  std::printf("]}\n");
+}
+
+// One policy over the skewed workload: paced bursts of mixed-priority
+// routed requests against the modeled SoC — float and fixed software (the
+// two PS cores) plus the simulated PL accelerator. The pacing matters:
+// each burst's placement sees the queue pressure the previous bursts left
+// behind, so load-aware policies shift traffic as the engines drain.
+// Static pins everything to backend 0.
+RoutingRow run_routing(models::Network& net, const core::Tensor& images,
+                       runtime::RoutePolicy policy) {
+  runtime::EngineConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_delay = std::chrono::microseconds(1000);
+  cfg.route_policy = policy;
+  cfg.static_backend = 0;
+  runtime::BackendConfig ps_float;
+  ps_float.backend = core::ExecBackend::kFloat;
+  runtime::BackendConfig ps_fixed;
+  ps_fixed.backend = core::ExecBackend::kFixed;
+  runtime::BackendConfig pl_sim;
+  pl_sim.backend = core::ExecBackend::kFpgaSim;
+  cfg.backends = {ps_float, ps_fixed, pl_sim};
+  runtime::InferenceEngine engine(net, cfg);
+
+  const int n = images.dim(0);
+  const int c = images.dim(1), s = images.dim(2);
+  const std::size_t stride = static_cast<std::size_t>(c) * s * s;
+  std::vector<std::future<runtime::InferenceResult>> futures;
+  futures.reserve(static_cast<std::size_t>(n));
+
+  constexpr int kBurst = 8;
+  util::Stopwatch watch;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0 && i % kBurst == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(1500));
+    }
+    core::Tensor image({c, s, s});
+    std::copy_n(images.data() + static_cast<std::size_t>(i) * stride, stride,
+                image.data());
+    runtime::SubmitOptions opts;  // routed; priority classes cycle
+    opts.priority = static_cast<runtime::Priority>(i % 3);
+    futures.push_back(engine.submit(std::move(image), opts));
+  }
+  for (auto& f : futures) (void)f.get();
+  const double seconds = watch.seconds();
+
+  RoutingRow row;
+  row.policy = runtime::route_policy_name(policy);
+  row.images = n;
+  row.host_seconds = seconds;
+  row.host_images_per_sec = n / seconds;
+  const auto stats = engine.stats();
+  for (std::size_t b = 0; b < stats.backends.size(); ++b) {
+    row.backend_requests.push_back(stats.backends[b].requests);
+    row.modeled_seconds =
+        std::max(row.modeled_seconds,
+                 static_cast<double>(stats.backends[b].requests) *
+                     engine.modeled_request_seconds(b));
+  }
+  row.modeled_images_per_sec =
+      row.modeled_seconds > 0.0 ? n / row.modeled_seconds : 0.0;
+  row.timeouts = stats.timeouts();
   return row;
 }
 
@@ -160,5 +283,53 @@ int main(int argc, char** argv) {
               "\"batched_speedup\":%.4f,\"batching_wins\":%s}\n",
               kImages, base.images_per_sec, best_batched, batched_speedup,
               batched_speedup > 1.0 ? "true" : "false");
+
+  // ---- Routing policies under skewed load -------------------------------
+  std::printf("\n=== Routing policies: float + fixed + fpga_sim backends, "
+              "paced bursts, %d mixed-priority requests ===\n",
+              kImages);
+  std::printf("%-16s %8s %12s %12s %14s %14s %9s  %s\n", "policy", "images",
+              "host_sec", "host_img/s", "modeled_sec", "modeled_img/s",
+              "vs_static", "backend_requests");
+  double static_modeled_ips = 0.0;
+  double static_host_ips = 0.0;
+  std::string best_policy;
+  double best_modeled_ips = 0.0;
+  double best_host_ips = 0.0;
+  for (runtime::RoutePolicy policy : runtime::all_route_policies()) {
+    RoutingRow row = run_routing(net, images, policy);
+    if (policy == runtime::RoutePolicy::kStatic) {
+      static_modeled_ips = row.modeled_images_per_sec;
+      static_host_ips = row.host_images_per_sec;
+    } else {
+      if (row.modeled_images_per_sec > best_modeled_ips) {
+        best_modeled_ips = row.modeled_images_per_sec;
+        best_policy = row.policy;
+      }
+      // Host winner tracked separately: the modeled-best policy is not
+      // necessarily the host-best one.
+      best_host_ips = std::max(best_host_ips, row.host_images_per_sec);
+    }
+    row.modeled_speedup_vs_static =
+        static_modeled_ips > 0.0
+            ? row.modeled_images_per_sec / static_modeled_ips
+            : 1.0;
+    print_routing_row(row);
+  }
+  std::printf("JSON {\"bench\":\"runtime_throughput\","
+              "\"routing_summary\":true,\"images\":%d,"
+              "\"static_modeled_images_per_sec\":%.2f,"
+              "\"static_host_images_per_sec\":%.2f,"
+              "\"best_policy\":\"%s\",\"best_modeled_images_per_sec\":%.2f,"
+              "\"best_host_images_per_sec\":%.2f,"
+              "\"routing_speedup\":%.4f,\"routing_wins\":%s,"
+              "\"host_routing_wins\":%s}\n",
+              kImages, static_modeled_ips, static_host_ips,
+              best_policy.c_str(), best_modeled_ips, best_host_ips,
+              static_modeled_ips > 0.0
+                  ? best_modeled_ips / static_modeled_ips
+                  : 0.0,
+              best_modeled_ips > static_modeled_ips ? "true" : "false",
+              best_host_ips > static_host_ips ? "true" : "false");
   return 0;
 }

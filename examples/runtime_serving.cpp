@@ -1,12 +1,16 @@
 // Serving demo: one InferenceEngine fronting two backends — float software
-// (the PS path) and the simulated PL accelerator — with dynamic
-// micro-batching and futures.
+// (the PS path) and the simulated PL accelerator — with routed dispatch,
+// priority classes, deadlines, dynamic micro-batching and futures.
 //
 //   ./runtime_serving [--requests 24] [--max-batch 8] [--delay-us 2000]
+//                     [--policy least_depth]
 //
-// Requests alternate between the backends; the engine batches each
-// backend's queue independently, and the final stats line folds the
-// simulated PL cycle counts into the serving report.
+// Requests are routed by the configured policy (static, round_robin,
+// least_depth, modeled_latency); priorities cycle low/normal/high, one
+// request carries an intentionally hopeless deadline to show the timeout
+// path, and the final stats line folds routing counters, per-priority
+// latency histograms and the simulated PL cycle counts into the serving
+// report.
 #include <cstdio>
 #include <vector>
 
@@ -22,6 +26,9 @@ int main(int argc, char** argv) {
   cli.add_option("requests", "24", "number of single-image requests");
   cli.add_option("max-batch", "8", "micro-batch flush size");
   cli.add_option("delay-us", "2000", "micro-batch flush deadline (us)");
+  cli.add_option("policy", "least_depth",
+                 "routing policy: static | round_robin | least_depth | "
+                 "modeled_latency");
   if (!cli.parse(argc, argv)) return 0;
 
   const int kRequests = cli.get_int("requests");
@@ -36,6 +43,7 @@ int main(int argc, char** argv) {
   runtime::EngineConfig cfg;
   cfg.max_batch = cli.get_int("max-batch");
   cfg.max_delay = std::chrono::microseconds(cli.get_int("delay-us"));
+  cfg.route_policy = runtime::route_policy_from_name(cli.get("policy"));
   runtime::BackendConfig ps;
   ps.backend = core::ExecBackend::kFloat;
   runtime::BackendConfig pl;
@@ -43,32 +51,40 @@ int main(int argc, char** argv) {
   cfg.backends = {ps, pl};
   runtime::InferenceEngine engine(net, cfg);
 
-  std::printf("=== %s serving on %zu backends (max_batch=%d) ===\n",
-              net.name().c_str(), engine.backend_count(), cfg.max_batch);
+  std::printf("=== %s serving on %zu backends (max_batch=%d, policy=%s) ===\n",
+              net.name().c_str(), engine.backend_count(), cfg.max_batch,
+              runtime::route_policy_name(cfg.route_policy).c_str());
 
   std::vector<std::future<runtime::InferenceResult>> futures;
-  std::vector<std::size_t> routed;
   futures.reserve(static_cast<std::size_t>(kRequests));
   for (int i = 0; i < kRequests; ++i) {
     core::Tensor image({3, width.input_size, width.input_size});
     for (std::size_t j = 0; j < image.numel(); ++j) {
       image.data()[j] = static_cast<float>(rng.normal(0.0, 0.5));
     }
-    const std::size_t backend = static_cast<std::size_t>(i) % 2;
-    futures.push_back(engine.submit(std::move(image), backend));
-    routed.push_back(backend);
+    runtime::SubmitOptions opts;  // backend left to the router
+    opts.priority = static_cast<runtime::Priority>(i % 3);
+    if (i == kRequests / 2) {
+      // One hopeless deadline to demonstrate rejection: it expires long
+      // before the flush timer can form a batch.
+      opts.deadline = std::chrono::microseconds(1);
+    }
+    futures.push_back(engine.submit(std::move(image), opts));
   }
 
   for (int i = 0; i < kRequests; ++i) {
-    const runtime::InferenceResult r =
-        futures[static_cast<std::size_t>(i)].get();
-    std::printf("req %2d  backend=%-8s class=%d batch=%d queue=%6.2fms "
-                "latency=%6.2fms pl_cycles=%llu\n",
-                i, engine.backend_label(routed[static_cast<std::size_t>(i)])
-                       .c_str(),
-                r.predicted, r.batch_size, r.queue_seconds * 1e3,
-                r.total_seconds * 1e3,
-                static_cast<unsigned long long>(r.pl_cycles));
+    try {
+      const runtime::InferenceResult r =
+          futures[static_cast<std::size_t>(i)].get();
+      std::printf("req %2d  %-8s backend=%-8s class=%d batch=%d "
+                  "queue=%6.2fms latency=%6.2fms pl_cycles=%llu\n",
+                  i, runtime::priority_name(r.priority).c_str(),
+                  engine.backend_label(r.backend_index).c_str(), r.predicted,
+                  r.batch_size, r.queue_seconds * 1e3, r.total_seconds * 1e3,
+                  static_cast<unsigned long long>(r.pl_cycles));
+    } catch (const runtime::DeadlineExceeded& e) {
+      std::printf("req %2d  REJECTED: %s\n", i, e.what());
+    }
   }
 
   engine.shutdown();

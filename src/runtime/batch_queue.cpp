@@ -1,11 +1,22 @@
 #include "runtime/batch_queue.hpp"
 
 #include <algorithm>
-#include <iterator>
+#include <sstream>
 
 #include "util/check.hpp"
 
 namespace odenet::runtime {
+
+namespace {
+
+std::size_t lane_index(Priority p) {
+  const int i = static_cast<int>(p);
+  ODENET_CHECK(i >= 0 && i < kPriorityLevels,
+               "invalid priority value " << i);
+  return static_cast<std::size_t>(i);
+}
+
+}  // namespace
 
 BatchQueue::BatchQueue(int max_batch, std::chrono::microseconds max_delay)
     : max_batch_(max_batch), max_delay_(max_delay) {
@@ -14,41 +25,102 @@ BatchQueue::BatchQueue(int max_batch, std::chrono::microseconds max_delay)
 }
 
 bool BatchQueue::push(PendingRequest&& req) {
+  const std::size_t lane = lane_index(req.cls.priority);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_) return false;
     req.enqueued_at = Clock::now();
-    queue_.push_back(std::move(req));
+    lanes_[lane].push_back(std::move(req));
+    ++size_;
   }
   cv_.notify_one();
   return true;
+}
+
+void BatchQueue::reap_expired_locked(Clock::time_point now) {
+  for (int p = 0; p < kPriorityLevels; ++p) {
+    auto& lane = lanes_[static_cast<std::size_t>(p)];
+    for (auto it = lane.begin(); it != lane.end();) {
+      if (it->cls.deadline > now) {
+        ++it;
+        continue;
+      }
+      timeouts_[static_cast<std::size_t>(p)] += 1;
+      --size_;
+      std::ostringstream os;
+      os << "request deadline exceeded after "
+         << std::chrono::duration<double, std::milli>(now - it->enqueued_at)
+                .count()
+         << " ms in queue (priority " << priority_name(it->cls.priority)
+         << ")";
+      it->promise.set_exception(
+          std::make_exception_ptr(DeadlineExceeded(os.str())));
+      it = lane.erase(it);
+    }
+  }
+}
+
+Clock::time_point BatchQueue::oldest_enqueue_locked() const {
+  Clock::time_point oldest = Clock::time_point::max();
+  for (const auto& lane : lanes_) {
+    if (!lane.empty()) oldest = std::min(oldest, lane.front().enqueued_at);
+  }
+  return oldest;
+}
+
+Clock::time_point BatchQueue::earliest_deadline_locked() const {
+  Clock::time_point earliest = Clock::time_point::max();
+  for (const auto& lane : lanes_) {
+    for (const auto& req : lane) {
+      earliest = std::min(earliest, req.cls.deadline);
+    }
+  }
+  return earliest;
 }
 
 bool BatchQueue::pop_batch(std::vector<PendingRequest>& out) {
   out.clear();
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
-    if (queue_.empty()) return false;  // closed and drained
+    cv_.wait(lock, [&] { return closed_ || size_ > 0; });
+    reap_expired_locked(Clock::now());
+    if (size_ == 0) {
+      if (closed_) return false;  // closed and drained
+      continue;                   // everything pending had expired
+    }
+    if (closed_) break;  // drain immediately, no deadline wait
     // Hold for more work until the batch is full or the oldest request's
-    // deadline passes; a close() flushes immediately.
-    const auto deadline = queue_.front().enqueued_at + max_delay_;
-    cv_.wait_until(lock, deadline, [&] {
-      return closed_ || queue_.empty() ||
-             static_cast<int>(queue_.size()) >= max_batch_;
+    // flush deadline passes; wake early for the earliest per-request
+    // deadline so expired work is rejected promptly.
+    const auto flush_at = oldest_enqueue_locked() + max_delay_;
+    if (static_cast<int>(size_) >= max_batch_ || Clock::now() >= flush_at) {
+      break;
+    }
+    const auto wake_at = std::min(flush_at, earliest_deadline_locked());
+    cv_.wait_until(lock, wake_at, [&] {
+      // The third clause re-arms the wait when a push() lands a deadline
+      // EARLIER than the wake-up this wait was computed against — without
+      // it the new request would only be reaped at the stale wake_at,
+      // up to max_delay late.
+      return closed_ || static_cast<int>(size_) >= max_batch_ ||
+             earliest_deadline_locked() < wake_at;
     });
-    if (!queue_.empty()) break;
-    if (closed_) return false;
-    // Another worker took the whole batch; go back to waiting.
+    // Loop: re-reap, re-check the flush rule (another worker may have
+    // taken the whole batch, or only a request deadline fired).
   }
-  const std::size_t n = std::min<std::size_t>(
-      queue_.size(), static_cast<std::size_t>(max_batch_));
+  const std::size_t n =
+      std::min<std::size_t>(size_, static_cast<std::size_t>(max_batch_));
   out.reserve(n);
-  std::move(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(n),
-            std::back_inserter(out));
-  queue_.erase(queue_.begin(),
-               queue_.begin() + static_cast<std::ptrdiff_t>(n));
-  if (!queue_.empty()) cv_.notify_one();  // burst larger than one batch
+  // Highest priority first; FIFO within each lane.
+  for (int p = kPriorityLevels - 1; p >= 0 && out.size() < n; --p) {
+    auto& lane = lanes_[static_cast<std::size_t>(p)];
+    while (!lane.empty() && out.size() < n) {
+      out.push_back(std::move(lane.front()));
+      lane.pop_front();
+      --size_;
+    }
+  }
+  if (size_ > 0) cv_.notify_one();  // burst larger than one batch
   return true;
 }
 
@@ -67,7 +139,19 @@ bool BatchQueue::closed() const {
 
 std::size_t BatchQueue::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+  return size_;
+}
+
+std::uint64_t BatchQueue::timeout_count(Priority p) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return timeouts_[lane_index(p)];
+}
+
+std::uint64_t BatchQueue::timeout_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto t : timeouts_) total += t;
+  return total;
 }
 
 }  // namespace odenet::runtime

@@ -1,15 +1,33 @@
-// Micro-batching request queue.
+// Micro-batching request queue with priority classes and deadlines.
 //
 // Producers push single-image requests; one or more backend workers pop
 // *batches*. A worker holding the first request of a batch waits until
 // either max_batch requests are available or the oldest request has been
 // queued for max_delay — the classic dynamic-batching flush rule — so a
-// lone request never waits longer than the deadline and a burst fills the
-// batch immediately. close() wakes everyone; pending requests are still
-// drained (pop keeps returning batches until the queue is empty).
+// lone request never waits longer than the flush deadline and a burst
+// fills the batch immediately. close() wakes everyone; pending requests
+// are still drained (pop keeps returning batches until the queue is
+// empty).
+//
+// Scheduling on top of the flush rule:
+//  - Three Priority classes; a popped batch takes high before normal
+//    before low, FIFO within each class. The flush timer runs off the
+//    oldest request of ANY class, so a lone low-priority request still
+//    flushes within max_delay — but priority is strict: under sustained
+//    high-priority load that keeps every batch full, lower classes wait
+//    until the pressure clears (attach a deadline to bound the wait;
+//    aging/promotion is a ROADMAP item).
+//  - Per-request deadlines (RequestClass::deadline): a request still
+//    queued when its deadline passes is removed, its promise failed with
+//    DeadlineExceeded, and a per-priority timeout counter bumped — it
+//    never occupies a batch slot. Workers also wake early for the
+//    earliest pending deadline so rejection is prompt.
 #pragma once
 
+#include <array>
 #include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <mutex>
 #include <vector>
 
@@ -27,10 +45,11 @@ class BatchQueue {
   bool push(PendingRequest&& req);
 
   /// Blocks until a batch is ready per the flush rule, then moves up to
-  /// max_batch requests into `out` (cleared first). Returns false only
-  /// when the queue is closed *and* empty — the worker-loop exit signal.
-  /// After close(), remaining requests flush immediately (no deadline
-  /// wait).
+  /// max_batch requests into `out` (cleared first), highest priority
+  /// first. Returns false only when the queue is closed *and* empty — the
+  /// worker-loop exit signal. After close(), remaining requests flush
+  /// immediately (no deadline wait). Expired requests encountered along
+  /// the way are failed with DeadlineExceeded, never returned.
   bool pop_batch(std::vector<PendingRequest>& out);
 
   /// Closes the queue for new work and wakes all waiters.
@@ -39,13 +58,31 @@ class BatchQueue {
   bool closed() const;
   std::size_t size() const;
 
+  /// Requests rejected with DeadlineExceeded, cumulative.
+  std::uint64_t timeout_count(Priority p) const;
+  std::uint64_t timeout_total() const;
+
  private:
+  /// Fails and removes every request whose deadline has passed. Promises
+  /// are completed under the lock — std::promise::set_exception only
+  /// stores and wakes, it runs no user code. Caller holds mutex_.
+  void reap_expired_locked(Clock::time_point now);
+  /// Earliest enqueue time across all classes. Caller holds mutex_;
+  /// requires size_ > 0.
+  Clock::time_point oldest_enqueue_locked() const;
+  /// Earliest pending request deadline (time_point::max() when none).
+  /// Caller holds mutex_.
+  Clock::time_point earliest_deadline_locked() const;
+
   const int max_batch_;
   const std::chrono::microseconds max_delay_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::vector<PendingRequest> queue_;
+  /// One FIFO lane per priority class, indexed by Priority.
+  std::array<std::deque<PendingRequest>, kPriorityLevels> lanes_;
+  std::size_t size_ = 0;
+  std::array<std::uint64_t, kPriorityLevels> timeouts_{};
   bool closed_ = false;
 };
 

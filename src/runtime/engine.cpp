@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/softmax.hpp"
+#include "sched/latency_model.hpp"
 
 namespace odenet::runtime {
 
@@ -20,21 +21,50 @@ InferenceEngine::InferenceEngine(models::Network& prototype,
     : cfg_(cfg), spec_(prototype.spec()),
       solver_cfg_(prototype.solver_config()) {
   ODENET_CHECK(!cfg_.backends.empty(), "engine needs at least one backend");
+  ODENET_CHECK(cfg_.static_backend < cfg_.backends.size(),
+               "static_backend " << cfg_.static_backend
+                                 << " out of range (have "
+                                 << cfg_.backends.size() << " backends)");
   std::ostringstream weights;
   prototype.save_weights(weights);
   const std::string blob = weights.str();
 
+  const sched::LatencyModel latency_model;
   std::size_t total_workers = 0;
   for (const auto& bc : cfg_.backends) {
     ODENET_CHECK(bc.workers >= 1, "backend needs at least one worker");
     auto backend = std::make_unique<Backend>();
     backend->cfg = bc;
     backend->label = core::backend_name(bc.backend);
+    backend->index = backends_.size();
     backend->queue =
         std::make_unique<BatchQueue>(cfg_.max_batch, cfg_.max_delay);
     backend->stats.backend = bc.backend;
+    if (bc.backend == core::ExecBackend::kFpgaSim) {
+      backend->offloaded = bc.offloaded;
+      if (backend->offloaded.empty()) {
+        for (const auto& s : spec_.stages) {
+          if (s.is_ode()) backend->offloaded.insert(s.id);
+        }
+      }
+      ODENET_CHECK(!backend->offloaded.empty(),
+                   "fpga_sim backend: no ODE stage to offload in "
+                       << models::arch_name(spec_.arch));
+    }
+    // The cost-based router's service-time estimate: the PS/PL latency
+    // model for offloaded backends, the pure CpuModel otherwise (the
+    // fixed-point CPU path executes the same MACs as float on the modeled
+    // A9). Worker parallelism divides the effective per-request time.
+    sched::Partition partition;
+    partition.offloaded = backend->offloaded;
+    partition.parallelism = bc.parallelism;
+    partition.pl_clock_mhz = bc.pl_clock_mhz;
+    partition.axi = bc.axi;
+    backend->modeled_request_seconds =
+        latency_model.batch_seconds(spec_, partition, 1) /
+        static_cast<double>(bc.workers);
     for (int w = 0; w < bc.workers; ++w) {
-      backend->workers.push_back(build_worker(bc, blob));
+      backend->workers.push_back(build_worker(*backend, blob));
     }
     total_workers += static_cast<std::size_t>(bc.workers);
     backends_.push_back(std::move(backend));
@@ -47,6 +77,11 @@ InferenceEngine::InferenceEngine(models::Network& prototype,
     }
     if (dup > 0) backends_[i]->label += "#" + std::to_string(dup);
     backends_[i]->stats.name = backends_[i]->label;
+  }
+  router_ = std::make_unique<Router>(cfg_.route_policy, cfg_.static_backend);
+  for (int p = 0; p < kPriorityLevels; ++p) {
+    priority_stats_[static_cast<std::size_t>(p)].priority =
+        static_cast<Priority>(p);
   }
 
   // Workers last: every queue and replica exists before a loop can run.
@@ -63,7 +98,8 @@ InferenceEngine::InferenceEngine(models::Network& prototype,
 InferenceEngine::~InferenceEngine() { shutdown(); }
 
 std::unique_ptr<InferenceEngine::Worker> InferenceEngine::build_worker(
-    const BackendConfig& cfg, const std::string& weight_blob) {
+    const Backend& backend, const std::string& weight_blob) {
+  const BackendConfig& cfg = backend.cfg;
   auto worker = std::make_unique<Worker>();
   worker->net = std::make_unique<models::Network>(spec_, solver_cfg_);
   std::istringstream is(weight_blob);
@@ -88,18 +124,7 @@ std::unique_ptr<InferenceEngine::Worker> InferenceEngine::build_worker(
       break;
     case core::ExecBackend::kFpgaSim: {
       worker->plan = models::StagePlan(&worker->float_exec);
-      std::set<models::StageId> offloaded = cfg.offloaded;
-      if (offloaded.empty()) {
-        for (auto& stage : worker->net->stages()) {
-          if (!stage->is_empty() && stage->is_ode()) {
-            offloaded.insert(stage->spec().id);
-          }
-        }
-      }
-      ODENET_CHECK(!offloaded.empty(),
-                   "fpga_sim backend: no ODE stage to offload in "
-                       << models::arch_name(spec_.arch));
-      for (models::StageId id : offloaded) {
+      for (models::StageId id : backend.offloaded) {
         models::Stage* stage = worker->net->stage(id);
         ODENET_CHECK(stage != nullptr, "cannot offload absent stage "
                                            << models::stage_name(id));
@@ -118,35 +143,80 @@ std::unique_ptr<InferenceEngine::Worker> InferenceEngine::build_worker(
   return worker;
 }
 
-std::future<InferenceResult> InferenceEngine::submit(
-    core::Tensor image, std::size_t backend_index) {
-  ODENET_CHECK(backend_index < backends_.size(),
-               "backend index " << backend_index << " out of range (have "
-                                << backends_.size() << ")");
+std::future<InferenceResult> InferenceEngine::failed_future(
+    const std::string& message) {
+  std::promise<InferenceResult> promise;
+  std::future<InferenceResult> future = promise.get_future();
+  promise.set_exception(std::make_exception_ptr(Error(message)));
+  return future;
+}
+
+std::size_t InferenceEngine::pick_backend(const SubmitOptions& opts) {
+  if (opts.backend != kAnyBackend) {
+    ODENET_CHECK(opts.backend < backends_.size(),
+                 "backend index " << opts.backend << " out of range (have "
+                                  << backends_.size() << ")");
+    return opts.backend;
+  }
+  std::vector<BackendLoad> loads;
+  loads.reserve(backends_.size());
+  for (const auto& backend : backends_) {
+    BackendLoad load;
+    load.queue_depth = backend->queue->size();
+    load.in_flight = backend->in_flight.load(std::memory_order_relaxed);
+    load.modeled_request_seconds = backend->modeled_request_seconds;
+    loads.push_back(load);
+  }
+  const std::size_t index = router_->route(loads);
+  backends_[index]->routed.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+std::future<InferenceResult> InferenceEngine::submit(core::Tensor image,
+                                                     SubmitOptions opts) {
+  // A malformed image fails its own future instead of throwing (and
+  // instead of poisoning the micro-batch it would have ridden in): shape
+  // mistakes are per-request data errors, not engine-state errors.
   const auto& w = spec_.width;
   if (image.ndim() == 4) {
-    ODENET_CHECK(image.dim(0) == 1, "submit() takes one image, got batch of "
-                                        << image.dim(0)
-                                        << "; use submit_batch()");
+    if (image.dim(0) != 1) {
+      std::ostringstream os;
+      os << "submit() takes one image, got batch of " << image.dim(0)
+         << "; use submit_batch()";
+      return failed_future(os.str());
+    }
     image = image.reshaped({image.dim(1), image.dim(2), image.dim(3)});
   }
-  ODENET_CHECK(image.ndim() == 3 && image.dim(0) == w.input_channels &&
-                   image.dim(1) == w.input_size &&
-                   image.dim(2) == w.input_size,
-               "expected image [" << w.input_channels << "," << w.input_size
-                                  << "," << w.input_size << "], got "
-                                  << image.shape_str());
+  if (!(image.ndim() == 3 && image.dim(0) == w.input_channels &&
+        image.dim(1) == w.input_size && image.dim(2) == w.input_size)) {
+    std::ostringstream os;
+    os << "expected image [" << w.input_channels << "," << w.input_size
+       << "," << w.input_size << "], got " << image.shape_str();
+    return failed_future(os.str());
+  }
 
+  const std::size_t index = pick_backend(opts);
   PendingRequest req;
   req.image = std::move(image);
+  req.cls.priority = opts.priority;
+  if (opts.deadline.count() > 0) {
+    req.cls.deadline = Clock::now() + opts.deadline;
+  }
   std::future<InferenceResult> future = req.promise.get_future();
-  const bool accepted = backends_[backend_index]->queue->push(std::move(req));
+  const bool accepted = backends_[index]->queue->push(std::move(req));
   ODENET_CHECK(accepted, "submit() after engine shutdown");
   return future;
 }
 
+std::future<InferenceResult> InferenceEngine::submit(
+    core::Tensor image, std::size_t backend_index) {
+  SubmitOptions opts;
+  opts.backend = backend_index;
+  return submit(std::move(image), opts);
+}
+
 std::vector<std::future<InferenceResult>> InferenceEngine::submit_batch(
-    const core::Tensor& images, std::size_t backend_index) {
+    const core::Tensor& images, SubmitOptions opts) {
   ODENET_CHECK(images.ndim() == 4,
                "submit_batch expects [N,C,S,S], got " << images.shape_str());
   const int n = images.dim(0);
@@ -159,9 +229,16 @@ std::vector<std::future<InferenceResult>> InferenceEngine::submit_batch(
     core::Tensor image({c, s, images.dim(3)});
     std::copy_n(images.data() + static_cast<std::size_t>(i) * stride, stride,
                 image.data());
-    futures.push_back(submit(std::move(image), backend_index));
+    futures.push_back(submit(std::move(image), opts));
   }
   return futures;
+}
+
+std::vector<std::future<InferenceResult>> InferenceEngine::submit_batch(
+    const core::Tensor& images, std::size_t backend_index) {
+  SubmitOptions opts;
+  opts.backend = backend_index;
+  return submit_batch(images, opts);
 }
 
 void InferenceEngine::worker_loop(Backend& backend, Worker& worker) {
@@ -175,6 +252,10 @@ void InferenceEngine::serve_batch(Backend& backend, Worker& worker,
                                   std::vector<PendingRequest>& batch) {
   const auto picked_up = Clock::now();
   const int n = static_cast<int>(batch.size());
+  // The in-flight gauge covers pop-to-fulfillment; it must drop BEFORE the
+  // promises resolve so a caller who saw every future settle also sees the
+  // gauges back at zero.
+  backend.in_flight.fetch_add(n, std::memory_order_relaxed);
   try {
     const auto& w = spec_.width;
     core::Tensor x({n, w.input_channels, w.input_size, w.input_size});
@@ -205,6 +286,8 @@ void InferenceEngine::serve_batch(Backend& backend, Worker& worker,
                   static_cast<std::size_t>(classes), result.logits.data());
       result.predicted = preds[static_cast<std::size_t>(i)];
       result.backend = backend.cfg.backend;
+      result.backend_index = backend.index;
+      result.priority = req.cls.priority;
       result.batch_size = n;
       result.queue_seconds = seconds_between(req.enqueued_at, picked_up);
       result.compute_seconds = compute_seconds;
@@ -227,13 +310,20 @@ void InferenceEngine::serve_batch(Backend& backend, Worker& worker,
       backend.stats.max_latency_seconds =
           std::max(backend.stats.max_latency_seconds, latency_max);
       backend.stats.pl_cycles += batch_pl_cycles;
+      for (int i = 0; i < n; ++i) {
+        const auto& result = results[static_cast<std::size_t>(i)];
+        priority_stats_[static_cast<std::size_t>(result.priority)]
+            .record_latency(result.total_seconds);
+      }
     }
+    backend.in_flight.fetch_sub(n, std::memory_order_relaxed);
     for (int i = 0; i < n; ++i) {
       batch[static_cast<std::size_t>(i)].promise.set_value(
           std::move(results[static_cast<std::size_t>(i)]));
     }
   } catch (...) {
     // A failed batch fails each rider; the engine keeps serving.
+    backend.in_flight.fetch_sub(n, std::memory_order_relaxed);
     for (auto& req : batch) {
       req.promise.set_exception(std::current_exception());
     }
@@ -252,13 +342,39 @@ const std::string& InferenceEngine::backend_label(std::size_t index) const {
   return backends_[index]->label;
 }
 
+std::size_t InferenceEngine::queue_depth(std::size_t index) const {
+  ODENET_CHECK(index < backends_.size(), "backend index out of range");
+  return backends_[index]->queue->size();
+}
+
+int InferenceEngine::in_flight(std::size_t index) const {
+  ODENET_CHECK(index < backends_.size(), "backend index out of range");
+  return backends_[index]->in_flight.load(std::memory_order_relaxed);
+}
+
+double InferenceEngine::modeled_request_seconds(std::size_t index) const {
+  ODENET_CHECK(index < backends_.size(), "backend index out of range");
+  return backends_[index]->modeled_request_seconds;
+}
+
 EngineStats InferenceEngine::stats() const {
   EngineStats out;
   out.wall_seconds = uptime_.seconds();
+  out.policy = route_policy_name(cfg_.route_policy);
   std::lock_guard<std::mutex> lock(stats_mutex_);
   out.backends.reserve(backends_.size());
+  out.priorities = priority_stats_;
   for (const auto& backend : backends_) {
     out.backends.push_back(backend->stats);
+    BackendStats& snap = out.backends.back();
+    snap.routed = backend->routed.load(std::memory_order_relaxed);
+    snap.timeouts = backend->queue->timeout_total();
+    snap.queue_depth = backend->queue->size();
+    snap.in_flight = backend->in_flight.load(std::memory_order_relaxed);
+    for (int p = 0; p < kPriorityLevels; ++p) {
+      out.priorities[static_cast<std::size_t>(p)].timeouts +=
+          backend->queue->timeout_count(static_cast<Priority>(p));
+    }
   }
   return out;
 }

@@ -1,18 +1,27 @@
-// Batched asynchronous inference engine.
+// Batched asynchronous inference engine with load-aware routing.
 //
 // The serving layer the ROADMAP's scaling work builds on: callers submit()
 // single images and get std::futures; per-backend worker threads (on a
 // dedicated util::ThreadPool) pull dynamically-formed micro-batches from a
-// BatchQueue (flush on max-batch or deadline) and run them through the
-// StageExecutor plan of their backend — float software, fixed-point CPU,
-// or the simulated PL accelerator. Each worker owns a full Network replica
-// (weights copied from the prototype at construction), so workers never
-// share mutable layer state and backends can serve concurrently.
+// priority/deadline-aware BatchQueue (flush on max-batch or deadline) and
+// run them through the StageExecutor plan of their backend — float
+// software, fixed-point CPU, or the simulated PL accelerator. Each worker
+// owns a full Network replica (weights copied from the prototype at
+// construction), so workers never share mutable layer state and backends
+// can serve concurrently.
+//
+// Backend choice is routed by default: a Router policy (static,
+// round-robin, least-queue-depth, modeled-latency) picks per request from
+// live queue-depth/in-flight gauges plus the sched/ latency models'
+// per-request service-time estimate. SubmitOptions can pin a backend, set
+// a priority class, and attach a deadline — an expired request completes
+// with DeadlineExceeded instead of occupying a batch slot.
 //
 // Shutdown drains: close the queues, finish every in-flight and queued
 // request, then join. Every future handed out is eventually fulfilled.
 #pragma once
 
+#include <atomic>
 #include <future>
 #include <memory>
 #include <set>
@@ -20,6 +29,7 @@
 
 #include "models/network.hpp"
 #include "runtime/batch_queue.hpp"
+#include "runtime/router.hpp"
 #include "runtime/stats.hpp"
 #include "sched/fpga_executor.hpp"
 #include "util/stopwatch.hpp"
@@ -54,6 +64,12 @@ struct EngineConfig {
   int max_batch = 8;
   std::chrono::microseconds max_delay{2000};
   std::vector<BackendConfig> backends{BackendConfig{}};
+  /// Backend choice for routed submits (SubmitOptions::backend ==
+  /// kAnyBackend). Least-depth keeps the pre-router behavior for
+  /// single-backend engines while balancing multi-backend ones.
+  RoutePolicy route_policy = RoutePolicy::kLeastDepth;
+  /// Target of RoutePolicy::kStatic.
+  std::size_t static_backend = 0;
 };
 
 class InferenceEngine {
@@ -67,15 +83,24 @@ class InferenceEngine {
   InferenceEngine(const InferenceEngine&) = delete;
   InferenceEngine& operator=(const InferenceEngine&) = delete;
 
-  /// Enqueues one image ([C,S,S] or [1,C,S,S]) on the given backend.
-  /// Throws after shutdown(). The future is fulfilled when the micro-batch
-  /// containing the request completes (or carries the batch's exception).
+  /// Enqueues one image ([C,S,S] or [1,C,S,S]); the Router picks the
+  /// backend unless opts.backend pins one. A malformed image fails the
+  /// returned future with odenet::Error (it never reaches a batch);
+  /// submitting after shutdown() or pinning an out-of-range backend
+  /// throws. The future is fulfilled when the micro-batch containing the
+  /// request completes, carries the batch's exception if it fails, or
+  /// carries DeadlineExceeded when opts.deadline expires first.
   std::future<InferenceResult> submit(core::Tensor image,
-                                      std::size_t backend_index = 0);
+                                      SubmitOptions opts = {});
+  /// Index-pinned overload (the pre-router API).
+  std::future<InferenceResult> submit(core::Tensor image,
+                                      std::size_t backend_index);
 
   /// Splits [N,C,S,S] into N requests; returns one future per image.
   std::vector<std::future<InferenceResult>> submit_batch(
-      const core::Tensor& images, std::size_t backend_index = 0);
+      const core::Tensor& images, SubmitOptions opts = {});
+  std::vector<std::future<InferenceResult>> submit_batch(
+      const core::Tensor& images, std::size_t backend_index);
 
   /// Stops accepting work, serves everything already queued, joins the
   /// workers. Idempotent; the destructor calls it.
@@ -84,6 +109,13 @@ class InferenceEngine {
   std::size_t backend_count() const { return backends_.size(); }
   const std::string& backend_label(std::size_t index) const;
   const EngineConfig& config() const { return cfg_; }
+
+  /// Live load gauges (the router's inputs, exposed for monitoring).
+  std::size_t queue_depth(std::size_t index) const;
+  int in_flight(std::size_t index) const;
+  /// Modeled per-request service seconds of one backend, normalized by
+  /// its worker count (sched::LatencyModel / CpuModel).
+  double modeled_request_seconds(std::size_t index) const;
 
   /// Aggregated counters since construction (thread-safe snapshot).
   EngineStats stats() const;
@@ -99,22 +131,42 @@ class InferenceEngine {
   struct Backend {
     BackendConfig cfg;
     std::string label;
+    std::size_t index = 0;
+    /// kFpgaSim: cfg.offloaded with the empty-means-all default applied.
+    std::set<models::StageId> offloaded;
+    /// Modeled seconds to serve one request, / workers (router input).
+    double modeled_request_seconds = 0.0;
     std::unique_ptr<BatchQueue> queue;
     std::vector<std::unique_ptr<Worker>> workers;
+    /// Requests popped from the queue but not yet completed.
+    std::atomic<int> in_flight{0};
+    /// Requests the Router placed here; atomic so routed submits never
+    /// contend on stats_mutex_ (folded into BackendStats at snapshot).
+    std::atomic<std::uint64_t> routed{0};
     BackendStats stats;  // guarded by stats_mutex_
   };
 
-  std::unique_ptr<Worker> build_worker(const BackendConfig& cfg,
+  std::unique_ptr<Worker> build_worker(const Backend& backend,
                                        const std::string& weight_blob);
   void worker_loop(Backend& backend, Worker& worker);
   void serve_batch(Backend& backend, Worker& worker,
                    std::vector<PendingRequest>& batch);
+  /// Routed or pinned backend choice for one submit.
+  std::size_t pick_backend(const SubmitOptions& opts);
+  /// Returns a future already failed with odenet::Error(message).
+  static std::future<InferenceResult> failed_future(
+      const std::string& message);
 
   EngineConfig cfg_;
   models::NetworkSpec spec_;
   models::SolverConfig solver_cfg_;
   std::vector<std::unique_ptr<Backend>> backends_;
+  std::unique_ptr<Router> router_;
   mutable std::mutex stats_mutex_;
+  /// Completed-request counters per priority class; guarded by
+  /// stats_mutex_ (timeouts live in the queues and are folded at
+  /// snapshot time).
+  std::array<PriorityStats, kPriorityLevels> priority_stats_{};
   util::Stopwatch uptime_;
   /// Last member: joined (via shutdown's queue close + wait) before the
   /// backends it references are torn down.

@@ -4,13 +4,66 @@
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <string>
 
 #include "core/execution.hpp"
 #include "core/tensor.hpp"
+#include "util/check.hpp"
 
 namespace odenet::runtime {
 
 using Clock = std::chrono::steady_clock;
+
+/// Scheduling class of a request. Higher values preempt lower ones at
+/// batch-formation time (a popped batch takes high before normal before
+/// low); within a class requests stay FIFO.
+enum class Priority : int {
+  kLow = 0,
+  kNormal = 1,
+  kHigh = 2,
+};
+
+inline constexpr int kPriorityLevels = 3;
+
+inline std::string priority_name(Priority p) {
+  switch (p) {
+    case Priority::kLow: return "low";
+    case Priority::kNormal: return "normal";
+    case Priority::kHigh: return "high";
+  }
+  return "unknown";
+}
+
+/// Thrown through the future of a request whose deadline expired before a
+/// worker picked it up; the request never occupies a batch slot.
+class DeadlineExceeded : public Error {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : Error(what) {}
+};
+
+/// Scheduling attributes of one queued request.
+struct RequestClass {
+  Priority priority = Priority::kNormal;
+  /// Absolute completion deadline; time_point::max() means none. A request
+  /// still queued past its deadline is rejected with DeadlineExceeded
+  /// instead of being served late.
+  Clock::time_point deadline = Clock::time_point::max();
+
+  bool has_deadline() const { return deadline != Clock::time_point::max(); }
+};
+
+/// Sentinel backend index: let the engine's Router pick.
+inline constexpr std::size_t kAnyBackend = static_cast<std::size_t>(-1);
+
+/// Per-request knobs of InferenceEngine::submit. Default-constructed
+/// options mean: normal priority, no deadline, routed backend choice.
+struct SubmitOptions {
+  Priority priority = Priority::kNormal;
+  /// Relative completion deadline; zero (the default) means none.
+  std::chrono::microseconds deadline{0};
+  /// Pin the request to one backend; kAnyBackend routes by policy.
+  std::size_t backend = kAnyBackend;
+};
 
 /// What the engine hands back for one submitted image.
 struct InferenceResult {
@@ -20,6 +73,10 @@ struct InferenceResult {
   int predicted = -1;
   /// Backend that served the request.
   core::ExecBackend backend = core::ExecBackend::kFloat;
+  /// Index of that backend in the engine's configuration.
+  std::size_t backend_index = 0;
+  /// Scheduling class the request rode in.
+  Priority priority = Priority::kNormal;
   /// Size of the micro-batch the request rode in.
   int batch_size = 0;
   /// Seconds spent queued before its batch was picked up.
@@ -35,11 +92,13 @@ struct InferenceResult {
 
 /// A queued single-image request. The image is [C,S,S] (or [1,C,S,S],
 /// normalized at submit); the promise is fulfilled by the backend worker
-/// that executes the batch containing it.
+/// that executes the batch containing it, or failed with DeadlineExceeded
+/// by the queue when the deadline passes first.
 struct PendingRequest {
   core::Tensor image;
   std::promise<InferenceResult> promise;
   Clock::time_point enqueued_at{};
+  RequestClass cls{};
 };
 
 }  // namespace odenet::runtime

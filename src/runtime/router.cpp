@@ -1,0 +1,84 @@
+#include "runtime/router.hpp"
+
+#include "util/check.hpp"
+
+namespace odenet::runtime {
+
+std::string route_policy_name(RoutePolicy policy) {
+  switch (policy) {
+    case RoutePolicy::kStatic: return "static";
+    case RoutePolicy::kRoundRobin: return "round_robin";
+    case RoutePolicy::kLeastDepth: return "least_depth";
+    case RoutePolicy::kModeledLatency: return "modeled_latency";
+  }
+  return "unknown";
+}
+
+RoutePolicy route_policy_from_name(const std::string& name) {
+  for (RoutePolicy policy : all_route_policies()) {
+    if (route_policy_name(policy) == name) return policy;
+  }
+  ODENET_CHECK(false, "unknown routing policy \""
+                          << name
+                          << "\" (want static, round_robin, least_depth or "
+                             "modeled_latency)");
+  return RoutePolicy::kStatic;  // unreachable
+}
+
+const std::vector<RoutePolicy>& all_route_policies() {
+  static const std::vector<RoutePolicy> kAll = {
+      RoutePolicy::kStatic, RoutePolicy::kRoundRobin,
+      RoutePolicy::kLeastDepth, RoutePolicy::kModeledLatency};
+  return kAll;
+}
+
+Router::Router(RoutePolicy policy, std::size_t static_index)
+    : policy_(policy), static_index_(static_index) {}
+
+std::size_t Router::route(const std::vector<BackendLoad>& loads) {
+  ODENET_CHECK(!loads.empty(), "router needs at least one backend load");
+  switch (policy_) {
+    case RoutePolicy::kStatic:
+      ODENET_CHECK(static_index_ < loads.size(),
+                   "static route index " << static_index_
+                                         << " out of range (have "
+                                         << loads.size() << " backends)");
+      return static_index_;
+    case RoutePolicy::kRoundRobin:
+      return static_cast<std::size_t>(
+          round_robin_.fetch_add(1, std::memory_order_relaxed) %
+          loads.size());
+    case RoutePolicy::kLeastDepth: {
+      std::size_t best = 0;
+      std::size_t best_outstanding =
+          loads[0].queue_depth + static_cast<std::size_t>(loads[0].in_flight);
+      for (std::size_t i = 1; i < loads.size(); ++i) {
+        const std::size_t outstanding =
+            loads[i].queue_depth + static_cast<std::size_t>(loads[i].in_flight);
+        if (outstanding < best_outstanding) {
+          best = i;
+          best_outstanding = outstanding;
+        }
+      }
+      return best;
+    }
+    case RoutePolicy::kModeledLatency: {
+      std::size_t best = 0;
+      double best_cost = 0.0;
+      for (std::size_t i = 0; i < loads.size(); ++i) {
+        const double outstanding =
+            static_cast<double>(loads[i].queue_depth) +
+            static_cast<double>(loads[i].in_flight) + 1.0;
+        const double cost = outstanding * loads[i].modeled_request_seconds;
+        if (i == 0 || cost < best_cost) {
+          best = i;
+          best_cost = cost;
+        }
+      }
+      return best;
+    }
+  }
+  return 0;  // unreachable
+}
+
+}  // namespace odenet::runtime

@@ -1,0 +1,75 @@
+// Load-aware backend selection for the serving engine.
+//
+// The engine's backends are heterogeneous compute engines (PS float
+// software, fixed-point CPU, the simulated PL accelerator), each with its
+// own micro-batch queue. The Router picks one per routed request from a
+// point-in-time load snapshot; policies range from static pinning to a
+// cost model that combines queue pressure with the modeled per-request
+// service time from sched/ (CpuModel for software paths, the PS/PL
+// LatencyModel for offloaded ones).
+//
+// route() is safe to call from many producer threads concurrently: the
+// only mutable state is the round-robin cursor, an atomic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace odenet::runtime {
+
+enum class RoutePolicy {
+  /// Always the configured backend index (the pre-router behavior).
+  kStatic,
+  /// Cycle through backends regardless of load.
+  kRoundRobin,
+  /// Fewest outstanding requests (queued + in flight), ties to the lowest
+  /// index.
+  kLeastDepth,
+  /// Smallest estimated completion time: (outstanding + 1) x modeled
+  /// per-request service seconds, ties to the lowest index. With equal
+  /// service times this degenerates to least-depth; with heterogeneous
+  /// backends it prefers the faster engine until its queue pressure
+  /// outweighs the speed advantage.
+  kModeledLatency,
+};
+
+std::string route_policy_name(RoutePolicy policy);
+/// Inverse of route_policy_name; throws odenet::Error on unknown names.
+RoutePolicy route_policy_from_name(const std::string& name);
+const std::vector<RoutePolicy>& all_route_policies();
+
+/// Point-in-time load of one backend, assembled by the engine (or a test
+/// fake) at submit time.
+struct BackendLoad {
+  /// Requests waiting in the backend's BatchQueue.
+  std::size_t queue_depth = 0;
+  /// Requests popped by workers but not yet completed.
+  int in_flight = 0;
+  /// Modeled seconds to serve ONE request, normalized by the backend's
+  /// worker parallelism (sched::LatencyModel / CpuModel; see
+  /// InferenceEngine). Only kModeledLatency consults this.
+  double modeled_request_seconds = 0.0;
+};
+
+class Router {
+ public:
+  explicit Router(RoutePolicy policy, std::size_t static_index = 0);
+
+  /// Picks a backend index in [0, loads.size()). Deterministic for a given
+  /// snapshot: ties always break to the lowest index (round-robin is
+  /// deterministic in its call sequence instead). Throws on an empty
+  /// snapshot or a static index out of range.
+  std::size_t route(const std::vector<BackendLoad>& loads);
+
+  RoutePolicy policy() const { return policy_; }
+  std::size_t static_index() const { return static_index_; }
+
+ private:
+  RoutePolicy policy_;
+  std::size_t static_index_;
+  std::atomic<std::uint64_t> round_robin_{0};
+};
+
+}  // namespace odenet::runtime

@@ -1,5 +1,6 @@
 #include "runtime/stats.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -15,10 +16,26 @@ std::string fmt(double v) {
 
 }  // namespace
 
+std::size_t latency_bucket(double seconds) {
+  const double ms = seconds * 1e3;
+  for (std::size_t i = 0; i < kLatencyBucketUpperMs.size(); ++i) {
+    if (ms <= kLatencyBucketUpperMs[i]) return i;
+  }
+  return kLatencyBucketUpperMs.size();  // overflow bucket
+}
+
+void PriorityStats::record_latency(double seconds) {
+  requests += 1;
+  latency_seconds_total += seconds;
+  max_latency_seconds = std::max(max_latency_seconds, seconds);
+  histogram[latency_bucket(seconds)] += 1;
+}
+
 std::string EngineStats::to_json() const {
   std::ostringstream os;
-  os << "{\"requests\":" << requests()
-     << ",\"wall_seconds\":" << fmt(wall_seconds)
+  os << "{\"requests\":" << requests() << ",\"timeouts\":" << timeouts()
+     << ",\"routed\":" << routed() << ",\"policy\":\"" << policy
+     << "\",\"wall_seconds\":" << fmt(wall_seconds)
      << ",\"images_per_sec\":" << fmt(images_per_second())
      << ",\"pl_cycles\":" << pl_cycles() << ",\"backends\":[";
   for (std::size_t i = 0; i < backends.size(); ++i) {
@@ -26,13 +43,40 @@ std::string EngineStats::to_json() const {
     if (i > 0) os << ",";
     os << "{\"name\":\"" << b.name << "\",\"backend\":\""
        << core::backend_name(b.backend) << "\",\"requests\":" << b.requests
-       << ",\"batches\":" << b.batches
+       << ",\"batches\":" << b.batches << ",\"routed\":" << b.routed
+       << ",\"timeouts\":" << b.timeouts
+       << ",\"queue_depth\":" << b.queue_depth
+       << ",\"in_flight\":" << b.in_flight
        << ",\"mean_batch\":" << fmt(b.mean_batch_size())
        << ",\"busy_seconds\":" << fmt(b.busy_seconds)
        << ",\"mean_queue_ms\":" << fmt(b.mean_queue_seconds() * 1e3)
        << ",\"mean_latency_ms\":" << fmt(b.mean_latency_seconds() * 1e3)
        << ",\"max_latency_ms\":" << fmt(b.max_latency_seconds * 1e3)
        << ",\"pl_cycles\":" << b.pl_cycles << "}";
+  }
+  os << "],\"priorities\":[";
+  // Highest class first, matching the scheduler's pop order.
+  bool first = true;
+  for (int p = kPriorityLevels - 1; p >= 0; --p) {
+    const PriorityStats& ps = priorities[static_cast<std::size_t>(p)];
+    if (!first) os << ",";
+    first = false;
+    os << "{\"priority\":\"" << priority_name(static_cast<Priority>(p))
+       << "\",\"requests\":" << ps.requests
+       << ",\"timeouts\":" << ps.timeouts
+       << ",\"mean_latency_ms\":" << fmt(ps.mean_latency_seconds() * 1e3)
+       << ",\"max_latency_ms\":" << fmt(ps.max_latency_seconds * 1e3)
+       << ",\"hist_le_ms\":[";
+    for (std::size_t i = 0; i < kLatencyBucketUpperMs.size(); ++i) {
+      if (i > 0) os << ",";
+      os << fmt(kLatencyBucketUpperMs[i]);
+    }
+    os << ",\"+inf\"],\"hist\":[";
+    for (std::size_t i = 0; i < ps.histogram.size(); ++i) {
+      if (i > 0) os << ",";
+      os << ps.histogram[i];
+    }
+    os << "]}";
   }
   os << "]}";
   return os.str();

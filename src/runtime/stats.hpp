@@ -3,22 +3,41 @@
 // Each backend accumulates request/batch/latency counters plus the
 // simulated-PL cycle totals its executors reported, so a hybrid engine's
 // stats line shows both the host-side throughput and the modeled hardware
-// utilization in one place.
+// utilization in one place. On top of the per-backend view the engine
+// keeps per-priority latency histograms and timeout counters, and the
+// router's placement decisions are counted per backend — the numbers a
+// load-shedding or autoscaling layer would watch.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/execution.hpp"
+#include "runtime/request.hpp"
 
 namespace odenet::runtime {
+
+/// Upper bucket bounds (milliseconds) of the latency histograms; one
+/// overflow bucket follows the last bound.
+inline constexpr std::array<double, 8> kLatencyBucketUpperMs = {
+    0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0};
+inline constexpr std::size_t kLatencyBucketCount =
+    kLatencyBucketUpperMs.size() + 1;
+
+/// Index of the histogram bucket a latency falls in.
+std::size_t latency_bucket(double seconds);
 
 struct BackendStats {
   std::string name;  // engine label, e.g. "float" or "fpga_sim"
   core::ExecBackend backend = core::ExecBackend::kFloat;
   std::uint64_t requests = 0;
   std::uint64_t batches = 0;
+  /// Requests the Router placed here (pinned submits are not counted).
+  std::uint64_t routed = 0;
+  /// Requests rejected with DeadlineExceeded while queued here.
+  std::uint64_t timeouts = 0;
   /// Sum of batch forward-pass wall-clock seconds (worker busy time).
   double busy_seconds = 0.0;
   /// Sums over requests, for means.
@@ -27,6 +46,10 @@ struct BackendStats {
   double max_latency_seconds = 0.0;
   /// Simulated PL cycles consumed on behalf of this backend's requests.
   std::uint64_t pl_cycles = 0;
+  /// Point-in-time gauges at snapshot: queued and in-flight requests (the
+  /// same numbers the router's load snapshot sees).
+  std::size_t queue_depth = 0;
+  int in_flight = 0;
 
   double mean_batch_size() const {
     return batches == 0 ? 0.0
@@ -45,14 +68,49 @@ struct BackendStats {
   }
 };
 
+/// Per-priority-class serving counters (summed over backends).
+struct PriorityStats {
+  Priority priority = Priority::kNormal;
+  /// Requests completed successfully.
+  std::uint64_t requests = 0;
+  /// Requests rejected with DeadlineExceeded.
+  std::uint64_t timeouts = 0;
+  double latency_seconds_total = 0.0;
+  double max_latency_seconds = 0.0;
+  /// Completion-latency histogram over kLatencyBucketUpperMs (+overflow).
+  std::array<std::uint64_t, kLatencyBucketCount> histogram{};
+
+  /// Folds one completed request's latency into the counters.
+  void record_latency(double seconds);
+  double mean_latency_seconds() const {
+    return requests == 0 ? 0.0
+                         : latency_seconds_total /
+                               static_cast<double>(requests);
+  }
+};
+
 struct EngineStats {
   std::vector<BackendStats> backends;
+  /// Indexed by Priority.
+  std::array<PriorityStats, kPriorityLevels> priorities{};
+  /// Routing policy the engine is running (route_policy_name()).
+  std::string policy;
   /// Seconds since the engine started serving.
   double wall_seconds = 0.0;
 
   std::uint64_t requests() const {
     std::uint64_t total = 0;
     for (const auto& b : backends) total += b.requests;
+    return total;
+  }
+  std::uint64_t timeouts() const {
+    std::uint64_t total = 0;
+    for (const auto& b : backends) total += b.timeouts;
+    return total;
+  }
+  std::uint64_t routed() const {
+    std::uint64_t total = 0;
+    for (const auto& b : backends) total += b.routed;
     return total;
   }
   std::uint64_t pl_cycles() const {

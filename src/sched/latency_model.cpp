@@ -39,6 +39,18 @@ double LatencyModel::pl_block_seconds(const models::StageSpec& spec,
          (partition.pl_clock_mhz * 1e6);
 }
 
+double LatencyModel::request_seconds(const models::NetworkSpec& spec,
+                                     const Partition& partition) const {
+  return evaluate(spec, partition).total_with_pl;
+}
+
+double LatencyModel::batch_seconds(const models::NetworkSpec& spec,
+                                   const Partition& partition,
+                                   int batch) const {
+  ODENET_CHECK(batch >= 1, "batch latency needs batch >= 1, got " << batch);
+  return request_seconds(spec, partition) * static_cast<double>(batch);
+}
+
 LatencyRow LatencyModel::evaluate(const models::NetworkSpec& spec,
                                   const Partition& partition) const {
   LatencyRow row;

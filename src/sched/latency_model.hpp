@@ -58,6 +58,19 @@ class LatencyModel {
   LatencyRow evaluate(const models::NetworkSpec& spec,
                       const Partition& partition) const;
 
+  /// Modeled end-to-end seconds to serve one image under the partition
+  /// (Partition::none() for the pure-software PS path).
+  double request_seconds(const models::NetworkSpec& spec,
+                         const Partition& partition) const;
+
+  /// Modeled seconds to serve a micro-batch of `batch` images. Both the
+  /// PS software path and the PL datapath stream one image at a time (the
+  /// accelerator holds a single feature map in BRAM), so batch latency is
+  /// linear in batch size; the serving runtime's cost-based router uses
+  /// this as its service-time estimate.
+  double batch_seconds(const models::NetworkSpec& spec,
+                       const Partition& partition, int batch) const;
+
   /// PL seconds for ONE execution of one block of this stage (compute +
   /// fmap round trip).
   double pl_block_seconds(const models::StageSpec& spec,

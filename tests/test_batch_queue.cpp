@@ -1,0 +1,195 @@
+// Direct unit tests for the priority/deadline-aware micro-batching queue
+// (runtime::BatchQueue): the dynamic-batching flush rule, close semantics,
+// priority ordering, and expired-deadline rejection.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "runtime/batch_queue.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace odenet;
+using runtime::BatchQueue;
+using runtime::Clock;
+using runtime::DeadlineExceeded;
+using runtime::PendingRequest;
+using runtime::Priority;
+
+namespace {
+
+/// A request tagged through its 1-element image tensor so pop order is
+/// observable.
+PendingRequest make_request(float tag,
+                            Priority priority = Priority::kNormal) {
+  PendingRequest req;
+  req.image = core::Tensor({1});
+  req.image.data()[0] = tag;
+  req.cls.priority = priority;
+  return req;
+}
+
+float tag_of(const PendingRequest& req) { return req.image.data()[0]; }
+
+}  // namespace
+
+TEST(BatchQueue, LoneRequestFlushesOnDeadlineNotBatchSize) {
+  BatchQueue queue(8, std::chrono::microseconds(20000));
+  ASSERT_TRUE(queue.push(make_request(1.0f)));
+
+  util::Stopwatch watch;
+  std::vector<PendingRequest> batch;
+  ASSERT_TRUE(queue.pop_batch(batch));
+  const double waited = watch.seconds();
+
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_FLOAT_EQ(tag_of(batch[0]), 1.0f);
+  // The pop had to sit out the flush deadline (with a little scheduling
+  // slack), not return instantly and not wait for a full batch.
+  EXPECT_GE(waited, 0.015);
+  EXPECT_LT(waited, 5.0);
+}
+
+TEST(BatchQueue, BurstFillsMaxBatchImmediately) {
+  BatchQueue queue(4, std::chrono::seconds(30));  // deadline never fires
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(queue.push(make_request(static_cast<float>(i))));
+  }
+
+  util::Stopwatch watch;
+  std::vector<PendingRequest> batch;
+  ASSERT_TRUE(queue.pop_batch(batch));
+  EXPECT_EQ(batch.size(), 4u);
+  ASSERT_TRUE(queue.pop_batch(batch));
+  EXPECT_EQ(batch.size(), 4u);
+  // Both batches were full, so neither waited on the 30 s deadline.
+  EXPECT_LT(watch.seconds(), 5.0);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BatchQueue, CloseWhileWorkerWaitsDrainsWithoutDeadlineWait) {
+  BatchQueue queue(64, std::chrono::seconds(30));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(queue.push(make_request(static_cast<float>(i))));
+  }
+
+  // The popper parks on the 30 s flush deadline (3 < 64); close() must
+  // flush immediately.
+  std::vector<PendingRequest> batch;
+  bool popped = false;
+  bool exited = false;
+  std::thread worker([&] {
+    popped = queue.pop_batch(batch);
+    std::vector<PendingRequest> rest;
+    exited = !queue.pop_batch(rest);  // closed and drained
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  util::Stopwatch watch;
+  queue.close();
+  worker.join();
+  EXPECT_LT(watch.seconds(), 5.0);
+
+  EXPECT_TRUE(popped);
+  EXPECT_TRUE(exited);
+  EXPECT_EQ(batch.size(), 3u);
+  EXPECT_FALSE(queue.push(make_request(9.0f)));  // closed refuses new work
+}
+
+TEST(BatchQueue, PopsHighestPriorityFirstFifoWithinClass) {
+  BatchQueue queue(2, std::chrono::seconds(30));
+  ASSERT_TRUE(queue.push(make_request(10.0f, Priority::kLow)));
+  ASSERT_TRUE(queue.push(make_request(11.0f, Priority::kLow)));
+  ASSERT_TRUE(queue.push(make_request(20.0f, Priority::kHigh)));
+  ASSERT_TRUE(queue.push(make_request(30.0f, Priority::kNormal)));
+  queue.close();  // flush everything without the deadline wait
+
+  std::vector<PendingRequest> batch;
+  ASSERT_TRUE(queue.pop_batch(batch));
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_FLOAT_EQ(tag_of(batch[0]), 20.0f);  // high first
+  EXPECT_FLOAT_EQ(tag_of(batch[1]), 30.0f);  // then normal
+
+  ASSERT_TRUE(queue.pop_batch(batch));
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_FLOAT_EQ(tag_of(batch[0]), 10.0f);  // low, FIFO within class
+  EXPECT_FLOAT_EQ(tag_of(batch[1]), 11.0f);
+
+  EXPECT_FALSE(queue.pop_batch(batch));
+}
+
+TEST(BatchQueue, ExpiredDeadlineIsRejectedNotServed) {
+  BatchQueue queue(4, std::chrono::microseconds(30000));
+  PendingRequest doomed = make_request(1.0f, Priority::kLow);
+  doomed.cls.deadline = Clock::now() + std::chrono::microseconds(500);
+  std::future<runtime::InferenceResult> doomed_future =
+      doomed.promise.get_future();
+  ASSERT_TRUE(queue.push(std::move(doomed)));
+  ASSERT_TRUE(queue.push(make_request(2.0f)));  // no deadline
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  std::vector<PendingRequest> batch;
+  ASSERT_TRUE(queue.pop_batch(batch));
+  // Only the live request rides; the expired one never occupies a slot.
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_FLOAT_EQ(tag_of(batch[0]), 2.0f);
+  EXPECT_THROW(doomed_future.get(), DeadlineExceeded);
+  EXPECT_EQ(queue.timeout_count(Priority::kLow), 1u);
+  EXPECT_EQ(queue.timeout_count(Priority::kNormal), 0u);
+  EXPECT_EQ(queue.timeout_total(), 1u);
+}
+
+TEST(BatchQueue, DeadlinePushedWhileWorkerParkedIsStillRejectedPromptly) {
+  // The worker parks on the 30 s flush deadline with only a deadline-less
+  // request queued; a later push with a short deadline must re-arm the
+  // wait (not sleep until the stale wake-up) so the rejection is prompt.
+  BatchQueue queue(64, std::chrono::seconds(30));
+  ASSERT_TRUE(queue.push(make_request(1.0f)));  // no deadline
+
+  std::vector<PendingRequest> served;
+  std::thread worker([&] {
+    std::vector<PendingRequest> batch;
+    while (queue.pop_batch(batch)) {
+      for (auto& req : batch) served.push_back(std::move(req));
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // let it park
+
+  PendingRequest doomed = make_request(2.0f);
+  doomed.cls.deadline = Clock::now() + std::chrono::milliseconds(2);
+  std::future<runtime::InferenceResult> doomed_future =
+      doomed.promise.get_future();
+  ASSERT_TRUE(queue.push(std::move(doomed)));
+
+  util::Stopwatch watch;
+  EXPECT_THROW(doomed_future.get(), DeadlineExceeded);
+  EXPECT_LT(watch.seconds(), 5.0);  // not the 30 s flush deadline
+  EXPECT_EQ(queue.timeout_total(), 1u);
+  queue.close();
+  worker.join();
+  // The deadline-less request survived the reap and drained on close.
+  ASSERT_EQ(served.size(), 1u);
+  EXPECT_FLOAT_EQ(tag_of(served[0]), 1.0f);
+}
+
+TEST(BatchQueue, WorkerWakesEarlyToRejectExpiringRequest) {
+  // Flush deadline far out; the request's own 2 ms deadline must wake the
+  // waiting worker, fail the promise promptly, and leave it waiting.
+  BatchQueue queue(64, std::chrono::seconds(30));
+  PendingRequest doomed = make_request(1.0f);
+  doomed.cls.deadline = Clock::now() + std::chrono::milliseconds(2);
+  std::future<runtime::InferenceResult> doomed_future =
+      doomed.promise.get_future();
+  ASSERT_TRUE(queue.push(std::move(doomed)));
+
+  std::vector<PendingRequest> batch;
+  std::thread worker([&] { EXPECT_FALSE(queue.pop_batch(batch)); });
+  util::Stopwatch watch;
+  // The promise resolves as soon as the worker reaps — well before the
+  // 30 s flush deadline.
+  EXPECT_THROW(doomed_future.get(), DeadlineExceeded);
+  EXPECT_LT(watch.seconds(), 5.0);
+  EXPECT_EQ(queue.timeout_total(), 1u);
+  EXPECT_EQ(queue.size(), 0u);
+  queue.close();  // lets the worker exit
+  worker.join();
+}

@@ -1,0 +1,113 @@
+// Unit tests for the load-aware backend Router: each policy against a fake
+// backend-load snapshot (no engine, no threads).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/router.hpp"
+#include "util/check.hpp"
+
+using namespace odenet;
+using runtime::BackendLoad;
+using runtime::RoutePolicy;
+using runtime::Router;
+
+namespace {
+
+BackendLoad load(std::size_t depth, int in_flight = 0,
+                 double modeled_seconds = 1e-3) {
+  BackendLoad l;
+  l.queue_depth = depth;
+  l.in_flight = in_flight;
+  l.modeled_request_seconds = modeled_seconds;
+  return l;
+}
+
+}  // namespace
+
+TEST(Router, StaticAlwaysReturnsConfiguredIndex) {
+  Router router(RoutePolicy::kStatic, 1);
+  const std::vector<BackendLoad> loads = {load(0), load(9), load(2)};
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(router.route(loads), 1u);
+}
+
+TEST(Router, StaticIndexOutOfRangeThrows) {
+  Router router(RoutePolicy::kStatic, 3);
+  const std::vector<BackendLoad> loads = {load(0), load(0)};
+  EXPECT_THROW(router.route(loads), odenet::Error);
+}
+
+TEST(Router, EmptySnapshotThrows) {
+  Router router(RoutePolicy::kLeastDepth);
+  EXPECT_THROW(router.route({}), odenet::Error);
+}
+
+TEST(Router, RoundRobinIsFair) {
+  Router router(RoutePolicy::kRoundRobin);
+  // Loads are skewed, but round-robin ignores them and cycles.
+  const std::vector<BackendLoad> loads = {load(50), load(0), load(3)};
+  std::vector<int> hits(3, 0);
+  for (int i = 0; i < 9; ++i) {
+    const std::size_t picked = router.route(loads);
+    EXPECT_EQ(picked, static_cast<std::size_t>(i % 3));
+    hits[picked] += 1;
+  }
+  EXPECT_EQ(hits, (std::vector<int>{3, 3, 3}));
+}
+
+TEST(Router, LeastDepthPicksShallowestQueue) {
+  Router router(RoutePolicy::kLeastDepth);
+  EXPECT_EQ(router.route({load(5), load(3), load(1)}), 2u);
+  EXPECT_EQ(router.route({load(0), load(3), load(1)}), 0u);
+}
+
+TEST(Router, LeastDepthCountsInFlightWork) {
+  Router router(RoutePolicy::kLeastDepth);
+  // Backend 0 has an empty queue but 6 requests being served; backend 1
+  // has 2 queued and nothing running — 2 outstanding beats 6.
+  EXPECT_EQ(router.route({load(0, /*in_flight=*/6), load(2, 0)}), 1u);
+}
+
+TEST(Router, LeastDepthTieBreaksToLowestIndexDeterministically) {
+  Router router(RoutePolicy::kLeastDepth);
+  const std::vector<BackendLoad> loads = {load(2, 1), load(1, 2), load(3, 0)};
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(router.route(loads), 0u);
+}
+
+TEST(Router, ModeledLatencyPrefersFasterBackendWhenIdle) {
+  Router router(RoutePolicy::kModeledLatency);
+  // An idle PS software backend at 10 ms/request versus an idle PL-offload
+  // backend at 2 ms/request: small batches go to the faster engine.
+  const std::vector<BackendLoad> loads = {load(0, 0, 10e-3),
+                                          load(0, 0, 2e-3)};
+  EXPECT_EQ(router.route(loads), 1u);
+}
+
+TEST(Router, ModeledLatencySpillsToSlowBackendUnderQueuePressure) {
+  Router router(RoutePolicy::kModeledLatency);
+  // Fast backend with 9 outstanding: (9+1)*2 ms = 20 ms estimated; the
+  // idle slow backend finishes in 10 ms — spill.
+  EXPECT_EQ(router.route({load(0, 0, 10e-3), load(9, 0, 2e-3)}), 0u);
+  // At 3 outstanding the fast backend still wins: (3+1)*2 ms = 8 ms.
+  EXPECT_EQ(router.route({load(0, 0, 10e-3), load(3, 0, 2e-3)}), 1u);
+}
+
+TEST(Router, ModeledLatencyTieBreaksToLowestIndexDeterministically) {
+  Router router(RoutePolicy::kModeledLatency);
+  const std::vector<BackendLoad> loads = {load(1, 0, 4e-3), load(1, 0, 4e-3)};
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(router.route(loads), 0u);
+}
+
+TEST(Router, ModeledLatencyWithEqualModelsDegeneratesToLeastDepth) {
+  Router router(RoutePolicy::kModeledLatency);
+  EXPECT_EQ(router.route({load(4, 0, 3e-3), load(1, 1, 3e-3)}), 1u);
+}
+
+TEST(Router, PolicyNamesRoundTrip) {
+  for (RoutePolicy policy : runtime::all_route_policies()) {
+    EXPECT_EQ(runtime::route_policy_from_name(route_policy_name(policy)),
+              policy);
+  }
+  EXPECT_THROW(runtime::route_policy_from_name("speculative"),
+               odenet::Error);
+}

@@ -1,9 +1,12 @@
 // The batched async serving runtime (src/runtime/): micro-batch formation,
 // batching determinism, backend parity through the engine, shutdown with
-// in-flight requests, aggregated stats.
+// in-flight requests, aggregated stats, routed dispatch, priority classes,
+// deadlines — plus a multi-producer stress test over the router.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
 
 #include "runtime/engine.hpp"
 #include "util/rng.hpp"
@@ -256,4 +259,194 @@ TEST(InferenceEngine, StatsFoldPlCyclesAndEmitJson) {
   EXPECT_NE(json.find("\"images_per_sec\""), std::string::npos);
   EXPECT_NE(json.find("\"fpga_sim\""), std::string::npos);
   EXPECT_NE(json.find("\"pl_cycles\""), std::string::npos);
+  EXPECT_NE(json.find("\"policy\""), std::string::npos);
+  EXPECT_NE(json.find("\"priorities\""), std::string::npos);
+  EXPECT_NE(json.find("\"hist_le_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"timeouts\""), std::string::npos);
+}
+
+TEST(InferenceEngine, MalformedImageFailsItsFutureOnly) {
+  models::Network net = make_net(9);
+  EngineConfig cfg;
+  cfg.max_batch = 2;
+  cfg.max_delay = std::chrono::microseconds(500);
+  InferenceEngine engine(net, cfg);
+
+  // Wrong spatial extent: the future carries the error; submit() itself
+  // must not throw, and no micro-batch is poisoned.
+  auto bad = engine.submit(core::Tensor({3, 8, 8}));
+  EXPECT_THROW((void)bad.get(), odenet::Error);
+  auto also_bad = engine.submit(core::Tensor({2, 3, 16, 16}));
+  EXPECT_THROW((void)also_bad.get(), odenet::Error);
+
+  // The engine keeps serving good requests, and the rejects never reached
+  // a backend.
+  util::Rng rng(99);
+  EXPECT_GE(engine.submit(random_image(rng)).get().predicted, 0);
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.requests(), 1u);
+  EXPECT_EQ(stats.timeouts(), 0u);
+}
+
+TEST(InferenceEngine, PinnedBackendOutOfRangeThrows) {
+  models::Network net = make_net(9);
+  InferenceEngine engine(net);
+  util::Rng rng(9);
+  EXPECT_THROW((void)engine.submit(random_image(rng), std::size_t{3}),
+               odenet::Error);
+}
+
+TEST(InferenceEngine, ExpiredDeadlineRejectsWithTimeoutError) {
+  models::Network net = make_net(10);
+  EngineConfig cfg;
+  cfg.max_batch = 64;  // never fills
+  cfg.max_delay = std::chrono::microseconds(100000);
+  InferenceEngine engine(net, cfg);
+
+  util::Rng rng(10);
+  runtime::SubmitOptions opts;
+  opts.priority = runtime::Priority::kLow;
+  opts.deadline = std::chrono::microseconds(500);  // beats the 100 ms flush
+  auto doomed = engine.submit(random_image(rng), opts);
+  EXPECT_THROW((void)doomed.get(), runtime::DeadlineExceeded);
+
+  // A generous deadline is not a timeout.
+  runtime::SubmitOptions relaxed;
+  relaxed.deadline = std::chrono::seconds(30);
+  const InferenceResult ok = engine.submit(random_image(rng), relaxed).get();
+  EXPECT_GE(ok.predicted, 0);
+  EXPECT_EQ(ok.priority, runtime::Priority::kNormal);
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.requests(), 1u);
+  EXPECT_EQ(stats.timeouts(), 1u);
+  const auto& low =
+      stats.priorities[static_cast<std::size_t>(runtime::Priority::kLow)];
+  EXPECT_EQ(low.timeouts, 1u);
+  EXPECT_EQ(low.requests, 0u);
+}
+
+TEST(InferenceEngine, RoutedSubmitBalancesAcrossBackends) {
+  models::Network net = make_net(11);
+  EngineConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_delay = std::chrono::microseconds(100000);
+  cfg.route_policy = runtime::RoutePolicy::kLeastDepth;
+  cfg.backends = {BackendConfig{}, BackendConfig{}};  // two float replicas
+  InferenceEngine engine(net, cfg);
+  ASSERT_EQ(engine.backend_count(), 2u);
+  EXPECT_GT(engine.modeled_request_seconds(0), 0.0);
+
+  util::Rng rng(11);
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(engine.submit(random_image(rng)));  // routed
+  }
+  for (auto& f : futures) EXPECT_GE(f.get().predicted, 0);
+
+  const auto stats = engine.stats();
+  ASSERT_EQ(stats.backends.size(), 2u);
+  EXPECT_EQ(stats.requests(), 8u);
+  EXPECT_EQ(stats.routed(), 8u);
+  // Least-depth alternates while requests are outstanding: both replicas
+  // must have served work.
+  EXPECT_GT(stats.backends[0].requests, 0u);
+  EXPECT_GT(stats.backends[1].requests, 0u);
+  EXPECT_EQ(stats.policy, "least_depth");
+}
+
+TEST(InferenceEngine, StaticPolicyPinsRoutedTraffic) {
+  models::Network net = make_net(12);
+  EngineConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_delay = std::chrono::microseconds(500);
+  cfg.route_policy = runtime::RoutePolicy::kStatic;
+  cfg.static_backend = 1;
+  cfg.backends = {BackendConfig{}, BackendConfig{}};
+  InferenceEngine engine(net, cfg);
+
+  util::Rng rng(12);
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 6; ++i) futures.push_back(engine.submit(random_image(rng)));
+  for (auto& f : futures) EXPECT_EQ(f.get().backend_index, 1u);
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.backends[0].requests, 0u);
+  EXPECT_EQ(stats.backends[1].requests, 6u);
+  EXPECT_EQ(stats.backends[1].routed, 6u);
+}
+
+// The satellite stress harness: N producer threads x M backends submitting
+// mixed-priority routed requests; every future fulfilled exactly once, no
+// timeout for generous deadlines, and the stats counters sum to the submit
+// count.
+TEST(InferenceEngine, StressManyProducersRoutedMixedPriorities) {
+  models::Network net = make_net(13);
+  EngineConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_delay = std::chrono::microseconds(500);
+  cfg.route_policy = runtime::RoutePolicy::kModeledLatency;
+  BackendConfig two_workers;
+  two_workers.workers = 2;
+  cfg.backends = {two_workers, BackendConfig{}};
+  InferenceEngine engine(net, cfg);
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 25;
+  constexpr int kTotal = kProducers * kPerProducer;
+  std::array<std::uint64_t, runtime::kPriorityLevels> submitted_by_class{};
+  std::vector<std::vector<std::future<InferenceResult>>> futures(kProducers);
+  std::atomic<int> fulfilled{0};
+
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    for (int i = 0; i < kPerProducer; ++i) {
+      submitted_by_class[static_cast<std::size_t>((t + i) % 3)] += 1;
+    }
+    producers.emplace_back([&, t] {
+      util::Rng rng(1000 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kPerProducer; ++i) {
+        runtime::SubmitOptions opts;
+        opts.priority = static_cast<runtime::Priority>((t + i) % 3);
+        if (i % 2 == 0) opts.deadline = std::chrono::seconds(60);  // generous
+        futures[static_cast<std::size_t>(t)].push_back(
+            engine.submit(random_image(rng), opts));
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+
+  for (auto& lane : futures) {
+    for (auto& f : lane) {
+      ASSERT_TRUE(f.valid());
+      const InferenceResult r = f.get();  // exactly-once: get() consumes
+      EXPECT_GE(r.predicted, 0);
+      EXPECT_FALSE(f.valid());
+      fulfilled.fetch_add(1);
+    }
+  }
+  EXPECT_EQ(fulfilled.load(), kTotal);
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.timeouts(), 0u);  // generous deadlines never expire
+  EXPECT_EQ(stats.requests(), static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(stats.routed(), static_cast<std::uint64_t>(kTotal));
+  std::uint64_t backend_sum = 0;
+  for (const auto& b : stats.backends) backend_sum += b.requests;
+  EXPECT_EQ(backend_sum, static_cast<std::uint64_t>(kTotal));
+  std::uint64_t priority_sum = 0;
+  for (int p = 0; p < runtime::kPriorityLevels; ++p) {
+    const auto& ps = stats.priorities[static_cast<std::size_t>(p)];
+    EXPECT_EQ(ps.requests, submitted_by_class[static_cast<std::size_t>(p)])
+        << "priority " << p;
+    std::uint64_t hist_sum = 0;
+    for (const auto count : ps.histogram) hist_sum += count;
+    EXPECT_EQ(hist_sum, ps.requests) << "priority " << p;
+    priority_sum += ps.requests;
+  }
+  EXPECT_EQ(priority_sum, static_cast<std::uint64_t>(kTotal));
+  // Drained engine: gauges return to zero.
+  for (std::size_t b = 0; b < engine.backend_count(); ++b) {
+    EXPECT_EQ(engine.queue_depth(b), 0u);
+    EXPECT_EQ(engine.in_flight(b), 0);
+  }
 }
