@@ -1,0 +1,77 @@
+#include "core/arena.hpp"
+
+#include "util/check.hpp"
+
+namespace odenet::core {
+
+void ScratchArena::frame(std::size_t total_floats) {
+  if (total_floats > storage_.size()) {
+    storage_.resize(total_floats);
+    ++growths_;
+  }
+  limit_ = total_floats;
+  used_ = 0;
+  ++frames_;
+}
+
+float* ScratchArena::alloc(std::size_t floats) {
+  ODENET_CHECK(used_ + floats <= limit_,
+               "scratch arena frame overflow: " << used_ << " + " << floats
+                                                << " exceeds declared frame of "
+                                                << limit_ << " floats");
+  float* span = storage_.data() + used_;
+  used_ += floats;
+  return span;
+}
+
+ArenaPool::Lease::Lease(Lease&& other) noexcept
+    : pool_(other.pool_), arena_(std::move(other.arena_)) {
+  other.pool_ = nullptr;
+}
+
+ArenaPool::Lease& ArenaPool::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    if (pool_ != nullptr && arena_ != nullptr) {
+      pool_->release(std::move(arena_));
+    }
+    pool_ = other.pool_;
+    arena_ = std::move(other.arena_);
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+ArenaPool::Lease::~Lease() {
+  if (pool_ != nullptr && arena_ != nullptr) {
+    pool_->release(std::move(arena_));
+  }
+}
+
+ArenaPool::Lease ArenaPool::acquire() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!idle_.empty()) {
+    std::unique_ptr<ScratchArena> arena = std::move(idle_.back());
+    idle_.pop_back();
+    return Lease(this, std::move(arena));
+  }
+  ++created_;
+  lock.unlock();
+  return Lease(this, std::make_unique<ScratchArena>());
+}
+
+std::size_t ArenaPool::created() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return created_;
+}
+
+std::size_t ArenaPool::idle() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return idle_.size();
+}
+
+void ArenaPool::release(std::unique_ptr<ScratchArena> arena) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  idle_.push_back(std::move(arena));
+}
+
+}  // namespace odenet::core

@@ -101,7 +101,45 @@ Tensor Conv2d::forward_direct(const Tensor& in) const {
   return out;
 }
 
-Tensor Conv2d::forward_im2col(const Tensor& in) const {
+Tensor Conv2d::forward_im2col(const Tensor& in) {
+  const int n = in.dim(0), ci = in.dim(1), h = in.dim(2), w = in.dim(3);
+  const LoweringGeometry g{.channels = ci, .height = h, .width = w,
+                           .kernel = cfg_.kernel, .stride = cfg_.stride,
+                           .pad = cfg_.pad};
+  const int ho = g.out_h(), wo = g.out_w();
+  const int co = cfg_.out_channels;
+  Tensor out({n, co, ho, wo});
+
+  const std::size_t kk = g.col_rows();
+  const std::size_t cc = g.col_cols();
+  const std::size_t ncols = cc * static_cast<std::size_t>(n);
+
+  // The whole batch lowers into ONE column matrix and ONE GEMM; every
+  // buffer comes from the recycled arena, so past the first call the path
+  // allocates nothing. The GEMM result is [co, n*cc] (channel-major); for
+  // n == 1 that IS the output layout, so write it in place, otherwise
+  // un-permute into NCHW.
+  ScratchArena& arena = active_arena();
+  if (n == 1) {
+    arena.frame(kk * ncols);
+    float* cols = arena.alloc(kk * ncols);
+    im2col_batched(in.data(), g, n, cols);
+    gemm_tiled(weight_.value.data(), cols, out.data(), co,
+               static_cast<int>(kk), static_cast<int>(ncols),
+               /*accumulate=*/false);
+    return out;
+  }
+  arena.frame(kk * ncols + static_cast<std::size_t>(co) * ncols);
+  float* cols = arena.alloc(kk * ncols);
+  float* y = arena.alloc(static_cast<std::size_t>(co) * ncols);
+  im2col_batched(in.data(), g, n, cols);
+  gemm_tiled(weight_.value.data(), cols, y, co, static_cast<int>(kk),
+             static_cast<int>(ncols), /*accumulate=*/false);
+  permute_channel_major(y, out.data(), n, co, cc, /*to_nchw=*/true);
+  return out;
+}
+
+Tensor Conv2d::forward_im2col_per_sample(const Tensor& in) const {
   const int n = in.dim(0), ci = in.dim(1), h = in.dim(2), w = in.dim(3);
   const LoweringGeometry g{.channels = ci, .height = h, .width = w,
                            .kernel = cfg_.kernel, .stride = cfg_.stride,
@@ -113,9 +151,10 @@ Tensor Conv2d::forward_im2col(const Tensor& in) const {
   const std::size_t in_sample = static_cast<std::size_t>(ci) * h * w;
   const std::size_t out_sample =
       static_cast<std::size_t>(co) * ho * wo;
-  // Batched: one task per sample, each with its own lowering buffer (the
-  // nested gemm parallelism degrades to inline inside workers). Single
-  // image: let gemm parallelize over output channels instead.
+  // One task per sample, each with its own freshly allocated lowering
+  // buffer and its own small GEMM — the pre-batching behaviour, preserved
+  // as the baseline the batched path is benchmarked and parity-tested
+  // against.
   util::parallel_for(0, static_cast<std::size_t>(n), [&](std::size_t ni) {
     std::vector<float> cols(g.col_rows() * g.col_cols());
     im2col(in.data() + ni * in_sample, g, cols.data());
@@ -129,12 +168,17 @@ Tensor Conv2d::forward_im2col(const Tensor& in) const {
 Tensor Conv2d::forward(const Tensor& x) {
   ODENET_CHECK(x.ndim() == 4, name_ << ": conv2d expects NCHW input, got "
                                     << x.shape_str());
+  ODENET_CHECK(x.dim(0) > 0, name_ << ": empty batch (n = 0)");
   Tensor in = augment(x);
   ODENET_CHECK(in.dim(1) == weight_.value.dim(1),
                name_ << ": channel mismatch " << in.dim(1) << " vs weight "
                      << weight_.value.shape_str());
-  Tensor out = cfg_.algo == ConvAlgo::kIm2col ? forward_im2col(in)
-                                              : forward_direct(in);
+  Tensor out;
+  switch (cfg_.algo) {
+    case ConvAlgo::kIm2col: out = forward_im2col(in); break;
+    case ConvAlgo::kIm2colPerSample: out = forward_im2col_per_sample(in); break;
+    case ConvAlgo::kDirect: out = forward_direct(in); break;
+  }
   if (training_) cached_input_ = std::move(in);
   return out;
 }
@@ -220,8 +264,66 @@ void Conv2d::backward_im2col(const Tensor& in, const Tensor& grad_out,
                            .pad = cfg_.pad};
   const int co = cfg_.out_channels;
   const int kk = static_cast<int>(g.col_rows());
+  const std::size_t cc = g.col_cols();
+  const std::size_t ncols = cc * static_cast<std::size_t>(n);
+
+  // One lowering of the whole batch drives BOTH gradients: dW from one
+  // tiled A*B^T product, the column gradient from one packed GEMM against
+  // a transposed weight view, each on the batched [kk, n*cc] layout. The
+  // channel-major grad_out view ([co, n*cc]) the GEMMs need is the
+  // [n, co, cc] tensor permuted; for n == 1 they coincide, so no copy.
+  // All scratch is arena-recycled — training stops allocating in the
+  // inner loop.
+  ScratchArena& arena = active_arena();
+  const std::size_t gperm_floats =
+      n == 1 ? 0 : static_cast<std::size_t>(co) * ncols;
+  const std::size_t wt_floats =
+      static_cast<std::size_t>(kk) * static_cast<std::size_t>(co);
+  arena.frame(2 * (static_cast<std::size_t>(kk) * ncols) + gperm_floats +
+              wt_floats);
+  float* cols = arena.alloc(static_cast<std::size_t>(kk) * ncols);
+  float* grad_cols = arena.alloc(static_cast<std::size_t>(kk) * ncols);
+  const float* gperm = grad_out.data();
+  if (n > 1) {
+    float* gp = arena.alloc(gperm_floats);
+    permute_channel_major(grad_out.data(), gp, n, co, cc, /*to_nchw=*/false);
+    gperm = gp;
+  }
+
+  im2col_batched(in.data(), g, n, cols);
+  // dW[co, kk] += G[co, n*cc] x cols^T (cols stored [kk, n*cc]): an A*B^T
+  // of two row-major matrices with the long axis contiguous — the tiled NT
+  // kernel streams cols once per four output rows.
+  gemm_bt_tiled(gperm, cols, weight_.grad.data(), co, static_cast<int>(ncols),
+                kk, /*accumulate=*/true);
+  // grad_cols[kk, n*cc] = W^T[kk, co] x G[co, n*cc]. Materializing the
+  // tiny transposed weight view ([kk, co], a few hundred KB at most) buys
+  // the packed gemm_tiled fast path for the big product.
+  float* wt = arena.alloc(wt_floats);
+  const float* wsrc = weight_.value.data();
+  for (int coi = 0; coi < co; ++coi) {
+    for (int p = 0; p < kk; ++p) {
+      wt[static_cast<std::size_t>(p) * co + coi] =
+          wsrc[static_cast<std::size_t>(coi) * kk + p];
+    }
+  }
+  gemm_tiled(wt, gperm, grad_cols, kk, co, static_cast<int>(ncols),
+             /*accumulate=*/false);
+  col2im_batched(grad_cols, g, n, grad_in_aug.data());
+}
+
+void Conv2d::backward_im2col_per_sample(const Tensor& in,
+                                        const Tensor& grad_out,
+                                        Tensor& grad_in_aug) {
+  const int n = in.dim(0), ci = in.dim(1), h = in.dim(2), w = in.dim(3);
+  const LoweringGeometry g{.channels = ci, .height = h, .width = w,
+                           .kernel = cfg_.kernel, .stride = cfg_.stride,
+                           .pad = cfg_.pad};
+  const int co = cfg_.out_channels;
+  const int kk = static_cast<int>(g.col_rows());
   const int nn = static_cast<int>(g.col_cols());
 
+  // Pre-batching baseline: re-lowers and allocates per sample.
   std::vector<float> cols(g.col_rows() * g.col_cols());
   std::vector<float> grad_cols(cols.size());
   const std::size_t in_sample = static_cast<std::size_t>(ci) * h * w;
@@ -250,10 +352,16 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
                name_ << ": grad_out shape " << grad_out.shape_str());
 
   Tensor grad_in_aug({n, ci, h, w});
-  if (cfg_.algo == ConvAlgo::kIm2col) {
-    backward_im2col(in, grad_out, grad_in_aug);
-  } else {
-    backward_direct(in, grad_out, grad_in_aug);
+  switch (cfg_.algo) {
+    case ConvAlgo::kIm2col:
+      backward_im2col(in, grad_out, grad_in_aug);
+      break;
+    case ConvAlgo::kIm2colPerSample:
+      backward_im2col_per_sample(in, grad_out, grad_in_aug);
+      break;
+    case ConvAlgo::kDirect:
+      backward_direct(in, grad_out, grad_in_aug);
+      break;
   }
 
   if (!cfg_.time_channel) return grad_in_aug;

@@ -12,15 +12,23 @@
 
 #include <optional>
 
+#include "core/arena.hpp"
 #include "core/layer.hpp"
 
 namespace odenet::core {
 
-/// Software convolution algorithm. kDirect walks the kernel taps in place
-/// (mirrors the hardware loop nest); kIm2col lowers to a matrix product
-/// (src/core/im2col.hpp), typically 2-3x faster for training. Both produce
-/// the same values up to float summation order.
-enum class ConvAlgo { kDirect, kIm2col };
+/// Software convolution algorithm.
+///  * kDirect walks the kernel taps in place (mirrors the hardware loop
+///    nest).
+///  * kIm2col (default) lowers the WHOLE micro-batch into one column
+///    matrix (im2col_batched) and runs a single register-blocked GEMM,
+///    with every scratch buffer served from a recycled ScratchArena — the
+///    batch-native fast path; no allocation after the first call.
+///  * kIm2colPerSample is the pre-batching lowering — one freshly
+///    allocated column buffer and one small GEMM per sample — kept as the
+///    parity/benchmark baseline the batched path is proven against.
+/// All three produce the same values up to float summation order.
+enum class ConvAlgo { kDirect, kIm2col, kIm2colPerSample };
 
 struct Conv2dConfig {
   int in_channels = 0;
@@ -50,6 +58,21 @@ class Conv2d final : public Layer {
   const Conv2dConfig& config() const { return cfg_; }
   Param& weight() { return weight_; }
 
+  /// Switches the software algorithm (weights and caches are untouched).
+  void set_algo(ConvAlgo algo) { cfg_.algo = algo; }
+
+  /// Points the lowering scratch at an external arena (not owned; must
+  /// outlive the layer or be reset). nullptr restores the layer-owned
+  /// arena. One arena serves one execution context: sharing an arena
+  /// between layers of one network is safe (calls are sequential and each
+  /// call re-frames it); sharing across threads is not.
+  void set_arena(ScratchArena* arena) { arena_ = arena; }
+
+  /// The arena the lowering currently draws from (for tests/telemetry).
+  const ScratchArena& scratch_arena() const {
+    return arena_ != nullptr ? *arena_ : own_arena_;
+  }
+
   /// Output spatial size for an input of extent `in` (same formula for H/W).
   static int out_extent(int in, int kernel, int stride, int pad);
 
@@ -63,17 +86,31 @@ class Conv2d final : public Layer {
   Tensor augment(const Tensor& x) const;
 
   Tensor forward_direct(const Tensor& in) const;
-  Tensor forward_im2col(const Tensor& in) const;
+  /// Batched lowering: whole-batch im2col + one GEMM, arena-backed.
+  Tensor forward_im2col(const Tensor& in);
+  /// Legacy per-sample lowering (fresh scratch per sample) — baseline.
+  Tensor forward_im2col_per_sample(const Tensor& in) const;
   void backward_direct(const Tensor& in, const Tensor& grad_out,
                        Tensor& grad_in_aug);
+  /// Batched lowering backward: one lowering of the whole batch, dW via
+  /// the tiled A*B^T kernel, dX via the packed GEMM on a transposed
+  /// weight view; all scratch arena-backed.
   void backward_im2col(const Tensor& in, const Tensor& grad_out,
                        Tensor& grad_in_aug);
+  void backward_im2col_per_sample(const Tensor& in, const Tensor& grad_out,
+                                  Tensor& grad_in_aug);
+
+  ScratchArena& active_arena() {
+    return arena_ != nullptr ? *arena_ : own_arena_;
+  }
 
   Conv2dConfig cfg_;
   std::string name_;
   Param weight_;  // [Cout, Cin(+1), K, K]
   float time_ = 0.0f;
   Tensor cached_input_;  // augmented input, cached in training mode
+  ScratchArena own_arena_;        // fallback scratch for standalone layers
+  ScratchArena* arena_ = nullptr;  // external scratch (not owned)
 };
 
 }  // namespace odenet::core

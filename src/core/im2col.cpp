@@ -1,20 +1,29 @@
 #include "core/im2col.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace odenet::core {
 
-void im2col(const float* src, const LoweringGeometry& g, float* dst) {
+namespace {
+
+/// Lowers one [C,H,W] sample. Lowered row r of this sample lives at
+/// dst + r * row_stride; with row_stride == col_cols() this is the classic
+/// per-sample layout, with row_stride == batch * col_cols() it writes one
+/// sample's column block of the batched matrix.
+void im2col_strided(const float* src, const LoweringGeometry& g,
+                    std::size_t row_stride, float* dst) {
   const int ho = g.out_h(), wo = g.out_w();
   const std::size_t plane = static_cast<std::size_t>(g.height) * g.width;
-  const std::size_t n_cols = g.col_cols();
   std::size_t row = 0;
   for (int c = 0; c < g.channels; ++c) {
     const float* cplane = src + static_cast<std::size_t>(c) * plane;
     for (int kh = 0; kh < g.kernel; ++kh) {
       for (int kw = 0; kw < g.kernel; ++kw, ++row) {
-        float* out_row = dst + row * n_cols;
+        float* out_row = dst + row * row_stride;
         for (int oh = 0; oh < ho; ++oh) {
           const int ih = oh * g.stride - g.pad + kh;
           float* out = out_row + static_cast<std::size_t>(oh) * wo;
@@ -33,16 +42,17 @@ void im2col(const float* src, const LoweringGeometry& g, float* dst) {
   }
 }
 
-void col2im(const float* cols, const LoweringGeometry& g, float* dst) {
+/// Adjoint of im2col_strided for one sample (same row_stride convention).
+void col2im_strided(const float* cols, const LoweringGeometry& g,
+                    std::size_t row_stride, float* dst) {
   const int ho = g.out_h(), wo = g.out_w();
   const std::size_t plane = static_cast<std::size_t>(g.height) * g.width;
-  const std::size_t n_cols = g.col_cols();
   std::size_t row = 0;
   for (int c = 0; c < g.channels; ++c) {
     float* cplane = dst + static_cast<std::size_t>(c) * plane;
     for (int kh = 0; kh < g.kernel; ++kh) {
       for (int kw = 0; kw < g.kernel; ++kw, ++row) {
-        const float* in_row = cols + row * n_cols;
+        const float* in_row = cols + row * row_stride;
         for (int oh = 0; oh < ho; ++oh) {
           const int ih = oh * g.stride - g.pad + kh;
           if (ih < 0 || ih >= g.height) continue;
@@ -56,6 +66,58 @@ void col2im(const float* cols, const LoweringGeometry& g, float* dst) {
       }
     }
   }
+}
+
+}  // namespace
+
+void im2col(const float* src, const LoweringGeometry& g, float* dst) {
+  im2col_strided(src, g, g.col_cols(), dst);
+}
+
+void col2im(const float* cols, const LoweringGeometry& g, float* dst) {
+  col2im_strided(cols, g, g.col_cols(), dst);
+}
+
+void im2col_batched(const float* src, const LoweringGeometry& g, int batch,
+                    float* dst) {
+  ODENET_CHECK(batch > 0, "im2col_batched needs a non-empty batch");
+  const std::size_t sample =
+      static_cast<std::size_t>(g.channels) * g.height * g.width;
+  const std::size_t cc = g.col_cols();
+  const std::size_t row_stride = cc * static_cast<std::size_t>(batch);
+  util::parallel_for(0, static_cast<std::size_t>(batch), [&](std::size_t ni) {
+    im2col_strided(src + ni * sample, g, row_stride, dst + ni * cc);
+  });
+}
+
+void col2im_batched(const float* cols, const LoweringGeometry& g, int batch,
+                    float* dst) {
+  ODENET_CHECK(batch > 0, "col2im_batched needs a non-empty batch");
+  const std::size_t sample =
+      static_cast<std::size_t>(g.channels) * g.height * g.width;
+  const std::size_t cc = g.col_cols();
+  const std::size_t row_stride = cc * static_cast<std::size_t>(batch);
+  util::parallel_for(0, static_cast<std::size_t>(batch), [&](std::size_t ni) {
+    col2im_strided(cols + ni * cc, g, row_stride, dst + ni * sample);
+  });
+}
+
+void permute_channel_major(const float* src, float* dst, int batch,
+                           int channels, std::size_t plane, bool to_nchw) {
+  const std::size_t ncols = plane * static_cast<std::size_t>(batch);
+  util::parallel_for(0, static_cast<std::size_t>(batch), [&](std::size_t ni) {
+    for (int c = 0; c < channels; ++c) {
+      const std::size_t nchw =
+          (ni * static_cast<std::size_t>(channels) + c) * plane;
+      const std::size_t cmajor =
+          static_cast<std::size_t>(c) * ncols + ni * plane;
+      if (to_nchw) {
+        std::memcpy(dst + nchw, src + cmajor, plane * sizeof(float));
+      } else {
+        std::memcpy(dst + cmajor, src + nchw, plane * sizeof(float));
+      }
+    }
+  });
 }
 
 void gemm(const float* a, const float* b, float* c, int m, int k, int n,
@@ -89,6 +151,160 @@ void gemm_at(const float* a, const float* b, float* c, int m, int k, int n,
       if (av == 0.0f) continue;
       const float* brow = b + static_cast<std::size_t>(p) * n;
       for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  });
+}
+
+namespace {
+
+// Micro-kernel geometry: MR rows of A against an NR-wide column strip of
+// B, with the MR x NR output tile held in registers across the whole k
+// loop. 4 x 16 floats = 16 SSE / 8 AVX registers of accumulators — small
+// enough for the compiler to keep resident, big enough that each B load is
+// reused MR times.
+constexpr int kTileRows = 4;
+constexpr int kTileCols = 16;
+// Column-panel width (multiple of kTileCols): every row tile of A sweeps
+// one k x kPanelCols panel of B before the next panel is touched, so the
+// panel is streamed from memory once and re-read m/MR times from cache.
+// Without this, a batched im2col matrix (k ~ C*9, n ~ N*Ho*Wo, megabytes)
+// would be re-streamed from DRAM once per row tile. k * 256 floats ~ 0.6 MB
+// at the paper's largest lowering (k = 585).
+constexpr int kPanelCols = 256;
+
+}  // namespace
+
+void gemm_tiled(const float* a, const float* b, float* c, int m, int k, int n,
+                bool accumulate) {
+  ODENET_CHECK(m >= 0 && k >= 0 && n >= 0, "bad gemm dimensions");
+  const int panels = (n + kPanelCols - 1) / kPanelCols;
+  // Parallelism over column panels: disjoint C columns, one cache-resident
+  // B panel per task.
+  util::parallel_for(0, static_cast<std::size_t>(panels), [&](std::size_t pi) {
+    const int p0 = static_cast<int>(pi) * kPanelCols;
+    const int pn = std::min(kPanelCols, n - p0);
+    // Pack the panel's full-width column tiles into contiguous [k x NR]
+    // micro-panels (one sequential pass over B). Rows of a wide B sit one
+    // page apart, so sweeping them once per ROW TILE of A would touch k
+    // pages per sweep and thrash the TLB; packed, every micro-kernel read
+    // is sequential. Thread-local: recycled across calls, one per worker.
+    const int full_tiles = pn / kTileCols;
+    static thread_local std::vector<float> packed;
+    packed.resize(static_cast<std::size_t>(std::max(full_tiles, 1)) *
+                  static_cast<std::size_t>(std::max(k, 1)) * kTileCols);
+    for (int p = 0; p < k; ++p) {
+      const float* brow = b + static_cast<std::size_t>(p) * n + p0;
+      for (int jt = 0; jt < full_tiles; ++jt) {
+        float* dst = packed.data() +
+                     (static_cast<std::size_t>(jt) * k +
+                      static_cast<std::size_t>(p)) *
+                         kTileCols;
+        const float* srcp = brow + jt * kTileCols;
+        for (int j = 0; j < kTileCols; ++j) dst[j] = srcp[j];
+      }
+    }
+    for (int i0 = 0; i0 < m; i0 += kTileRows) {
+      const int mr = std::min(kTileRows, m - i0);
+      for (int jt = 0; jt < pn; jt += kTileCols) {
+        const int j0 = p0 + jt;
+        const int nr = std::min(kTileCols, pn - jt);
+        if (mr == kTileRows && nr == kTileCols) {
+          // Full tile: fixed-trip-count loops so the accumulator block
+          // stays in registers and the inner loop vectorizes.
+          float acc[kTileRows][kTileCols];
+          for (int i = 0; i < kTileRows; ++i) {
+            for (int j = 0; j < kTileCols; ++j) {
+              acc[i][j] = accumulate
+                              ? c[(i0 + i) * static_cast<std::size_t>(n) +
+                                  j0 + j]
+                              : 0.0f;
+            }
+          }
+          const float* bp = packed.data() +
+                            static_cast<std::size_t>(jt / kTileCols) * k *
+                                kTileCols;
+          for (int p = 0; p < k; ++p) {
+            const float* brow = bp + static_cast<std::size_t>(p) * kTileCols;
+            const float a0 = a[(i0 + 0) * static_cast<std::size_t>(k) + p];
+            const float a1 = a[(i0 + 1) * static_cast<std::size_t>(k) + p];
+            const float a2 = a[(i0 + 2) * static_cast<std::size_t>(k) + p];
+            const float a3 = a[(i0 + 3) * static_cast<std::size_t>(k) + p];
+            for (int j = 0; j < kTileCols; ++j) {
+              const float bv = brow[j];
+              acc[0][j] += a0 * bv;
+              acc[1][j] += a1 * bv;
+              acc[2][j] += a2 * bv;
+              acc[3][j] += a3 * bv;
+            }
+          }
+          for (int i = 0; i < kTileRows; ++i) {
+            float* crow = c + (i0 + i) * static_cast<std::size_t>(n) + j0;
+            for (int j = 0; j < kTileCols; ++j) crow[j] = acc[i][j];
+          }
+        } else {
+          // Ragged edge: same ascending-k summation order, scalar tile
+          // reading B in place (only the last <NR columns land here).
+          for (int i = 0; i < mr; ++i) {
+            const float* arow = a + (i0 + i) * static_cast<std::size_t>(k);
+            float* crow = c + (i0 + i) * static_cast<std::size_t>(n) + j0;
+            for (int j = 0; j < nr; ++j) {
+              float sum = accumulate ? crow[j] : 0.0f;
+              const float* bcol = b + j0 + j;
+              for (int p = 0; p < k; ++p) {
+                sum += arow[p] * bcol[static_cast<std::size_t>(p) * n];
+              }
+              crow[j] = sum;
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+namespace {
+
+/// Dot product over eight independent partial sums — the manual-unroll
+/// idiom the vectorizer turns into packed FMAs (a single-accumulator float
+/// reduction cannot be vectorized under strict FP semantics).
+inline float dot8(const float* x, const float* y, int k) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  float s4 = 0.0f, s5 = 0.0f, s6 = 0.0f, s7 = 0.0f;
+  int p = 0;
+  for (; p + 8 <= k; p += 8) {
+    s0 += x[p + 0] * y[p + 0];
+    s1 += x[p + 1] * y[p + 1];
+    s2 += x[p + 2] * y[p + 2];
+    s3 += x[p + 3] * y[p + 3];
+    s4 += x[p + 4] * y[p + 4];
+    s5 += x[p + 5] * y[p + 5];
+    s6 += x[p + 6] * y[p + 6];
+    s7 += x[p + 7] * y[p + 7];
+  }
+  float s = ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7));
+  for (; p < k; ++p) s += x[p] * y[p];
+  return s;
+}
+
+}  // namespace
+
+void gemm_bt_tiled(const float* a, const float* b, float* c, int m, int k,
+                   int n, bool accumulate) {
+  ODENET_CHECK(m >= 0 && k >= 0 && n >= 0, "bad gemm dimensions");
+  // Row quads: each 4-row tile of C streams the whole of B once; the four
+  // A rows (and the current B row) stay cache-hot across the tile.
+  const int row_tiles = (m + kTileRows - 1) / kTileRows;
+  util::parallel_for(0, static_cast<std::size_t>(row_tiles), [&](std::size_t t) {
+    const int i0 = static_cast<int>(t) * kTileRows;
+    const int mr = std::min(kTileRows, m - i0);
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<std::size_t>(j) * k;
+      for (int i = 0; i < mr; ++i) {
+        const float* arow = a + (i0 + i) * static_cast<std::size_t>(k);
+        float* cv = c + (i0 + i) * static_cast<std::size_t>(n) + j;
+        const float dot = dot8(arow, brow, k);
+        *cv = accumulate ? *cv + dot : dot;
+      }
     }
   });
 }

@@ -37,6 +37,27 @@ void im2col(const float* src, const LoweringGeometry& g, float* dst);
 /// dst must be zero-initialized by the caller (or hold a partial sum).
 void col2im(const float* cols, const LoweringGeometry& g, float* dst);
 
+/// Batched lowering: unfolds a whole [N,C,H,W] batch into ONE column
+/// matrix [col_rows(), N * col_cols()], sample n occupying the contiguous
+/// column block [n * col_cols(), (n+1) * col_cols()). Convolving the batch
+/// is then a single GEMM with the [Cout, C*K*K] weight view — the lowering
+/// the batched Conv2d fast path is built on. Parallelized over samples.
+void im2col_batched(const float* src, const LoweringGeometry& g, int batch,
+                    float* dst);
+
+/// Adjoint of im2col_batched: scatter-adds the batched column matrix back
+/// into a [N,C,H,W] buffer (which must be zero-initialized or hold a
+/// partial sum). Parallelized over samples (disjoint writes).
+void col2im_batched(const float* cols, const LoweringGeometry& g, int batch,
+                    float* dst);
+
+/// The layout change around a batched-lowering GEMM: copies between the
+/// channel-major matrix view [C, N*plane] (sample n in column block
+/// n*plane) and the sample-major NCHW view [N, C, plane]. to_nchw selects
+/// the direction; src and dst must not alias. Parallelized over samples.
+void permute_channel_major(const float* src, float* dst, int batch,
+                           int channels, std::size_t plane, bool to_nchw);
+
 /// C[m,n] (+)= A[m,k] * B[k,n], row-major. When accumulate is false C is
 /// overwritten. Parallelized over rows of C.
 void gemm(const float* a, const float* b, float* c, int m, int k, int n,
@@ -49,5 +70,25 @@ void gemm_at(const float* a, const float* b, float* c, int m, int k, int n,
 /// C[m,n] (+)= A[m,k] * B^T[k,n] where B is stored [n,k] row-major.
 void gemm_bt(const float* a, const float* b, float* c, int m, int k, int n,
              bool accumulate);
+
+/// Register-blocked A*B^T: same contract as gemm_bt() (C[m,n] (+)= A[m,k]
+/// * B^T with B stored [n,k] row-major) but row-quad tiled — each B row is
+/// streamed once per four rows of C instead of once per row, and every dot
+/// product runs over eight partial accumulators so it vectorizes. Used by
+/// the batched conv backward for dW, where k is the long n*Ho*Wo axis.
+/// Partial-sum order differs from gemm_bt (which accumulates in double);
+/// results agree to normal float tolerance.
+void gemm_bt_tiled(const float* a, const float* b, float* c, int m, int k,
+                   int n, bool accumulate);
+
+/// Register-blocked GEMM: same contract as gemm() (C[m,n] (+)= A[m,k] *
+/// B[k,n], row-major, accumulation over k in ascending order) but computed
+/// through an MR x NR micro-kernel that keeps an output tile in registers
+/// and reuses each loaded B row across MR rows of A. On the long column
+/// dimension of a batched im2col lowering (n = N*Ho*Wo) this cuts B-stream
+/// traffic and loop overhead by ~MR x versus the rank-1-update gemm(), which
+/// is what makes one big GEMM beat N small ones even on a single core.
+void gemm_tiled(const float* a, const float* b, float* c, int m, int k, int n,
+                bool accumulate);
 
 }  // namespace odenet::core

@@ -25,6 +25,54 @@ Network::Network(const NetworkSpec& spec, const SolverConfig& solver_cfg)
   for (const auto& s : spec.stages) {
     stages_.push_back(std::make_unique<Stage>(s, solver_cfg));
   }
+  // All convs share the network-owned lowering arena: one scratch buffer,
+  // sized by the largest conv of the net, recycled across every call.
+  set_scratch_arena(nullptr);
+}
+
+Network::Network(Network&& other) noexcept
+    : core::Layer(std::move(other)),
+      spec_(std::move(other.spec_)),
+      solver_cfg_(other.solver_cfg_),
+      name_(std::move(other.name_)),
+      float_exec_(std::move(other.float_exec_)),
+      arena_(std::move(other.arena_)),
+      external_arena_(other.external_arena_),
+      stem_conv_(std::move(other.stem_conv_)),
+      stem_bn_(std::move(other.stem_bn_)),
+      stem_relu_(std::move(other.stem_relu_)),
+      stages_(std::move(other.stages_)),
+      gap_(std::move(other.gap_)),
+      fc_(std::move(other.fc_)) {
+  // Convs still point at other's arena member; re-point them here (or at
+  // the still-valid external arena).
+  set_scratch_arena(external_arena_);
+}
+
+void Network::for_each_conv(const std::function<void(core::Conv2d&)>& fn) {
+  fn(stem_conv_);
+  for (auto& s : stages_) {
+    if (s->is_empty()) continue;
+    if (s->is_ode()) {
+      fn(s->ode()->block().conv1());
+      fn(s->ode()->block().conv2());
+    } else {
+      for (auto& b : s->blocks()) {
+        fn(b->conv1());
+        fn(b->conv2());
+      }
+    }
+  }
+}
+
+void Network::set_conv_algo(core::ConvAlgo algo) {
+  for_each_conv([algo](core::Conv2d& conv) { conv.set_algo(algo); });
+}
+
+void Network::set_scratch_arena(core::ScratchArena* arena) {
+  external_arena_ = arena;
+  core::ScratchArena* wired = arena != nullptr ? arena : &arena_;
+  for_each_conv([wired](core::Conv2d& conv) { conv.set_arena(wired); });
 }
 
 core::Tensor Network::stem_forward(const Tensor& x) {

@@ -21,6 +21,15 @@ class Network final : public core::Layer {
  public:
   Network(const NetworkSpec& spec, const SolverConfig& solver_cfg = {});
 
+  /// Moving a network re-points every conv at the moved-to scratch arena
+  /// (the arena's heap buffer travels with the move, but the convs hold a
+  /// pointer to the arena *object*, which does not). Copying is disabled —
+  /// build a second Network from the spec and load_weights instead.
+  Network(Network&& other) noexcept;
+  Network& operator=(Network&&) = delete;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
   const std::string& name() const override { return name_; }
   /// x: [N, in_ch, S, S] -> logits [N, classes]. Routes every stage through
   /// the built-in float executor (an empty StagePlan).
@@ -54,6 +63,28 @@ class Network final : public core::Layer {
   std::vector<std::unique_ptr<Stage>>& stages() { return stages_; }
   Stage* stage(StageId id);
 
+  /// Applies fn to every convolution of the network (stem + every block of
+  /// every stage) — the walk behind algo/arena rewiring.
+  void for_each_conv(const std::function<void(core::Conv2d&)>& fn);
+
+  /// Switches the software convolution algorithm of every conv layer
+  /// (batched im2col, per-sample im2col, or direct; see core::ConvAlgo).
+  void set_conv_algo(core::ConvAlgo algo);
+
+  /// Re-points every conv's lowering scratch: nullptr (the default wiring,
+  /// applied at construction) means the network-owned arena — so replicas
+  /// and trainers recycle one buffer across every conv call — while a
+  /// non-null arena lets an owner (e.g. an inference-engine arena pool)
+  /// substitute shared scratch per batch. The external arena is not owned
+  /// and must stay alive until rewired.
+  void set_scratch_arena(core::ScratchArena* arena);
+
+  /// The arena conv lowering currently draws from (owned unless an
+  /// external one is wired). Capacity/growth counters show scratch reuse.
+  const core::ScratchArena& scratch_arena() const {
+    return external_arena_ != nullptr ? *external_arena_ : arena_;
+  }
+
   /// Pieces of the forward pass, exposed so external executors (e.g. the
   /// PS/PL co-simulator in src/sched/system_sim.hpp) can interleave their
   /// own stage implementations with the network's stem and head.
@@ -69,6 +100,8 @@ class Network final : public core::Layer {
   SolverConfig solver_cfg_;
   std::string name_;
   FloatStageExecutor float_exec_;  // fallback for unplanned stages
+  core::ScratchArena arena_;  // default conv-lowering scratch (recycled)
+  core::ScratchArena* external_arena_ = nullptr;  // not owned
   core::Conv2d stem_conv_;
   core::BatchNorm2d stem_bn_;
   core::ReLU stem_relu_;

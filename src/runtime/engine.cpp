@@ -105,6 +105,7 @@ std::unique_ptr<InferenceEngine::Worker> InferenceEngine::build_worker(
   std::istringstream is(weight_blob);
   worker->net->load_weights(is);
   worker->net->set_training(false);
+  worker->net->set_conv_algo(cfg.conv_algo);
   if (cfg.per_image_batch_norm) {
     for (auto& stage : worker->net->stages()) {
       if (!stage->is_empty() && stage->is_ode()) {
@@ -256,6 +257,11 @@ void InferenceEngine::serve_batch(Backend& backend, Worker& worker,
   // promises resolve so a caller who saw every future settle also sees the
   // gauges back at zero.
   backend.in_flight.fetch_add(n, std::memory_order_relaxed);
+  // Conv-lowering scratch for this batch: a warm arena checked out from
+  // the backend pool, so replicas stop reallocating per request and idle
+  // workers hold no scratch. Restored before the lease returns the arena.
+  core::ArenaPool::Lease scratch = backend.arena_pool.acquire();
+  worker.net->set_scratch_arena(scratch.get());
   try {
     const auto& w = spec_.width;
     core::Tensor x({n, w.input_channels, w.input_size, w.input_size});
@@ -317,6 +323,7 @@ void InferenceEngine::serve_batch(Backend& backend, Worker& worker,
       }
     }
     backend.in_flight.fetch_sub(n, std::memory_order_relaxed);
+    worker.net->set_scratch_arena(nullptr);
     for (int i = 0; i < n; ++i) {
       batch[static_cast<std::size_t>(i)].promise.set_value(
           std::move(results[static_cast<std::size_t>(i)]));
@@ -324,6 +331,7 @@ void InferenceEngine::serve_batch(Backend& backend, Worker& worker,
   } catch (...) {
     // A failed batch fails each rider; the engine keeps serving.
     backend.in_flight.fetch_sub(n, std::memory_order_relaxed);
+    worker.net->set_scratch_arena(nullptr);
     for (auto& req : batch) {
       req.promise.set_exception(std::current_exception());
     }
@@ -350,6 +358,11 @@ std::size_t InferenceEngine::queue_depth(std::size_t index) const {
 int InferenceEngine::in_flight(std::size_t index) const {
   ODENET_CHECK(index < backends_.size(), "backend index out of range");
   return backends_[index]->in_flight.load(std::memory_order_relaxed);
+}
+
+std::size_t InferenceEngine::scratch_arenas(std::size_t index) const {
+  ODENET_CHECK(index < backends_.size(), "backend index out of range");
+  return backends_[index]->arena_pool.created();
 }
 
 double InferenceEngine::modeled_request_seconds(std::size_t index) const {

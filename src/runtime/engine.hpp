@@ -56,6 +56,11 @@ struct BackendConfig {
   /// backend (see sched/fpga_executor.hpp); kFpgaSim aligns its own
   /// offloaded stages regardless.
   bool per_image_batch_norm = false;
+  /// Software convolution algorithm of this backend's replicas. The
+  /// batched default turns each micro-batch into one im2col + one GEMM;
+  /// kIm2colPerSample restores the pre-batching path (kept for A/B
+  /// benchmarking).
+  core::ConvAlgo conv_algo = core::ConvAlgo::kIm2col;
 };
 
 struct EngineConfig {
@@ -113,6 +118,9 @@ class InferenceEngine {
   /// Live load gauges (the router's inputs, exposed for monitoring).
   std::size_t queue_depth(std::size_t index) const;
   int in_flight(std::size_t index) const;
+  /// Conv-scratch arenas a backend's pool has materialized — bounded by
+  /// its peak batch concurrency, not its worker count.
+  std::size_t scratch_arenas(std::size_t index) const;
   /// Modeled per-request service seconds of one backend, normalized by
   /// its worker count (sched::LatencyModel / CpuModel).
   double modeled_request_seconds(std::size_t index) const;
@@ -136,6 +144,11 @@ class InferenceEngine {
     std::set<models::StageId> offloaded;
     /// Modeled seconds to serve one request, / workers (router input).
     double modeled_request_seconds = 0.0;
+    /// Conv-lowering scratch, checked out per served batch: arenas are
+    /// created lazily on concurrent demand and recycled warm, so a
+    /// lightly-loaded backend with many workers keeps one warm arena
+    /// instead of one per replica.
+    core::ArenaPool arena_pool;
     std::unique_ptr<BatchQueue> queue;
     std::vector<std::unique_ptr<Worker>> workers;
     /// Requests popped from the queue but not yet completed.

@@ -43,6 +43,8 @@ EpochStats Trainer::train_epoch(data::DataLoader& loader, int epoch) {
   stats.train_accuracy = acc_mean.mean();
   stats.learning_rate = sgd_.learning_rate();
   stats.seconds = watch.seconds();
+  stats.scratch_floats = net_.scratch_arena().capacity();
+  stats.scratch_growths = net_.scratch_arena().growths();
   return stats;
 }
 

@@ -2,6 +2,8 @@
 // schedule as the default configuration.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 
 #include "data/dataloader.hpp"
@@ -18,6 +20,12 @@ struct EpochStats {
   double test_accuracy = 0.0;
   double learning_rate = 0.0;
   double seconds = 0.0;
+  /// Conv-lowering scratch after the epoch: capacity of the network's
+  /// recycled arena (floats) and how often it actually grew. Growth stops
+  /// after the first steps of the first epoch — the batched conv path
+  /// allocates nothing in the steady-state training loop.
+  std::size_t scratch_floats = 0;
+  std::uint64_t scratch_growths = 0;
 };
 
 struct TrainerConfig {

@@ -3,6 +3,7 @@
 // single dispatch loop, per-stage stats.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "models/executor.hpp"
@@ -148,6 +149,85 @@ TEST(Executor, RunStatsCoverEveryStageAndFoldPlCycles) {
       static_cast<std::uint64_t>(batch) * spec.executions *
       (per_exec + fpga::roundtrip_cycles(fwords, fwords));
   EXPECT_EQ(stats.pl_cycles(), expected);
+}
+
+TEST(Executor, BackendsAgreeOnBatchedInputAcrossConvAlgos) {
+  // Regression guard for the batched conv rewrite: on one multi-sample
+  // input, (a) the float plan is invariant to the conv algorithm (batched
+  // im2col vs per-sample vs direct — a layout bug in the batched lowering
+  // would show up here even if single-sample unit tests pass), and (b) the
+  // fixed and FPGA-sim plans still agree with the float plan within their
+  // established tolerances.
+  util::Rng rng(6);
+  models::Network net(models::make_spec(Arch::kROdeNet3, 14, tiny_width()));
+  net.init(rng);
+
+  sched::FpgaStageExecutor fpga(*net.stage(StageId::kLayer3_2),
+                                sched::FpgaStageExecutor::Config{});
+  net.set_training(false);
+  core::Tensor x = random_input(6, rng);
+
+  models::FloatStageExecutor float_exec;
+  models::StagePlan float_plan(&float_exec);
+  core::Tensor batched = net.forward_with(x, float_plan);
+
+  net.set_conv_algo(core::ConvAlgo::kIm2colPerSample);
+  core::Tensor per_sample = net.forward_with(x, float_plan);
+  ASSERT_TRUE(batched.same_shape(per_sample));
+  EXPECT_LT(max_abs_diff(batched, per_sample), 1e-4);
+
+  net.set_conv_algo(core::ConvAlgo::kDirect);
+  core::Tensor direct = net.forward_with(x, float_plan);
+  EXPECT_LT(max_abs_diff(batched, direct), 1e-4);
+
+  net.set_conv_algo(core::ConvAlgo::kIm2col);
+  models::FixedStageExecutor q20(20);
+  models::StagePlan fixed_plan(&q20);
+  core::Tensor fixed_out = net.forward_with(x, fixed_plan);
+  EXPECT_LT(max_abs_diff(batched, fixed_out), 1e-3);
+
+  // The accelerator normalizes per image, so its batch output is not
+  // comparable to float batch statistics — the invariant to guard instead
+  // is batching-invariance: the hybrid plan must give each image of the
+  // micro-batch exactly what it gives that image served alone (a layout
+  // bug in the batched conv of the non-offloaded stages would break
+  // this).
+  models::StagePlan hybrid_plan;  // float fallback, PL for layer3_2
+  hybrid_plan.assign(StageId::kLayer3_2, &fpga);
+  core::Tensor hybrid = net.forward_with(x, hybrid_plan);
+  const int classes = hybrid.dim(1);
+  const std::size_t stride = static_cast<std::size_t>(3) * 16 * 16;
+  for (int i : {0, 2, 5}) {
+    core::Tensor one({1, 3, 16, 16});
+    std::copy_n(x.data() + static_cast<std::size_t>(i) * stride, stride,
+                one.data());
+    core::Tensor single = net.forward_with(one, hybrid_plan);
+    for (int c = 0; c < classes; ++c) {
+      EXPECT_NEAR(hybrid.at2(i, c), single.at2(0, c), 1e-4)
+          << "image " << i << " class " << c;
+    }
+  }
+}
+
+TEST(Executor, SharedNetworkArenaStopsGrowingAcrossForwardPasses) {
+  // The network-owned scratch arena serves every conv of every stage;
+  // after one routed pass it is at its high-water mark and further passes
+  // (same batch size) never reallocate.
+  util::Rng rng(7);
+  models::Network net(models::make_spec(Arch::kROdeNet3, 14, tiny_width()));
+  net.init(rng);
+  net.set_training(false);
+
+  models::FloatStageExecutor float_exec;
+  models::StagePlan plan(&float_exec);
+  core::Tensor x = random_input(4, rng);
+  (void)net.forward_with(x, plan);
+  const std::size_t capacity = net.scratch_arena().capacity();
+  const std::uint64_t growths = net.scratch_arena().growths();
+  EXPECT_GT(capacity, 0u);
+  for (int i = 0; i < 3; ++i) (void)net.forward_with(x, plan);
+  EXPECT_EQ(net.scratch_arena().capacity(), capacity);
+  EXPECT_EQ(net.scratch_arena().growths(), growths);
 }
 
 TEST(Executor, ModeledCostHookReplacesMeasuredSeconds) {

@@ -444,9 +444,16 @@ TEST(InferenceEngine, StressManyProducersRoutedMixedPriorities) {
     priority_sum += ps.requests;
   }
   EXPECT_EQ(priority_sum, static_cast<std::uint64_t>(kTotal));
-  // Drained engine: gauges return to zero.
+  // Drained engine: gauges return to zero, and each backend's conv-scratch
+  // pool materialized at least one arena but never more than it has
+  // workers (arenas are created on concurrent demand, not per replica).
   for (std::size_t b = 0; b < engine.backend_count(); ++b) {
     EXPECT_EQ(engine.queue_depth(b), 0u);
     EXPECT_EQ(engine.in_flight(b), 0);
+    if (stats.backends[b].requests > 0) {
+      EXPECT_GE(engine.scratch_arenas(b), 1u);
+    }
+    EXPECT_LE(engine.scratch_arenas(b),
+              static_cast<std::size_t>(cfg.backends[b].workers));
   }
 }
