@@ -25,16 +25,17 @@ float* ScratchArena::alloc(std::size_t floats) {
 }
 
 ArenaPool::Lease::Lease(Lease&& other) noexcept
-    : pool_(other.pool_), arena_(std::move(other.arena_)) {
+    : pool_(other.pool_), slot_(other.slot_), arena_(std::move(other.arena_)) {
   other.pool_ = nullptr;
 }
 
 ArenaPool::Lease& ArenaPool::Lease::operator=(Lease&& other) noexcept {
   if (this != &other) {
     if (pool_ != nullptr && arena_ != nullptr) {
-      pool_->release(std::move(arena_));
+      pool_->release(slot_, std::move(arena_));
     }
     pool_ = other.pool_;
+    slot_ = other.slot_;
     arena_ = std::move(other.arena_);
     other.pool_ = nullptr;
   }
@@ -43,20 +44,21 @@ ArenaPool::Lease& ArenaPool::Lease::operator=(Lease&& other) noexcept {
 
 ArenaPool::Lease::~Lease() {
   if (pool_ != nullptr && arena_ != nullptr) {
-    pool_->release(std::move(arena_));
+    pool_->release(slot_, std::move(arena_));
   }
 }
 
 ArenaPool::Lease ArenaPool::acquire() {
   std::unique_lock<std::mutex> lock(mutex_);
   if (!idle_.empty()) {
-    std::unique_ptr<ScratchArena> arena = std::move(idle_.back());
+    IdleEntry entry = std::move(idle_.back());
     idle_.pop_back();
-    return Lease(this, std::move(arena));
+    return Lease(this, entry.slot, std::move(entry.arena));
   }
-  ++created_;
+  const std::size_t slot = created_++;
+  slots_.emplace_back();
   lock.unlock();
-  return Lease(this, std::make_unique<ScratchArena>());
+  return Lease(this, slot, std::make_unique<ScratchArena>());
 }
 
 std::size_t ArenaPool::created() const {
@@ -69,9 +71,26 @@ std::size_t ArenaPool::idle() const {
   return idle_.size();
 }
 
-void ArenaPool::release(std::unique_ptr<ScratchArena> arena) {
+std::size_t ArenaPool::capacity_floats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  idle_.push_back(std::move(arena));
+  std::size_t total = 0;
+  for (const Slot& s : slots_) total += s.capacity;
+  return total;
+}
+
+std::uint64_t ArenaPool::growth_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const Slot& s : slots_) total += s.growths;
+  return total;
+}
+
+void ArenaPool::release(std::size_t slot, std::unique_ptr<ScratchArena> arena) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& s = slots_[slot];
+  s.capacity = arena->capacity();
+  s.growths = arena->growths();
+  idle_.push_back(IdleEntry{slot, std::move(arena)});
 }
 
 }  // namespace odenet::core

@@ -101,10 +101,12 @@ class ArenaPool {
 
    private:
     friend class ArenaPool;
-    Lease(ArenaPool* pool, std::unique_ptr<ScratchArena> arena)
-        : pool_(pool), arena_(std::move(arena)) {}
+    Lease(ArenaPool* pool, std::size_t slot,
+          std::unique_ptr<ScratchArena> arena)
+        : pool_(pool), slot_(slot), arena_(std::move(arena)) {}
 
     ArenaPool* pool_ = nullptr;
+    std::size_t slot_ = 0;
     std::unique_ptr<ScratchArena> arena_;
   };
 
@@ -120,12 +122,30 @@ class ArenaPool {
   /// Arenas currently idle in the pool.
   std::size_t idle() const;
 
+  /// Aggregate telemetry over every arena the pool has created — the
+  /// resident conv-scratch footprint and how often any arena's buffer had
+  /// to grow. Currently-leased arenas are counted at their last check-in,
+  /// so the gauges trail an in-flight batch by one release.
+  std::size_t capacity_floats() const;
+  std::uint64_t growth_total() const;
+
  private:
   friend class Lease;
-  void release(std::unique_ptr<ScratchArena> arena);
+  void release(std::size_t slot, std::unique_ptr<ScratchArena> arena);
+
+  /// Telemetry of one created arena, refreshed every time it checks in.
+  struct Slot {
+    std::size_t capacity = 0;
+    std::uint64_t growths = 0;
+  };
+  struct IdleEntry {
+    std::size_t slot = 0;
+    std::unique_ptr<ScratchArena> arena;
+  };
 
   mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<ScratchArena>> idle_;
+  std::vector<IdleEntry> idle_;
+  std::vector<Slot> slots_;  // one per created arena
   std::size_t created_ = 0;
 };
 

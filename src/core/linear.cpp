@@ -1,5 +1,7 @@
 #include "core/linear.hpp"
 
+#include "core/im2col.hpp"
+
 namespace odenet::core {
 
 Linear::Linear(int in_features, int out_features, std::string name)
@@ -16,16 +18,16 @@ Tensor Linear::forward(const Tensor& x) {
   ODENET_CHECK(x.ndim() == 2 && x.dim(1) == in_,
                name_ << ": expected [N," << in_ << "], got " << x.shape_str());
   const int n = x.dim(0);
+  // out = X * W^T + b through the register-blocked NT kernel (W is stored
+  // [out, in], exactly gemm_bt_tiled's B layout): bias pre-fills each row
+  // and the GEMM accumulates on top.
   Tensor out({n, out_});
   for (int ni = 0; ni < n; ++ni) {
-    for (int o = 0; o < out_; ++o) {
-      double acc = bias_.value.at1(o);
-      const float* wrow = weight_.value.data() + static_cast<std::size_t>(o) * in_;
-      const float* xrow = x.data() + static_cast<std::size_t>(ni) * in_;
-      for (int i = 0; i < in_; ++i) acc += static_cast<double>(wrow[i]) * xrow[i];
-      out.at2(ni, o) = static_cast<float>(acc);
-    }
+    float* row = out.data() + static_cast<std::size_t>(ni) * out_;
+    for (int o = 0; o < out_; ++o) row[o] = bias_.value.at1(o);
   }
+  gemm_bt_tiled(x.data(), weight_.value.data(), out.data(), n, in_, out_,
+                /*accumulate=*/true);
   if (training_) cached_input_ = x;
   return out;
 }
@@ -39,28 +41,21 @@ Tensor Linear::backward(const Tensor& grad_out) {
                    grad_out.dim(1) == out_,
                name_ << ": grad shape " << grad_out.shape_str());
 
-  for (int o = 0; o < out_; ++o) {
-    float* gw = weight_.grad.data() + static_cast<std::size_t>(o) * in_;
-    double gb = 0.0;
-    for (int ni = 0; ni < n; ++ni) {
-      const float g = grad_out.at2(ni, o);
-      gb += g;
-      const float* xrow = x.data() + static_cast<std::size_t>(ni) * in_;
-      for (int i = 0; i < in_; ++i) gw[i] += g * xrow[i];
-    }
-    bias_.grad.at1(o) += static_cast<float>(gb);
+  // dW[out, in] += G^T[out, N] * X[N, in] (G stored [N, out] is gemm_at's
+  // A layout); db += column sums of G.
+  gemm_at(grad_out.data(), x.data(), weight_.grad.data(), out_, n, in_,
+          /*accumulate=*/true);
+  for (int ni = 0; ni < n; ++ni) {
+    const float* grow = grad_out.data() + static_cast<std::size_t>(ni) * out_;
+    for (int o = 0; o < out_; ++o) bias_.grad.at1(o) += grow[o];
   }
 
+  // dX[N, in] = G[N, out] * W[out, in] via the tiled NN kernel (grad_in is
+  // zero-initialized by the Tensor constructor; accumulate keeps the
+  // historical += contract).
   Tensor grad_in({n, in_});
-  for (int ni = 0; ni < n; ++ni) {
-    float* dst = grad_in.data() + static_cast<std::size_t>(ni) * in_;
-    for (int o = 0; o < out_; ++o) {
-      const float g = grad_out.at2(ni, o);
-      const float* wrow =
-          weight_.value.data() + static_cast<std::size_t>(o) * in_;
-      for (int i = 0; i < in_; ++i) dst[i] += g * wrow[i];
-    }
-  }
+  gemm_tiled(grad_out.data(), weight_.value.data(), grad_in.data(), n, out_,
+             in_, /*accumulate=*/true);
   return grad_in;
 }
 

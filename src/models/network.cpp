@@ -2,7 +2,7 @@
 
 #include "core/init.hpp"
 #include "core/softmax.hpp"
-#include "util/serialize.hpp"
+#include "models/snapshot.hpp"
 
 namespace odenet::models {
 
@@ -60,6 +60,23 @@ void Network::for_each_conv(const std::function<void(core::Conv2d&)>& fn) {
       for (auto& b : s->blocks()) {
         fn(b->conv1());
         fn(b->conv2());
+      }
+    }
+  }
+}
+
+void Network::for_each_batchnorm(
+    const std::function<void(core::BatchNorm2d&)>& fn) {
+  fn(stem_bn_);
+  for (auto& s : stages_) {
+    if (s->is_empty()) continue;
+    if (s->is_ode()) {
+      fn(s->ode()->block().bn1());
+      fn(s->ode()->block().bn2());
+    } else {
+      for (auto& b : s->blocks()) {
+        fn(b->bn1());
+        fn(b->bn2());
       }
     }
   }
@@ -180,80 +197,20 @@ Stage* Network::stage(StageId id) {
   return nullptr;
 }
 
+std::shared_ptr<const ModelSnapshot> Network::export_snapshot() {
+  return ModelSnapshot::capture(*this);
+}
+
+void Network::apply_snapshot(const ModelSnapshot& snapshot) {
+  snapshot.apply(*this);
+}
+
 void Network::save_weights(std::ostream& os) {
-  util::BinaryWriter w(os);
-  util::write_weights_header(w);
-  auto ps = params();
-  w.write_u64(ps.size());
-  for (core::Param* p : ps) {
-    w.write_string(p->name);
-    w.write_floats(p->value.storage());
-  }
-  // Running BN statistics travel with the checkpoint so that eval-mode
-  // inference after load matches eval-mode inference before save.
-  std::vector<core::BatchNorm2d*> bns;
-  bns.push_back(&stem_bn_);
-  for (auto& s : stages_) {
-    if (s->is_empty()) continue;
-    if (s->is_ode()) {
-      bns.push_back(&s->ode()->block().bn1());
-      bns.push_back(&s->ode()->block().bn2());
-    } else {
-      for (auto& b : s->blocks()) {
-        bns.push_back(&b->bn1());
-        bns.push_back(&b->bn2());
-      }
-    }
-  }
-  w.write_u64(bns.size());
-  for (core::BatchNorm2d* bn : bns) {
-    w.write_floats(bn->running_mean().storage());
-    w.write_floats(bn->running_var().storage());
-  }
+  export_snapshot()->save(os);
 }
 
 void Network::load_weights(std::istream& is) {
-  util::BinaryReader r(is);
-  util::read_weights_header(r);
-  auto ps = params();
-  const std::uint64_t n = r.read_u64();
-  ODENET_CHECK(n == ps.size(), name_ << ": checkpoint has " << n
-                                     << " params, network has " << ps.size());
-  for (core::Param* p : ps) {
-    const std::string pname = r.read_string();
-    ODENET_CHECK(pname == p->name,
-                 name_ << ": checkpoint param '" << pname
-                       << "' does not match network param '" << p->name << "'");
-    auto vals = r.read_floats();
-    ODENET_CHECK(vals.size() == p->value.numel(),
-                 name_ << ": size mismatch for " << pname);
-    p->value.storage() = std::move(vals);
-  }
-  std::vector<core::BatchNorm2d*> bns;
-  bns.push_back(&stem_bn_);
-  for (auto& s : stages_) {
-    if (s->is_empty()) continue;
-    if (s->is_ode()) {
-      bns.push_back(&s->ode()->block().bn1());
-      bns.push_back(&s->ode()->block().bn2());
-    } else {
-      for (auto& b : s->blocks()) {
-        bns.push_back(&b->bn1());
-        bns.push_back(&b->bn2());
-      }
-    }
-  }
-  const std::uint64_t nb = r.read_u64();
-  ODENET_CHECK(nb == bns.size(), name_ << ": checkpoint BN count mismatch");
-  for (core::BatchNorm2d* bn : bns) {
-    auto mean = r.read_floats();
-    auto var = r.read_floats();
-    ODENET_CHECK(mean.size() == bn->running_mean().numel() &&
-                     var.size() == bn->running_var().numel(),
-                 name_ << ": BN stat size mismatch");
-    bn->running_mean().storage() = std::move(mean);
-    bn->running_var().storage() = std::move(var);
-  }
+  ModelSnapshot::load(is)->apply(*this);
 }
 
 }  // namespace odenet::models

@@ -17,6 +17,8 @@
 
 namespace odenet::models {
 
+class ModelSnapshot;
+
 class Network final : public core::Layer {
  public:
   Network(const NetworkSpec& spec, const SolverConfig& solver_cfg = {});
@@ -67,6 +69,11 @@ class Network final : public core::Layer {
   /// every stage) — the walk behind algo/arena rewiring.
   void for_each_conv(const std::function<void(core::Conv2d&)>& fn);
 
+  /// Applies fn to every batch norm (stem + both BNs of every block of
+  /// every stage), in the fixed walk order snapshots and checkpoints rely
+  /// on.
+  void for_each_batchnorm(const std::function<void(core::BatchNorm2d&)>& fn);
+
   /// Switches the software convolution algorithm of every conv layer
   /// (batched im2col, per-sample im2col, or direct; see core::ConvAlgo).
   void set_conv_algo(core::ConvAlgo algo);
@@ -91,7 +98,19 @@ class Network final : public core::Layer {
   Tensor stem_forward(const Tensor& x);
   Tensor head_forward(const Tensor& features);
 
-  /// Checkpoint I/O (binary format, see util/serialize.hpp).
+  /// Freezes the current weights + BN statistics into an immutable,
+  /// versioned ModelSnapshot — the unit every consumer (engine replicas,
+  /// accelerator BRAM images, checkpoints) shares instead of holding a
+  /// private frozen copy. See models/snapshot.hpp.
+  std::shared_ptr<const ModelSnapshot> export_snapshot();
+
+  /// Overwrites parameters and BN statistics from a snapshot; throws
+  /// odenet::Error when the snapshot does not fit this architecture.
+  void apply_snapshot(const ModelSnapshot& snapshot);
+
+  /// Checkpoint I/O — thin wrappers over export_snapshot()/apply_snapshot()
+  /// (binary format, see util/serialize.hpp; load accepts both the
+  /// versioned v2 snapshot format and legacy v1 blobs).
   void save_weights(std::ostream& os);
   void load_weights(std::istream& is);
 

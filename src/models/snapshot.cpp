@@ -1,0 +1,232 @@
+#include "models/snapshot.hpp"
+
+#include <atomic>
+#include <sstream>
+
+#include "models/network.hpp"
+#include "util/serialize.hpp"
+
+namespace odenet::models {
+
+namespace {
+
+/// Process-wide version source. 0 is reserved ("no version"); the first
+/// capture gets 1.
+std::atomic<std::uint64_t> g_next_version{0};
+
+std::uint64_t take_next_version() {
+  return g_next_version.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+Arch arch_from_name(const std::string& name) {
+  for (Arch a : all_archs()) {
+    if (arch_name(a) == name) return a;
+  }
+  ODENET_CHECK(false, "snapshot names unknown architecture '" << name << "'");
+  return Arch::kResNet;  // unreachable
+}
+
+template <typename E>
+E enum_from_u32(std::uint32_t v, std::uint32_t count, const char* what) {
+  ODENET_CHECK(v < count, "snapshot has invalid " << what << " value " << v);
+  return static_cast<E>(v);
+}
+
+}  // namespace
+
+ModelSnapshot::Ptr ModelSnapshot::capture(Network& net) {
+  auto snap = std::shared_ptr<ModelSnapshot>(new ModelSnapshot());
+  snap->version_ = take_next_version();
+  snap->has_spec_ = true;
+  snap->spec_ = net.spec();
+  snap->solver_cfg_ = net.solver_config();
+  for (core::Param* p : net.params()) {
+    snap->params_.push_back({p->name, p->value.storage()});
+  }
+  net.for_each_batchnorm([&snap](core::BatchNorm2d& bn) {
+    snap->bns_.push_back(
+        {bn.running_mean().storage(), bn.running_var().storage()});
+  });
+  return snap;
+}
+
+const NetworkSpec& ModelSnapshot::spec() const {
+  ODENET_CHECK(has_spec_,
+               "snapshot carries no architecture descriptor (legacy v1 "
+               "checkpoint)");
+  return spec_;
+}
+
+const SolverConfig& ModelSnapshot::solver_config() const {
+  ODENET_CHECK(has_spec_,
+               "snapshot carries no architecture descriptor (legacy v1 "
+               "checkpoint)");
+  return solver_cfg_;
+}
+
+void ModelSnapshot::check_compatible(const NetworkSpec& other) const {
+  ODENET_CHECK(has_spec_,
+               "cannot spec-check a legacy v1 snapshot; re-export it via "
+               "ModelSnapshot::save");
+  ODENET_CHECK(spec_.arch == other.arch && spec_.n == other.n,
+               "snapshot is " << arch_name(spec_.arch) << "-" << spec_.n
+                              << ", network is " << arch_name(other.arch)
+                              << "-" << other.n);
+  const WidthConfig& a = spec_.width;
+  const WidthConfig& b = other.width;
+  ODENET_CHECK(a.input_channels == b.input_channels &&
+                   a.input_size == b.input_size &&
+                   a.base_channels == b.base_channels &&
+                   a.num_classes == b.num_classes,
+               "snapshot width config (in " << a.input_channels << "x"
+                                            << a.input_size << ", base "
+                                            << a.base_channels << ", classes "
+                                            << a.num_classes
+                                            << ") does not match network");
+}
+
+void ModelSnapshot::check_same_signature(const ModelSnapshot& other) const {
+  ODENET_CHECK(params_.size() == other.params_.size(),
+               "snapshot payload mismatch: " << other.params_.size()
+                                             << " params, expected "
+                                             << params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    ODENET_CHECK(params_[i].name == other.params_[i].name,
+                 "snapshot payload mismatch: param '"
+                     << other.params_[i].name << "', expected '"
+                     << params_[i].name << "'");
+    ODENET_CHECK(params_[i].values.size() == other.params_[i].values.size(),
+                 "snapshot payload mismatch: size of " << params_[i].name);
+  }
+  ODENET_CHECK(bns_.size() == other.bns_.size(),
+               "snapshot payload mismatch: BN count");
+  for (std::size_t i = 0; i < bns_.size(); ++i) {
+    ODENET_CHECK(bns_[i].mean.size() == other.bns_[i].mean.size() &&
+                     bns_[i].var.size() == other.bns_[i].var.size(),
+                 "snapshot payload mismatch: BN stat sizes");
+  }
+}
+
+std::size_t ModelSnapshot::param_floats() const {
+  std::size_t total = 0;
+  for (const auto& p : params_) total += p.values.size();
+  return total;
+}
+
+void ModelSnapshot::save(std::ostream& os) const {
+  // Every v2 file must be spec-checkable, so a legacy v1 image (no
+  // descriptor) cannot be re-exported directly. Checked before any byte
+  // is written — a throw must not leave a v2 header on the stream.
+  ODENET_CHECK(has_spec_,
+               "cannot save a legacy v1 snapshot as v2 without a spec; "
+               "apply it to a network and re-capture instead");
+  util::BinaryWriter w(os);
+  util::write_weights_header(w, util::kSnapshotVersion);
+  w.write_string(arch_name(spec_.arch));
+  w.write_u32(static_cast<std::uint32_t>(spec_.n));
+  w.write_u32(static_cast<std::uint32_t>(spec_.width.input_channels));
+  w.write_u32(static_cast<std::uint32_t>(spec_.width.input_size));
+  w.write_u32(static_cast<std::uint32_t>(spec_.width.base_channels));
+  w.write_u32(static_cast<std::uint32_t>(spec_.width.num_classes));
+  w.write_u32(static_cast<std::uint32_t>(solver_cfg_.method));
+  w.write_u32(static_cast<std::uint32_t>(solver_cfg_.gradient));
+  w.write_u32(static_cast<std::uint32_t>(solver_cfg_.time_span));
+  w.write_f64(solver_cfg_.rtol);
+  w.write_f64(solver_cfg_.atol);
+  w.write_u64(version_);
+  // v1-compatible payload: params then BN running statistics.
+  w.write_u64(params_.size());
+  for (const auto& p : params_) {
+    w.write_string(p.name);
+    w.write_floats(p.values);
+  }
+  w.write_u64(bns_.size());
+  for (const auto& bn : bns_) {
+    w.write_floats(bn.mean);
+    w.write_floats(bn.var);
+  }
+}
+
+ModelSnapshot::Ptr ModelSnapshot::load(std::istream& is) {
+  util::BinaryReader r(is);
+  const std::uint32_t format = util::read_weights_header(r);
+  auto snap = std::shared_ptr<ModelSnapshot>(new ModelSnapshot());
+  if (format == util::kSnapshotVersion) {
+    snap->has_spec_ = true;
+    WidthConfig width;
+    const Arch arch = arch_from_name(r.read_string());
+    const int n = static_cast<int>(r.read_u32());
+    width.input_channels = static_cast<int>(r.read_u32());
+    width.input_size = static_cast<int>(r.read_u32());
+    width.base_channels = static_cast<int>(r.read_u32());
+    width.num_classes = static_cast<int>(r.read_u32());
+    snap->spec_ = make_spec(arch, n, width);
+    snap->solver_cfg_.method =
+        enum_from_u32<solver::Method>(r.read_u32(), 4, "solver method");
+    snap->solver_cfg_.gradient =
+        enum_from_u32<GradientMode>(r.read_u32(), 2, "gradient mode");
+    snap->solver_cfg_.time_span =
+        enum_from_u32<TimeSpan>(r.read_u32(), 2, "time span");
+    snap->solver_cfg_.rtol = r.read_f64();
+    snap->solver_cfg_.atol = r.read_f64();
+    snap->saved_version_ = r.read_u64();
+    ODENET_CHECK(snap->saved_version_ > 0, "snapshot has invalid version 0");
+  }
+  // A fresh local id either way: ids from other processes share this
+  // numbering only by accident, and a collision would let a reload() be
+  // mistaken for the already-live image.
+  snap->version_ = take_next_version();
+  const std::uint64_t np = r.read_u64();
+  ODENET_CHECK(np < (1ULL << 20), "unreasonable param count " << np);
+  snap->params_.reserve(np);
+  for (std::uint64_t i = 0; i < np; ++i) {
+    TensorRecord rec;
+    rec.name = r.read_string();
+    rec.values = r.read_floats();
+    snap->params_.push_back(std::move(rec));
+  }
+  const std::uint64_t nb = r.read_u64();
+  ODENET_CHECK(nb < (1ULL << 20), "unreasonable BN count " << nb);
+  snap->bns_.reserve(nb);
+  for (std::uint64_t i = 0; i < nb; ++i) {
+    BnRecord rec;
+    rec.mean = r.read_floats();
+    rec.var = r.read_floats();
+    snap->bns_.push_back(std::move(rec));
+  }
+  return snap;
+}
+
+void ModelSnapshot::apply(Network& net) const {
+  if (has_spec_) check_compatible(net.spec());
+  auto ps = net.params();
+  ODENET_CHECK(params_.size() == ps.size(),
+               net.name() << ": snapshot has " << params_.size()
+                          << " params, network has " << ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const TensorRecord& rec = params_[i];
+    core::Param* p = ps[i];
+    ODENET_CHECK(rec.name == p->name,
+                 net.name() << ": snapshot param '" << rec.name
+                            << "' does not match network param '" << p->name
+                            << "'");
+    ODENET_CHECK(rec.values.size() == p->value.numel(),
+                 net.name() << ": size mismatch for " << rec.name);
+    p->value.storage() = rec.values;
+  }
+  std::size_t bi = 0;
+  net.for_each_batchnorm([this, &bi, &net](core::BatchNorm2d& bn) {
+    ODENET_CHECK(bi < bns_.size(),
+                 net.name() << ": snapshot BN count mismatch");
+    const BnRecord& rec = bns_[bi++];
+    ODENET_CHECK(rec.mean.size() == bn.running_mean().numel() &&
+                     rec.var.size() == bn.running_var().numel(),
+                 net.name() << ": BN stat size mismatch");
+    bn.running_mean().storage() = rec.mean;
+    bn.running_var().storage() = rec.var;
+  });
+  ODENET_CHECK(bi == bns_.size(), net.name()
+                                      << ": snapshot BN count mismatch");
+}
+
+}  // namespace odenet::models

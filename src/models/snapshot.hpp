@@ -1,0 +1,115 @@
+// Immutable, versioned model weight images — the unit of weight ownership
+// for everything that serves a network.
+//
+// A ModelSnapshot freezes one network's trainable parameters and BatchNorm
+// running statistics under a process-wide monotonically increasing version
+// id. Consumers (inference-engine replicas, accelerator BRAM images,
+// checkpoint files) hold a shared_ptr<const ModelSnapshot> instead of a
+// private frozen copy, so a retrained model is published by swapping one
+// pointer: the old version stays alive for whoever is mid-batch on it and
+// dies with its last reference. This is what makes zero-downtime weight
+// hot-swap (runtime::InferenceEngine::reload) possible — the engine never
+// has to drain to move to a new model.
+//
+// Snapshots serialize as checkpoint format v2 (util/serialize.hpp): the v1
+// weight blob preceded by an architecture descriptor + solver settings +
+// the version id. load() also accepts legacy v1 blobs, which carry no
+// descriptor — such snapshots can still be applied to a matching network
+// (param names/shapes are validated) but cannot be spec-checked up front.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/architecture.hpp"
+#include "models/stage.hpp"
+
+namespace odenet::models {
+
+class Network;
+
+class ModelSnapshot {
+ public:
+  using Ptr = std::shared_ptr<const ModelSnapshot>;
+
+  /// One named parameter tensor, flattened.
+  struct TensorRecord {
+    std::string name;
+    std::vector<float> values;
+  };
+  /// Running statistics of one BatchNorm2d, in network walk order.
+  struct BnRecord {
+    std::vector<float> mean;
+    std::vector<float> var;
+  };
+
+  /// Freezes `net`'s current weights under the next global version id.
+  static Ptr capture(Network& net);
+
+  /// Reads a checkpoint (format v1 or v2). The loaded snapshot is
+  /// assigned a fresh process-local version id — ids written by other
+  /// processes share one numbering only by accident, so they are kept as
+  /// provenance (saved_version()) rather than adopted; this is what
+  /// makes version equality mean image identity within a process. Throws
+  /// odenet::Error on malformed input.
+  static Ptr load(std::istream& is);
+
+  /// Version ids are process-local, unique and strictly increasing
+  /// across capture()/load() calls, so within a process equal version ids
+  /// imply the same weight image; 0 is never a valid version.
+  std::uint64_t version() const { return version_; }
+  /// The version id the checkpoint was saved under in its originating
+  /// process (0 for fresh captures and legacy v1 files) — provenance
+  /// only, never used for swap coordination.
+  std::uint64_t saved_version() const { return saved_version_; }
+
+  /// False for snapshots loaded from legacy v1 checkpoints, which carry no
+  /// architecture descriptor.
+  bool has_spec() const { return has_spec_; }
+  /// The captured network's architecture; only valid when has_spec().
+  const NetworkSpec& spec() const;
+  const SolverConfig& solver_config() const;
+
+  /// Throws odenet::Error unless this snapshot fits a network built from
+  /// `spec` (same architecture, depth and width). Legacy v1 snapshots
+  /// without a descriptor are rejected — re-export them through save().
+  void check_compatible(const NetworkSpec& spec) const;
+
+  /// Throws odenet::Error unless `other` carries the identical parameter
+  /// and BN signature (count, names, sizes) as this snapshot. The engine
+  /// checks a publish against its live image with this, so a snapshot
+  /// whose payload disagrees with its own spec header (corrupt or
+  /// cross-revision file) can never reach a worker-thread apply.
+  void check_same_signature(const ModelSnapshot& other) const;
+
+  /// Writes checkpoint format v2.
+  void save(std::ostream& os) const;
+
+  /// Overwrites `net`'s parameters and BN statistics with this image.
+  /// Validates the architecture descriptor (when present) and every param
+  /// name/size; throws odenet::Error on any mismatch, leaving partial
+  /// state only on the (structurally impossible after validation) tail
+  /// mismatch.
+  void apply(Network& net) const;
+
+  const std::vector<TensorRecord>& params() const { return params_; }
+  const std::vector<BnRecord>& bn_stats() const { return bns_; }
+  /// Total floats across parameter tensors (telemetry / bench sizing).
+  std::size_t param_floats() const;
+
+ private:
+  ModelSnapshot() = default;
+
+  std::uint64_t version_ = 0;
+  std::uint64_t saved_version_ = 0;  // provenance from the file, if any
+  bool has_spec_ = false;
+  NetworkSpec spec_{};
+  SolverConfig solver_cfg_{};
+  std::vector<TensorRecord> params_;
+  std::vector<BnRecord> bns_;
+};
+
+}  // namespace odenet::models

@@ -18,10 +18,16 @@ std::size_t lane_index(Priority p) {
 
 }  // namespace
 
-BatchQueue::BatchQueue(int max_batch, std::chrono::microseconds max_delay)
-    : max_batch_(max_batch), max_delay_(max_delay) {
+BatchQueue::BatchQueue(int max_batch, std::chrono::microseconds max_delay,
+                       int promote_after_factor)
+    : max_batch_(max_batch),
+      max_delay_(max_delay),
+      promote_after_factor_(promote_after_factor) {
   ODENET_CHECK(max_batch >= 1, "batch queue needs max_batch >= 1, got "
                                    << max_batch);
+  ODENET_CHECK(promote_after_factor >= 0,
+               "promote_after_factor must be >= 0, got "
+                   << promote_after_factor);
 }
 
 bool BatchQueue::push(PendingRequest&& req) {
@@ -45,7 +51,9 @@ void BatchQueue::reap_expired_locked(Clock::time_point now) {
         ++it;
         continue;
       }
-      timeouts_[static_cast<std::size_t>(p)] += 1;
+      // Keyed by the ORIGINAL class: promotion moves a request between
+      // lanes but never re-labels it.
+      timeouts_[lane_index(it->cls.priority)] += 1;
       --size_;
       std::ostringstream os;
       os << "request deadline exceeded after "
@@ -56,6 +64,33 @@ void BatchQueue::reap_expired_locked(Clock::time_point now) {
       it->promise.set_exception(
           std::make_exception_ptr(DeadlineExceeded(os.str())));
       it = lane.erase(it);
+    }
+  }
+}
+
+void BatchQueue::promote_aged_locked(Clock::time_point now) {
+  if (promote_after_factor_ <= 0) return;
+  const auto threshold = promote_after_factor_ * max_delay_;
+  // A zero flush delay would make every request instantly "aged";
+  // immediate-flush queues stay strict-priority instead.
+  if (threshold <= std::chrono::microseconds::zero()) return;
+  // Higher source lane first, so a request promoted low->normal is not
+  // re-promoted normal->high within the same scan (it can climb again on a
+  // later pop while it keeps waiting).
+  for (int p = kPriorityLevels - 2; p >= 0; --p) {
+    auto& lane = lanes_[static_cast<std::size_t>(p)];
+    auto& up = lanes_[static_cast<std::size_t>(p + 1)];
+    for (auto it = lane.begin(); it != lane.end();) {
+      if (now - it->enqueued_at < threshold) {
+        ++it;
+        continue;
+      }
+      // Tail of the next lane up: ahead of every future arrival of that
+      // class, behind the ones already waiting; relative order among
+      // promoted requests is preserved.
+      up.push_back(std::move(*it));
+      it = lane.erase(it);
+      ++promotions_;
     }
   }
 }
@@ -84,6 +119,7 @@ bool BatchQueue::pop_batch(std::vector<PendingRequest>& out) {
   for (;;) {
     cv_.wait(lock, [&] { return closed_ || size_ > 0; });
     reap_expired_locked(Clock::now());
+    promote_aged_locked(Clock::now());
     if (size_ == 0) {
       if (closed_) return false;  // closed and drained
       continue;                   // everything pending had expired
@@ -152,6 +188,11 @@ std::uint64_t BatchQueue::timeout_total() const {
   std::uint64_t total = 0;
   for (const auto t : timeouts_) total += t;
   return total;
+}
+
+std::uint64_t BatchQueue::promotion_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return promotions_;
 }
 
 }  // namespace odenet::runtime

@@ -13,10 +13,17 @@
 //  - Three Priority classes; a popped batch takes high before normal
 //    before low, FIFO within each class. The flush timer runs off the
 //    oldest request of ANY class, so a lone low-priority request still
-//    flushes within max_delay — but priority is strict: under sustained
-//    high-priority load that keeps every batch full, lower classes wait
-//    until the pressure clears (attach a deadline to bound the wait;
-//    aging/promotion is a ROADMAP item).
+//    flushes within max_delay.
+//  - Aging/promotion (the starvation bound): with promote_after_factor k
+//    > 0, a request queued longer than k×max_delay is promoted one
+//    priority class in pop order (it physically moves to the tail of the
+//    next lane up, so it goes ahead of every *future* higher-priority
+//    arrival but behind the ones already waiting). A request that keeps
+//    waiting keeps climbing (one class per pop scan once past the
+//    threshold), so sustained high-priority saturation delays lower
+//    classes by roughly k flush windows instead of forever.
+//    Promotion changes scheduling only — the request completes (and is
+//    accounted) under its original class. k == 0 disables aging.
 //  - Per-request deadlines (RequestClass::deadline): a request still
 //    queued when its deadline passes is removed, its promise failed with
 //    DeadlineExceeded, and a per-priority timeout counter bumped — it
@@ -37,7 +44,8 @@ namespace odenet::runtime {
 
 class BatchQueue {
  public:
-  BatchQueue(int max_batch, std::chrono::microseconds max_delay);
+  BatchQueue(int max_batch, std::chrono::microseconds max_delay,
+             int promote_after_factor = 0);
 
   /// Enqueues one request. Returns false (and leaves `req` untouched
   /// semantically — the caller still owns the promise) when the queue has
@@ -58,15 +66,23 @@ class BatchQueue {
   bool closed() const;
   std::size_t size() const;
 
-  /// Requests rejected with DeadlineExceeded, cumulative.
+  /// Requests rejected with DeadlineExceeded, cumulative (keyed by the
+  /// request's original priority class, even after promotion).
   std::uint64_t timeout_count(Priority p) const;
   std::uint64_t timeout_total() const;
+
+  /// Anti-starvation promotions performed, cumulative (a request promoted
+  /// twice — low to normal to high — counts twice).
+  std::uint64_t promotion_total() const;
 
  private:
   /// Fails and removes every request whose deadline has passed. Promises
   /// are completed under the lock — std::promise::set_exception only
   /// stores and wakes, it runs no user code. Caller holds mutex_.
   void reap_expired_locked(Clock::time_point now);
+  /// Moves requests queued longer than promote_after_factor×max_delay one
+  /// lane up (no-op when aging is disabled). Caller holds mutex_.
+  void promote_aged_locked(Clock::time_point now);
   /// Earliest enqueue time across all classes. Caller holds mutex_;
   /// requires size_ > 0.
   Clock::time_point oldest_enqueue_locked() const;
@@ -76,6 +92,8 @@ class BatchQueue {
 
   const int max_batch_;
   const std::chrono::microseconds max_delay_;
+  /// Aging threshold factor k: promote after k×max_delay queued. 0 = off.
+  const int promote_after_factor_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
@@ -83,6 +101,7 @@ class BatchQueue {
   std::array<std::deque<PendingRequest>, kPriorityLevels> lanes_;
   std::size_t size_ = 0;
   std::array<std::uint64_t, kPriorityLevels> timeouts_{};
+  std::uint64_t promotions_ = 0;
   bool closed_ = false;
 };
 

@@ -18,16 +18,24 @@ double seconds_between(Clock::time_point from, Clock::time_point to) {
 
 InferenceEngine::InferenceEngine(models::Network& prototype,
                                  const EngineConfig& cfg)
-    : cfg_(cfg), spec_(prototype.spec()),
-      solver_cfg_(prototype.solver_config()) {
+    : InferenceEngine(prototype.export_snapshot(), cfg) {}
+
+InferenceEngine::InferenceEngine(models::ModelSnapshot::Ptr snapshot,
+                                 const EngineConfig& cfg)
+    : cfg_(cfg) {
+  ODENET_CHECK(snapshot != nullptr, "engine needs a model snapshot");
+  ODENET_CHECK(snapshot->has_spec(),
+               "engine needs a spec-carrying snapshot (v2); re-export "
+               "legacy v1 checkpoints through a network");
+  spec_ = snapshot->spec();
+  solver_cfg_ = snapshot->solver_config();
+  snapshot_ = std::move(snapshot);
+  active_version_.store(snapshot_->version(), std::memory_order_release);
   ODENET_CHECK(!cfg_.backends.empty(), "engine needs at least one backend");
   ODENET_CHECK(cfg_.static_backend < cfg_.backends.size(),
                "static_backend " << cfg_.static_backend
                                  << " out of range (have "
                                  << cfg_.backends.size() << " backends)");
-  std::ostringstream weights;
-  prototype.save_weights(weights);
-  const std::string blob = weights.str();
 
   const sched::LatencyModel latency_model;
   std::size_t total_workers = 0;
@@ -37,8 +45,8 @@ InferenceEngine::InferenceEngine(models::Network& prototype,
     backend->cfg = bc;
     backend->label = core::backend_name(bc.backend);
     backend->index = backends_.size();
-    backend->queue =
-        std::make_unique<BatchQueue>(cfg_.max_batch, cfg_.max_delay);
+    backend->queue = std::make_unique<BatchQueue>(
+        cfg_.max_batch, cfg_.max_delay, cfg_.promote_after_factor);
     backend->stats.backend = bc.backend;
     if (bc.backend == core::ExecBackend::kFpgaSim) {
       backend->offloaded = bc.offloaded;
@@ -64,7 +72,7 @@ InferenceEngine::InferenceEngine(models::Network& prototype,
         latency_model.batch_seconds(spec_, partition, 1) /
         static_cast<double>(bc.workers);
     for (int w = 0; w < bc.workers; ++w) {
-      backend->workers.push_back(build_worker(*backend, blob));
+      backend->workers.push_back(build_worker(*backend, *snapshot_));
     }
     total_workers += static_cast<std::size_t>(bc.workers);
     backends_.push_back(std::move(backend));
@@ -98,12 +106,12 @@ InferenceEngine::InferenceEngine(models::Network& prototype,
 InferenceEngine::~InferenceEngine() { shutdown(); }
 
 std::unique_ptr<InferenceEngine::Worker> InferenceEngine::build_worker(
-    const Backend& backend, const std::string& weight_blob) {
+    const Backend& backend, const models::ModelSnapshot& snapshot) {
   const BackendConfig& cfg = backend.cfg;
   auto worker = std::make_unique<Worker>();
   worker->net = std::make_unique<models::Network>(spec_, solver_cfg_);
-  std::istringstream is(weight_blob);
-  worker->net->load_weights(is);
+  worker->net->apply_snapshot(snapshot);
+  worker->applied_version = snapshot.version();
   worker->net->set_training(false);
   worker->net->set_conv_algo(cfg.conv_algo);
   if (cfg.per_image_batch_norm) {
@@ -130,11 +138,12 @@ std::unique_ptr<InferenceEngine::Worker> InferenceEngine::build_worker(
         ODENET_CHECK(stage != nullptr, "cannot offload absent stage "
                                            << models::stage_name(id));
         auto exec = std::make_unique<sched::FpgaStageExecutor>(
-            *stage,
-            sched::FpgaStageExecutor::Config{.parallelism = cfg.parallelism,
-                                             .clock_mhz = cfg.pl_clock_mhz,
-                                             .axi = cfg.axi,
-                                             .frac_bits = cfg.frac_bits});
+            *stage, sched::FpgaStageExecutor::Config{
+                        .parallelism = cfg.parallelism,
+                        .clock_mhz = cfg.pl_clock_mhz,
+                        .axi = cfg.axi,
+                        .frac_bits = cfg.frac_bits,
+                        .snapshot_version = snapshot.version()});
         worker->plan.assign(id, exec.get());
         worker->fpga_execs.push_back(std::move(exec));
       }
@@ -245,8 +254,74 @@ std::vector<std::future<InferenceResult>> InferenceEngine::submit_batch(
 void InferenceEngine::worker_loop(Backend& backend, Worker& worker) {
   std::vector<PendingRequest> batch;
   while (backend.queue->pop_batch(batch)) {
+    // Hot-swap point: between micro-batches, never inside one. A batch
+    // popped before a reload() may still re-sync here — it has not started
+    // computing, so "in-flight finishes on the old version" holds.
+    sync_worker(backend, worker);
     serve_batch(backend, worker, batch);
   }
+}
+
+void InferenceEngine::sync_worker(Backend& backend, Worker& worker) {
+  if (active_version_.load(std::memory_order_acquire) ==
+      worker.applied_version) {
+    return;  // fast path: no mutex on the steady-state serve loop
+  }
+  models::ModelSnapshot::Ptr snap;
+  {
+    std::lock_guard<std::mutex> lock(model_mutex_);
+    snap = snapshot_;
+  }
+  if (snap->version() == worker.applied_version) return;
+  util::Stopwatch watch;
+  worker.net->apply_snapshot(*snap);
+  for (auto& exec : worker.fpga_execs) {
+    models::Stage* stage = worker.net->stage(exec->stage_id());
+    exec->requantize(*stage, snap->version());
+  }
+  const double seconds = watch.seconds();
+  worker.applied_version = snap->version();
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  backend.stats.swaps += 1;
+  backend.stats.swap_seconds_total += seconds;
+  backend.stats.max_swap_seconds =
+      std::max(backend.stats.max_swap_seconds, seconds);
+}
+
+std::uint64_t InferenceEngine::reload(models::ModelSnapshot::Ptr snapshot) {
+  ODENET_CHECK(snapshot != nullptr, "reload() needs a snapshot");
+  // Validate BEFORE publishing: a mismatched snapshot must never reach a
+  // worker (a worker-thread apply failure would poison serving). On throw
+  // the old version keeps serving untouched.
+  snapshot->check_compatible(spec_);
+  // Replicas integrate with the solver settings they were constructed
+  // with; apply_snapshot moves only weights. A snapshot trained under a
+  // different forward solver would silently serve different numerics than
+  // a cold engine built from it, so reject it here. (Gradient mode is
+  // inference-irrelevant and deliberately not compared.)
+  const models::SolverConfig& sc = snapshot->solver_config();
+  ODENET_CHECK(sc.method == solver_cfg_.method &&
+                   sc.time_span == solver_cfg_.time_span &&
+                   sc.rtol == solver_cfg_.rtol && sc.atol == solver_cfg_.atol,
+               "snapshot solver settings (" << solver::method_name(sc.method)
+                   << ") do not match this engine's replicas ("
+                   << solver::method_name(solver_cfg_.method)
+                   << "); solver choice is fixed at replica construction — "
+                      "build a new engine for a new solver");
+  std::lock_guard<std::mutex> lock(model_mutex_);
+  // The live image's payload is what every replica carries, so matching
+  // its parameter/BN signature guarantees a worker's apply_snapshot can
+  // never throw — closing the gap a corrupt or cross-revision v2 file
+  // whose payload disagrees with its own spec header would open.
+  snapshot_->check_same_signature(*snapshot);
+  const std::uint64_t version = snapshot->version();
+  if (version == active_version_.load(std::memory_order_relaxed)) {
+    return version;  // already live (version ids are process-unique)
+  }
+  snapshot_ = std::move(snapshot);
+  active_version_.store(version, std::memory_order_release);
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  return version;
 }
 
 void InferenceEngine::serve_batch(Backend& backend, Worker& worker,
@@ -374,6 +449,8 @@ EngineStats InferenceEngine::stats() const {
   EngineStats out;
   out.wall_seconds = uptime_.seconds();
   out.policy = route_policy_name(cfg_.route_policy);
+  out.model_version = active_version_.load(std::memory_order_acquire);
+  out.reloads = reloads_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(stats_mutex_);
   out.backends.reserve(backends_.size());
   out.priorities = priority_stats_;
@@ -382,8 +459,12 @@ EngineStats InferenceEngine::stats() const {
     BackendStats& snap = out.backends.back();
     snap.routed = backend->routed.load(std::memory_order_relaxed);
     snap.timeouts = backend->queue->timeout_total();
+    snap.promotions = backend->queue->promotion_total();
     snap.queue_depth = backend->queue->size();
     snap.in_flight = backend->in_flight.load(std::memory_order_relaxed);
+    snap.arenas = backend->arena_pool.created();
+    snap.arena_capacity_floats = backend->arena_pool.capacity_floats();
+    snap.arena_growths = backend->arena_pool.growth_total();
     for (int p = 0; p < kPriorityLevels; ++p) {
       out.priorities[static_cast<std::size_t>(p)].timeouts +=
           backend->queue->timeout_count(static_cast<Priority>(p));

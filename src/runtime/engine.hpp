@@ -1,4 +1,5 @@
-// Batched asynchronous inference engine with load-aware routing.
+// Batched asynchronous inference engine with load-aware routing and
+// zero-downtime weight hot-swap.
 //
 // The serving layer the ROADMAP's scaling work builds on: callers submit()
 // single images and get std::futures; per-backend worker threads (on a
@@ -6,9 +7,18 @@
 // priority/deadline-aware BatchQueue (flush on max-batch or deadline) and
 // run them through the StageExecutor plan of their backend — float
 // software, fixed-point CPU, or the simulated PL accelerator. Each worker
-// owns a full Network replica (weights copied from the prototype at
-// construction), so workers never share mutable layer state and backends
-// can serve concurrently.
+// owns a full Network replica, so workers never share mutable layer state
+// and backends can serve concurrently.
+//
+// Weight ownership: the engine serves one models::ModelSnapshot at a time
+// (the immutable versioned weight image; see models/snapshot.hpp).
+// reload(snapshot) publishes a new version atomically; each worker swaps
+// its replica BETWEEN micro-batches — no drain, no dropped futures, and
+// in-flight batches finish on the version they started on. FPGA-sim
+// backends re-quantize their simulated BRAM weight images as part of the
+// same per-worker swap, so the accelerator is no longer frozen at
+// construction. Any request submitted after reload() returns is served on
+// the new version.
 //
 // Backend choice is routed by default: a Router policy (static,
 // round-robin, least-queue-depth, modeled-latency) picks per request from
@@ -28,6 +38,7 @@
 #include <vector>
 
 #include "models/network.hpp"
+#include "models/snapshot.hpp"
 #include "runtime/batch_queue.hpp"
 #include "runtime/router.hpp"
 #include "runtime/stats.hpp"
@@ -75,11 +86,21 @@ struct EngineConfig {
   RoutePolicy route_policy = RoutePolicy::kLeastDepth;
   /// Target of RoutePolicy::kStatic.
   std::size_t static_backend = 0;
+  /// Anti-starvation aging: a queued request older than this factor ×
+  /// max_delay is promoted one priority class in pop order (see
+  /// BatchQueue). 0 disables promotion.
+  int promote_after_factor = 8;
 };
 
 class InferenceEngine {
  public:
-  /// Copies the prototype's weights into one replica per worker. The
+  /// Serves `snapshot` (which fixes architecture, solver settings and the
+  /// initial weights): one replica per worker is built from it. Additional
+  /// snapshots are published with reload().
+  explicit InferenceEngine(models::ModelSnapshot::Ptr snapshot,
+                           const EngineConfig& cfg = {});
+
+  /// Convenience: captures a snapshot of the prototype and serves it. The
   /// prototype is not referenced after construction.
   explicit InferenceEngine(models::Network& prototype,
                            const EngineConfig& cfg = {});
@@ -106,6 +127,23 @@ class InferenceEngine {
       const core::Tensor& images, SubmitOptions opts = {});
   std::vector<std::future<InferenceResult>> submit_batch(
       const core::Tensor& images, std::size_t backend_index);
+
+  /// Publishes a new model version with zero downtime: the snapshot
+  /// becomes the active model atomically, and every worker re-syncs its
+  /// replica (weights + BN statistics + accelerator BRAM image) between
+  /// micro-batches — in-flight batches finish on the old version, no
+  /// future is dropped, and every request submitted after reload() returns
+  /// is served on the new version. The snapshot must fit the engine's
+  /// architecture (throws odenet::Error otherwise, with the old version
+  /// still serving). Publishing the already-active version is a no-op.
+  /// Returns the active version id. Thread-safe against submits and
+  /// concurrent reloads.
+  std::uint64_t reload(models::ModelSnapshot::Ptr snapshot);
+
+  /// Version id of the currently published snapshot.
+  std::uint64_t model_version() const {
+    return active_version_.load(std::memory_order_acquire);
+  }
 
   /// Stops accepting work, serves everything already queued, joins the
   /// workers. Idempotent; the destructor calls it.
@@ -135,6 +173,9 @@ class InferenceEngine {
     std::unique_ptr<models::FixedStageExecutor> fixed_exec;
     std::vector<std::unique_ptr<sched::FpgaStageExecutor>> fpga_execs;
     models::StagePlan plan;
+    /// Snapshot version this worker's replica (and BRAM image) carries.
+    /// Touched only by the worker's own loop after construction.
+    std::uint64_t applied_version = 0;
   };
   struct Backend {
     BackendConfig cfg;
@@ -160,8 +201,11 @@ class InferenceEngine {
   };
 
   std::unique_ptr<Worker> build_worker(const Backend& backend,
-                                       const std::string& weight_blob);
+                                       const models::ModelSnapshot& snapshot);
   void worker_loop(Backend& backend, Worker& worker);
+  /// Swaps the worker's replica to the published snapshot when a newer
+  /// version is live — the between-micro-batches hot-swap step.
+  void sync_worker(Backend& backend, Worker& worker);
   void serve_batch(Backend& backend, Worker& worker,
                    std::vector<PendingRequest>& batch);
   /// Routed or pinned backend choice for one submit.
@@ -175,6 +219,13 @@ class InferenceEngine {
   models::SolverConfig solver_cfg_;
   std::vector<std::unique_ptr<Backend>> backends_;
   std::unique_ptr<Router> router_;
+  /// The published model. snapshot_ is guarded by model_mutex_;
+  /// active_version_ mirrors snapshot_->version() so workers can check
+  /// "am I current?" without taking the mutex on every batch.
+  mutable std::mutex model_mutex_;
+  models::ModelSnapshot::Ptr snapshot_;
+  std::atomic<std::uint64_t> active_version_{0};
+  std::atomic<std::uint64_t> reloads_{0};
   mutable std::mutex stats_mutex_;
   /// Completed-request counters per priority class; guarded by
   /// stats_mutex_ (timeouts live in the queues and are folded at

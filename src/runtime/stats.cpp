@@ -35,7 +35,10 @@ std::string EngineStats::to_json() const {
   std::ostringstream os;
   os << "{\"requests\":" << requests() << ",\"timeouts\":" << timeouts()
      << ",\"routed\":" << routed() << ",\"policy\":\"" << policy
-     << "\",\"wall_seconds\":" << fmt(wall_seconds)
+     << "\",\"model_version\":" << model_version
+     << ",\"reloads\":" << reloads << ",\"swaps\":" << swaps()
+     << ",\"promotions\":" << promotions()
+     << ",\"wall_seconds\":" << fmt(wall_seconds)
      << ",\"images_per_sec\":" << fmt(images_per_second())
      << ",\"pl_cycles\":" << pl_cycles() << ",\"backends\":[";
   for (std::size_t i = 0; i < backends.size(); ++i) {
@@ -45,8 +48,14 @@ std::string EngineStats::to_json() const {
        << core::backend_name(b.backend) << "\",\"requests\":" << b.requests
        << ",\"batches\":" << b.batches << ",\"routed\":" << b.routed
        << ",\"timeouts\":" << b.timeouts
+       << ",\"promotions\":" << b.promotions << ",\"swaps\":" << b.swaps
+       << ",\"mean_swap_ms\":" << fmt(b.mean_swap_seconds() * 1e3)
+       << ",\"max_swap_ms\":" << fmt(b.max_swap_seconds * 1e3)
        << ",\"queue_depth\":" << b.queue_depth
        << ",\"in_flight\":" << b.in_flight
+       << ",\"arenas\":" << b.arenas
+       << ",\"arena_capacity_floats\":" << b.arena_capacity_floats
+       << ",\"arena_growths\":" << b.arena_growths
        << ",\"mean_batch\":" << fmt(b.mean_batch_size())
        << ",\"busy_seconds\":" << fmt(b.busy_seconds)
        << ",\"mean_queue_ms\":" << fmt(b.mean_queue_seconds() * 1e3)

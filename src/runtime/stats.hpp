@@ -38,6 +38,16 @@ struct BackendStats {
   std::uint64_t routed = 0;
   /// Requests rejected with DeadlineExceeded while queued here.
   std::uint64_t timeouts = 0;
+  /// Anti-starvation promotions performed by this backend's queue.
+  std::uint64_t promotions = 0;
+  /// Replica re-syncs performed by this backend's workers after a
+  /// reload(): each worker swapping to a newly published snapshot between
+  /// micro-batches counts one swap.
+  std::uint64_t swaps = 0;
+  /// Wall-clock seconds workers spent re-syncing (apply_snapshot + BRAM
+  /// requantize) — the per-swap re-sync latency, summed and worst-case.
+  double swap_seconds_total = 0.0;
+  double max_swap_seconds = 0.0;
   /// Sum of batch forward-pass wall-clock seconds (worker busy time).
   double busy_seconds = 0.0;
   /// Sums over requests, for means.
@@ -50,6 +60,12 @@ struct BackendStats {
   /// same numbers the router's load snapshot sees).
   std::size_t queue_depth = 0;
   int in_flight = 0;
+  /// Conv-scratch arena-pool gauges: arenas materialized (bounded by peak
+  /// batch concurrency), their resident float capacity, and cumulative
+  /// buffer growths (flat after warmup — the no-regrowth invariant).
+  std::size_t arenas = 0;
+  std::size_t arena_capacity_floats = 0;
+  std::uint64_t arena_growths = 0;
 
   double mean_batch_size() const {
     return batches == 0 ? 0.0
@@ -65,6 +81,10 @@ struct BackendStats {
     return requests == 0 ? 0.0
                          : queue_seconds_total /
                                static_cast<double>(requests);
+  }
+  double mean_swap_seconds() const {
+    return swaps == 0 ? 0.0
+                      : swap_seconds_total / static_cast<double>(swaps);
   }
 };
 
@@ -97,6 +117,10 @@ struct EngineStats {
   std::string policy;
   /// Seconds since the engine started serving.
   double wall_seconds = 0.0;
+  /// Version id of the snapshot the engine currently serves.
+  std::uint64_t model_version = 0;
+  /// Successful reload() publishes since construction.
+  std::uint64_t reloads = 0;
 
   std::uint64_t requests() const {
     std::uint64_t total = 0;
@@ -116,6 +140,16 @@ struct EngineStats {
   std::uint64_t pl_cycles() const {
     std::uint64_t total = 0;
     for (const auto& b : backends) total += b.pl_cycles;
+    return total;
+  }
+  std::uint64_t swaps() const {
+    std::uint64_t total = 0;
+    for (const auto& b : backends) total += b.swaps;
+    return total;
+  }
+  std::uint64_t promotions() const {
+    std::uint64_t total = 0;
+    for (const auto& b : backends) total += b.promotions;
     return total;
   }
   double images_per_second() const {

@@ -5,7 +5,10 @@
 namespace odenet::sched {
 
 FpgaStageExecutor::FpgaStageExecutor(models::Stage& stage, const Config& cfg)
-    : name_("fpga_sim_x" + std::to_string(cfg.parallelism)), cfg_(cfg) {
+    : name_("fpga_sim_x" + std::to_string(cfg.parallelism)),
+      cfg_(cfg),
+      stage_id_(stage.spec().id),
+      weight_version_(cfg.snapshot_version) {
   ODENET_CHECK(!stage.is_empty(), "cannot offload absent stage "
                                       << models::stage_name(stage.spec().id));
   ODENET_CHECK(stage.is_ode(),
@@ -28,6 +31,16 @@ FpgaStageExecutor::FpgaStageExecutor(models::Stage& stage, const Config& cfg)
 
 void FpgaStageExecutor::reload_weights(models::Stage& stage) {
   accel_->load_weights(stage.ode()->block());
+}
+
+void FpgaStageExecutor::requantize(models::Stage& stage,
+                                   std::uint64_t snapshot_version) {
+  ODENET_CHECK(stage.spec().id == stage_id_,
+               "requantize: executor built for "
+                   << models::stage_name(stage_id_) << ", got "
+                   << models::stage_name(stage.spec().id));
+  accel_->load_weights(stage.ode()->block());
+  weight_version_ = snapshot_version;
 }
 
 core::Tensor FpgaStageExecutor::run(models::Stage& stage,

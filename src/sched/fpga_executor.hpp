@@ -23,6 +23,10 @@ class FpgaStageExecutor final : public models::StageExecutor {
     double clock_mhz = 100.0;
     fpga::AxiConfig axi{};
     int frac_bits = 20;
+    /// Version id of the snapshot the stage's weights come from at
+    /// construction — stamps weight_version() without a second BRAM
+    /// quantization pass. 0 = unversioned (standalone use).
+    std::uint64_t snapshot_version = 0;
   };
 
   /// Builds the accelerator for `stage` and loads its weights. The stage
@@ -45,12 +49,29 @@ class FpgaStageExecutor final : public models::StageExecutor {
   /// Re-quantizes the stage's (possibly retrained) weights into BRAM.
   void reload_weights(models::Stage& stage) override;
 
+  /// Hot-swap path: rebuilds the BRAM weight image from the stage's
+  /// current (post-apply_snapshot) weights and records the snapshot
+  /// version the accelerator now serves. The PL is construction-sized,
+  /// not construction-frozen — only geometry is fixed; weights re-sync in
+  /// place between batches.
+  void requantize(models::Stage& stage, std::uint64_t snapshot_version);
+
+  /// Snapshot version whose weights currently sit in BRAM (stamped at
+  /// construction via Config::snapshot_version, updated by requantize();
+  /// 0 when unversioned).
+  std::uint64_t weight_version() const { return weight_version_; }
+
+  /// Stage this executor's circuit was built for.
+  models::StageId stage_id() const { return stage_id_; }
+
   const fpga::OdeBlockAccelerator& accelerator() const { return *accel_; }
   const Config& config() const { return cfg_; }
 
  private:
   std::string name_;
   Config cfg_;
+  models::StageId stage_id_{};
+  std::uint64_t weight_version_ = 0;
   std::unique_ptr<fpga::OdeBlockAccelerator> accel_;
 };
 

@@ -64,6 +64,12 @@ double Trainer::evaluate(data::DataLoader& loader) {
   return acc.mean();
 }
 
+models::ModelSnapshot::Ptr Trainer::publish_snapshot() {
+  models::ModelSnapshot::Ptr snap = net_.export_snapshot();
+  if (cfg_.on_snapshot) cfg_.on_snapshot(snap);
+  return snap;
+}
+
 std::vector<EpochStats> Trainer::fit(data::DataLoader& train_loader,
                                      data::DataLoader& test_loader) {
   std::vector<EpochStats> history;
@@ -71,6 +77,12 @@ std::vector<EpochStats> Trainer::fit(data::DataLoader& train_loader,
   for (int e = 0; e < cfg_.epochs; ++e) {
     EpochStats stats = train_epoch(train_loader, e);
     stats.test_accuracy = evaluate(test_loader);
+    // Feed the serving side: publish every k epochs and after the final
+    // epoch, so a live engine never misses the finished model.
+    if (cfg_.snapshot_every > 0 && ((e + 1) % cfg_.snapshot_every == 0 ||
+                                    e + 1 == cfg_.epochs)) {
+      stats.model_version = publish_snapshot()->version();
+    }
     if (cfg_.on_epoch) {
       cfg_.on_epoch(stats);
     } else {

@@ -8,6 +8,7 @@
 
 #include "data/dataloader.hpp"
 #include "models/network.hpp"
+#include "models/snapshot.hpp"
 #include "train/metrics.hpp"
 #include "train/sgd.hpp"
 
@@ -26,6 +27,9 @@ struct EpochStats {
   /// allocates nothing in the steady-state training loop.
   std::size_t scratch_floats = 0;
   std::uint64_t scratch_growths = 0;
+  /// Version id of the snapshot published after this epoch (0 when none
+  /// was — see TrainerConfig::snapshot_every).
+  std::uint64_t model_version = 0;
 };
 
 struct TrainerConfig {
@@ -40,6 +44,13 @@ struct TrainerConfig {
   /// gradient caches — so this quantifies e.g. quantized-eval accuracy
   /// while the float weights train.
   const models::StagePlan* eval_plan = nullptr;
+  /// Continuous-serving feed: every `snapshot_every` epochs (and after the
+  /// final epoch) fit() freezes the live weights into a versioned
+  /// ModelSnapshot and hands it to on_snapshot — typically a closure
+  /// calling runtime::InferenceEngine::reload() so a deployed engine
+  /// tracks the training run. 0 disables publishing.
+  int snapshot_every = 0;
+  std::function<void(models::ModelSnapshot::Ptr)> on_snapshot;
 };
 
 class Trainer {
@@ -52,9 +63,15 @@ class Trainer {
   /// Eval-mode top-1 accuracy over a loader.
   double evaluate(data::DataLoader& loader);
 
-  /// Full schedule; returns per-epoch history.
+  /// Full schedule; returns per-epoch history. Publishes snapshots per
+  /// TrainerConfig::snapshot_every.
   std::vector<EpochStats> fit(data::DataLoader& train_loader,
                               data::DataLoader& test_loader);
+
+  /// Freezes the current weights and hands the snapshot to on_snapshot
+  /// (when set). Returns the snapshot (fit() calls this on schedule; it
+  /// can also be driven manually between train_epoch calls).
+  models::ModelSnapshot::Ptr publish_snapshot();
 
   Sgd& optimizer() { return sgd_; }
 

@@ -17,6 +17,9 @@ void BinaryWriter::write_u64(std::uint64_t v) {
 void BinaryWriter::write_f32(float v) {
   os_.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
+void BinaryWriter::write_f64(double v) {
+  os_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
 void BinaryWriter::write_string(const std::string& s) {
   write_u64(s.size());
   os_.write(s.data(), static_cast<std::streamsize>(s.size()));
@@ -51,6 +54,11 @@ float BinaryReader::read_f32() {
   read_raw(&v, sizeof(v));
   return v;
 }
+double BinaryReader::read_f64() {
+  double v = 0;
+  read_raw(&v, sizeof(v));
+  return v;
+}
 std::string BinaryReader::read_string() {
   const std::uint64_t n = read_u64();
   ODENET_CHECK(n < (1ULL << 32), "unreasonable string length " << n);
@@ -66,17 +74,20 @@ std::vector<float> BinaryReader::read_floats() {
   return v;
 }
 
-void write_weights_header(BinaryWriter& w) {
+void write_weights_header(BinaryWriter& w, std::uint32_t version) {
+  ODENET_CHECK(version == kWeightsVersion || version == kSnapshotVersion,
+               "unknown checkpoint format version " << version);
   w.write_u32(kWeightsMagic);
-  w.write_u32(kWeightsVersion);
+  w.write_u32(version);
 }
 
-void read_weights_header(BinaryReader& r) {
+std::uint32_t read_weights_header(BinaryReader& r) {
   const auto magic = r.read_u32();
   ODENET_CHECK(magic == kWeightsMagic, "bad checkpoint magic " << magic);
   const auto version = r.read_u32();
-  ODENET_CHECK(version == kWeightsVersion,
+  ODENET_CHECK(version == kWeightsVersion || version == kSnapshotVersion,
                "unsupported checkpoint version " << version);
+  return version;
 }
 
 }  // namespace odenet::util

@@ -14,7 +14,11 @@
 namespace odenet::util {
 
 inline constexpr std::uint32_t kWeightsMagic = 0x4F444E57;  // "ODNW"
+/// v1: bare weight blob (params + BN stats). v2: versioned model snapshot —
+/// v1 payload preceded by an architecture descriptor and a monotonically
+/// increasing snapshot version id (models/snapshot.hpp).
 inline constexpr std::uint32_t kWeightsVersion = 1;
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 class BinaryWriter {
  public:
@@ -23,6 +27,7 @@ class BinaryWriter {
   void write_u32(std::uint32_t v);
   void write_u64(std::uint64_t v);
   void write_f32(float v);
+  void write_f64(double v);
   void write_string(const std::string& s);
   void write_floats(const std::vector<float>& v);
 
@@ -37,6 +42,7 @@ class BinaryReader {
   std::uint32_t read_u32();
   std::uint64_t read_u64();
   float read_f32();
+  double read_f64();
   std::string read_string();
   std::vector<float> read_floats();
 
@@ -45,9 +51,12 @@ class BinaryReader {
   std::istream& is_;
 };
 
-/// Writes the standard checkpoint header (magic + version).
-void write_weights_header(BinaryWriter& w);
-/// Validates the header; throws odenet::Error on mismatch.
-void read_weights_header(BinaryReader& r);
+/// Writes the standard checkpoint header (magic + format version; defaults
+/// to the legacy bare-blob format for backward compatibility).
+void write_weights_header(BinaryWriter& w,
+                          std::uint32_t version = kWeightsVersion);
+/// Validates the header and returns the format version (1 or 2); throws
+/// odenet::Error on a bad magic or an unknown version.
+std::uint32_t read_weights_header(BinaryReader& r);
 
 }  // namespace odenet::util

@@ -117,6 +117,53 @@ TEST(BatchQueue, PopsHighestPriorityFirstFifoWithinClass) {
   EXPECT_FALSE(queue.pop_batch(batch));
 }
 
+// Anti-starvation aging: a low request older than k x max_delay climbs one
+// class per pop scan, so it overtakes high-priority arrivals that land
+// after its promotion instead of waiting forever behind them.
+TEST(BatchQueue, AgedRequestIsPromotedPastLaterHighArrivals) {
+  BatchQueue queue(1, std::chrono::microseconds(1000),
+                   /*promote_after_factor=*/1);
+  ASSERT_TRUE(queue.push(make_request(1.0f, Priority::kLow)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // > 1 ms
+  ASSERT_TRUE(queue.push(make_request(2.0f, Priority::kHigh)));
+  ASSERT_TRUE(queue.push(make_request(3.0f, Priority::kHigh)));
+
+  std::vector<PendingRequest> batch;
+  // Pop 1: the scan lifts the aged low request into the normal lane (one
+  // class per scan); the batch still takes the queued high work first.
+  ASSERT_TRUE(queue.pop_batch(batch));
+  EXPECT_FLOAT_EQ(tag_of(batch[0]), 2.0f);
+  // Pop 2: second scan lifts it normal -> high, at the TAIL of the high
+  // lane — behind 3.0, which was already waiting.
+  ASSERT_TRUE(queue.pop_batch(batch));
+  EXPECT_FLOAT_EQ(tag_of(batch[0]), 3.0f);
+  // New high traffic now queues BEHIND the promoted request.
+  ASSERT_TRUE(queue.push(make_request(4.0f, Priority::kHigh)));
+  ASSERT_TRUE(queue.pop_batch(batch));
+  EXPECT_FLOAT_EQ(tag_of(batch[0]), 1.0f);
+  // Promotion re-orders scheduling but never re-labels the request.
+  EXPECT_EQ(batch[0].cls.priority, Priority::kLow);
+  ASSERT_TRUE(queue.pop_batch(batch));
+  EXPECT_FLOAT_EQ(tag_of(batch[0]), 4.0f);
+
+  EXPECT_EQ(queue.promotion_total(), 2u);  // low->normal, normal->high
+  EXPECT_EQ(queue.timeout_total(), 0u);
+}
+
+TEST(BatchQueue, PromotionDisabledByDefault) {
+  BatchQueue queue(1, std::chrono::microseconds(500));
+  ASSERT_TRUE(queue.push(make_request(1.0f, Priority::kLow)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(queue.push(make_request(2.0f, Priority::kHigh)));
+
+  std::vector<PendingRequest> batch;
+  ASSERT_TRUE(queue.pop_batch(batch));
+  EXPECT_FLOAT_EQ(tag_of(batch[0]), 2.0f);  // strict priority, no aging
+  ASSERT_TRUE(queue.pop_batch(batch));
+  EXPECT_FLOAT_EQ(tag_of(batch[0]), 1.0f);
+  EXPECT_EQ(queue.promotion_total(), 0u);
+}
+
 TEST(BatchQueue, ExpiredDeadlineIsRejectedNotServed) {
   BatchQueue queue(4, std::chrono::microseconds(30000));
   PendingRequest doomed = make_request(1.0f, Priority::kLow);

@@ -1,15 +1,20 @@
 // The batched async serving runtime (src/runtime/): micro-batch formation,
 // batching determinism, backend parity through the engine, shutdown with
 // in-flight requests, aggregated stats, routed dispatch, priority classes,
-// deadlines — plus a multi-producer stress test over the router.
+// deadlines — plus a multi-producer stress test over the router and the
+// zero-downtime weight hot-swap suite (reload under load, post-swap
+// parity with a cold-constructed engine, mismatch rejection).
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cmath>
 #include <thread>
 
+#include <sstream>
+
 #include "runtime/engine.hpp"
 #include "util/rng.hpp"
+#include "util/serialize.hpp"
 
 using namespace odenet;
 using models::Arch;
@@ -263,6 +268,16 @@ TEST(InferenceEngine, StatsFoldPlCyclesAndEmitJson) {
   EXPECT_NE(json.find("\"priorities\""), std::string::npos);
   EXPECT_NE(json.find("\"hist_le_ms\""), std::string::npos);
   EXPECT_NE(json.find("\"timeouts\""), std::string::npos);
+  EXPECT_NE(json.find("\"model_version\""), std::string::npos);
+  EXPECT_NE(json.find("\"swaps\""), std::string::npos);
+  EXPECT_NE(json.find("\"promotions\""), std::string::npos);
+  EXPECT_NE(json.find("\"arena_capacity_floats\""), std::string::npos);
+
+  // Arena-pool gauges: serving materialized scratch, and a steady workload
+  // stops growing it.
+  EXPECT_GE(stats.backends[0].arenas, 1u);
+  EXPECT_GT(stats.backends[0].arena_capacity_floats, 0u);
+  EXPECT_GE(stats.backends[0].arena_growths, 1u);
 }
 
 TEST(InferenceEngine, MalformedImageFailsItsFutureOnly) {
@@ -373,6 +388,213 @@ TEST(InferenceEngine, StaticPolicyPinsRoutedTraffic) {
   EXPECT_EQ(stats.backends[0].requests, 0u);
   EXPECT_EQ(stats.backends[1].requests, 6u);
   EXPECT_EQ(stats.backends[1].routed, 6u);
+}
+
+// ---- weight hot-swap --------------------------------------------------
+
+TEST(InferenceEngine, ReloadServesNewWeightsBitIdenticalToColdEngine) {
+  models::Network old_net = make_net(20);
+  models::Network new_net = make_net(21);  // same spec, different weights
+  EngineConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_delay = std::chrono::microseconds(500);
+
+  InferenceEngine engine(old_net, cfg);
+  const std::uint64_t v0 = engine.model_version();
+  EXPECT_GT(v0, 0u);
+
+  util::Rng rng(20);
+  core::Tensor image = random_image(rng);
+  const InferenceResult before = engine.submit(image).get();
+
+  const auto snap = new_net.export_snapshot();
+  const std::uint64_t v1 = engine.reload(snap);
+  EXPECT_GT(v1, v0);
+  EXPECT_EQ(engine.model_version(), v1);
+  // Re-publishing the live version is a no-op.
+  EXPECT_EQ(engine.reload(snap), v1);
+
+  const InferenceResult after = engine.submit(image).get();
+  EXPECT_GT(max_abs_diff(before.logits, after.logits), 0.0);
+
+  // Bitwise: a hot-swapped replica and a cold engine constructed from the
+  // same snapshot must be indistinguishable (float backend).
+  InferenceEngine cold(snap, cfg);
+  const InferenceResult fresh = cold.submit(image).get();
+  for (std::size_t c = 0; c < after.logits.numel(); ++c) {
+    EXPECT_EQ(after.logits.data()[c], fresh.logits.data()[c]) << "logit " << c;
+  }
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.model_version, v1);
+  EXPECT_EQ(stats.reloads, 1u);
+  EXPECT_GE(stats.swaps(), 1u);
+  EXPECT_GT(stats.backends[0].swap_seconds_total, 0.0);
+  EXPECT_GE(stats.backends[0].max_swap_seconds,
+            stats.backends[0].mean_swap_seconds());
+}
+
+TEST(InferenceEngine, ReloadRequantizesFpgaAndFixedBackends) {
+  models::Network old_net = make_net(22);
+  models::Network new_net = make_net(23);
+  EngineConfig cfg;
+  cfg.max_batch = 1;  // per-image batches: batch-stat BN is deterministic
+  cfg.max_delay = std::chrono::microseconds(500);
+  BackendConfig fixed_cpu;
+  fixed_cpu.backend = core::ExecBackend::kFixed;
+  BackendConfig fpga_sim;
+  fpga_sim.backend = core::ExecBackend::kFpgaSim;
+  cfg.backends = {fixed_cpu, fpga_sim};
+
+  InferenceEngine engine(old_net, cfg);
+  const auto snap = new_net.export_snapshot();
+  engine.reload(snap);
+
+  util::Rng rng(22);
+  core::Tensor image = random_image(rng);
+  const InferenceResult fixed_hot = engine.submit(image, 0).get();
+  const InferenceResult fpga_hot = engine.submit(image, 1).get();
+
+  InferenceEngine cold(snap, cfg);
+  const InferenceResult fixed_cold = cold.submit(image, 0).get();
+  const InferenceResult fpga_cold = cold.submit(image, 1).get();
+
+  // The quantized datapaths are deterministic in the weights, so the
+  // re-quantized BRAM image must reproduce a cold construction from the
+  // same snapshot to float tolerance.
+  EXPECT_LT(max_abs_diff(fixed_hot.logits, fixed_cold.logits), 1e-5);
+  EXPECT_LT(max_abs_diff(fpga_hot.logits, fpga_cold.logits), 1e-5);
+  EXPECT_GT(fpga_hot.pl_cycles, 0u);
+}
+
+TEST(InferenceEngine, ReloadRejectsMismatchedSnapshotAndKeepsServing) {
+  models::Network net = make_net(24);
+  InferenceEngine engine(net);
+  const std::uint64_t v0 = engine.model_version();
+
+  models::Network other(
+      models::make_spec(Arch::kResNet, 14, tiny_width()));
+  util::Rng rng(24);
+  other.init(rng);
+  EXPECT_THROW(engine.reload(other.export_snapshot()), odenet::Error);
+  EXPECT_THROW(engine.reload(nullptr), odenet::Error);
+
+  // Same architecture but a different forward solver: replicas integrate
+  // with construction-time settings, so this would silently change the
+  // served numerics — rejected before publish.
+  models::SolverConfig heun;
+  heun.method = solver::Method::kHeun;
+  models::Network resolved(
+      models::make_spec(Arch::kROdeNet3, 14, tiny_width()), heun);
+  resolved.init(rng);
+  EXPECT_THROW(engine.reload(resolved.export_snapshot()), odenet::Error);
+
+  // A well-formed v2 file whose payload disagrees with its own spec
+  // header (here: zero params) must be rejected BEFORE publishing — a
+  // worker-thread apply failure would kill the process.
+  std::stringstream hollow;
+  {
+    util::BinaryWriter w(hollow);
+    util::write_weights_header(w, util::kSnapshotVersion);
+    w.write_string(models::arch_name(Arch::kROdeNet3));
+    w.write_u32(14);
+    w.write_u32(3);   // input_channels
+    w.write_u32(16);  // input_size
+    w.write_u32(4);   // base_channels
+    w.write_u32(5);   // num_classes
+    w.write_u32(0);   // kEuler
+    w.write_u32(0);   // kDiscreteBackprop
+    w.write_u32(0);   // kResNetCompatible
+    w.write_f64(1e-3);
+    w.write_f64(1e-4);
+    w.write_u64(999);  // saved version
+    w.write_u64(0);    // params: none
+    w.write_u64(0);    // bns: none
+  }
+  EXPECT_THROW(engine.reload(models::ModelSnapshot::load(hollow)),
+               odenet::Error);
+
+  // Every rejected publish left the old version serving.
+  EXPECT_EQ(engine.model_version(), v0);
+  EXPECT_EQ(engine.stats().reloads, 0u);
+  EXPECT_GE(engine.submit(random_image(rng)).get().predicted, 0);
+}
+
+// The hot-swap stress harness: producers hammer a multi-backend engine
+// while the main thread races a stream of reload() publishes against
+// them. Every future must fulfill exactly once (no drops, no double
+// sets), the engine must end on the last published version, and a
+// post-drain request must match a cold engine on the final snapshot.
+TEST(InferenceEngine, StressReloadRacesProducersWithoutDroppingFutures) {
+  models::Network net = make_net(25);
+  EngineConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_delay = std::chrono::microseconds(300);
+  BackendConfig two_workers;
+  two_workers.workers = 2;
+  cfg.backends = {two_workers, BackendConfig{}};
+  InferenceEngine engine(net, cfg);
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 30;
+  constexpr int kReloads = 6;
+  std::vector<std::vector<std::future<InferenceResult>>> futures(kProducers);
+  for (auto& lane : futures) lane.reserve(kPerProducer);
+
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      util::Rng rng(2000 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kPerProducer; ++i) {
+        runtime::SubmitOptions opts;
+        opts.priority = static_cast<runtime::Priority>((t + i) % 3);
+        futures[static_cast<std::size_t>(t)].push_back(
+            engine.submit(random_image(rng), opts));
+      }
+    });
+  }
+
+  // Publish a stream of retrained models while the producers submit.
+  models::ModelSnapshot::Ptr last;
+  for (int r = 0; r < kReloads; ++r) {
+    models::Network retrained = make_net(100 + static_cast<std::uint64_t>(r));
+    last = retrained.export_snapshot();
+    EXPECT_EQ(engine.reload(last), last->version());
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  for (auto& p : producers) p.join();
+
+  int fulfilled = 0;
+  for (auto& lane : futures) {
+    for (auto& f : lane) {
+      ASSERT_TRUE(f.valid());
+      EXPECT_GE(f.get().predicted, 0);  // exactly-once: get() consumes
+      EXPECT_FALSE(f.valid());
+      ++fulfilled;
+    }
+  }
+  EXPECT_EQ(fulfilled, kProducers * kPerProducer);
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.requests(),
+            static_cast<std::uint64_t>(kProducers * kPerProducer));
+  EXPECT_EQ(stats.timeouts(), 0u);
+  EXPECT_EQ(stats.reloads, static_cast<std::uint64_t>(kReloads));
+  EXPECT_EQ(stats.model_version, last->version());
+  // Each worker re-syncs at most once per publish.
+  EXPECT_LE(stats.swaps(), static_cast<std::uint64_t>(kReloads * 3));
+
+  // Post-drain requests serve the final version, matching a cold engine.
+  util::Rng rng(25);
+  core::Tensor image = random_image(rng);
+  const InferenceResult hot = engine.submit(image, std::size_t{1}).get();
+  EngineConfig cold_cfg = cfg;
+  cold_cfg.backends = {BackendConfig{}};
+  InferenceEngine cold(last, cold_cfg);
+  const InferenceResult fresh = cold.submit(image).get();
+  for (std::size_t c = 0; c < hot.logits.numel(); ++c) {
+    EXPECT_EQ(hot.logits.data()[c], fresh.logits.data()[c]) << "logit " << c;
+  }
 }
 
 // The satellite stress harness: N producer threads x M backends submitting
