@@ -19,28 +19,96 @@ std::size_t lane_index(Priority p) {
 }  // namespace
 
 BatchQueue::BatchQueue(int max_batch, std::chrono::microseconds max_delay,
-                       int promote_after_factor)
+                       int promote_after_factor, QueueLimits limits,
+                       std::chrono::microseconds preempt_delay)
     : max_batch_(max_batch),
       max_delay_(max_delay),
-      promote_after_factor_(promote_after_factor) {
+      promote_after_factor_(promote_after_factor),
+      limits_(limits),
+      preempt_delay_(preempt_delay) {
   ODENET_CHECK(max_batch >= 1, "batch queue needs max_batch >= 1, got "
                                    << max_batch);
   ODENET_CHECK(promote_after_factor >= 0,
                "promote_after_factor must be >= 0, got "
                    << promote_after_factor);
+  ODENET_CHECK(preempt_delay >= std::chrono::microseconds::zero(),
+               "preempt_delay must be >= 0, got " << preempt_delay.count()
+                                                  << " us");
 }
 
-bool BatchQueue::push(PendingRequest&& req) {
+bool BatchQueue::admit_locked(PendingRequest& req, std::size_t lane) {
+  const std::size_t budget = limits_.per_priority[lane];
+  if (budget > 0 && class_depth_[lane] >= budget) {
+    // A class at its own budget sheds fail-fast; evicting lower-class
+    // work would not free this class's budget, so no eviction here.
+    rejected_[lane] += 1;
+    std::ostringstream os;
+    os << "queue full: " << priority_name(req.cls.priority)
+       << "-priority budget " << budget << " reached (queue depth " << size_
+       << ")";
+    req.promise.set_exception(std::make_exception_ptr(QueueFull(os.str())));
+    return false;
+  }
+  if (limits_.max_queue_depth == 0 || size_ < limits_.max_queue_depth) {
+    return true;
+  }
+  // Total bound hit. Ordering guarantee: before rejecting the arrival,
+  // look for an evictable waiter in a STRICTLY lower scheduling lane —
+  // lowest lane first, oldest (front-most) evictable waiter within it.
+  // A waiter that aging promoted out of these lanes is deliberately out
+  // of reach (see the header comment).
+  if (limits_.evict_lower) {
+    for (std::size_t victim_lane = 0; victim_lane < lane; ++victim_lane) {
+      auto& vl = lanes_[victim_lane];
+      for (auto it = vl.begin(); it != vl.end(); ++it) {
+        if (!it->cls.evictable) continue;
+        const std::size_t victim_class = lane_index(it->cls.priority);
+        evicted_[victim_class] += 1;
+        --class_depth_[victim_class];
+        --size_;
+        std::ostringstream os;
+        os << "queue full: " << priority_name(it->cls.priority)
+           << "-priority request evicted after "
+           << std::chrono::duration<double, std::milli>(Clock::now() -
+                                                        it->enqueued_at)
+                  .count()
+           << " ms queued to admit a " << priority_name(req.cls.priority)
+           << "-priority arrival (depth bound "
+           << limits_.max_queue_depth << ")";
+        it->promise.set_exception(
+            std::make_exception_ptr(QueueFull(os.str())));
+        vl.erase(it);
+        return true;
+      }
+    }
+  }
+  rejected_[lane] += 1;
+  std::ostringstream os;
+  os << "queue full: depth bound " << limits_.max_queue_depth
+     << " reached, no lower-priority waiter to evict for a "
+     << priority_name(req.cls.priority) << "-priority arrival";
+  req.promise.set_exception(std::make_exception_ptr(QueueFull(os.str())));
+  return false;
+}
+
+PushOutcome BatchQueue::push(PendingRequest&& req) {
   const std::size_t lane = lane_index(req.cls.priority);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (closed_) return false;
+    if (closed_) return PushOutcome::kClosed;
+    if (limits_.max_queue_depth > 0 || limits_.per_priority[lane] > 0) {
+      // Expired requests must not hold slots against live arrivals: a
+      // queue "full" of dead work would shed traffic it could serve.
+      reap_expired_locked(Clock::now());
+    }
+    if (!admit_locked(req, lane)) return PushOutcome::kRejected;
     req.enqueued_at = Clock::now();
     lanes_[lane].push_back(std::move(req));
+    ++class_depth_[lane];
     ++size_;
   }
   cv_.notify_one();
-  return true;
+  return PushOutcome::kAccepted;
 }
 
 void BatchQueue::reap_expired_locked(Clock::time_point now) {
@@ -54,6 +122,7 @@ void BatchQueue::reap_expired_locked(Clock::time_point now) {
       // Keyed by the ORIGINAL class: promotion moves a request between
       // lanes but never re-labels it.
       timeouts_[lane_index(it->cls.priority)] += 1;
+      --class_depth_[lane_index(it->cls.priority)];
       --size_;
       std::ostringstream os;
       os << "request deadline exceeded after "
@@ -103,6 +172,21 @@ Clock::time_point BatchQueue::oldest_enqueue_locked() const {
   return oldest;
 }
 
+Clock::time_point BatchQueue::flush_at_locked() const {
+  Clock::time_point flush = oldest_enqueue_locked() + max_delay_;
+  if (preempt_delay_ > std::chrono::microseconds::zero() &&
+      preempt_delay_ < max_delay_) {
+    const auto& high = lanes_[kPriorityLevels - 1];
+    // front() is the oldest high-class ARRIVAL; requests promoted into
+    // the lane sit at its tail, but they are older than max_delay by
+    // definition, so the un-shrunk term already flushes them.
+    if (!high.empty()) {
+      flush = std::min(flush, high.front().enqueued_at + preempt_delay_);
+    }
+  }
+  return flush;
+}
+
 Clock::time_point BatchQueue::earliest_deadline_locked() const {
   Clock::time_point earliest = Clock::time_point::max();
   for (const auto& lane : lanes_) {
@@ -126,20 +210,28 @@ bool BatchQueue::pop_batch(std::vector<PendingRequest>& out) {
     }
     if (closed_) break;  // drain immediately, no deadline wait
     // Hold for more work until the batch is full or the oldest request's
-    // flush deadline passes; wake early for the earliest per-request
-    // deadline so expired work is rejected promptly.
-    const auto flush_at = oldest_enqueue_locked() + max_delay_;
+    // flush deadline passes (shrunk while high-priority work waits); wake
+    // early for the earliest per-request deadline so expired work is
+    // rejected promptly.
+    const auto flush_at = flush_at_locked();
     if (static_cast<int>(size_) >= max_batch_ || Clock::now() >= flush_at) {
       break;
     }
     const auto wake_at = std::min(flush_at, earliest_deadline_locked());
     cv_.wait_until(lock, wake_at, [&] {
-      // The third clause re-arms the wait when a push() lands a deadline
-      // EARLIER than the wake-up this wait was computed against — without
-      // it the new request would only be reaped at the stale wake_at,
-      // up to max_delay late.
+      // The deadline clause re-arms the wait when a push() lands a
+      // deadline EARLIER than the wake-up this wait was computed against
+      // — without it the new request would only be reaped at the stale
+      // wake_at, up to max_delay late. The flush clause does the same for
+      // a high-priority arrival that SHRANK the flush window (preemptive
+      // batching): the parked worker must dispatch at the new, earlier
+      // flush time instead of the one it fell asleep against. The size_
+      // guard matters: another worker may have drained the queue since
+      // this wait began, and flush_at_locked() on empty lanes would add
+      // max_delay to time_point::max() (signed overflow).
       return closed_ || static_cast<int>(size_) >= max_batch_ ||
-             earliest_deadline_locked() < wake_at;
+             earliest_deadline_locked() < wake_at ||
+             (size_ > 0 && flush_at_locked() < wake_at);
     });
     // Loop: re-reap, re-check the flush rule (another worker may have
     // taken the whole batch, or only a request deadline fired).
@@ -147,10 +239,13 @@ bool BatchQueue::pop_batch(std::vector<PendingRequest>& out) {
   const std::size_t n =
       std::min<std::size_t>(size_, static_cast<std::size_t>(max_batch_));
   out.reserve(n);
-  // Highest priority first; FIFO within each lane.
+  // Highest priority first; FIFO within each lane. A preemptively-flushed
+  // batch back-fills its remaining slots with lower-class work, so
+  // preemption never idles capacity that normal/low requests could use.
   for (int p = kPriorityLevels - 1; p >= 0 && out.size() < n; --p) {
     auto& lane = lanes_[static_cast<std::size_t>(p)];
     while (!lane.empty() && out.size() < n) {
+      --class_depth_[lane_index(lane.front().cls.priority)];
       out.push_back(std::move(lane.front()));
       lane.pop_front();
       --size_;
@@ -187,6 +282,30 @@ std::uint64_t BatchQueue::timeout_total() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::uint64_t total = 0;
   for (const auto t : timeouts_) total += t;
+  return total;
+}
+
+std::uint64_t BatchQueue::rejected_count(Priority p) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_[lane_index(p)];
+}
+
+std::uint64_t BatchQueue::rejected_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto r : rejected_) total += r;
+  return total;
+}
+
+std::uint64_t BatchQueue::evicted_count(Priority p) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evicted_[lane_index(p)];
+}
+
+std::uint64_t BatchQueue::evicted_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto e : evicted_) total += e;
   return total;
 }
 

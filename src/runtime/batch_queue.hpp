@@ -1,4 +1,5 @@
-// Micro-batching request queue with priority classes and deadlines.
+// Micro-batching request queue with priority classes, deadlines and
+// bounded-depth admission control.
 //
 // Producers push single-image requests; one or more backend workers pop
 // *batches*. A worker holding the first request of a batch waits until
@@ -14,6 +15,13 @@
 //    before low, FIFO within each class. The flush timer runs off the
 //    oldest request of ANY class, so a lone low-priority request still
 //    flushes within max_delay.
+//  - Preemption-aware batching: with preempt_delay < max_delay, a queued
+//    HIGH-priority request shrinks the flush window — the batch dispatches
+//    once the oldest high request has waited preempt_delay instead of
+//    sitting out the full max_delay behind lower-class traffic. A worker
+//    already parked on the long window is woken early. Lower classes are
+//    not starved: the preempted batch still back-fills its remaining
+//    slots with normal/low work, and aging/promotion keeps its bound.
 //  - Aging/promotion (the starvation bound): with promote_after_factor k
 //    > 0, a request queued longer than k×max_delay is promoted one
 //    priority class in pop order (it physically moves to the tail of the
@@ -29,6 +37,23 @@
 //    DeadlineExceeded, and a per-priority timeout counter bumped — it
 //    never occupies a batch slot. Workers also wake early for the
 //    earliest pending deadline so rejection is prompt.
+//
+// Admission control / load shedding (QueueLimits): with max_queue_depth
+// > 0 the queue fails fast under overload instead of letting depth (and
+// queueing delay) grow unboundedly. A push that finds the queue at its
+// bound either EVICTS the oldest waiter of the lowest scheduling lane
+// strictly below the arrival (when one exists and is evictable — the
+// victim's promise fails with QueueFull, the arrival is admitted) or
+// REJECTS the arrival itself with QueueFull. The ordering guarantee: an
+// arrival is never rejected for the total bound while a strictly lower
+// SCHEDULING LANE holds an evictable waiter. Lanes, not original
+// classes, on purpose: a request that aging already promoted out of a
+// lane stops being an eviction candidate for the classes it climbed
+// past — eviction composes with the starvation bound instead of
+// undoing it. Per-class budgets add a second, fail-fast-only bound: a
+// class at its own budget is rejected outright (evicting lower work
+// would not free its own budget). Rejections and evictions are counted
+// per ORIGINAL priority class.
 #pragma once
 
 #include <array>
@@ -42,15 +67,46 @@
 
 namespace odenet::runtime {
 
+/// Admission-control bounds of a BatchQueue. Default-constructed limits
+/// keep the pre-overload-protection behavior (unbounded, never sheds).
+struct QueueLimits {
+  /// Total queued requests across all classes; 0 = unbounded.
+  std::size_t max_queue_depth = 0;
+  /// Per-priority depth budgets, indexed by Priority (counted by ORIGINAL
+  /// class, unaffected by aging/promotion); 0 = no per-class cap. A class
+  /// at its budget is rejected fail-fast, never admitted by eviction.
+  std::array<std::size_t, kPriorityLevels> per_priority{};
+  /// When the TOTAL bound is hit, admit a higher-class arrival by
+  /// evicting the oldest evictable waiter of the lowest class strictly
+  /// below it (false = always reject the arrival instead).
+  bool evict_lower = true;
+};
+
+/// What push() did with the request.
+enum class PushOutcome {
+  /// Enqueued; the promise will be fulfilled by a worker (or the reaper).
+  kAccepted,
+  /// Shed by admission control; the promise has already been failed with
+  /// QueueFull and the rejection counted.
+  kRejected,
+  /// The queue was closed; the caller still owns the promise.
+  kClosed,
+};
+
 class BatchQueue {
  public:
+  /// preempt_delay: the shrunk flush window applied while a high-priority
+  /// request is queued; zero disables preemption (the window is always
+  /// max_delay). Values >= max_delay are equivalent to disabled.
   BatchQueue(int max_batch, std::chrono::microseconds max_delay,
-             int promote_after_factor = 0);
+             int promote_after_factor = 0, QueueLimits limits = {},
+             std::chrono::microseconds preempt_delay = {});
 
-  /// Enqueues one request. Returns false (and leaves `req` untouched
-  /// semantically — the caller still owns the promise) when the queue has
-  /// been closed.
-  bool push(PendingRequest&& req);
+  /// Enqueues one request, applying the admission-control bounds (see
+  /// QueueLimits). On kRejected the queue has already failed the
+  /// request's promise with QueueFull; on kClosed the caller still owns
+  /// the promise.
+  PushOutcome push(PendingRequest&& req);
 
   /// Blocks until a batch is ready per the flush rule, then moves up to
   /// max_batch requests into `out` (cleared first), highest priority
@@ -65,17 +121,33 @@ class BatchQueue {
 
   bool closed() const;
   std::size_t size() const;
+  const QueueLimits& limits() const { return limits_; }
+  std::chrono::microseconds preempt_delay() const { return preempt_delay_; }
 
   /// Requests rejected with DeadlineExceeded, cumulative (keyed by the
   /// request's original priority class, even after promotion).
   std::uint64_t timeout_count(Priority p) const;
   std::uint64_t timeout_total() const;
 
+  /// Arrivals shed at push time with QueueFull (by original class).
+  std::uint64_t rejected_count(Priority p) const;
+  std::uint64_t rejected_total() const;
+
+  /// Queued waiters evicted with QueueFull to admit a higher-priority
+  /// arrival (by the VICTIM's original class).
+  std::uint64_t evicted_count(Priority p) const;
+  std::uint64_t evicted_total() const;
+
   /// Anti-starvation promotions performed, cumulative (a request promoted
   /// twice — low to normal to high — counts twice).
   std::uint64_t promotion_total() const;
 
  private:
+  /// Admission control for one arrival landing in `lane`. Returns true
+  /// when the request may enqueue (possibly after evicting a lower-class
+  /// waiter), false when it was rejected (promise failed, counted).
+  /// Caller holds mutex_.
+  bool admit_locked(PendingRequest& req, std::size_t lane);
   /// Fails and removes every request whose deadline has passed. Promises
   /// are completed under the lock — std::promise::set_exception only
   /// stores and wakes, it runs no user code. Caller holds mutex_.
@@ -86,6 +158,10 @@ class BatchQueue {
   /// Earliest enqueue time across all classes. Caller holds mutex_;
   /// requires size_ > 0.
   Clock::time_point oldest_enqueue_locked() const;
+  /// When the batch being formed must dispatch: oldest request + max_delay,
+  /// shrunk to oldest HIGH request + preempt_delay while preemption is on
+  /// and high work is waiting. Caller holds mutex_; requires size_ > 0.
+  Clock::time_point flush_at_locked() const;
   /// Earliest pending request deadline (time_point::max() when none).
   /// Caller holds mutex_.
   Clock::time_point earliest_deadline_locked() const;
@@ -94,13 +170,21 @@ class BatchQueue {
   const std::chrono::microseconds max_delay_;
   /// Aging threshold factor k: promote after k×max_delay queued. 0 = off.
   const int promote_after_factor_;
+  const QueueLimits limits_;
+  /// Preemptive flush window while high-priority work waits. 0 = off.
+  const std::chrono::microseconds preempt_delay_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   /// One FIFO lane per priority class, indexed by Priority.
   std::array<std::deque<PendingRequest>, kPriorityLevels> lanes_;
   std::size_t size_ = 0;
+  /// Live queued requests by ORIGINAL class (promotion moves a request
+  /// between lanes_ but it keeps counting against its submitted class).
+  std::array<std::size_t, kPriorityLevels> class_depth_{};
   std::array<std::uint64_t, kPriorityLevels> timeouts_{};
+  std::array<std::uint64_t, kPriorityLevels> rejected_{};
+  std::array<std::uint64_t, kPriorityLevels> evicted_{};
   std::uint64_t promotions_ = 0;
   bool closed_ = false;
 };

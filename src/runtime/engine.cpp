@@ -45,8 +45,13 @@ InferenceEngine::InferenceEngine(models::ModelSnapshot::Ptr snapshot,
     backend->cfg = bc;
     backend->label = core::backend_name(bc.backend);
     backend->index = backends_.size();
+    QueueLimits limits;
+    limits.max_queue_depth = cfg_.max_queue_depth;
+    limits.per_priority = cfg_.priority_depth_budgets;
+    limits.evict_lower = cfg_.evict_lower_on_full;
     backend->queue = std::make_unique<BatchQueue>(
-        cfg_.max_batch, cfg_.max_delay, cfg_.promote_after_factor);
+        cfg_.max_batch, cfg_.max_delay, cfg_.promote_after_factor, limits,
+        cfg_.high_priority_flush);
     backend->stats.backend = bc.backend;
     if (bc.backend == core::ExecBackend::kFpgaSim) {
       backend->offloaded = bc.offloaded;
@@ -86,7 +91,8 @@ InferenceEngine::InferenceEngine(models::ModelSnapshot::Ptr snapshot,
     if (dup > 0) backends_[i]->label += "#" + std::to_string(dup);
     backends_[i]->stats.name = backends_[i]->label;
   }
-  router_ = std::make_unique<Router>(cfg_.route_policy, cfg_.static_backend);
+  router_ = std::make_unique<Router>(cfg_.route_policy, cfg_.static_backend,
+                                     cfg_.route_hysteresis);
   for (int p = 0; p < kPriorityLevels; ++p) {
     priority_stats_[static_cast<std::size_t>(p)].priority =
         static_cast<Priority>(p);
@@ -170,11 +176,21 @@ std::size_t InferenceEngine::pick_backend(const SubmitOptions& opts) {
   }
   std::vector<BackendLoad> loads;
   loads.reserve(backends_.size());
+  // Only the measured policy consumes the EWMA; skipping the read keeps
+  // the other policies' submit path off the mutex the workers take in
+  // observe() after every micro-batch.
+  const bool wants_measured =
+      router_->policy() == RoutePolicy::kMeasuredLatency;
   for (const auto& backend : backends_) {
     BackendLoad load;
     load.queue_depth = backend->queue->size();
     load.in_flight = backend->in_flight.load(std::memory_order_relaxed);
     load.modeled_request_seconds = backend->modeled_request_seconds;
+    if (wants_measured) {
+      load.measured_request_seconds =
+          backend->ewma.seconds_per_request() /
+          static_cast<double>(backend->cfg.workers);
+    }
     loads.push_back(load);
   }
   const std::size_t index = router_->route(loads);
@@ -209,12 +225,17 @@ std::future<InferenceResult> InferenceEngine::submit(core::Tensor image,
   PendingRequest req;
   req.image = std::move(image);
   req.cls.priority = opts.priority;
+  req.cls.evictable = opts.evictable;
   if (opts.deadline.count() > 0) {
     req.cls.deadline = Clock::now() + opts.deadline;
   }
   std::future<InferenceResult> future = req.promise.get_future();
-  const bool accepted = backends_[index]->queue->push(std::move(req));
-  ODENET_CHECK(accepted, "submit() after engine shutdown");
+  const PushOutcome outcome = backends_[index]->queue->push(std::move(req));
+  ODENET_CHECK(outcome != PushOutcome::kClosed,
+               "submit() after engine shutdown");
+  // kRejected (admission control shed the request): the queue already
+  // failed the promise with QueueFull — fail-fast surfaces through the
+  // future, like deadline expiry, so producers need one error path only.
   return future;
 }
 
@@ -321,6 +342,11 @@ std::uint64_t InferenceEngine::reload(models::ModelSnapshot::Ptr snapshot) {
   snapshot_ = std::move(snapshot);
   active_version_.store(version, std::memory_order_release);
   reloads_.fetch_add(1, std::memory_order_relaxed);
+  // The per-backend service-time EWMAs survive the publish on purpose:
+  // the checks above guarantee the snapshot serves the same architecture
+  // and solver, so per-request cost is unchanged and warm measurements
+  // stay valid (resetting would bounce the measured-latency router back
+  // to the analytical model for no reason).
   return version;
 }
 
@@ -352,6 +378,9 @@ void InferenceEngine::serve_batch(Backend& backend, Worker& worker,
     core::Tensor logits = worker.net->forward_with(x, worker.plan,
                                                    &run_stats);
     const double compute_seconds = watch.seconds();
+    // Completion callback into the measured-latency feedback loop: fold
+    // this batch's observed service time into the backend's EWMA.
+    backend.ewma.observe(compute_seconds, n);
     const std::vector<int> preds = core::SoftmaxCrossEntropy::argmax(logits);
     const std::uint64_t batch_pl_cycles = run_stats.pl_cycles();
     const int classes = logits.dim(1);
@@ -445,6 +474,12 @@ double InferenceEngine::modeled_request_seconds(std::size_t index) const {
   return backends_[index]->modeled_request_seconds;
 }
 
+double InferenceEngine::measured_request_seconds(std::size_t index) const {
+  ODENET_CHECK(index < backends_.size(), "backend index out of range");
+  return backends_[index]->ewma.seconds_per_request() /
+         static_cast<double>(backends_[index]->cfg.workers);
+}
+
 EngineStats InferenceEngine::stats() const {
   EngineStats out;
   out.wall_seconds = uptime_.seconds();
@@ -459,15 +494,23 @@ EngineStats InferenceEngine::stats() const {
     BackendStats& snap = out.backends.back();
     snap.routed = backend->routed.load(std::memory_order_relaxed);
     snap.timeouts = backend->queue->timeout_total();
+    snap.rejected = backend->queue->rejected_total();
+    snap.evicted = backend->queue->evicted_total();
     snap.promotions = backend->queue->promotion_total();
     snap.queue_depth = backend->queue->size();
     snap.in_flight = backend->in_flight.load(std::memory_order_relaxed);
+    snap.measured_request_seconds =
+        backend->ewma.seconds_per_request() /
+        static_cast<double>(backend->cfg.workers);
+    snap.modeled_request_seconds = backend->modeled_request_seconds;
     snap.arenas = backend->arena_pool.created();
     snap.arena_capacity_floats = backend->arena_pool.capacity_floats();
     snap.arena_growths = backend->arena_pool.growth_total();
     for (int p = 0; p < kPriorityLevels; ++p) {
-      out.priorities[static_cast<std::size_t>(p)].timeouts +=
-          backend->queue->timeout_count(static_cast<Priority>(p));
+      auto& ps = out.priorities[static_cast<std::size_t>(p)];
+      ps.timeouts += backend->queue->timeout_count(static_cast<Priority>(p));
+      ps.rejected += backend->queue->rejected_count(static_cast<Priority>(p));
+      ps.evicted += backend->queue->evicted_count(static_cast<Priority>(p));
     }
   }
   return out;

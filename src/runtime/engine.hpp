@@ -21,11 +21,25 @@
 // the new version.
 //
 // Backend choice is routed by default: a Router policy (static,
-// round-robin, least-queue-depth, modeled-latency) picks per request from
-// live queue-depth/in-flight gauges plus the sched/ latency models'
-// per-request service-time estimate. SubmitOptions can pin a backend, set
-// a priority class, and attach a deadline — an expired request completes
-// with DeadlineExceeded instead of occupying a batch slot.
+// round-robin, least-queue-depth, modeled-latency, measured-latency)
+// picks per request from live queue-depth/in-flight gauges plus a
+// per-request service-time estimate — the sched/ latency models', or for
+// measured-latency the per-backend EWMA of observed busy seconds/request
+// that workers feed back after every micro-batch (falling back to the
+// model until warm, with hysteresis so placement doesn't flap).
+// SubmitOptions can pin a backend, set a priority class, and attach a
+// deadline — an expired request completes with DeadlineExceeded instead
+// of occupying a batch slot.
+//
+// Overload protection: with EngineConfig::max_queue_depth set, each
+// backend queue sheds fail-fast — an arrival that finds the queue full
+// fails its future with QueueFull immediately (high-priority arrivals may
+// instead evict the oldest lower-class waiter), so queueing delay stays
+// bounded and deadlines stop expiring at the back of a runaway queue.
+// EngineConfig::high_priority_flush adds preemption-aware batching: a
+// waiting high-priority request shrinks the flush window so urgent work
+// does not sit out max_delay. Per-priority rejected/evicted counters land
+// in EngineStats::to_json().
 //
 // Shutdown drains: close the queues, finish every in-flight and queued
 // request, then join. Every future handed out is eventually fulfilled.
@@ -43,6 +57,7 @@
 #include "runtime/router.hpp"
 #include "runtime/stats.hpp"
 #include "sched/fpga_executor.hpp"
+#include "sched/latency_model.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -86,10 +101,33 @@ struct EngineConfig {
   RoutePolicy route_policy = RoutePolicy::kLeastDepth;
   /// Target of RoutePolicy::kStatic.
   std::size_t static_backend = 0;
+  /// kMeasuredLatency's anti-flap band: keep the previous pick while its
+  /// estimated completion cost is within (1 + hysteresis) of the best.
+  double route_hysteresis = 0.15;
   /// Anti-starvation aging: a queued request older than this factor ×
   /// max_delay is promoted one priority class in pop order (see
   /// BatchQueue). 0 disables promotion.
   int promote_after_factor = 8;
+  /// Admission control: bound each backend queue at this depth; an
+  /// arrival that finds the queue full is shed fail-fast with QueueFull
+  /// through its future (or admitted by evicting a lower-priority
+  /// waiter — see BatchQueue/QueueLimits). 0 keeps queues unbounded (no
+  /// shedding, the pre-overload-protection behavior).
+  std::size_t max_queue_depth = 0;
+  /// Per-priority depth budgets within each backend queue, indexed by
+  /// Priority (0 = no per-class cap). Lets low-priority traffic be capped
+  /// well below the total bound so it can never crowd out high work.
+  std::array<std::size_t, kPriorityLevels> priority_depth_budgets{};
+  /// When a bounded queue is full, admit high-priority arrivals by
+  /// evicting the oldest evictable lower-class waiter instead of
+  /// rejecting them.
+  bool evict_lower_on_full = true;
+  /// Preemption-aware batching: while a high-priority request is queued,
+  /// a backend's flush window shrinks from max_delay to this, so urgent
+  /// work stops paying the full batching delay behind lower-class
+  /// traffic (the flushed batch still back-fills with normal/low work).
+  /// 0 disables; values >= max_delay are equivalent to disabled.
+  std::chrono::microseconds high_priority_flush{0};
 };
 
 class InferenceEngine {
@@ -162,6 +200,11 @@ class InferenceEngine {
   /// Modeled per-request service seconds of one backend, normalized by
   /// its worker count (sched::LatencyModel / CpuModel).
   double modeled_request_seconds(std::size_t index) const;
+  /// Measured per-request service seconds of one backend: the worker-fed
+  /// EWMA of busy_seconds/request, normalized by its worker count; 0.0
+  /// until the estimator is warm (the measured-latency router falls back
+  /// to the modeled value).
+  double measured_request_seconds(std::size_t index) const;
 
   /// Aggregated counters since construction (thread-safe snapshot).
   EngineStats stats() const;
@@ -185,6 +228,11 @@ class InferenceEngine {
     std::set<models::StageId> offloaded;
     /// Modeled seconds to serve one request, / workers (router input).
     double modeled_request_seconds = 0.0;
+    /// Measured service-time feedback: workers fold every completed
+    /// micro-batch's busy seconds/request into this EWMA; producers read
+    /// it (normalized by worker count) at routing time. Cold until a few
+    /// batches have completed — the router falls back to the model.
+    sched::ServiceTimeEwma ewma;
     /// Conv-lowering scratch, checked out per served batch: arenas are
     /// created lazily on concurrent demand and recycled warm, so a
     /// lightly-loaded backend with many workers keeps one warm arena

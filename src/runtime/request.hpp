@@ -41,6 +41,17 @@ class DeadlineExceeded : public Error {
   explicit DeadlineExceeded(const std::string& what) : Error(what) {}
 };
 
+/// Thrown through the future of a request shed by admission control: the
+/// backend queue was at its depth bound (or the request's priority class
+/// at its budget) and the request was rejected at submit time, or a
+/// queued lower-priority request was evicted to admit a higher-priority
+/// arrival. Fail-fast: the caller learns immediately instead of watching
+/// its deadline expire at the back of an ever-growing queue.
+class QueueFull : public Error {
+ public:
+  explicit QueueFull(const std::string& what) : Error(what) {}
+};
+
 /// Scheduling attributes of one queued request.
 struct RequestClass {
   Priority priority = Priority::kNormal;
@@ -48,6 +59,9 @@ struct RequestClass {
   /// still queued past its deadline is rejected with DeadlineExceeded
   /// instead of being served late.
   Clock::time_point deadline = Clock::time_point::max();
+  /// May a full queue evict this request to admit a higher-priority
+  /// arrival? (SubmitOptions::evictable.)
+  bool evictable = true;
 
   bool has_deadline() const { return deadline != Clock::time_point::max(); }
 };
@@ -56,13 +70,23 @@ struct RequestClass {
 inline constexpr std::size_t kAnyBackend = static_cast<std::size_t>(-1);
 
 /// Per-request knobs of InferenceEngine::submit. Default-constructed
-/// options mean: normal priority, no deadline, routed backend choice.
+/// options mean: normal priority, no deadline, routed backend choice,
+/// evictable under overload.
 struct SubmitOptions {
+  /// Scheduling class — also the admission-control class: under a bounded
+  /// queue the priority decides which depth budget the request counts
+  /// against, whether it may evict lower-class waiters when the queue is
+  /// full, and whether IT can be the eviction victim. A shed request's
+  /// future fails with QueueFull at submit time (fail-fast).
   Priority priority = Priority::kNormal;
   /// Relative completion deadline; zero (the default) means none.
   std::chrono::microseconds deadline{0};
   /// Pin the request to one backend; kAnyBackend routes by policy.
   std::size_t backend = kAnyBackend;
+  /// Opt this request out of being evicted by higher-priority arrivals
+  /// (it can still be rejected at its own submit time when the queue is
+  /// full, and still expires on its deadline).
+  bool evictable = true;
 };
 
 /// What the engine hands back for one submitted image.

@@ -10,6 +10,7 @@ std::string route_policy_name(RoutePolicy policy) {
     case RoutePolicy::kRoundRobin: return "round_robin";
     case RoutePolicy::kLeastDepth: return "least_depth";
     case RoutePolicy::kModeledLatency: return "modeled_latency";
+    case RoutePolicy::kMeasuredLatency: return "measured_latency";
   }
   return "unknown";
 }
@@ -20,20 +21,49 @@ RoutePolicy route_policy_from_name(const std::string& name) {
   }
   ODENET_CHECK(false, "unknown routing policy \""
                           << name
-                          << "\" (want static, round_robin, least_depth or "
-                             "modeled_latency)");
+                          << "\" (want static, round_robin, least_depth, "
+                             "modeled_latency or measured_latency)");
   return RoutePolicy::kStatic;  // unreachable
 }
 
 const std::vector<RoutePolicy>& all_route_policies() {
   static const std::vector<RoutePolicy> kAll = {
       RoutePolicy::kStatic, RoutePolicy::kRoundRobin,
-      RoutePolicy::kLeastDepth, RoutePolicy::kModeledLatency};
+      RoutePolicy::kLeastDepth, RoutePolicy::kModeledLatency,
+      RoutePolicy::kMeasuredLatency};
   return kAll;
 }
 
-Router::Router(RoutePolicy policy, std::size_t static_index)
-    : policy_(policy), static_index_(static_index) {}
+Router::Router(RoutePolicy policy, std::size_t static_index,
+               double hysteresis)
+    : policy_(policy), static_index_(static_index), hysteresis_(hysteresis) {
+  ODENET_CHECK(hysteresis >= 0.0,
+               "router hysteresis must be >= 0, got " << hysteresis);
+}
+
+double Router::request_seconds(const BackendLoad& load, bool measured) {
+  // Cold-start fallback: an unwarmed EWMA reports 0, so the analytical
+  // estimate routes until real completions arrive.
+  if (measured && load.measured_request_seconds > 0.0) {
+    return load.measured_request_seconds;
+  }
+  return load.modeled_request_seconds;
+}
+
+std::size_t Router::min_cost_index(const std::vector<BackendLoad>& loads,
+                                   bool measured, double* best_cost) {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const double outstanding = static_cast<double>(loads[i].queue_depth) +
+                               static_cast<double>(loads[i].in_flight) + 1.0;
+    const double cost = outstanding * request_seconds(loads[i], measured);
+    if (i == 0 || cost < *best_cost) {
+      best = i;
+      *best_cost = cost;
+    }
+  }
+  return best;
+}
 
 std::size_t Router::route(const std::vector<BackendLoad>& loads) {
   ODENET_CHECK(!loads.empty(), "router needs at least one backend load");
@@ -63,18 +93,27 @@ std::size_t Router::route(const std::vector<BackendLoad>& loads) {
       return best;
     }
     case RoutePolicy::kModeledLatency: {
-      std::size_t best = 0;
       double best_cost = 0.0;
-      for (std::size_t i = 0; i < loads.size(); ++i) {
+      return min_cost_index(loads, /*measured=*/false, &best_cost);
+    }
+    case RoutePolicy::kMeasuredLatency: {
+      double best_cost = 0.0;
+      const std::size_t best =
+          min_cost_index(loads, /*measured=*/true, &best_cost);
+      // Hysteresis: EWMA estimates jitter batch to batch; flapping
+      // between near-tied backends churns their queues for no win. Keep
+      // the previous pick while it stays within the band of the best.
+      const std::size_t anchor = anchor_.load(std::memory_order_relaxed);
+      if (hysteresis_ > 0.0 && anchor != kNoAnchor &&
+          anchor < loads.size() && anchor != best) {
         const double outstanding =
-            static_cast<double>(loads[i].queue_depth) +
-            static_cast<double>(loads[i].in_flight) + 1.0;
-        const double cost = outstanding * loads[i].modeled_request_seconds;
-        if (i == 0 || cost < best_cost) {
-          best = i;
-          best_cost = cost;
-        }
+            static_cast<double>(loads[anchor].queue_depth) +
+            static_cast<double>(loads[anchor].in_flight) + 1.0;
+        const double anchor_cost =
+            outstanding * request_seconds(loads[anchor], /*measured=*/true);
+        if (anchor_cost <= best_cost * (1.0 + hysteresis_)) return anchor;
       }
+      anchor_.store(best, std::memory_order_relaxed);
       return best;
     }
   }

@@ -3,13 +3,17 @@
 // The engine's backends are heterogeneous compute engines (PS float
 // software, fixed-point CPU, the simulated PL accelerator), each with its
 // own micro-batch queue. The Router picks one per routed request from a
-// point-in-time load snapshot; policies range from static pinning to a
-// cost model that combines queue pressure with the modeled per-request
-// service time from sched/ (CpuModel for software paths, the PS/PL
-// LatencyModel for offloaded ones).
+// point-in-time load snapshot; policies range from static pinning to cost
+// models that combine queue pressure with a per-request service-time
+// estimate — either the analytical one from sched/ (CpuModel for software
+// paths, the PS/PL LatencyModel for offloaded ones) or, for
+// kMeasuredLatency, the live EWMA of observed busy-seconds-per-request
+// that the workers feed back, falling back to the analytical model while
+// a backend's estimator is still cold.
 //
 // route() is safe to call from many producer threads concurrently: the
-// only mutable state is the round-robin cursor, an atomic.
+// mutable state is the round-robin cursor and the hysteresis anchor, both
+// atomics.
 #pragma once
 
 #include <atomic>
@@ -33,6 +37,13 @@ enum class RoutePolicy {
   /// backends it prefers the faster engine until its queue pressure
   /// outweighs the speed advantage.
   kModeledLatency,
+  /// kModeledLatency driven by MEASURED service times: each backend's
+  /// EWMA of observed busy seconds/request replaces the analytical
+  /// estimate once warm (cold backends fall back to the model, so the
+  /// policy is usable from the first request). A hysteresis band keeps
+  /// the previous pick until another backend beats it by a margin, so
+  /// jittery measurements don't make placement flap.
+  kMeasuredLatency,
 };
 
 std::string route_policy_name(RoutePolicy policy);
@@ -49,27 +60,47 @@ struct BackendLoad {
   int in_flight = 0;
   /// Modeled seconds to serve ONE request, normalized by the backend's
   /// worker parallelism (sched::LatencyModel / CpuModel; see
-  /// InferenceEngine). Only kModeledLatency consults this.
+  /// InferenceEngine). kModeledLatency consults this; kMeasuredLatency
+  /// falls back to it while the measurement is cold.
   double modeled_request_seconds = 0.0;
+  /// Measured seconds to serve one request: the worker-fed EWMA of
+  /// busy_seconds/request, normalized by worker parallelism; 0.0 while
+  /// the backend's estimator is cold. Only kMeasuredLatency consults it.
+  double measured_request_seconds = 0.0;
 };
 
 class Router {
  public:
-  explicit Router(RoutePolicy policy, std::size_t static_index = 0);
+  /// hysteresis: kMeasuredLatency keeps its previous pick while that
+  /// backend's estimated completion cost is within (1 + hysteresis) of
+  /// the current best; 0 disables the band (always take the argmin).
+  explicit Router(RoutePolicy policy, std::size_t static_index = 0,
+                  double hysteresis = 0.15);
 
   /// Picks a backend index in [0, loads.size()). Deterministic for a given
   /// snapshot: ties always break to the lowest index (round-robin is
-  /// deterministic in its call sequence instead). Throws on an empty
-  /// snapshot or a static index out of range.
+  /// deterministic in its call sequence instead, and kMeasuredLatency in
+  /// its snapshot sequence through the hysteresis anchor). Throws on an
+  /// empty snapshot or a static index out of range.
   std::size_t route(const std::vector<BackendLoad>& loads);
 
   RoutePolicy policy() const { return policy_; }
   std::size_t static_index() const { return static_index_; }
+  double hysteresis() const { return hysteresis_; }
 
  private:
+  /// Lowest-index argmin of (outstanding + 1) x seconds-per-request.
+  static std::size_t min_cost_index(const std::vector<BackendLoad>& loads,
+                                    bool measured, double* best_cost);
+  static double request_seconds(const BackendLoad& load, bool measured);
+
   RoutePolicy policy_;
   std::size_t static_index_;
+  double hysteresis_;
   std::atomic<std::uint64_t> round_robin_{0};
+  /// kMeasuredLatency's sticky pick; kNoAnchor until the first route.
+  static constexpr std::size_t kNoAnchor = static_cast<std::size_t>(-1);
+  std::atomic<std::size_t> anchor_{kNoAnchor};
 };
 
 }  // namespace odenet::runtime

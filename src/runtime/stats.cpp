@@ -34,6 +34,8 @@ void PriorityStats::record_latency(double seconds) {
 std::string EngineStats::to_json() const {
   std::ostringstream os;
   os << "{\"requests\":" << requests() << ",\"timeouts\":" << timeouts()
+     << ",\"rejected\":" << rejected() << ",\"evicted\":" << evicted()
+     << ",\"shed\":" << shed()
      << ",\"routed\":" << routed() << ",\"policy\":\"" << policy
      << "\",\"model_version\":" << model_version
      << ",\"reloads\":" << reloads << ",\"swaps\":" << swaps()
@@ -48,11 +50,15 @@ std::string EngineStats::to_json() const {
        << core::backend_name(b.backend) << "\",\"requests\":" << b.requests
        << ",\"batches\":" << b.batches << ",\"routed\":" << b.routed
        << ",\"timeouts\":" << b.timeouts
+       << ",\"rejected\":" << b.rejected << ",\"evicted\":" << b.evicted
        << ",\"promotions\":" << b.promotions << ",\"swaps\":" << b.swaps
        << ",\"mean_swap_ms\":" << fmt(b.mean_swap_seconds() * 1e3)
        << ",\"max_swap_ms\":" << fmt(b.max_swap_seconds * 1e3)
        << ",\"queue_depth\":" << b.queue_depth
        << ",\"in_flight\":" << b.in_flight
+       << ",\"measured_request_ms\":"
+       << fmt(b.measured_request_seconds * 1e3)
+       << ",\"modeled_request_ms\":" << fmt(b.modeled_request_seconds * 1e3)
        << ",\"arenas\":" << b.arenas
        << ",\"arena_capacity_floats\":" << b.arena_capacity_floats
        << ",\"arena_growths\":" << b.arena_growths
@@ -73,6 +79,7 @@ std::string EngineStats::to_json() const {
     os << "{\"priority\":\"" << priority_name(static_cast<Priority>(p))
        << "\",\"requests\":" << ps.requests
        << ",\"timeouts\":" << ps.timeouts
+       << ",\"rejected\":" << ps.rejected << ",\"evicted\":" << ps.evicted
        << ",\"mean_latency_ms\":" << fmt(ps.mean_latency_seconds() * 1e3)
        << ",\"max_latency_ms\":" << fmt(ps.max_latency_seconds * 1e3)
        << ",\"hist_le_ms\":[";

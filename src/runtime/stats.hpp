@@ -4,9 +4,12 @@
 // simulated-PL cycle totals its executors reported, so a hybrid engine's
 // stats line shows both the host-side throughput and the modeled hardware
 // utilization in one place. On top of the per-backend view the engine
-// keeps per-priority latency histograms and timeout counters, and the
-// router's placement decisions are counted per backend — the numbers a
-// load-shedding or autoscaling layer would watch.
+// keeps per-priority latency histograms plus timeout/rejected/evicted
+// counters (the overload-protection ledger: every shed request is
+// attributed to its class), the router's placement decisions are counted
+// per backend, and each backend reports its measured EWMA service time
+// next to the analytical estimate — the numbers an autoscaling layer
+// would watch.
 #pragma once
 
 #include <array>
@@ -38,6 +41,12 @@ struct BackendStats {
   std::uint64_t routed = 0;
   /// Requests rejected with DeadlineExceeded while queued here.
   std::uint64_t timeouts = 0;
+  /// Arrivals shed fail-fast with QueueFull by this backend's bounded
+  /// queue (admission control).
+  std::uint64_t rejected = 0;
+  /// Queued waiters evicted with QueueFull to admit higher-priority
+  /// arrivals while this backend's queue was full.
+  std::uint64_t evicted = 0;
   /// Anti-starvation promotions performed by this backend's queue.
   std::uint64_t promotions = 0;
   /// Replica re-syncs performed by this backend's workers after a
@@ -60,6 +69,12 @@ struct BackendStats {
   /// same numbers the router's load snapshot sees).
   std::size_t queue_depth = 0;
   int in_flight = 0;
+  /// Measured per-request service seconds (worker-fed EWMA of
+  /// busy_seconds/request, normalized by worker parallelism; 0 while
+  /// cold) next to the analytical estimate it replaces — the
+  /// measured-latency router's actual inputs.
+  double measured_request_seconds = 0.0;
+  double modeled_request_seconds = 0.0;
   /// Conv-scratch arena-pool gauges: arenas materialized (bounded by peak
   /// batch concurrency), their resident float capacity, and cumulative
   /// buffer growths (flat after warmup — the no-regrowth invariant).
@@ -95,6 +110,11 @@ struct PriorityStats {
   std::uint64_t requests = 0;
   /// Requests rejected with DeadlineExceeded.
   std::uint64_t timeouts = 0;
+  /// Arrivals of this class shed fail-fast with QueueFull.
+  std::uint64_t rejected = 0;
+  /// Waiters of this class evicted with QueueFull by higher-priority
+  /// arrivals.
+  std::uint64_t evicted = 0;
   double latency_seconds_total = 0.0;
   double max_latency_seconds = 0.0;
   /// Completion-latency histogram over kLatencyBucketUpperMs (+overflow).
@@ -132,6 +152,19 @@ struct EngineStats {
     for (const auto& b : backends) total += b.timeouts;
     return total;
   }
+  std::uint64_t rejected() const {
+    std::uint64_t total = 0;
+    for (const auto& b : backends) total += b.rejected;
+    return total;
+  }
+  std::uint64_t evicted() const {
+    std::uint64_t total = 0;
+    for (const auto& b : backends) total += b.evicted;
+    return total;
+  }
+  /// Every request shed instead of served: fail-fast rejections,
+  /// evictions, and deadline expiries.
+  std::uint64_t shed() const { return rejected() + evicted() + timeouts(); }
   std::uint64_t routed() const {
     std::uint64_t total = 0;
     for (const auto& b : backends) total += b.routed;

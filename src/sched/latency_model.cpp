@@ -94,4 +94,44 @@ LatencyRow LatencyModel::evaluate(const models::NetworkSpec& spec,
   return row;
 }
 
+ServiceTimeEwma::ServiceTimeEwma(double alpha, int warm_after)
+    : alpha_(alpha), warm_after_(warm_after) {
+  ODENET_CHECK(alpha > 0.0 && alpha <= 1.0,
+               "EWMA alpha must be in (0, 1], got " << alpha);
+  ODENET_CHECK(warm_after >= 1,
+               "EWMA warm_after must be >= 1, got " << warm_after);
+}
+
+void ServiceTimeEwma::observe(double batch_seconds, int requests) {
+  if (requests <= 0 || batch_seconds <= 0.0) return;
+  const double per_request = batch_seconds / static_cast<double>(requests);
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Seed with the first sample outright: decaying from 0 would understate
+  // the service time for ~1/alpha batches.
+  value_ = samples_ == 0 ? per_request
+                         : alpha_ * per_request + (1.0 - alpha_) * value_;
+  samples_ += 1;
+}
+
+double ServiceTimeEwma::seconds_per_request() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_ >= static_cast<std::uint64_t>(warm_after_) ? value_ : 0.0;
+}
+
+bool ServiceTimeEwma::warm() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_ >= static_cast<std::uint64_t>(warm_after_);
+}
+
+std::uint64_t ServiceTimeEwma::samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_;
+}
+
+void ServiceTimeEwma::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  value_ = 0.0;
+  samples_ = 0;
+}
+
 }  // namespace odenet::sched

@@ -1,4 +1,6 @@
-// End-to-end PS/PL latency model — reproduces the paper's Table 5.
+// End-to-end PS/PL latency model — reproduces the paper's Table 5 — plus
+// the measured-service-time estimator (ServiceTimeEwma) that replaces the
+// model once real completions have been observed.
 //
 // A Partition names which ODE-capable stages run on the PL (as dedicated
 // circuits at conv_xn parallelism) while everything else runs as software
@@ -7,6 +9,8 @@
 // over AXI; for software stages the CpuModel applies.
 #pragma once
 
+#include <cstdint>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -83,6 +87,51 @@ class LatencyModel {
 
  private:
   CpuModel cpu_;
+};
+
+/// Exponentially-weighted moving average of MEASURED per-request service
+/// time — the feedback signal that complements this file's analytical
+/// model. The analytical LatencyModel/CpuModel estimate is a construction
+/// -time constant; it cannot see cache effects, host contention, or a
+/// batch-size mix that differs from its assumptions. A consumer (the
+/// serving runtime's measured-latency router) trusts the model while the
+/// estimator is cold and switches to the measurement once warm_after
+/// completions have been folded in.
+///
+/// observe() is called by backend worker threads (one call per completed
+/// micro-batch: wall seconds / requests); seconds_per_request() by many
+/// producer threads at routing time. Both are thread-safe.
+class ServiceTimeEwma {
+ public:
+  /// alpha: weight of the newest sample (0 < alpha <= 1); warm_after:
+  /// samples folded before the estimate is trusted (>= 1).
+  explicit ServiceTimeEwma(double alpha = 0.2, int warm_after = 3);
+
+  /// Folds one completed micro-batch: `batch_seconds` wall-clock over
+  /// `requests` requests. Ignores empty batches and non-positive times.
+  void observe(double batch_seconds, int requests);
+
+  /// EWMA of per-request seconds, or 0.0 while cold (fewer than
+  /// warm_after samples) — the caller falls back to the analytical
+  /// estimate.
+  double seconds_per_request() const;
+
+  bool warm() const;
+  std::uint64_t samples() const;
+
+  /// Drops all samples, returning to the cold (fall-back-to-model)
+  /// state — for operators re-baselining after host conditions change.
+  /// The serving engine deliberately does NOT reset on weight hot-swap:
+  /// a reload is spec-compatible by construction, so the cost profile
+  /// the EWMA tracks is unchanged.
+  void reset();
+
+ private:
+  const double alpha_;
+  const int warm_after_;
+  mutable std::mutex mutex_;
+  double value_ = 0.0;
+  std::uint64_t samples_ = 0;
 };
 
 }  // namespace odenet::sched

@@ -1,6 +1,8 @@
 // Direct unit tests for the priority/deadline-aware micro-batching queue
 // (runtime::BatchQueue): the dynamic-batching flush rule, close semantics,
-// priority ordering, and expired-deadline rejection.
+// priority ordering, expired-deadline rejection, bounded-depth admission
+// control (QueueFull rejection and higher-priority eviction), and the
+// preemptive flush window.
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -14,7 +16,10 @@ using runtime::BatchQueue;
 using runtime::Clock;
 using runtime::DeadlineExceeded;
 using runtime::PendingRequest;
+using runtime::PushOutcome;
 using runtime::Priority;
+using runtime::QueueFull;
+using runtime::QueueLimits;
 
 namespace {
 
@@ -31,11 +36,17 @@ PendingRequest make_request(float tag,
 
 float tag_of(const PendingRequest& req) { return req.image.data()[0]; }
 
+QueueLimits bounded(std::size_t depth) {
+  QueueLimits limits;
+  limits.max_queue_depth = depth;
+  return limits;
+}
+
 }  // namespace
 
 TEST(BatchQueue, LoneRequestFlushesOnDeadlineNotBatchSize) {
   BatchQueue queue(8, std::chrono::microseconds(20000));
-  ASSERT_TRUE(queue.push(make_request(1.0f)));
+  ASSERT_EQ(queue.push(make_request(1.0f)), PushOutcome::kAccepted);
 
   util::Stopwatch watch;
   std::vector<PendingRequest> batch;
@@ -53,7 +64,7 @@ TEST(BatchQueue, LoneRequestFlushesOnDeadlineNotBatchSize) {
 TEST(BatchQueue, BurstFillsMaxBatchImmediately) {
   BatchQueue queue(4, std::chrono::seconds(30));  // deadline never fires
   for (int i = 0; i < 8; ++i) {
-    ASSERT_TRUE(queue.push(make_request(static_cast<float>(i))));
+    ASSERT_EQ(queue.push(make_request(static_cast<float>(i))), PushOutcome::kAccepted);
   }
 
   util::Stopwatch watch;
@@ -70,7 +81,7 @@ TEST(BatchQueue, BurstFillsMaxBatchImmediately) {
 TEST(BatchQueue, CloseWhileWorkerWaitsDrainsWithoutDeadlineWait) {
   BatchQueue queue(64, std::chrono::seconds(30));
   for (int i = 0; i < 3; ++i) {
-    ASSERT_TRUE(queue.push(make_request(static_cast<float>(i))));
+    ASSERT_EQ(queue.push(make_request(static_cast<float>(i))), PushOutcome::kAccepted);
   }
 
   // The popper parks on the 30 s flush deadline (3 < 64); close() must
@@ -92,15 +103,15 @@ TEST(BatchQueue, CloseWhileWorkerWaitsDrainsWithoutDeadlineWait) {
   EXPECT_TRUE(popped);
   EXPECT_TRUE(exited);
   EXPECT_EQ(batch.size(), 3u);
-  EXPECT_FALSE(queue.push(make_request(9.0f)));  // closed refuses new work
+  EXPECT_EQ(queue.push(make_request(9.0f)), PushOutcome::kClosed);  // closed refuses new work
 }
 
 TEST(BatchQueue, PopsHighestPriorityFirstFifoWithinClass) {
   BatchQueue queue(2, std::chrono::seconds(30));
-  ASSERT_TRUE(queue.push(make_request(10.0f, Priority::kLow)));
-  ASSERT_TRUE(queue.push(make_request(11.0f, Priority::kLow)));
-  ASSERT_TRUE(queue.push(make_request(20.0f, Priority::kHigh)));
-  ASSERT_TRUE(queue.push(make_request(30.0f, Priority::kNormal)));
+  ASSERT_EQ(queue.push(make_request(10.0f, Priority::kLow)), PushOutcome::kAccepted);
+  ASSERT_EQ(queue.push(make_request(11.0f, Priority::kLow)), PushOutcome::kAccepted);
+  ASSERT_EQ(queue.push(make_request(20.0f, Priority::kHigh)), PushOutcome::kAccepted);
+  ASSERT_EQ(queue.push(make_request(30.0f, Priority::kNormal)), PushOutcome::kAccepted);
   queue.close();  // flush everything without the deadline wait
 
   std::vector<PendingRequest> batch;
@@ -123,10 +134,10 @@ TEST(BatchQueue, PopsHighestPriorityFirstFifoWithinClass) {
 TEST(BatchQueue, AgedRequestIsPromotedPastLaterHighArrivals) {
   BatchQueue queue(1, std::chrono::microseconds(1000),
                    /*promote_after_factor=*/1);
-  ASSERT_TRUE(queue.push(make_request(1.0f, Priority::kLow)));
+  ASSERT_EQ(queue.push(make_request(1.0f, Priority::kLow)), PushOutcome::kAccepted);
   std::this_thread::sleep_for(std::chrono::milliseconds(5));  // > 1 ms
-  ASSERT_TRUE(queue.push(make_request(2.0f, Priority::kHigh)));
-  ASSERT_TRUE(queue.push(make_request(3.0f, Priority::kHigh)));
+  ASSERT_EQ(queue.push(make_request(2.0f, Priority::kHigh)), PushOutcome::kAccepted);
+  ASSERT_EQ(queue.push(make_request(3.0f, Priority::kHigh)), PushOutcome::kAccepted);
 
   std::vector<PendingRequest> batch;
   // Pop 1: the scan lifts the aged low request into the normal lane (one
@@ -138,7 +149,7 @@ TEST(BatchQueue, AgedRequestIsPromotedPastLaterHighArrivals) {
   ASSERT_TRUE(queue.pop_batch(batch));
   EXPECT_FLOAT_EQ(tag_of(batch[0]), 3.0f);
   // New high traffic now queues BEHIND the promoted request.
-  ASSERT_TRUE(queue.push(make_request(4.0f, Priority::kHigh)));
+  ASSERT_EQ(queue.push(make_request(4.0f, Priority::kHigh)), PushOutcome::kAccepted);
   ASSERT_TRUE(queue.pop_batch(batch));
   EXPECT_FLOAT_EQ(tag_of(batch[0]), 1.0f);
   // Promotion re-orders scheduling but never re-labels the request.
@@ -152,9 +163,9 @@ TEST(BatchQueue, AgedRequestIsPromotedPastLaterHighArrivals) {
 
 TEST(BatchQueue, PromotionDisabledByDefault) {
   BatchQueue queue(1, std::chrono::microseconds(500));
-  ASSERT_TRUE(queue.push(make_request(1.0f, Priority::kLow)));
+  ASSERT_EQ(queue.push(make_request(1.0f, Priority::kLow)), PushOutcome::kAccepted);
   std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  ASSERT_TRUE(queue.push(make_request(2.0f, Priority::kHigh)));
+  ASSERT_EQ(queue.push(make_request(2.0f, Priority::kHigh)), PushOutcome::kAccepted);
 
   std::vector<PendingRequest> batch;
   ASSERT_TRUE(queue.pop_batch(batch));
@@ -170,8 +181,8 @@ TEST(BatchQueue, ExpiredDeadlineIsRejectedNotServed) {
   doomed.cls.deadline = Clock::now() + std::chrono::microseconds(500);
   std::future<runtime::InferenceResult> doomed_future =
       doomed.promise.get_future();
-  ASSERT_TRUE(queue.push(std::move(doomed)));
-  ASSERT_TRUE(queue.push(make_request(2.0f)));  // no deadline
+  ASSERT_EQ(queue.push(std::move(doomed)), PushOutcome::kAccepted);
+  ASSERT_EQ(queue.push(make_request(2.0f)), PushOutcome::kAccepted);  // no deadline
   std::this_thread::sleep_for(std::chrono::milliseconds(5));
 
   std::vector<PendingRequest> batch;
@@ -190,7 +201,7 @@ TEST(BatchQueue, DeadlinePushedWhileWorkerParkedIsStillRejectedPromptly) {
   // request queued; a later push with a short deadline must re-arm the
   // wait (not sleep until the stale wake-up) so the rejection is prompt.
   BatchQueue queue(64, std::chrono::seconds(30));
-  ASSERT_TRUE(queue.push(make_request(1.0f)));  // no deadline
+  ASSERT_EQ(queue.push(make_request(1.0f)), PushOutcome::kAccepted);  // no deadline
 
   std::vector<PendingRequest> served;
   std::thread worker([&] {
@@ -205,7 +216,7 @@ TEST(BatchQueue, DeadlinePushedWhileWorkerParkedIsStillRejectedPromptly) {
   doomed.cls.deadline = Clock::now() + std::chrono::milliseconds(2);
   std::future<runtime::InferenceResult> doomed_future =
       doomed.promise.get_future();
-  ASSERT_TRUE(queue.push(std::move(doomed)));
+  ASSERT_EQ(queue.push(std::move(doomed)), PushOutcome::kAccepted);
 
   util::Stopwatch watch;
   EXPECT_THROW(doomed_future.get(), DeadlineExceeded);
@@ -226,7 +237,7 @@ TEST(BatchQueue, WorkerWakesEarlyToRejectExpiringRequest) {
   doomed.cls.deadline = Clock::now() + std::chrono::milliseconds(2);
   std::future<runtime::InferenceResult> doomed_future =
       doomed.promise.get_future();
-  ASSERT_TRUE(queue.push(std::move(doomed)));
+  ASSERT_EQ(queue.push(std::move(doomed)), PushOutcome::kAccepted);
 
   std::vector<PendingRequest> batch;
   std::thread worker([&] { EXPECT_FALSE(queue.pop_batch(batch)); });
@@ -239,4 +250,254 @@ TEST(BatchQueue, WorkerWakesEarlyToRejectExpiringRequest) {
   EXPECT_EQ(queue.size(), 0u);
   queue.close();  // lets the worker exit
   worker.join();
+}
+
+// ---- admission control / load shedding --------------------------------
+
+TEST(BatchQueue, DepthBoundRejectsArrivalFailFast) {
+  BatchQueue queue(8, std::chrono::seconds(30), 0, bounded(2));
+  ASSERT_EQ(queue.push(make_request(1.0f)), PushOutcome::kAccepted);
+  ASSERT_EQ(queue.push(make_request(2.0f)), PushOutcome::kAccepted);
+
+  PendingRequest doomed = make_request(3.0f);
+  auto doomed_future = doomed.promise.get_future();
+  util::Stopwatch watch;
+  EXPECT_EQ(queue.push(std::move(doomed)), PushOutcome::kRejected);
+  // Fail-fast: the future already carries QueueFull, no waiting involved.
+  EXPECT_THROW(doomed_future.get(), QueueFull);
+  EXPECT_LT(watch.seconds(), 5.0);
+
+  EXPECT_EQ(queue.size(), 2u);  // the waiters are untouched
+  EXPECT_EQ(queue.rejected_count(Priority::kNormal), 1u);
+  EXPECT_EQ(queue.rejected_total(), 1u);
+  EXPECT_EQ(queue.evicted_total(), 0u);
+  EXPECT_EQ(queue.timeout_total(), 0u);
+
+  // Shedding is about ARRIVALS, not queued work: both waiters drain fine.
+  std::vector<PendingRequest> batch;
+  queue.close();
+  ASSERT_TRUE(queue.pop_batch(batch));
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(BatchQueue, HighPriorityEvictsOldestLowInsteadOfBeingRejected) {
+  BatchQueue queue(8, std::chrono::seconds(30), 0, bounded(2));
+  PendingRequest victim = make_request(1.0f, Priority::kLow);
+  auto victim_future = victim.promise.get_future();
+  ASSERT_EQ(queue.push(std::move(victim)), PushOutcome::kAccepted);
+  ASSERT_EQ(queue.push(make_request(2.0f, Priority::kLow)),
+            PushOutcome::kAccepted);
+
+  // The queue is full, but a high arrival must never be rejected while a
+  // lower class has evictable waiters: the OLDEST low request is shed.
+  ASSERT_EQ(queue.push(make_request(3.0f, Priority::kHigh)),
+            PushOutcome::kAccepted);
+  EXPECT_THROW(victim_future.get(), QueueFull);
+  EXPECT_EQ(queue.size(), 2u);  // still at the bound
+  EXPECT_EQ(queue.evicted_count(Priority::kLow), 1u);
+  EXPECT_EQ(queue.evicted_total(), 1u);
+  EXPECT_EQ(queue.rejected_total(), 0u);
+
+  std::vector<PendingRequest> batch;
+  queue.close();
+  ASSERT_TRUE(queue.pop_batch(batch));
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_FLOAT_EQ(tag_of(batch[0]), 3.0f);  // the admitted high arrival
+  EXPECT_FLOAT_EQ(tag_of(batch[1]), 2.0f);  // the surviving low waiter
+}
+
+TEST(BatchQueue, EvictionTakesTheLowestClassFirst) {
+  BatchQueue queue(8, std::chrono::seconds(30), 0, bounded(3));
+  PendingRequest low = make_request(1.0f, Priority::kLow);
+  auto low_future = low.promise.get_future();
+  ASSERT_EQ(queue.push(std::move(low)), PushOutcome::kAccepted);
+  PendingRequest normal = make_request(2.0f, Priority::kNormal);
+  auto normal_future = normal.promise.get_future();
+  ASSERT_EQ(queue.push(std::move(normal)), PushOutcome::kAccepted);
+  ASSERT_EQ(queue.push(make_request(3.0f, Priority::kHigh)),
+            PushOutcome::kAccepted);
+
+  // A high arrival evicts from the LOWEST class with waiters: low first.
+  ASSERT_EQ(queue.push(make_request(4.0f, Priority::kHigh)),
+            PushOutcome::kAccepted);
+  EXPECT_THROW(low_future.get(), QueueFull);
+  EXPECT_EQ(queue.evicted_count(Priority::kLow), 1u);
+
+  // With the low lane empty, the next high arrival evicts the normal.
+  ASSERT_EQ(queue.push(make_request(5.0f, Priority::kHigh)),
+            PushOutcome::kAccepted);
+  EXPECT_THROW(normal_future.get(), QueueFull);
+  EXPECT_EQ(queue.evicted_count(Priority::kNormal), 1u);
+
+  // Only high waiters remain: a further high arrival has nothing to
+  // evict (never evicts its own class) and is itself rejected.
+  PendingRequest doomed = make_request(6.0f, Priority::kHigh);
+  auto doomed_future = doomed.promise.get_future();
+  EXPECT_EQ(queue.push(std::move(doomed)), PushOutcome::kRejected);
+  EXPECT_THROW(doomed_future.get(), QueueFull);
+  EXPECT_EQ(queue.rejected_count(Priority::kHigh), 1u);
+  EXPECT_EQ(queue.evicted_total(), 2u);
+  EXPECT_EQ(queue.size(), 3u);
+}
+
+TEST(BatchQueue, LowArrivalNeverEvictsAndEvictionCanBeDisabled) {
+  // A low arrival has no lower class to shed: rejected outright.
+  BatchQueue queue(8, std::chrono::seconds(30), 0, bounded(1));
+  ASSERT_EQ(queue.push(make_request(1.0f, Priority::kLow)),
+            PushOutcome::kAccepted);
+  EXPECT_EQ(queue.push(make_request(2.0f, Priority::kLow)),
+            PushOutcome::kRejected);
+  EXPECT_EQ(queue.rejected_count(Priority::kLow), 1u);
+
+  // evict_lower = false: even high arrivals shed fail-fast.
+  QueueLimits no_evict = bounded(1);
+  no_evict.evict_lower = false;
+  BatchQueue strict(8, std::chrono::seconds(30), 0, no_evict);
+  ASSERT_EQ(strict.push(make_request(1.0f, Priority::kLow)),
+            PushOutcome::kAccepted);
+  EXPECT_EQ(strict.push(make_request(2.0f, Priority::kHigh)),
+            PushOutcome::kRejected);
+  EXPECT_EQ(strict.rejected_count(Priority::kHigh), 1u);
+  EXPECT_EQ(strict.evicted_total(), 0u);
+  EXPECT_EQ(strict.size(), 1u);
+}
+
+TEST(BatchQueue, NonEvictableWaiterIsSkippedByEviction) {
+  BatchQueue queue(8, std::chrono::seconds(30), 0, bounded(2));
+  PendingRequest pinned = make_request(1.0f, Priority::kLow);
+  pinned.cls.evictable = false;
+  ASSERT_EQ(queue.push(std::move(pinned)), PushOutcome::kAccepted);
+  PendingRequest soft = make_request(2.0f, Priority::kLow);
+  auto soft_future = soft.promise.get_future();
+  ASSERT_EQ(queue.push(std::move(soft)), PushOutcome::kAccepted);
+
+  // The older waiter is non-evictable: the NEWER evictable one is shed.
+  ASSERT_EQ(queue.push(make_request(3.0f, Priority::kHigh)),
+            PushOutcome::kAccepted);
+  EXPECT_THROW(soft_future.get(), QueueFull);
+
+  // Only the non-evictable low remains below high: the next high arrival
+  // finds nothing to evict and is rejected.
+  EXPECT_EQ(queue.push(make_request(4.0f, Priority::kHigh)),
+            PushOutcome::kRejected);
+  EXPECT_EQ(queue.evicted_count(Priority::kLow), 1u);
+  EXPECT_EQ(queue.rejected_count(Priority::kHigh), 1u);
+}
+
+TEST(BatchQueue, PerPriorityBudgetShedsClassWithoutEviction) {
+  QueueLimits limits;  // no total bound — only the low-class budget
+  limits.per_priority[static_cast<std::size_t>(Priority::kLow)] = 2;
+  BatchQueue queue(8, std::chrono::seconds(30), 0, limits);
+  ASSERT_EQ(queue.push(make_request(1.0f, Priority::kLow)),
+            PushOutcome::kAccepted);
+  ASSERT_EQ(queue.push(make_request(2.0f, Priority::kLow)),
+            PushOutcome::kAccepted);
+
+  PendingRequest doomed = make_request(3.0f, Priority::kLow);
+  auto doomed_future = doomed.promise.get_future();
+  EXPECT_EQ(queue.push(std::move(doomed)), PushOutcome::kRejected);
+  EXPECT_THROW(doomed_future.get(), QueueFull);
+  EXPECT_EQ(queue.rejected_count(Priority::kLow), 1u);
+
+  // Other classes are not budgeted and flow freely past the low cap.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(queue.push(make_request(10.0f + i, Priority::kNormal)),
+              PushOutcome::kAccepted);
+  }
+  EXPECT_EQ(queue.size(), 7u);
+  EXPECT_EQ(queue.evicted_total(), 0u);
+}
+
+TEST(BatchQueue, ExpiredRequestsDoNotHoldSlotsAgainstArrivals) {
+  BatchQueue queue(8, std::chrono::seconds(30), 0, bounded(1));
+  PendingRequest stale = make_request(1.0f);
+  stale.cls.deadline = Clock::now() + std::chrono::milliseconds(2);
+  auto stale_future = stale.promise.get_future();
+  ASSERT_EQ(queue.push(std::move(stale)), PushOutcome::kAccepted);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  // The queue is "full" of dead work only: push must reap, then admit.
+  ASSERT_EQ(queue.push(make_request(2.0f)), PushOutcome::kAccepted);
+  EXPECT_THROW(stale_future.get(), DeadlineExceeded);
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue.timeout_total(), 1u);
+  EXPECT_EQ(queue.rejected_total(), 0u);
+}
+
+// ---- preemption-aware batching ----------------------------------------
+
+TEST(BatchQueue, HighArrivalShrinksFlushWindowOfParkedWorker) {
+  // Flush window 30 s (never fires in this test); preemptive window 2 ms.
+  BatchQueue queue(64, std::chrono::seconds(30), 0, {},
+                   std::chrono::milliseconds(2));
+  ASSERT_EQ(queue.push(make_request(1.0f, Priority::kLow)),
+            PushOutcome::kAccepted);
+
+  std::vector<PendingRequest> batch;
+  std::thread worker([&] { ASSERT_TRUE(queue.pop_batch(batch)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // park it
+
+  util::Stopwatch watch;
+  ASSERT_EQ(queue.push(make_request(2.0f, Priority::kHigh)),
+            PushOutcome::kAccepted);
+  worker.join();
+  // The parked worker woke for the preemptive window, not the 30 s flush.
+  EXPECT_LT(watch.seconds(), 5.0);
+
+  // No starvation: the preempted batch back-fills with the low waiter.
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_FLOAT_EQ(tag_of(batch[0]), 2.0f);  // high first
+  EXPECT_FLOAT_EQ(tag_of(batch[1]), 1.0f);  // low rides along
+}
+
+TEST(BatchQueue, PreemptiveWindowAppliesOnlyWhileHighWorkWaits) {
+  // Preemption on, but only normal/low work queued: the batch must still
+  // sit out the full flush window (preemption never rushes bulk traffic).
+  BatchQueue queue(64, std::chrono::microseconds(20000), 0, {},
+                   std::chrono::microseconds(500));
+  ASSERT_EQ(queue.push(make_request(1.0f, Priority::kLow)),
+            PushOutcome::kAccepted);
+  ASSERT_EQ(queue.push(make_request(2.0f, Priority::kNormal)),
+            PushOutcome::kAccepted);
+
+  util::Stopwatch watch;
+  std::vector<PendingRequest> batch;
+  ASSERT_TRUE(queue.pop_batch(batch));
+  EXPECT_GE(watch.seconds(), 0.015);  // waited ~max_delay, not 500 us
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(BatchQueue, LoneHighRequestFlushesAtPreemptiveWindow) {
+  BatchQueue queue(64, std::chrono::seconds(30), 0, {},
+                   std::chrono::milliseconds(1));
+  ASSERT_EQ(queue.push(make_request(1.0f, Priority::kHigh)),
+            PushOutcome::kAccepted);
+  util::Stopwatch watch;
+  std::vector<PendingRequest> batch;
+  ASSERT_TRUE(queue.pop_batch(batch));
+  EXPECT_LT(watch.seconds(), 5.0);  // not the 30 s window
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_FLOAT_EQ(tag_of(batch[0]), 1.0f);
+}
+
+TEST(BatchQueue, PreemptiveFlushDoesNotStarveAgingLowTraffic) {
+  // Preemption interacting with PR 4 aging: sustained high arrivals keep
+  // shrinking the window, but a low request older than k x max_delay
+  // still climbs lanes and eventually rides ahead of FUTURE high work.
+  BatchQueue queue(1, std::chrono::microseconds(1000),
+                   /*promote_after_factor=*/1, {},
+                   std::chrono::microseconds(100));
+  ASSERT_EQ(queue.push(make_request(1.0f, Priority::kLow)),
+            PushOutcome::kAccepted);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // age it
+  ASSERT_EQ(queue.push(make_request(2.0f, Priority::kHigh)),
+            PushOutcome::kAccepted);
+
+  std::vector<PendingRequest> batch;
+  ASSERT_TRUE(queue.pop_batch(batch));  // scan 1: low -> normal
+  EXPECT_FLOAT_EQ(tag_of(batch[0]), 2.0f);
+  ASSERT_TRUE(queue.pop_batch(batch));  // scan 2: normal -> high, then pop
+  EXPECT_FLOAT_EQ(tag_of(batch[0]), 1.0f);
+  EXPECT_EQ(batch[0].cls.priority, Priority::kLow);  // never re-labeled
+  EXPECT_EQ(queue.promotion_total(), 2u);
 }

@@ -207,3 +207,62 @@ TEST(Explorer, InfeasibleCombosReported) {
   }
   EXPECT_TRUE(found_infeasible_triple);
 }
+
+// ---- ServiceTimeEwma: the measured complement to the model ------------
+
+TEST(ServiceTimeEwma, ColdUntilWarmAfterSamplesThenReports) {
+  ServiceTimeEwma ewma(0.2, /*warm_after=*/3);
+  EXPECT_FALSE(ewma.warm());
+  EXPECT_DOUBLE_EQ(ewma.seconds_per_request(), 0.0);
+
+  ewma.observe(4e-3, 2);  // 2 ms/request
+  ewma.observe(2e-3, 1);
+  EXPECT_FALSE(ewma.warm());
+  EXPECT_DOUBLE_EQ(ewma.seconds_per_request(), 0.0);  // still cold
+
+  ewma.observe(2e-3, 1);
+  EXPECT_TRUE(ewma.warm());
+  EXPECT_EQ(ewma.samples(), 3u);
+  EXPECT_NEAR(ewma.seconds_per_request(), 2e-3, 1e-9);
+}
+
+TEST(ServiceTimeEwma, FirstSampleSeedsThenExponentialBlend) {
+  ServiceTimeEwma ewma(0.5, /*warm_after=*/1);
+  ewma.observe(8e-3, 1);  // seed, not decayed from zero
+  EXPECT_NEAR(ewma.seconds_per_request(), 8e-3, 1e-12);
+  ewma.observe(4e-3, 1);  // 0.5*4 + 0.5*8 = 6 ms
+  EXPECT_NEAR(ewma.seconds_per_request(), 6e-3, 1e-12);
+  ewma.observe(4e-3, 2);  // 0.5*2 + 0.5*6 = 4 ms
+  EXPECT_NEAR(ewma.seconds_per_request(), 4e-3, 1e-12);
+}
+
+TEST(ServiceTimeEwma, ConvergesToStepChange) {
+  ServiceTimeEwma ewma(0.2, 1);
+  for (int i = 0; i < 50; ++i) ewma.observe(1e-3, 1);
+  EXPECT_NEAR(ewma.seconds_per_request(), 1e-3, 1e-6);
+  // Service time doubles (e.g. host contention): the EWMA tracks the new
+  // level geometrically.
+  for (int i = 0; i < 50; ++i) ewma.observe(2e-3, 1);
+  EXPECT_NEAR(ewma.seconds_per_request(), 2e-3, 1e-6);
+}
+
+TEST(ServiceTimeEwma, IgnoresDegenerateSamplesAndResets) {
+  ServiceTimeEwma ewma(0.2, 1);
+  ewma.observe(0.0, 4);    // no time
+  ewma.observe(1e-3, 0);   // no requests
+  ewma.observe(-1e-3, 1);  // negative time
+  EXPECT_EQ(ewma.samples(), 0u);
+  EXPECT_FALSE(ewma.warm());
+
+  ewma.observe(3e-3, 1);
+  EXPECT_TRUE(ewma.warm());
+  ewma.reset();
+  EXPECT_FALSE(ewma.warm());
+  EXPECT_DOUBLE_EQ(ewma.seconds_per_request(), 0.0);
+}
+
+TEST(ServiceTimeEwma, RejectsInvalidParameters) {
+  EXPECT_THROW(ServiceTimeEwma(0.0, 1), odenet::Error);
+  EXPECT_THROW(ServiceTimeEwma(1.5, 1), odenet::Error);
+  EXPECT_THROW(ServiceTimeEwma(0.2, 0), odenet::Error);
+}

@@ -111,3 +111,91 @@ TEST(Router, PolicyNamesRoundTrip) {
   EXPECT_THROW(runtime::route_policy_from_name("speculative"),
                odenet::Error);
 }
+
+// ---- measured-latency policy ------------------------------------------
+
+namespace {
+
+BackendLoad measured_load(std::size_t depth, double modeled_seconds,
+                          double measured_seconds) {
+  BackendLoad l;
+  l.queue_depth = depth;
+  l.modeled_request_seconds = modeled_seconds;
+  l.measured_request_seconds = measured_seconds;
+  return l;
+}
+
+}  // namespace
+
+TEST(Router, MeasuredLatencyFallsBackToModelWhileCold) {
+  Router router(RoutePolicy::kMeasuredLatency);
+  // No measurements yet (EWMA cold reports 0): the analytical model must
+  // drive placement — backend 1 is modeled faster.
+  const std::vector<BackendLoad> loads = {measured_load(0, 10e-3, 0.0),
+                                          measured_load(0, 2e-3, 0.0)};
+  EXPECT_EQ(router.route(loads), 1u);
+}
+
+TEST(Router, MeasuredLatencyTrustsMeasurementOverModelWhenWarm) {
+  Router router(RoutePolicy::kMeasuredLatency, 0, /*hysteresis=*/0.0);
+  // The model thinks backend 0 is fast, but the measured service time
+  // says it is actually 4x slower than backend 1 (host contention the
+  // model cannot see). The measurement must win.
+  const std::vector<BackendLoad> loads = {measured_load(0, 2e-3, 8e-3),
+                                          measured_load(0, 10e-3, 2e-3)};
+  EXPECT_EQ(router.route(loads), 1u);
+}
+
+TEST(Router, MeasuredLatencyMixesWarmAndColdBackends) {
+  Router router(RoutePolicy::kMeasuredLatency, 0, /*hysteresis=*/0.0);
+  // Backend 0 is warm at 6 ms; backend 1 is cold but modeled at 2 ms —
+  // the cold backend still attracts traffic through its model estimate.
+  EXPECT_EQ(router.route({measured_load(0, 1e-3, 6e-3),
+                          measured_load(0, 2e-3, 0.0)}),
+            1u);
+}
+
+TEST(Router, MeasuredLatencyHysteresisStopsFlapping) {
+  Router router(RoutePolicy::kMeasuredLatency, 0, /*hysteresis=*/0.15);
+  // First route anchors on backend 0 (clearly best).
+  EXPECT_EQ(router.route({measured_load(0, 1e-3, 2e-3),
+                          measured_load(0, 1e-3, 4e-3)}),
+            0u);
+  // Jitter makes backend 1 marginally better (within the 15% band): the
+  // anchor holds, placement does not flap.
+  EXPECT_EQ(router.route({measured_load(0, 1e-3, 2.0e-3),
+                          measured_load(0, 1e-3, 1.9e-3)}),
+            0u);
+  // A decisive gap (anchor cost > best x 1.15) must still switch.
+  EXPECT_EQ(router.route({measured_load(0, 1e-3, 4e-3),
+                          measured_load(0, 1e-3, 2e-3)}),
+            1u);
+  // And the anchor moves with the switch.
+  EXPECT_EQ(router.route({measured_load(0, 1e-3, 2.1e-3),
+                          measured_load(0, 1e-3, 2.0e-3)}),
+            1u);
+}
+
+TEST(Router, MeasuredLatencyZeroHysteresisTakesEveryArgmin) {
+  Router router(RoutePolicy::kMeasuredLatency, 0, /*hysteresis=*/0.0);
+  EXPECT_EQ(router.route({measured_load(0, 1e-3, 2.0e-3),
+                          measured_load(0, 1e-3, 1.9e-3)}),
+            1u);
+  EXPECT_EQ(router.route({measured_load(0, 1e-3, 1.8e-3),
+                          measured_load(0, 1e-3, 1.9e-3)}),
+            0u);
+}
+
+TEST(Router, MeasuredLatencyCountsQueuePressure) {
+  Router router(RoutePolicy::kMeasuredLatency, 0, /*hysteresis=*/0.0);
+  // Equal measured service times: queue pressure decides, like
+  // least-depth.
+  EXPECT_EQ(router.route({measured_load(4, 1e-3, 3e-3),
+                          measured_load(1, 1e-3, 3e-3)}),
+            1u);
+}
+
+TEST(Router, NegativeHysteresisThrows) {
+  EXPECT_THROW(Router(RoutePolicy::kMeasuredLatency, 0, -0.1),
+               odenet::Error);
+}

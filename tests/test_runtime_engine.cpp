@@ -679,3 +679,216 @@ TEST(InferenceEngine, StressManyProducersRoutedMixedPriorities) {
               static_cast<std::size_t>(cfg.backends[b].workers));
   }
 }
+
+// ---- overload protection ----------------------------------------------
+
+TEST(InferenceEngine, ShedsFailFastWhenQueueBoundReachedAndEvictsForHigh) {
+  models::Network net = make_net(30);
+  EngineConfig cfg;
+  cfg.max_batch = 64;  // never fills: requests stay queued
+  cfg.max_delay = std::chrono::microseconds(200000);
+  cfg.max_queue_depth = 2;
+  InferenceEngine engine(net, cfg);
+
+  util::Rng rng(30);
+  // Two normal requests occupy the whole bound while the worker parks on
+  // the 200 ms flush window.
+  auto victim = engine.submit(random_image(rng));
+  auto survivor = engine.submit(random_image(rng));
+
+  // Third normal arrival: no lower class to evict -> fail-fast QueueFull.
+  auto rejected = engine.submit(random_image(rng));
+  EXPECT_THROW((void)rejected.get(), runtime::QueueFull);
+
+  // High arrival: evicts the oldest normal waiter instead.
+  runtime::SubmitOptions high;
+  high.priority = runtime::Priority::kHigh;
+  auto admitted = engine.submit(random_image(rng), high);
+  EXPECT_THROW((void)victim.get(), runtime::QueueFull);
+  EXPECT_GE(admitted.get().predicted, 0);
+  EXPECT_GE(survivor.get().predicted, 0);
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.requests(), 2u);  // high + surviving normal served
+  EXPECT_EQ(stats.rejected(), 1u);
+  EXPECT_EQ(stats.evicted(), 1u);
+  EXPECT_EQ(stats.shed(), 2u);
+  const auto& normal = stats.priorities[static_cast<std::size_t>(
+      runtime::Priority::kNormal)];
+  EXPECT_EQ(normal.rejected, 1u);
+  EXPECT_EQ(normal.evicted, 1u);
+
+  const std::string json = stats.to_json();
+  EXPECT_NE(json.find("\"rejected\""), std::string::npos);
+  EXPECT_NE(json.find("\"evicted\""), std::string::npos);
+  EXPECT_NE(json.find("\"shed\""), std::string::npos);
+  EXPECT_NE(json.find("\"measured_request_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"modeled_request_ms\""), std::string::npos);
+}
+
+TEST(InferenceEngine, NonEvictableSubmitSurvivesHighPressure) {
+  models::Network net = make_net(31);
+  EngineConfig cfg;
+  cfg.max_batch = 64;
+  cfg.max_delay = std::chrono::microseconds(200000);
+  cfg.max_queue_depth = 1;
+  InferenceEngine engine(net, cfg);
+
+  util::Rng rng(31);
+  runtime::SubmitOptions pinned;
+  pinned.priority = runtime::Priority::kLow;
+  pinned.evictable = false;
+  auto protected_low = engine.submit(random_image(rng), pinned);
+
+  runtime::SubmitOptions high;
+  high.priority = runtime::Priority::kHigh;
+  auto bounced = engine.submit(random_image(rng), high);
+  // Nothing evictable below it: the high arrival itself is shed.
+  EXPECT_THROW((void)bounced.get(), runtime::QueueFull);
+  EXPECT_GE(protected_low.get().predicted, 0);
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.evicted(), 0u);
+  EXPECT_EQ(stats.priorities[static_cast<std::size_t>(
+                                 runtime::Priority::kHigh)]
+                .rejected,
+            1u);
+}
+
+TEST(InferenceEngine, MeasuredLatencyPolicyWarmsFromServedTraffic) {
+  models::Network net = make_net(32);
+  EngineConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_delay = std::chrono::microseconds(500);
+  cfg.route_policy = runtime::RoutePolicy::kMeasuredLatency;
+  cfg.backends = {BackendConfig{}, BackendConfig{}};
+  InferenceEngine engine(net, cfg);
+
+  util::Rng rng(32);
+  // Cold: the EWMA reports 0 and the router runs on the model.
+  EXPECT_DOUBLE_EQ(engine.measured_request_seconds(0), 0.0);
+  EXPECT_GT(engine.modeled_request_seconds(0), 0.0);
+
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 24; ++i) {
+    futures.push_back(engine.submit(random_image(rng)));
+  }
+  for (auto& f : futures) EXPECT_GE(f.get().predicted, 0);
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.policy, "measured_latency");
+  EXPECT_EQ(stats.requests(), 24u);
+  // At least the anchor backend served enough batches to warm its EWMA,
+  // and the warmed measurement is surfaced through stats and the gauge.
+  double measured_max = 0.0;
+  for (std::size_t b = 0; b < engine.backend_count(); ++b) {
+    measured_max =
+        std::max(measured_max, engine.measured_request_seconds(b));
+  }
+  EXPECT_GT(measured_max, 0.0);
+  double stats_max = 0.0;
+  for (const auto& b : stats.backends) {
+    stats_max = std::max(stats_max, b.measured_request_seconds);
+    EXPECT_GT(b.modeled_request_seconds, 0.0);
+  }
+  EXPECT_GT(stats_max, 0.0);
+}
+
+TEST(InferenceEngine, PreemptiveFlushCutsLoneHighPriorityLatency) {
+  models::Network net = make_net(33);
+  EngineConfig slow;
+  slow.max_batch = 64;
+  slow.max_delay = std::chrono::microseconds(150000);  // 150 ms window
+  util::Rng rng(33);
+
+  // Control: without preemption a lone high request sits out max_delay.
+  {
+    InferenceEngine engine(net, slow);
+    runtime::SubmitOptions high;
+    high.priority = runtime::Priority::kHigh;
+    const InferenceResult r =
+        engine.submit(random_image(rng), high).get();
+    EXPECT_GE(r.total_seconds, 0.1);
+  }
+  // Preemptive flush: the same arrival dispatches at the shrunk window.
+  {
+    EngineConfig preempt = slow;
+    preempt.high_priority_flush = std::chrono::microseconds(1000);
+    InferenceEngine engine(net, preempt);
+    runtime::SubmitOptions high;
+    high.priority = runtime::Priority::kHigh;
+    const InferenceResult r =
+        engine.submit(random_image(rng), high).get();
+    EXPECT_LT(r.total_seconds, 0.1);
+  }
+}
+
+// Admission control racing the hot-swap publish path: producers hammer a
+// tightly bounded queue while reload() publishes new versions. Every
+// future must settle exactly once — served, shed with QueueFull, or
+// expired with DeadlineExceeded — and the counters must account for
+// every submit.
+TEST(InferenceEngine, StressRejectDuringHotSwapSettlesEveryFuture) {
+  models::Network net = make_net(34);
+  EngineConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_delay = std::chrono::microseconds(300);
+  cfg.max_queue_depth = 6;
+  BackendConfig two_workers;
+  two_workers.workers = 2;
+  cfg.backends = {two_workers, BackendConfig{}};
+  InferenceEngine engine(net, cfg);
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 40;
+  std::vector<std::vector<std::future<InferenceResult>>> futures(kProducers);
+  for (auto& lane : futures) lane.reserve(kPerProducer);
+
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      util::Rng rng(3000 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kPerProducer; ++i) {
+        runtime::SubmitOptions opts;
+        opts.priority = static_cast<runtime::Priority>((t + i) % 3);
+        if (i % 4 == 0) opts.deadline = std::chrono::milliseconds(50);
+        futures[static_cast<std::size_t>(t)].push_back(
+            engine.submit(random_image(rng), opts));
+      }
+    });
+  }
+  models::ModelSnapshot::Ptr last;
+  for (int r = 0; r < 5; ++r) {
+    models::Network retrained = make_net(300 + static_cast<std::uint64_t>(r));
+    last = retrained.export_snapshot();
+    engine.reload(last);
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+  }
+  for (auto& p : producers) p.join();
+
+  std::uint64_t served = 0, shed = 0;
+  for (auto& lane : futures) {
+    for (auto& f : lane) {
+      ASSERT_TRUE(f.valid());
+      try {
+        EXPECT_GE(f.get().predicted, 0);
+        ++served;
+      } catch (const runtime::QueueFull&) {
+        ++shed;
+      } catch (const runtime::DeadlineExceeded&) {
+        ++shed;
+      }
+      EXPECT_FALSE(f.valid());
+    }
+  }
+  EXPECT_EQ(served + shed, static_cast<std::uint64_t>(kProducers *
+                                                      kPerProducer));
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.requests(), served);
+  EXPECT_EQ(stats.shed(), shed);
+  EXPECT_EQ(stats.model_version, last->version());
+  // The engine survived the races and still serves on the last version.
+  util::Rng rng(34);
+  EXPECT_GE(engine.submit(random_image(rng)).get().predicted, 0);
+}
