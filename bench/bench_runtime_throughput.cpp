@@ -76,23 +76,13 @@ void print_row(const Row& r) {
               static_cast<unsigned long long>(r.pl_cycles));
 }
 
+/// `tries` > 1 keeps the fastest run — used for the rows whose ratios the
+/// perf gate checks, so a scheduler hiccup on a shared runner does not
+/// flap the verdict (same stabilization as bench_overload's goodput).
 Row run_engine(models::Network& net, const core::Tensor& images,
                core::ExecBackend backend, int max_batch,
-               core::ConvAlgo conv_algo = core::ConvAlgo::kIm2col) {
-  runtime::EngineConfig cfg;
-  cfg.max_batch = max_batch;
-  cfg.max_delay = std::chrono::microseconds(2000);
-  runtime::BackendConfig bc;
-  bc.backend = backend;
-  bc.conv_algo = conv_algo;
-  cfg.backends = {bc};
-  runtime::InferenceEngine engine(net, cfg);
-
-  util::Stopwatch watch;
-  auto futures = engine.submit_batch(images);
-  for (auto& f : futures) (void)f.get();
-  const double seconds = watch.seconds();
-
+               core::ConvAlgo conv_algo = core::ConvAlgo::kIm2col,
+               int tries = 1) {
   Row row;
   row.mode = "engine";
   row.backend = core::backend_name(backend);
@@ -100,9 +90,26 @@ Row run_engine(models::Network& net, const core::Tensor& images,
       conv_algo == core::ConvAlgo::kIm2col ? "batched" : "per_sample";
   row.max_batch = max_batch;
   row.images = images.dim(0);
-  row.seconds = seconds;
-  row.images_per_sec = images.dim(0) / seconds;
-  row.pl_cycles = engine.stats().pl_cycles();
+  for (int t = 0; t < tries; ++t) {
+    runtime::EngineConfig cfg;
+    cfg.max_batch = max_batch;
+    cfg.max_delay = std::chrono::microseconds(2000);
+    runtime::BackendConfig bc;
+    bc.backend = backend;
+    bc.conv_algo = conv_algo;
+    cfg.backends = {bc};
+    runtime::InferenceEngine engine(net, cfg);
+
+    util::Stopwatch watch;
+    auto futures = engine.submit_batch(images);
+    for (auto& f : futures) (void)f.get();
+    const double seconds = watch.seconds();
+    if (t == 0 || seconds < row.seconds) {
+      row.seconds = seconds;
+      row.images_per_sec = images.dim(0) / seconds;
+      row.pl_cycles = engine.stats().pl_cycles();
+    }
+  }
   return row;
 }
 
@@ -268,21 +275,26 @@ int main(int argc, char** argv) {
   // Engine sweep on the float backend: batching amortization.
   double best_batched = 0.0;
   int largest_mb = 1;
-  double largest_mb_ips = 0.0;
   for (int mb = 1; mb <= kMaxBatch; mb *= 2) {
     Row row = run_engine(net, images, core::ExecBackend::kFloat, mb);
     row.speedup = row.images_per_sec / base.images_per_sec;
     if (mb > 1) best_batched = std::max(best_batched, row.images_per_sec);
     largest_mb = mb;
-    largest_mb_ips = row.images_per_sec;
     print_row(row);
   }
 
-  // The other backends at the largest batch.
+  // The other backends at the largest batch. The fixed row is best-of-3:
+  // it is the numerator of the gated fixed_conv_speedup.
+  double fixed_batched_ips = 0.0;
   for (core::ExecBackend backend :
        {core::ExecBackend::kFixed, core::ExecBackend::kFpgaSim}) {
-    Row row = run_engine(net, images, backend, kMaxBatch);
+    const int tries = backend == core::ExecBackend::kFixed ? 3 : 1;
+    Row row = run_engine(net, images, backend, kMaxBatch,
+                         core::ConvAlgo::kIm2col, tries);
     row.speedup = row.images_per_sec / base.images_per_sec;
+    if (backend == core::ExecBackend::kFixed) {
+      fixed_batched_ips = row.images_per_sec;
+    }
     print_row(row);
   }
 
@@ -292,16 +304,34 @@ int main(int argc, char** argv) {
   // from the batch-size choice. The batched conv is what lets
   // micro-batching pull ahead of the sequential baseline by more than
   // per-call overhead amortization.
+  Row ab_batched_row = run_engine(net, images, core::ExecBackend::kFloat,
+                                  largest_mb, core::ConvAlgo::kIm2col, 3);
+  ab_batched_row.speedup =
+      ab_batched_row.images_per_sec / base.images_per_sec;
+  print_row(ab_batched_row);
   Row per_sample_row = run_engine(net, images, core::ExecBackend::kFloat,
                                   largest_mb,
-                                  core::ConvAlgo::kIm2colPerSample);
+                                  core::ConvAlgo::kIm2colPerSample, 3);
   per_sample_row.speedup =
       per_sample_row.images_per_sec / base.images_per_sec;
   print_row(per_sample_row);
 
+  // Same A/B on the fixed-point backend: conv_algo=per_sample maps to
+  // FixedConvPath::kPerSample (the pre-batching quantized conv), so this
+  // isolates the fixed batched-lowering win — the PR's ≥1.5x acceptance.
+  Row fixed_ps_row = run_engine(net, images, core::ExecBackend::kFixed,
+                                kMaxBatch,
+                                core::ConvAlgo::kIm2colPerSample, 3);
+  fixed_ps_row.speedup = fixed_ps_row.images_per_sec / base.images_per_sec;
+  print_row(fixed_ps_row);
+
   const double batched_speedup = best_batched / base.images_per_sec;
   const double conv_speedup =
-      largest_mb_ips / per_sample_row.images_per_sec;
+      ab_batched_row.images_per_sec / per_sample_row.images_per_sec;
+  const double fixed_conv_speedup =
+      fixed_ps_row.images_per_sec > 0.0
+          ? fixed_batched_ips / fixed_ps_row.images_per_sec
+          : 0.0;
   std::printf("JSON {\"bench\":\"runtime_throughput\",\"summary\":true,"
               "\"images\":%d,\"sequential_images_per_sec\":%.2f,"
               "\"best_batched_images_per_sec\":%.2f,"
@@ -310,12 +340,18 @@ int main(int argc, char** argv) {
               "\"per_sample_conv_images_per_sec\":%.2f,"
               "\"batched_speedup\":%.4f,"
               "\"batched_conv_speedup\":%.4f,"
-              "\"batching_wins\":%s,\"batched_conv_wins\":%s}\n",
+              "\"fixed_batched_images_per_sec\":%.2f,"
+              "\"fixed_per_sample_images_per_sec\":%.2f,"
+              "\"fixed_conv_speedup\":%.4f,"
+              "\"batching_wins\":%s,\"batched_conv_wins\":%s,"
+              "\"fixed_meets_1p5x\":%s}\n",
               kImages, base.images_per_sec, best_batched, largest_mb,
-              largest_mb_ips, per_sample_row.images_per_sec,
-              batched_speedup, conv_speedup,
+              ab_batched_row.images_per_sec, per_sample_row.images_per_sec,
+              batched_speedup, conv_speedup, fixed_batched_ips,
+              fixed_ps_row.images_per_sec, fixed_conv_speedup,
               batched_speedup > 1.0 ? "true" : "false",
-              conv_speedup > 1.0 ? "true" : "false");
+              conv_speedup > 1.0 ? "true" : "false",
+              fixed_conv_speedup >= 1.5 ? "true" : "false");
 
   // ---- Routing policies under skewed load -------------------------------
   std::printf("\n=== Routing policies: float + fixed + fpga_sim backends, "

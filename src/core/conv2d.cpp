@@ -101,6 +101,20 @@ Tensor Conv2d::forward_direct(const Tensor& in) const {
   return out;
 }
 
+const PackedGemmA& Conv2d::packed_weights() {
+  const bool hit = packed_valid_ && weight_version_ != 0 &&
+                   packed_version_ == weight_version_;
+  if (!hit) {
+    const int co = cfg_.out_channels;
+    const int kk = static_cast<int>(weight_.value.numel()) / co;
+    pack_gemm_a(weight_.value.data(), co, kk, packed_weight_);
+    packed_version_ = weight_version_;
+    packed_valid_ = true;
+    ++weight_packs_;
+  }
+  return packed_weight_;
+}
+
 Tensor Conv2d::forward_im2col(const Tensor& in) {
   const int n = in.dim(0), ci = in.dim(1), h = in.dim(2), w = in.dim(3);
   const LoweringGeometry g{.channels = ci, .height = h, .width = w,
@@ -120,21 +134,20 @@ Tensor Conv2d::forward_im2col(const Tensor& in) {
   // n == 1 that IS the output layout, so write it in place, otherwise
   // un-permute into NCHW.
   ScratchArena& arena = active_arena();
+  const PackedGemmA& wp = packed_weights();
   if (n == 1) {
     arena.frame(kk * ncols);
     float* cols = arena.alloc(kk * ncols);
     im2col_batched(in.data(), g, n, cols);
-    gemm_tiled(weight_.value.data(), cols, out.data(), co,
-               static_cast<int>(kk), static_cast<int>(ncols),
-               /*accumulate=*/false);
+    gemm_tiled_pa(wp, cols, out.data(), static_cast<int>(ncols),
+                  /*accumulate=*/false);
     return out;
   }
   arena.frame(kk * ncols + static_cast<std::size_t>(co) * ncols);
   float* cols = arena.alloc(kk * ncols);
   float* y = arena.alloc(static_cast<std::size_t>(co) * ncols);
   im2col_batched(in.data(), g, n, cols);
-  gemm_tiled(weight_.value.data(), cols, y, co, static_cast<int>(kk),
-             static_cast<int>(ncols), /*accumulate=*/false);
+  gemm_tiled_pa(wp, cols, y, static_cast<int>(ncols), /*accumulate=*/false);
   permute_channel_major(y, out.data(), n, co, cc, /*to_nchw=*/true);
   return out;
 }

@@ -10,9 +10,11 @@
 // accounting); biasing is delegated to the following batch norm.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 
 #include "core/arena.hpp"
+#include "core/im2col.hpp"
 #include "core/layer.hpp"
 
 namespace odenet::core {
@@ -73,6 +75,31 @@ class Conv2d final : public Layer {
     return arena_ != nullptr ? *arena_ : own_arena_;
   }
 
+  /// The same arena, mutable — for executors that run their own lowering
+  /// of this conv's geometry (the fixed-point batched path) and should
+  /// share its recycled scratch instead of growing a second buffer.
+  ScratchArena& lowering_arena() { return active_arena(); }
+
+  /// Snapshot version stamped on the current weights (see
+  /// models::ModelSnapshot). 0 means "unversioned": the weights may be
+  /// mutated between calls (training, manual writes), so the packed
+  /// weight view is rebuilt each call into recycled storage. A non-zero
+  /// version keys the once-per-layer packed-weight cache — serving
+  /// replicas pack each conv exactly once per hot-swap.
+  std::uint64_t weight_version() const { return weight_version_; }
+  void set_weight_version(std::uint64_t version) {
+    weight_version_ = version;
+  }
+
+  /// Drops the cached packed-weight view. Callers that mutate
+  /// weight().value in place while a non-zero version is stamped must
+  /// call this (or re-stamp) — the optimizer step does.
+  void invalidate_packed_weights() { packed_valid_ = false; }
+
+  /// Times the forward path (re)packed the weight matrix — the cache
+  /// hit/invalidate observable the packing tests pin down.
+  std::uint64_t weight_packs() const { return weight_packs_; }
+
   /// Output spatial size for an input of extent `in` (same formula for H/W).
   static int out_extent(int in, int kernel, int stride, int pad);
 
@@ -104,6 +131,10 @@ class Conv2d final : public Layer {
     return arena_ != nullptr ? *arena_ : own_arena_;
   }
 
+  /// The [Cout, Cin*K*K] weight view packed for the tiled GEMM; cache hit
+  /// when a non-zero weight version matches the packed one.
+  const PackedGemmA& packed_weights();
+
   Conv2dConfig cfg_;
   std::string name_;
   Param weight_;  // [Cout, Cin(+1), K, K]
@@ -111,6 +142,14 @@ class Conv2d final : public Layer {
   Tensor cached_input_;  // augmented input, cached in training mode
   ScratchArena own_arena_;        // fallback scratch for standalone layers
   ScratchArena* arena_ = nullptr;  // external scratch (not owned)
+  // Packed-weight cache (owns its storage, so moving the layer — or the
+  // Network that holds it — cannot leave the cache pointing at freed
+  // weights). packed_version_ is only meaningful while packed_valid_.
+  PackedGemmA packed_weight_;
+  std::uint64_t weight_version_ = 0;
+  std::uint64_t packed_version_ = 0;
+  bool packed_valid_ = false;
+  std::uint64_t weight_packs_ = 0;
 };
 
 }  // namespace odenet::core

@@ -1,0 +1,148 @@
+#include "core/gemm_kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/thread_pool.hpp"
+
+namespace odenet::core {
+
+// Defined in gemm_kernels_avx2.cpp — the only translation unit compiled
+// with -mavx2 -mfma. Returns nullptr when that TU was built without AVX2
+// codegen (non-x86, -mno-avx2, or -DODENET_DISABLE_AVX2=ON).
+const GemmKernels* gemm_avx2_kernels_impl();
+
+namespace {
+
+/// Scalar full-tile kernel: the exact loop nest (and therefore the exact
+/// float summation order) of the pre-dispatch gemm_tiled full-tile path,
+/// reading A from the packed [k][4] panel instead of a strided matrix.
+void tile4x16_scalar(const float* apanel, const float* bpanel, int k,
+                     float* c, std::size_t ldc, bool accumulate) {
+  float acc[kGemmTileRows][kGemmTileCols];
+  for (int i = 0; i < kGemmTileRows; ++i) {
+    for (int j = 0; j < kGemmTileCols; ++j) {
+      acc[i][j] = accumulate ? c[i * ldc + j] : 0.0f;
+    }
+  }
+  for (int p = 0; p < k; ++p) {
+    const float* brow = bpanel + static_cast<std::size_t>(p) * kGemmTileCols;
+    const float a0 = apanel[p * kGemmTileRows + 0];
+    const float a1 = apanel[p * kGemmTileRows + 1];
+    const float a2 = apanel[p * kGemmTileRows + 2];
+    const float a3 = apanel[p * kGemmTileRows + 3];
+    for (int j = 0; j < kGemmTileCols; ++j) {
+      const float bv = brow[j];
+      acc[0][j] += a0 * bv;
+      acc[1][j] += a1 * bv;
+      acc[2][j] += a2 * bv;
+      acc[3][j] += a3 * bv;
+    }
+  }
+  for (int i = 0; i < kGemmTileRows; ++i) {
+    float* crow = c + i * ldc;
+    for (int j = 0; j < kGemmTileCols; ++j) crow[j] = acc[i][j];
+  }
+}
+
+/// Dot product over eight independent partial sums — the manual-unroll
+/// idiom the vectorizer turns into packed multiply-adds (a single
+/// accumulator cannot be vectorized under strict FP semantics).
+float dot_scalar(const float* x, const float* y, int k) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  float s4 = 0.0f, s5 = 0.0f, s6 = 0.0f, s7 = 0.0f;
+  int p = 0;
+  for (; p + 8 <= k; p += 8) {
+    s0 += x[p + 0] * y[p + 0];
+    s1 += x[p + 1] * y[p + 1];
+    s2 += x[p + 2] * y[p + 2];
+    s3 += x[p + 3] * y[p + 3];
+    s4 += x[p + 4] * y[p + 4];
+    s5 += x[p + 5] * y[p + 5];
+    s6 += x[p + 6] * y[p + 6];
+    s7 += x[p + 7] * y[p + 7];
+  }
+  float s = ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7));
+  for (; p < k; ++p) s += x[p] * y[p];
+  return s;
+}
+
+constexpr GemmKernels kScalarKernels{tile4x16_scalar, dot_scalar, "scalar"};
+
+bool cpu_supports_avx2_fma() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool env_disables_simd() {
+  const char* e = std::getenv("ODENET_SIMD");
+  if (e == nullptr) return false;
+  return std::strcmp(e, "0") == 0 || std::strcmp(e, "off") == 0 ||
+         std::strcmp(e, "OFF") == 0 || std::strcmp(e, "scalar") == 0;
+}
+
+std::atomic<bool> g_force_scalar{false};
+std::atomic<std::size_t> g_min_flops_override{0};
+std::atomic<util::ThreadPool*> g_kernel_pool{nullptr};
+
+std::size_t default_min_flops() {
+  static const std::size_t value = [] {
+    if (const char* e = std::getenv("ODENET_GEMM_PAR_FLOPS")) {
+      const long long v = std::strtoll(e, nullptr, 10);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return std::size_t{1} << 20;  // ~1M flops: under ~0.5 ms of work
+  }();
+  return value;
+}
+
+}  // namespace
+
+bool gemm_avx2_compiled() { return gemm_avx2_kernels_impl() != nullptr; }
+
+bool gemm_avx2_usable() {
+  static const bool usable =
+      gemm_avx2_compiled() && cpu_supports_avx2_fma() && !env_disables_simd();
+  return usable;
+}
+
+void gemm_force_scalar(bool force) {
+  g_force_scalar.store(force, std::memory_order_relaxed);
+}
+
+bool gemm_forced_scalar() {
+  return g_force_scalar.load(std::memory_order_relaxed);
+}
+
+const GemmKernels& active_gemm_kernels() {
+  if (!gemm_forced_scalar() && gemm_avx2_usable()) {
+    return *gemm_avx2_kernels_impl();
+  }
+  return kScalarKernels;
+}
+
+const char* gemm_isa_name() { return active_gemm_kernels().isa; }
+
+std::size_t gemm_parallel_min_flops() {
+  const std::size_t v = g_min_flops_override.load(std::memory_order_relaxed);
+  return v != 0 ? v : default_min_flops();
+}
+
+void gemm_set_parallel_min_flops(std::size_t flops) {
+  g_min_flops_override.store(flops, std::memory_order_relaxed);
+}
+
+void set_kernel_pool(util::ThreadPool* pool) {
+  g_kernel_pool.store(pool, std::memory_order_release);
+}
+
+util::ThreadPool& kernel_pool() {
+  util::ThreadPool* pool = g_kernel_pool.load(std::memory_order_acquire);
+  return pool != nullptr ? *pool : util::ThreadPool::global();
+}
+
+}  // namespace odenet::core

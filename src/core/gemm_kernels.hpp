@@ -1,0 +1,91 @@
+// GEMM micro-kernel dispatch: one scalar and (on x86 hosts that have them)
+// one AVX2/FMA implementation of the two inner kernels every tiled GEMM in
+// im2col.cpp is built from, selected once at runtime.
+//
+// Both kernels operate on PACKED panels (see PackedGemmA/PackedGemmB in
+// im2col.hpp) so the scalar and vector variants share one data layout and
+// one outer loop nest; only the innermost arithmetic differs. The scalar
+// kernels are the portable fallback — non-x86 targets, -mno-avx2 builds
+// (cmake -DODENET_DISABLE_AVX2=ON skips the AVX2 translation unit
+// entirely) and hosts without AVX2/FMA all run them, producing the same
+// ascending-k summation order as the pre-SIMD code.
+//
+// Knobs:
+//  * env ODENET_SIMD=0|off|scalar — disable the vector kernels at startup;
+//  * gemm_force_scalar(true) — per-process override for benches/tests
+//    (A/B rows, ISA-parity suites);
+//  * env ODENET_GEMM_PAR_FLOPS / gemm_set_parallel_min_flops() — the flop
+//    count below which a GEMM runs sequentially instead of fanning out on
+//    the thread pool (small batches stay on the calling thread);
+//  * set_kernel_pool() — substitute the pool the lowering/GEMM kernels
+//    fan out on (nullptr = the global pool); used by the thread-count
+//    invariance tests and the bench's thread-scaling rows.
+#pragma once
+
+#include <cstddef>
+
+namespace odenet::util {
+class ThreadPool;
+}
+
+namespace odenet::core {
+
+/// Micro-kernel geometry shared by every tiled GEMM: MR rows of A against
+/// an NR-wide column strip of B, the MR x NR output tile held in registers
+/// across the whole k loop. 4 x 16 floats = 8 AVX ymm accumulators (or 16
+/// SSE xmm) — small enough to stay resident, big enough that each loaded
+/// B row is reused MR times.
+inline constexpr int kGemmTileRows = 4;
+inline constexpr int kGemmTileCols = 16;
+
+/// Full-tile micro-kernel: C[4][16] (+)= sum_p Apanel[p][4] * Bpanel[p][16].
+/// `apanel` is a packed [k][4] row panel, `bpanel` a packed [k][16] column
+/// panel (both contiguous); C is row-major with leading dimension `ldc`.
+using GemmTile4x16Fn = void (*)(const float* apanel, const float* bpanel,
+                                int k, float* c, std::size_t ldc,
+                                bool accumulate);
+
+/// Dot product of two contiguous length-k vectors, computed over multiple
+/// independent partial sums (the gemm_bt_tiled inner op).
+using GemmDotFn = float (*)(const float* x, const float* y, int k);
+
+struct GemmKernels {
+  GemmTile4x16Fn tile4x16;
+  GemmDotFn dot;
+  const char* isa;  // "scalar" or "avx2+fma"
+};
+
+/// The kernel set every tiled GEMM call uses right now (AVX2 when
+/// compiled in, supported by the CPU, and not disabled; scalar otherwise).
+const GemmKernels& active_gemm_kernels();
+
+/// Name of the active instruction set ("scalar" / "avx2+fma").
+const char* gemm_isa_name();
+
+/// True when the AVX2 translation unit was built with AVX2+FMA codegen.
+bool gemm_avx2_compiled();
+
+/// True when the AVX2 kernels are compiled in, the host CPU supports
+/// AVX2+FMA, and ODENET_SIMD does not disable them.
+bool gemm_avx2_usable();
+
+/// Force the scalar kernels regardless of CPU support — the bench's
+/// SIMD-off A/B rows and the ISA-parity tests flip this around runs.
+/// Not meant to be toggled while kernels are executing concurrently.
+void gemm_force_scalar(bool force);
+bool gemm_forced_scalar();
+
+/// GEMMs below this many flops (2*m*k*n) run sequentially on the calling
+/// thread — fan-out overhead beats the win on small batches. Default 1M
+/// flops, overridable via env ODENET_GEMM_PAR_FLOPS.
+std::size_t gemm_parallel_min_flops();
+/// Overrides the threshold (0 restores the default/env value).
+void gemm_set_parallel_min_flops(std::size_t flops);
+
+/// Substitutes the thread pool the GEMM/lowering kernels fan out on;
+/// nullptr restores the global pool. The pool must outlive every kernel
+/// call made while it is installed.
+void set_kernel_pool(util::ThreadPool* pool);
+util::ThreadPool& kernel_pool();
+
+}  // namespace odenet::core

@@ -1,0 +1,104 @@
+// AVX2/FMA GEMM micro-kernels — the ONLY translation unit built with
+// -mavx2 -mfma (CMake sets per-source flags; the rest of the library stays
+// at the baseline ISA so the runtime dispatch in gemm_kernels.cpp is what
+// decides, not the loader). When the flags are absent (non-x86 target,
+// -mno-avx2, or -DODENET_DISABLE_AVX2=ON) this file compiles to a stub
+// that reports "no vector kernels".
+#include "core/gemm_kernels.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace odenet::core {
+namespace {
+
+/// 4x16 tile = 8 ymm accumulators; each packed B row is loaded once (two
+/// 8-wide vectors) and combined with four broadcast A values via FMA. The
+/// packed panels come from std::vector storage, so loads/stores are
+/// unaligned. Summation order matches the scalar kernel per element up to
+/// FMA contraction (one rounding instead of two per multiply-add).
+void tile4x16_avx2(const float* apanel, const float* bpanel, int k, float* c,
+                   std::size_t ldc, bool accumulate) {
+  __m256 c00, c01, c10, c11, c20, c21, c30, c31;
+  if (accumulate) {
+    c00 = _mm256_loadu_ps(c + 0 * ldc);
+    c01 = _mm256_loadu_ps(c + 0 * ldc + 8);
+    c10 = _mm256_loadu_ps(c + 1 * ldc);
+    c11 = _mm256_loadu_ps(c + 1 * ldc + 8);
+    c20 = _mm256_loadu_ps(c + 2 * ldc);
+    c21 = _mm256_loadu_ps(c + 2 * ldc + 8);
+    c30 = _mm256_loadu_ps(c + 3 * ldc);
+    c31 = _mm256_loadu_ps(c + 3 * ldc + 8);
+  } else {
+    c00 = c01 = c10 = c11 = c20 = c21 = c30 = c31 = _mm256_setzero_ps();
+  }
+  for (int p = 0; p < k; ++p) {
+    const float* brow = bpanel + static_cast<std::size_t>(p) * kGemmTileCols;
+    const __m256 b0 = _mm256_loadu_ps(brow);
+    const __m256 b1 = _mm256_loadu_ps(brow + 8);
+    const float* arow = apanel + static_cast<std::size_t>(p) * kGemmTileRows;
+    const __m256 a0 = _mm256_broadcast_ss(arow + 0);
+    c00 = _mm256_fmadd_ps(a0, b0, c00);
+    c01 = _mm256_fmadd_ps(a0, b1, c01);
+    const __m256 a1 = _mm256_broadcast_ss(arow + 1);
+    c10 = _mm256_fmadd_ps(a1, b0, c10);
+    c11 = _mm256_fmadd_ps(a1, b1, c11);
+    const __m256 a2 = _mm256_broadcast_ss(arow + 2);
+    c20 = _mm256_fmadd_ps(a2, b0, c20);
+    c21 = _mm256_fmadd_ps(a2, b1, c21);
+    const __m256 a3 = _mm256_broadcast_ss(arow + 3);
+    c30 = _mm256_fmadd_ps(a3, b0, c30);
+    c31 = _mm256_fmadd_ps(a3, b1, c31);
+  }
+  _mm256_storeu_ps(c + 0 * ldc, c00);
+  _mm256_storeu_ps(c + 0 * ldc + 8, c01);
+  _mm256_storeu_ps(c + 1 * ldc, c10);
+  _mm256_storeu_ps(c + 1 * ldc + 8, c11);
+  _mm256_storeu_ps(c + 2 * ldc, c20);
+  _mm256_storeu_ps(c + 2 * ldc + 8, c21);
+  _mm256_storeu_ps(c + 3 * ldc, c30);
+  _mm256_storeu_ps(c + 3 * ldc + 8, c31);
+}
+
+float dot_avx2(const float* x, const float* y, int k) {
+  __m256 s0 = _mm256_setzero_ps();
+  __m256 s1 = _mm256_setzero_ps();
+  int p = 0;
+  for (; p + 16 <= k; p += 16) {
+    s0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + p), _mm256_loadu_ps(y + p), s0);
+    s1 = _mm256_fmadd_ps(_mm256_loadu_ps(x + p + 8),
+                         _mm256_loadu_ps(y + p + 8), s1);
+  }
+  if (p + 8 <= k) {
+    s0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + p), _mm256_loadu_ps(y + p), s0);
+    p += 8;
+  }
+  const __m256 s = _mm256_add_ps(s0, s1);
+  const __m128 lo = _mm256_castps256_ps128(s);
+  const __m128 hi = _mm256_extractf128_ps(s, 1);
+  __m128 q = _mm_add_ps(lo, hi);
+  q = _mm_add_ps(q, _mm_movehl_ps(q, q));
+  q = _mm_add_ss(q, _mm_shuffle_ps(q, q, 0x1));
+  float out = _mm_cvtss_f32(q);
+  for (; p < k; ++p) out += x[p] * y[p];
+  return out;
+}
+
+constexpr GemmKernels kAvx2Kernels{tile4x16_avx2, dot_avx2, "avx2+fma"};
+
+}  // namespace
+
+const GemmKernels* gemm_avx2_kernels_impl() { return &kAvx2Kernels; }
+
+}  // namespace odenet::core
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace odenet::core {
+
+const GemmKernels* gemm_avx2_kernels_impl() { return nullptr; }
+
+}  // namespace odenet::core
+
+#endif

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "core/gemm_kernels.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -10,10 +11,30 @@ namespace odenet::core {
 
 namespace {
 
+/// First output column whose tap ow*stride - pad + kw lands inside [0, w),
+/// and one past the last — hoisting the bounds check out of the copy loop.
+inline int first_valid_ow(int kw, int pad, int stride) {
+  const int shift = pad - kw;
+  if (shift <= 0) return 0;
+  return (shift + stride - 1) / stride;  // ceil(shift / stride)
+}
+
+inline int end_valid_ow(int kw, int pad, int stride, int w, int wo) {
+  const int span = w + pad - kw;  // iw < w  <=>  ow*stride < span
+  if (span <= 0) return 0;
+  const int end = (span + stride - 1) / stride;
+  return end < wo ? end : wo;
+}
+
 /// Lowers one [C,H,W] sample. Lowered row r of this sample lives at
 /// dst + r * row_stride; with row_stride == col_cols() this is the classic
 /// per-sample layout, with row_stride == batch * col_cols() it writes one
 /// sample's column block of the batched matrix.
+///
+/// Per (kh, kw) tap the valid output-column range is computed once, so the
+/// interior is a branch-free copy: one memcpy per output row at stride 1,
+/// a gathered strided copy otherwise. Values are identical to the naive
+/// per-element walk (zeros outside, source reads inside).
 void im2col_strided(const float* src, const LoweringGeometry& g,
                     std::size_t row_stride, float* dst) {
   const int ho = g.out_h(), wo = g.out_w();
@@ -24,18 +45,25 @@ void im2col_strided(const float* src, const LoweringGeometry& g,
     for (int kh = 0; kh < g.kernel; ++kh) {
       for (int kw = 0; kw < g.kernel; ++kw, ++row) {
         float* out_row = dst + row * row_stride;
+        const int lo = first_valid_ow(kw, g.pad, g.stride);
+        const int hi = end_valid_ow(kw, g.pad, g.stride, g.width, wo);
         for (int oh = 0; oh < ho; ++oh) {
           const int ih = oh * g.stride - g.pad + kh;
           float* out = out_row + static_cast<std::size_t>(oh) * wo;
-          if (ih < 0 || ih >= g.height) {
-            for (int ow = 0; ow < wo; ++ow) out[ow] = 0.0f;
+          if (ih < 0 || ih >= g.height || lo >= hi) {
+            std::memset(out, 0, static_cast<std::size_t>(wo) * sizeof(float));
             continue;
           }
           const float* in_row = cplane + static_cast<std::size_t>(ih) * g.width;
-          for (int ow = 0; ow < wo; ++ow) {
-            const int iw = ow * g.stride - g.pad + kw;
-            out[ow] = (iw < 0 || iw >= g.width) ? 0.0f : in_row[iw];
+          for (int ow = 0; ow < lo; ++ow) out[ow] = 0.0f;
+          if (g.stride == 1) {
+            std::memcpy(out + lo, in_row + lo - g.pad + kw,
+                        static_cast<std::size_t>(hi - lo) * sizeof(float));
+          } else {
+            const float* in = in_row + lo * g.stride - g.pad + kw;
+            for (int ow = lo; ow < hi; ++ow, in += g.stride) out[ow] = *in;
           }
+          for (int ow = hi; ow < wo; ++ow) out[ow] = 0.0f;
         }
       }
     }
@@ -85,7 +113,8 @@ void im2col_batched(const float* src, const LoweringGeometry& g, int batch,
       static_cast<std::size_t>(g.channels) * g.height * g.width;
   const std::size_t cc = g.col_cols();
   const std::size_t row_stride = cc * static_cast<std::size_t>(batch);
-  util::parallel_for(0, static_cast<std::size_t>(batch), [&](std::size_t ni) {
+  util::parallel_for(kernel_pool(), 0, static_cast<std::size_t>(batch),
+                     [&](std::size_t ni) {
     im2col_strided(src + ni * sample, g, row_stride, dst + ni * cc);
   });
 }
@@ -97,7 +126,8 @@ void col2im_batched(const float* cols, const LoweringGeometry& g, int batch,
       static_cast<std::size_t>(g.channels) * g.height * g.width;
   const std::size_t cc = g.col_cols();
   const std::size_t row_stride = cc * static_cast<std::size_t>(batch);
-  util::parallel_for(0, static_cast<std::size_t>(batch), [&](std::size_t ni) {
+  util::parallel_for(kernel_pool(), 0, static_cast<std::size_t>(batch),
+                     [&](std::size_t ni) {
     col2im_strided(cols + ni * cc, g, row_stride, dst + ni * sample);
   });
 }
@@ -105,7 +135,8 @@ void col2im_batched(const float* cols, const LoweringGeometry& g, int batch,
 void permute_channel_major(const float* src, float* dst, int batch,
                            int channels, std::size_t plane, bool to_nchw) {
   const std::size_t ncols = plane * static_cast<std::size_t>(batch);
-  util::parallel_for(0, static_cast<std::size_t>(batch), [&](std::size_t ni) {
+  util::parallel_for(kernel_pool(), 0, static_cast<std::size_t>(batch),
+                     [&](std::size_t ni) {
     for (int c = 0; c < channels; ++c) {
       const std::size_t nchw =
           (ni * static_cast<std::size_t>(channels) + c) * plane;
@@ -157,13 +188,10 @@ void gemm_at(const float* a, const float* b, float* c, int m, int k, int n,
 
 namespace {
 
-// Micro-kernel geometry: MR rows of A against an NR-wide column strip of
-// B, with the MR x NR output tile held in registers across the whole k
-// loop. 4 x 16 floats = 16 SSE / 8 AVX registers of accumulators — small
-// enough for the compiler to keep resident, big enough that each B load is
-// reused MR times.
-constexpr int kTileRows = 4;
-constexpr int kTileCols = 16;
+// Micro-kernel geometry (see core/gemm_kernels.hpp — the 4 x 16 tile the
+// scalar and AVX2 kernels share).
+constexpr int kTileRows = kGemmTileRows;
+constexpr int kTileCols = kGemmTileCols;
 // Column-panel width (multiple of kTileCols): every row tile of A sweeps
 // one k x kPanelCols panel of B before the next panel is touched, so the
 // panel is streamed from memory once and re-read m/MR times from cache.
@@ -171,17 +199,49 @@ constexpr int kTileCols = 16;
 // would be re-streamed from DRAM once per row tile. k * 256 floats ~ 0.6 MB
 // at the paper's largest lowering (k = 585).
 constexpr int kPanelCols = 256;
+// Minimum row tiles per task when a GEMM is additionally split along m
+// (panels alone can't feed every worker): big enough that the duplicated
+// B-panel pack per task stays amortized.
+constexpr int kMinRowTilesPerTask = 8;
 
 }  // namespace
 
-void gemm_tiled(const float* a, const float* b, float* c, int m, int k, int n,
-                bool accumulate) {
-  ODENET_CHECK(m >= 0 && k >= 0 && n >= 0, "bad gemm dimensions");
+void pack_gemm_a(const float* a, int m, int k, PackedGemmA& out) {
+  ODENET_CHECK(m >= 0 && k >= 0, "bad pack_gemm_a dimensions");
+  out.m = m;
+  out.k = k;
+  const int row_tiles = (m + kTileRows - 1) / kTileRows;
+  out.data.resize(static_cast<std::size_t>(row_tiles) *
+                  static_cast<std::size_t>(std::max(k, 1)) * kTileRows);
+  for (int t = 0; t < row_tiles; ++t) {
+    const int i0 = t * kTileRows;
+    const int mr = std::min(kTileRows, m - i0);
+    float* panel = out.data.data() +
+                   static_cast<std::size_t>(t) * k * kTileRows;
+    for (int p = 0; p < k; ++p) {
+      float* dst = panel + static_cast<std::size_t>(p) * kTileRows;
+      for (int i = 0; i < mr; ++i) {
+        dst[i] = a[(i0 + i) * static_cast<std::size_t>(k) + p];
+      }
+      for (int i = mr; i < kTileRows; ++i) dst[i] = 0.0f;
+    }
+  }
+}
+
+void gemm_tiled_pa(const PackedGemmA& a, const float* b, float* c, int n,
+                   bool accumulate) {
+  ODENET_CHECK(n >= 0, "bad gemm dimensions");
+  const int m = a.m, k = a.k;
+  if (m == 0 || n == 0) return;
+  const GemmKernels& kernels = active_gemm_kernels();
   const int panels = (n + kPanelCols - 1) / kPanelCols;
-  // Parallelism over column panels: disjoint C columns, one cache-resident
-  // B panel per task.
-  util::parallel_for(0, static_cast<std::size_t>(panels), [&](std::size_t pi) {
-    const int p0 = static_cast<int>(pi) * kPanelCols;
+  const int row_tiles = (m + kTileRows - 1) / kTileRows;
+
+  // One task = one column panel x one row-tile span. Every output tile's
+  // k-loop is self-contained, so the result is bitwise identical for any
+  // split — thread-count invariance is structural, not lucky.
+  auto run_span = [&](int pi, int t0, int t1) {
+    const int p0 = pi * kPanelCols;
     const int pn = std::min(kPanelCols, n - p0);
     // Pack the panel's full-width column tiles into contiguous [k x NR]
     // micro-panels (one sequential pass over B). Rows of a wide B sit one
@@ -199,59 +259,36 @@ void gemm_tiled(const float* a, const float* b, float* c, int m, int k, int n,
                      (static_cast<std::size_t>(jt) * k +
                       static_cast<std::size_t>(p)) *
                          kTileCols;
-        const float* srcp = brow + jt * kTileCols;
-        for (int j = 0; j < kTileCols; ++j) dst[j] = srcp[j];
+        std::memcpy(dst, brow + jt * kTileCols, kTileCols * sizeof(float));
       }
     }
-    for (int i0 = 0; i0 < m; i0 += kTileRows) {
+    for (int t = t0; t < t1; ++t) {
+      const int i0 = t * kTileRows;
       const int mr = std::min(kTileRows, m - i0);
+      const float* apanel = a.data.data() +
+                            static_cast<std::size_t>(t) * k * kTileRows;
       for (int jt = 0; jt < pn; jt += kTileCols) {
         const int j0 = p0 + jt;
         const int nr = std::min(kTileCols, pn - jt);
         if (mr == kTileRows && nr == kTileCols) {
-          // Full tile: fixed-trip-count loops so the accumulator block
-          // stays in registers and the inner loop vectorizes.
-          float acc[kTileRows][kTileCols];
-          for (int i = 0; i < kTileRows; ++i) {
-            for (int j = 0; j < kTileCols; ++j) {
-              acc[i][j] = accumulate
-                              ? c[(i0 + i) * static_cast<std::size_t>(n) +
-                                  j0 + j]
-                              : 0.0f;
-            }
-          }
           const float* bp = packed.data() +
                             static_cast<std::size_t>(jt / kTileCols) * k *
                                 kTileCols;
-          for (int p = 0; p < k; ++p) {
-            const float* brow = bp + static_cast<std::size_t>(p) * kTileCols;
-            const float a0 = a[(i0 + 0) * static_cast<std::size_t>(k) + p];
-            const float a1 = a[(i0 + 1) * static_cast<std::size_t>(k) + p];
-            const float a2 = a[(i0 + 2) * static_cast<std::size_t>(k) + p];
-            const float a3 = a[(i0 + 3) * static_cast<std::size_t>(k) + p];
-            for (int j = 0; j < kTileCols; ++j) {
-              const float bv = brow[j];
-              acc[0][j] += a0 * bv;
-              acc[1][j] += a1 * bv;
-              acc[2][j] += a2 * bv;
-              acc[3][j] += a3 * bv;
-            }
-          }
-          for (int i = 0; i < kTileRows; ++i) {
-            float* crow = c + (i0 + i) * static_cast<std::size_t>(n) + j0;
-            for (int j = 0; j < kTileCols; ++j) crow[j] = acc[i][j];
-          }
+          kernels.tile4x16(apanel, bp, k,
+                           c + (static_cast<std::size_t>(i0) * n + j0),
+                           static_cast<std::size_t>(n), accumulate);
         } else {
-          // Ragged edge: same ascending-k summation order, scalar tile
-          // reading B in place (only the last <NR columns land here).
+          // Ragged edge: ascending-k scalar tile reading B in place (only
+          // the last <NR columns / <MR rows land here), reading A from the
+          // packed panel — same values, same order as the strided read.
           for (int i = 0; i < mr; ++i) {
-            const float* arow = a + (i0 + i) * static_cast<std::size_t>(k);
             float* crow = c + (i0 + i) * static_cast<std::size_t>(n) + j0;
             for (int j = 0; j < nr; ++j) {
               float sum = accumulate ? crow[j] : 0.0f;
               const float* bcol = b + j0 + j;
               for (int p = 0; p < k; ++p) {
-                sum += arow[p] * bcol[static_cast<std::size_t>(p) * n];
+                sum += apanel[p * kTileRows + i] *
+                       bcol[static_cast<std::size_t>(p) * n];
               }
               crow[j] = sum;
             }
@@ -259,42 +296,146 @@ void gemm_tiled(const float* a, const float* b, float* c, int m, int k, int n,
         }
       }
     }
+  };
+
+  const std::size_t flops = 2ull * static_cast<std::size_t>(m) *
+                            static_cast<std::size_t>(k) *
+                            static_cast<std::size_t>(n);
+  util::ThreadPool& pool = kernel_pool();
+  const std::size_t workers = pool.worker_count();
+  if (flops < gemm_parallel_min_flops() || workers <= 1) {
+    for (int pi = 0; pi < panels; ++pi) run_span(pi, 0, row_tiles);
+    return;
+  }
+  // Split along m too when column panels alone cannot feed every worker
+  // (the tall-skinny dX GEMM, small batches on wide machines). Each extra
+  // row block re-packs its panel's B tiles, so blocks stay >= 8 row tiles.
+  int row_blocks = 1;
+  if (static_cast<std::size_t>(panels) < workers) {
+    const int max_blocks =
+        (row_tiles + kMinRowTilesPerTask - 1) / kMinRowTilesPerTask;
+    row_blocks = std::min<int>(
+        max_blocks,
+        static_cast<int>((workers + panels - 1) /
+                         static_cast<std::size_t>(panels)));
+    row_blocks = std::max(row_blocks, 1);
+  }
+  const int tiles_per_block = (row_tiles + row_blocks - 1) / row_blocks;
+  util::parallel_for(
+      pool, 0, static_cast<std::size_t>(panels) * row_blocks,
+      [&](std::size_t task) {
+        const int pi = static_cast<int>(task) / row_blocks;
+        const int rb = static_cast<int>(task) % row_blocks;
+        const int t0 = rb * tiles_per_block;
+        const int t1 = std::min(row_tiles, t0 + tiles_per_block);
+        if (t0 < t1) run_span(pi, t0, t1);
+      });
+}
+
+void gemm_tiled(const float* a, const float* b, float* c, int m, int k, int n,
+                bool accumulate) {
+  ODENET_CHECK(m >= 0 && k >= 0 && n >= 0, "bad gemm dimensions");
+  // Per-call A packing into recycled thread-local storage; layers that
+  // call repeatedly with fixed weights should cache a PackedGemmA and use
+  // gemm_tiled_pa directly (Conv2d/Linear do, keyed by weight version).
+  static thread_local PackedGemmA pa;
+  pack_gemm_a(a, m, k, pa);
+  gemm_tiled_pa(pa, b, c, n, accumulate);
+}
+
+void pack_gemm_b_nt(const float* bt, int k, int n, PackedGemmB& out) {
+  ODENET_CHECK(k >= 0 && n >= 0, "bad pack_gemm_b_nt dimensions");
+  out.k = k;
+  out.n = n;
+  const int col_tiles = (n + kTileCols - 1) / kTileCols;
+  out.data.resize(static_cast<std::size_t>(col_tiles) *
+                  static_cast<std::size_t>(std::max(k, 1)) * kTileCols);
+  for (int t = 0; t < col_tiles; ++t) {
+    const int j0 = t * kTileCols;
+    const int nr = std::min(kTileCols, n - j0);
+    float* panel = out.data.data() +
+                   static_cast<std::size_t>(t) * k * kTileCols;
+    for (int p = 0; p < k; ++p) {
+      float* dst = panel + static_cast<std::size_t>(p) * kTileCols;
+      for (int j = 0; j < nr; ++j) {
+        // B[p][j0+j] = bt[(j0+j)*k + p] (bt stores B^T row-major).
+        dst[j] = bt[(j0 + j) * static_cast<std::size_t>(k) + p];
+      }
+      for (int j = nr; j < kTileCols; ++j) dst[j] = 0.0f;
+    }
+  }
+}
+
+void gemm_tiled_pb(const float* a, const PackedGemmB& b, float* c, int m,
+                   bool accumulate) {
+  ODENET_CHECK(m >= 0, "bad gemm dimensions");
+  const int k = b.k, n = b.n;
+  if (m == 0 || n == 0) return;
+  const GemmKernels& kernels = active_gemm_kernels();
+  const int col_tiles = (n + kTileCols - 1) / kTileCols;
+  const int row_tiles = (m + kTileRows - 1) / kTileRows;
+  static thread_local PackedGemmA pa;
+  pack_gemm_a(a, m, k, pa);
+
+  auto run_tiles = [&](int t0, int t1) {
+    // Edge tiles run the full-width kernel into a scratch tile (packed
+    // panels are zero-padded, so phantom lanes compute zeros) and copy the
+    // live mr x nr corner out — every k-loop is vectorized, which matters
+    // for the m = 1 single-request Linear.
+    float tile[kTileRows * kTileCols];
+    for (int t = t0; t < t1; ++t) {
+      const int i0 = t * kTileRows;
+      const int mr = std::min(kTileRows, m - i0);
+      const float* apanel = pa.data.data() +
+                            static_cast<std::size_t>(t) * k * kTileRows;
+      for (int jt = 0; jt < col_tiles; ++jt) {
+        const int j0 = jt * kTileCols;
+        const int nr = std::min(kTileCols, n - j0);
+        const float* bpanel = b.data.data() +
+                              static_cast<std::size_t>(jt) * k * kTileCols;
+        if (mr == kTileRows && nr == kTileCols) {
+          kernels.tile4x16(apanel, bpanel, k,
+                           c + (static_cast<std::size_t>(i0) * n + j0),
+                           static_cast<std::size_t>(n), accumulate);
+        } else {
+          kernels.tile4x16(apanel, bpanel, k, tile, kTileCols,
+                           /*accumulate=*/false);
+          for (int i = 0; i < mr; ++i) {
+            float* crow = c + (i0 + i) * static_cast<std::size_t>(n) + j0;
+            const float* trow = tile + i * kTileCols;
+            for (int j = 0; j < nr; ++j) {
+              crow[j] = accumulate ? crow[j] + trow[j] : trow[j];
+            }
+          }
+        }
+      }
+    }
+  };
+
+  const std::size_t flops = 2ull * static_cast<std::size_t>(m) *
+                            static_cast<std::size_t>(k) *
+                            static_cast<std::size_t>(n);
+  util::ThreadPool& pool = kernel_pool();
+  if (flops < gemm_parallel_min_flops() || pool.worker_count() <= 1) {
+    run_tiles(0, row_tiles);
+    return;
+  }
+  util::parallel_for(pool, 0, static_cast<std::size_t>(row_tiles),
+                     [&](std::size_t t) {
+    run_tiles(static_cast<int>(t), static_cast<int>(t) + 1);
   });
 }
-
-namespace {
-
-/// Dot product over eight independent partial sums — the manual-unroll
-/// idiom the vectorizer turns into packed FMAs (a single-accumulator float
-/// reduction cannot be vectorized under strict FP semantics).
-inline float dot8(const float* x, const float* y, int k) {
-  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-  float s4 = 0.0f, s5 = 0.0f, s6 = 0.0f, s7 = 0.0f;
-  int p = 0;
-  for (; p + 8 <= k; p += 8) {
-    s0 += x[p + 0] * y[p + 0];
-    s1 += x[p + 1] * y[p + 1];
-    s2 += x[p + 2] * y[p + 2];
-    s3 += x[p + 3] * y[p + 3];
-    s4 += x[p + 4] * y[p + 4];
-    s5 += x[p + 5] * y[p + 5];
-    s6 += x[p + 6] * y[p + 6];
-    s7 += x[p + 7] * y[p + 7];
-  }
-  float s = ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7));
-  for (; p < k; ++p) s += x[p] * y[p];
-  return s;
-}
-
-}  // namespace
 
 void gemm_bt_tiled(const float* a, const float* b, float* c, int m, int k,
                    int n, bool accumulate) {
   ODENET_CHECK(m >= 0 && k >= 0 && n >= 0, "bad gemm dimensions");
   // Row quads: each 4-row tile of C streams the whole of B once; the four
-  // A rows (and the current B row) stay cache-hot across the tile.
+  // A rows (and the current B row) stay cache-hot across the tile. The
+  // inner dot runs over independent partial sums (scalar: 8-way unroll the
+  // vectorizer packs; AVX2: explicit FMA lanes) — see gemm_kernels.hpp.
+  const GemmKernels& kernels = active_gemm_kernels();
   const int row_tiles = (m + kTileRows - 1) / kTileRows;
-  util::parallel_for(0, static_cast<std::size_t>(row_tiles), [&](std::size_t t) {
+  auto run_tile = [&](std::size_t t) {
     const int i0 = static_cast<int>(t) * kTileRows;
     const int mr = std::min(kTileRows, m - i0);
     for (int j = 0; j < n; ++j) {
@@ -302,11 +443,20 @@ void gemm_bt_tiled(const float* a, const float* b, float* c, int m, int k,
       for (int i = 0; i < mr; ++i) {
         const float* arow = a + (i0 + i) * static_cast<std::size_t>(k);
         float* cv = c + (i0 + i) * static_cast<std::size_t>(n) + j;
-        const float dot = dot8(arow, brow, k);
+        const float dot = kernels.dot(arow, brow, k);
         *cv = accumulate ? *cv + dot : dot;
       }
     }
-  });
+  };
+  const std::size_t flops = 2ull * static_cast<std::size_t>(m) *
+                            static_cast<std::size_t>(k) *
+                            static_cast<std::size_t>(n);
+  util::ThreadPool& pool = kernel_pool();
+  if (flops < gemm_parallel_min_flops() || pool.worker_count() <= 1) {
+    for (int t = 0; t < row_tiles; ++t) run_tile(static_cast<std::size_t>(t));
+    return;
+  }
+  util::parallel_for(pool, 0, static_cast<std::size_t>(row_tiles), run_tile);
 }
 
 void gemm_bt(const float* a, const float* b, float* c, int m, int k, int n,

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 namespace odenet::core {
 
@@ -90,5 +92,49 @@ void gemm_bt_tiled(const float* a, const float* b, float* c, int m, int k,
 /// is what makes one big GEMM beat N small ones even on a single core.
 void gemm_tiled(const float* a, const float* b, float* c, int m, int k, int n,
                 bool accumulate);
+
+/// A [m,k] matrix repacked into the row-panel layout the 4x16 micro-kernel
+/// consumes: [ceil(m/4)] panels of [k][4] (panel t holds rows 4t..4t+3,
+/// k-major so the kernel reads 4 contiguous A values per k step). Edge
+/// rows past m are zero-padded, so a full-width kernel run over the last
+/// panel computes zeros for the phantom rows. This is the once-per-layer
+/// packed-weight format Conv2d/Linear cache across calls.
+struct PackedGemmA {
+  std::vector<float> data;
+  int m = 0;
+  int k = 0;
+
+  bool empty() const { return m == 0 || k == 0; }
+};
+
+/// Packs row-major A[m,k] into `out` (storage recycled across calls).
+void pack_gemm_a(const float* a, int m, int k, PackedGemmA& out);
+
+/// C[m,n] (+)= A * B[k,n] with A pre-packed: gemm_tiled with the A-side
+/// packing hoisted out, so steady-state serving packs each weight matrix
+/// once instead of once per call. Identical summation order to
+/// gemm_tiled() under the scalar kernels.
+void gemm_tiled_pa(const PackedGemmA& a, const float* b, float* c, int n,
+                   bool accumulate);
+
+/// B^T stored [n,k] row-major (a Linear weight [out,in]) repacked into the
+/// column-panel layout the micro-kernel consumes: [ceil(n/16)] panels of
+/// [k][16], edge columns zero-padded. Cached once per weight version.
+struct PackedGemmB {
+  std::vector<float> data;
+  int k = 0;
+  int n = 0;
+
+  bool empty() const { return n == 0 || k == 0; }
+};
+
+/// Packs `bt` (stored [n,k] row-major, i.e. B transposed) into `out`.
+void pack_gemm_b_nt(const float* bt, int k, int n, PackedGemmB& out);
+
+/// C[m,n] (+)= A[m,k] * B with B pre-packed (the Linear forward product
+/// X * W^T with W packed once per version). A is packed per call into
+/// recycled thread-local storage.
+void gemm_tiled_pb(const float* a, const PackedGemmB& b, float* c, int m,
+                   bool accumulate);
 
 }  // namespace odenet::core

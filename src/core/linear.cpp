@@ -14,19 +14,32 @@ Linear::Linear(int in_features, int out_features, std::string name)
                "linear needs positive feature counts");
 }
 
+const PackedGemmB& Linear::packed_weights() {
+  const bool hit = packed_valid_ && weight_version_ != 0 &&
+                   packed_version_ == weight_version_;
+  if (!hit) {
+    pack_gemm_b_nt(weight_.value.data(), in_, out_, packed_weight_);
+    packed_version_ = weight_version_;
+    packed_valid_ = true;
+    ++weight_packs_;
+  }
+  return packed_weight_;
+}
+
 Tensor Linear::forward(const Tensor& x) {
   ODENET_CHECK(x.ndim() == 2 && x.dim(1) == in_,
                name_ << ": expected [N," << in_ << "], got " << x.shape_str());
   const int n = x.dim(0);
-  // out = X * W^T + b through the register-blocked NT kernel (W is stored
-  // [out, in], exactly gemm_bt_tiled's B layout): bias pre-fills each row
-  // and the GEMM accumulates on top.
+  // out = X * W^T + b through the packed micro-kernel GEMM (W stored
+  // [out, in] is exactly the B^T layout pack_gemm_b_nt consumes, packed
+  // once per weight version): bias pre-fills each row and the GEMM
+  // accumulates on top.
   Tensor out({n, out_});
   for (int ni = 0; ni < n; ++ni) {
     float* row = out.data() + static_cast<std::size_t>(ni) * out_;
     for (int o = 0; o < out_; ++o) row[o] = bias_.value.at1(o);
   }
-  gemm_bt_tiled(x.data(), weight_.value.data(), out.data(), n, in_, out_,
+  gemm_tiled_pb(x.data(), packed_weights(), out.data(), n,
                 /*accumulate=*/true);
   if (training_) cached_input_ = x;
   return out;

@@ -38,6 +38,21 @@ FixedTensor quantize(const core::Tensor& t, int frac_bits) {
   return out;
 }
 
+float qdq_value(float v, int frac_bits) {
+  const double inv = 1.0 / static_cast<double>(std::int64_t{1} << frac_bits);
+  return static_cast<float>(quantize_value(v, frac_bits, nullptr) * inv);
+}
+
+void qdq_inplace(core::Tensor& t, int frac_bits) {
+  ODENET_CHECK(frac_bits > 0 && frac_bits < 31, "bad frac_bits " << frac_bits);
+  const double inv = 1.0 / static_cast<double>(std::int64_t{1} << frac_bits);
+  float* data = t.data();
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    data[i] = static_cast<float>(quantize_value(data[i], frac_bits, nullptr) *
+                                 inv);
+  }
+}
+
 core::Tensor dequantize(const FixedTensor& t) {
   core::Tensor out(t.shape);
   const double inv = 1.0 / static_cast<double>(std::int64_t{1} << t.frac_bits);

@@ -27,6 +27,15 @@ FixedTensor quantize(const core::Tensor& t, int frac_bits = 20);
 /// Back to float.
 core::Tensor dequantize(const FixedTensor& t);
 
+/// One value through the saturating Q(frac_bits) round trip.
+float qdq_value(float v, int frac_bits);
+
+/// Saturating quantize/dequantize round trip in place — the post-GEMM
+/// requantization step of the fixed-point conv path (and anywhere else a
+/// float buffer must be snapped to the Q grid without an allocation).
+/// Identical values to dequantize(quantize(t)).
+void qdq_inplace(core::Tensor& t, int frac_bits);
+
 struct QuantizationError {
   double max_abs_error = 0.0;
   double mean_abs_error = 0.0;

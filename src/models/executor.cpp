@@ -1,5 +1,8 @@
 #include "models/executor.hpp"
 
+#include <cstring>
+
+#include "core/im2col.hpp"
 #include "fixed/fixed_tensor.hpp"
 #include "util/stopwatch.hpp"
 
@@ -44,9 +47,125 @@ core::Tensor qdq(const core::Tensor& t, int frac_bits) {
 
 }  // namespace
 
-FixedStageExecutor::FixedStageExecutor(int frac_bits)
+FixedStageExecutor::FixedStageExecutor(int frac_bits, FixedConvPath conv_path)
     : name_("fixed_cpu_q" + std::to_string(frac_bits)),
-      frac_bits_(frac_bits) {}
+      frac_bits_(frac_bits),
+      conv_path_(conv_path) {}
+
+core::Tensor FixedStageExecutor::fixed_conv(core::Conv2d& conv,
+                                            const core::Tensor& x, float t) {
+  const core::Conv2dConfig& cfg = conv.config();
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  ODENET_CHECK(c == cfg.in_channels,
+               conv.name() << ": fixed conv expected " << cfg.in_channels
+                           << " channels, got " << c);
+  const int ci = c + (cfg.time_channel ? 1 : 0);
+  const core::LoweringGeometry g{.channels = ci, .height = h, .width = w,
+                                 .kernel = cfg.kernel, .stride = cfg.stride,
+                                 .pad = cfg.pad};
+  const int ho = g.out_h(), wo = g.out_w();
+  const int co = cfg.out_channels;
+  const int kk = static_cast<int>(g.col_rows());
+  const std::size_t cc = g.col_cols();
+
+  // Quantized packed weights, cached per snapshot version: a hot-swap
+  // re-stamps the conv's weight version and the key mismatch triggers one
+  // requantize + repack; version 0 (unversioned weights) rebuilds per
+  // call into the same recycled storage.
+  QuantizedWeights& entry = wcache_[&conv];
+  const std::uint64_t version = conv.weight_version();
+  if (!entry.valid || version == 0 || entry.version != version) {
+    const core::Tensor& wt = conv.weight().value;
+    entry.values.resize(wt.numel());
+    for (std::size_t i = 0; i < wt.numel(); ++i) {
+      entry.values[i] = fixed::qdq_value(wt.data()[i], frac_bits_);
+    }
+    core::pack_gemm_a(entry.values.data(), co, kk, entry.packed);
+    entry.version = version;
+    entry.valid = true;
+    ++weight_packs_;
+  }
+
+  // Time-plane augmentation with the time VALUE on the Q grid (the
+  // hardware folds t into a bias plane at the same precision).
+  const float tq = cfg.time_channel ? fixed::qdq_value(t, frac_bits_) : 0.0f;
+  core::Tensor aug;
+  const core::Tensor* in = &x;
+  if (cfg.time_channel) {
+    aug = core::Tensor({n, ci, h, w});
+    const std::size_t plane = static_cast<std::size_t>(h) * w;
+    const std::size_t in_sample = static_cast<std::size_t>(c) * plane;
+    const std::size_t aug_sample = static_cast<std::size_t>(ci) * plane;
+    for (int i = 0; i < n; ++i) {
+      std::memcpy(aug.data() + i * aug_sample, x.data() + i * in_sample,
+                  in_sample * sizeof(float));
+      float* tplane = aug.data() + i * aug_sample + in_sample;
+      for (std::size_t j = 0; j < plane; ++j) tplane[j] = tq;
+    }
+    in = &aug;
+  }
+
+  core::Tensor out({n, co, ho, wo});
+  if (conv_path_ == FixedConvPath::kBatched) {
+    // Whole-batch lowering + one packed GEMM, scratch from the conv's
+    // recycled arena (shared with the float path's sizing).
+    const std::size_t ncols = cc * static_cast<std::size_t>(n);
+    core::ScratchArena& arena = conv.lowering_arena();
+    if (n == 1) {
+      arena.frame(static_cast<std::size_t>(kk) * ncols);
+      float* cols = arena.alloc(static_cast<std::size_t>(kk) * ncols);
+      core::im2col_batched(in->data(), g, n, cols);
+      core::gemm_tiled_pa(entry.packed, cols, out.data(),
+                          static_cast<int>(ncols), /*accumulate=*/false);
+    } else {
+      arena.frame(static_cast<std::size_t>(kk) * ncols +
+                  static_cast<std::size_t>(co) * ncols);
+      float* cols = arena.alloc(static_cast<std::size_t>(kk) * ncols);
+      float* y = arena.alloc(static_cast<std::size_t>(co) * ncols);
+      core::im2col_batched(in->data(), g, n, cols);
+      core::gemm_tiled_pa(entry.packed, cols, y, static_cast<int>(ncols),
+                          /*accumulate=*/false);
+      core::permute_channel_major(y, out.data(), n, co, cc, /*to_nchw=*/true);
+    }
+  } else {
+    // Per-sample comparator: fresh scratch, one lowering and one
+    // rank-1-update GEMM per sample — the pre-batching fixed path.
+    std::vector<float> cols(g.col_rows() * cc);
+    const std::size_t in_sample = static_cast<std::size_t>(ci) * h * w;
+    const std::size_t out_sample = static_cast<std::size_t>(co) * ho * wo;
+    for (int ni = 0; ni < n; ++ni) {
+      core::im2col(in->data() + ni * in_sample, g, cols.data());
+      core::gemm(entry.values.data(), cols.data(),
+                 out.data() + ni * out_sample, co, kk, static_cast<int>(cc),
+                 /*accumulate=*/false);
+    }
+  }
+  // Post-GEMM requantization: the accumulator ran at full precision, the
+  // output map re-enters the Q-grid datapath once per element.
+  fixed::qdq_inplace(out, frac_bits_);
+  return out;
+}
+
+core::Tensor FixedStageExecutor::run_block(core::BuildingBlock& block,
+                                           const core::Tensor& x, float t,
+                                           bool branch_only) {
+  const core::BlockConfig& cfg = block.config();
+  core::Tensor hmap = fixed_conv(block.conv1(), x, t);
+  hmap = block.bn1().forward(hmap);
+  fixed::qdq_inplace(hmap, frac_bits_);
+  float* data = hmap.data();
+  for (std::size_t i = 0; i < hmap.numel(); ++i) {
+    if (data[i] < 0.0f) data[i] = 0.0f;  // ReLU keeps the Q grid
+  }
+  hmap = fixed_conv(block.conv2(), hmap, t);
+  hmap = block.bn2().forward(hmap);
+  fixed::qdq_inplace(hmap, frac_bits_);
+  if (!branch_only) {
+    hmap.add(core::BuildingBlock::shortcut(x, cfg.stride, cfg.out_channels));
+    fixed::qdq_inplace(hmap, frac_bits_);
+  }
+  return hmap;
+}
 
 core::Tensor FixedStageExecutor::run(Stage& stage, const core::Tensor& x,
                                      core::StageRunStats* stats) {
@@ -62,14 +181,14 @@ core::Tensor FixedStageExecutor::run(Stage& stage, const core::Tensor& x,
     const float h = (ode->t1() - ode->t0()) / static_cast<float>(steps);
     float t = ode->t0();
     for (int k = 0; k < steps; ++k) {
-      core::Tensor f = ode->block().branch_forward(z, t);
+      core::Tensor f = run_block(ode->block(), z, t, /*branch_only=*/true);
       z.axpy(h, f);
-      z = qdq(z, frac_bits_);
+      fixed::qdq_inplace(z, frac_bits_);
       t += h;
     }
   } else {
     for (auto& block : stage.blocks()) {
-      z = qdq(block->forward(z), frac_bits_);
+      z = run_block(*block, z, /*t=*/0.0f, /*branch_only=*/false);
     }
   }
   if (stats != nullptr) {

@@ -7,10 +7,13 @@
 // it, differing only in the plan they pass.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <vector>
 
 #include "core/execution.hpp"
+#include "core/im2col.hpp"
 #include "models/stage.hpp"
 
 namespace odenet::models {
@@ -57,15 +60,30 @@ class FloatStageExecutor final : public StageExecutor {
   CostModel modeled_seconds_;
 };
 
-/// Q-format fixed-point CPU backend: emulates reduced-precision activations
-/// by saturating every stage-internal feature map to Qx.frac_bits (weights
-/// stay float — the full weight quantization lives in the accelerator
-/// simulation). ODE stages integrate with explicit Euler steps, mirroring
-/// the hardware solver, regardless of the stage's configured software
-/// solver.
+/// How FixedStageExecutor lowers its convolutions.
+///  * kBatched (default): the whole micro-batch lowers into one column
+///    matrix and one packed GEMM against Q-quantized weights, requantized
+///    once per output map after the GEMM — the fixed-point analogue of
+///    Conv2d's batched fast path, sharing the conv's recycled arena.
+///  * kPerSample: the pre-batching comparator — one lowering and one
+///    rank-1-update GEMM per sample, same quantized weights and
+///    requantization. Kept for parity tests and the batched-vs-per-sample
+///    benchmark rows.
+enum class FixedConvPath { kBatched, kPerSample };
+
+/// Q-format fixed-point CPU backend: quantizes the weights AND saturates
+/// every stage-internal feature map to Qx.frac_bits, running convolutions
+/// through its own im2col+GEMM lowering (accumulate in float, requantize
+/// once per output map — the datapath a DSP-block MAC array with a wide
+/// accumulator implements). Quantized packed weights are cached per conv
+/// and keyed by the snapshot weight version, so serving steady-state
+/// requantizes + packs each layer once per hot-swap. ODE stages integrate
+/// with explicit Euler steps, mirroring the hardware solver, regardless
+/// of the stage's configured software solver.
 class FixedStageExecutor final : public StageExecutor {
  public:
-  explicit FixedStageExecutor(int frac_bits = 20);
+  explicit FixedStageExecutor(int frac_bits = 20,
+                              FixedConvPath conv_path = FixedConvPath::kBatched);
 
   const std::string& name() const override { return name_; }
   core::ExecBackend backend() const override {
@@ -75,10 +93,36 @@ class FixedStageExecutor final : public StageExecutor {
                    core::StageRunStats* stats) override;
 
   int frac_bits() const { return frac_bits_; }
+  FixedConvPath conv_path() const { return conv_path_; }
+
+  /// Times a conv's weights were quantized + packed (cache observable).
+  std::uint64_t weight_packs() const { return weight_packs_; }
 
  private:
+  /// One building block in fixed-point arithmetic: conv -> requantize ->
+  /// BN -> requantize -> ReLU -> conv -> requantize -> BN -> requantize,
+  /// plus (unless branch_only) the option-A shortcut and a final
+  /// requantize — each op reading/writing Q-grid activations like the
+  /// staged PL datapath.
+  core::Tensor run_block(core::BuildingBlock& block, const core::Tensor& x,
+                         float t, bool branch_only);
+  /// One convolution through the fixed lowering (see FixedConvPath).
+  core::Tensor fixed_conv(core::Conv2d& conv, const core::Tensor& x, float t);
+
+  struct QuantizedWeights {
+    std::uint64_t version = 0;
+    bool valid = false;
+    std::vector<float> values;      // Q-grid weight values (float carrier)
+    core::PackedGemmA packed;       // the same, packed for the tiled GEMM
+  };
+
   std::string name_;
   int frac_bits_;
+  FixedConvPath conv_path_;
+  /// Keyed by layer identity: one executor serves one replica, whose
+  /// layers are stable for the executor's lifetime.
+  std::map<const core::Conv2d*, QuantizedWeights> wcache_;
+  std::uint64_t weight_packs_ = 0;
 };
 
 /// Stage -> executor routing with a default fallback. Executors are not

@@ -86,6 +86,18 @@ void Network::set_conv_algo(core::ConvAlgo algo) {
   for_each_conv([algo](core::Conv2d& conv) { conv.set_algo(algo); });
 }
 
+void Network::set_weight_version(std::uint64_t version) {
+  for_each_conv([version](core::Conv2d& conv) {
+    conv.set_weight_version(version);
+  });
+  fc_.set_weight_version(version);
+}
+
+void Network::invalidate_packed_weights() {
+  for_each_conv([](core::Conv2d& conv) { conv.invalidate_packed_weights(); });
+  fc_.invalidate_packed_weights();
+}
+
 void Network::set_scratch_arena(core::ScratchArena* arena) {
   external_arena_ = arena;
   core::ScratchArena* wired = arena != nullptr ? arena : &arena_;

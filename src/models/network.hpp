@@ -78,6 +78,16 @@ class Network final : public core::Layer {
   /// (batched im2col, per-sample im2col, or direct; see core::ConvAlgo).
   void set_conv_algo(core::ConvAlgo algo);
 
+  /// Stamps a snapshot version on every packed-weight-caching layer (all
+  /// convs + fc). apply_snapshot() does this for you; 0 un-stamps (the
+  /// weights are about to be mutated in place, e.g. by an optimizer
+  /// step), which makes each layer rebuild its packed view per call.
+  void set_weight_version(std::uint64_t version);
+
+  /// Drops every layer's cached packed-weight view without touching the
+  /// stamped version.
+  void invalidate_packed_weights();
+
   /// Re-points every conv's lowering scratch: nullptr (the default wiring,
   /// applied at construction) means the network-owned arena — so replicas
   /// and trainers recycle one buffer across every conv call — while a

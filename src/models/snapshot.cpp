@@ -227,6 +227,12 @@ void ModelSnapshot::apply(Network& net) const {
   });
   ODENET_CHECK(bi == bns_.size(), net.name()
                                       << ": snapshot BN count mismatch");
+  // Stamp the image's version on every packed-weight-caching layer: the
+  // next forward packs each weight matrix once and every later call is a
+  // cache hit until the next apply (a hot-swap re-stamps a new version,
+  // which invalidates by key mismatch). Anyone mutating weights in place
+  // afterwards must un-stamp (Trainer does, after each optimizer step).
+  net.set_weight_version(version_);
 }
 
 }  // namespace odenet::models

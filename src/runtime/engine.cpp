@@ -133,8 +133,10 @@ std::unique_ptr<InferenceEngine::Worker> InferenceEngine::build_worker(
       worker->plan = models::StagePlan(&worker->float_exec);
       break;
     case core::ExecBackend::kFixed:
-      worker->fixed_exec =
-          std::make_unique<models::FixedStageExecutor>(cfg.frac_bits);
+      worker->fixed_exec = std::make_unique<models::FixedStageExecutor>(
+          cfg.frac_bits, cfg.conv_algo == core::ConvAlgo::kIm2colPerSample
+                             ? models::FixedConvPath::kPerSample
+                             : models::FixedConvPath::kBatched);
       worker->plan = models::StagePlan(worker->fixed_exec.get());
       break;
     case core::ExecBackend::kFpgaSim: {
@@ -342,11 +344,12 @@ std::uint64_t InferenceEngine::reload(models::ModelSnapshot::Ptr snapshot) {
   snapshot_ = std::move(snapshot);
   active_version_.store(version, std::memory_order_release);
   reloads_.fetch_add(1, std::memory_order_relaxed);
-  // The per-backend service-time EWMAs survive the publish on purpose:
-  // the checks above guarantee the snapshot serves the same architecture
-  // and solver, so per-request cost is unchanged and warm measurements
-  // stay valid (resetting would bounce the measured-latency router back
-  // to the analytical model for no reason).
+  // Reset the per-backend service-time EWMAs: the first batches after a
+  // publish pay one-off repack/requantize work (versioned weight caches
+  // rebuild on the new snapshot's version), so stale warm measurements
+  // would briefly misroute. The router falls back to the analytical model
+  // until fresh measurements arrive, then re-warms.
+  for (auto& b : backends_) b->ewma.reset();
   return version;
 }
 

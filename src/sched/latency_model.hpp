@@ -121,9 +121,11 @@ class ServiceTimeEwma {
 
   /// Drops all samples, returning to the cold (fall-back-to-model)
   /// state — for operators re-baselining after host conditions change.
-  /// The serving engine deliberately does NOT reset on weight hot-swap:
-  /// a reload is spec-compatible by construction, so the cost profile
-  /// the EWMA tracks is unchanged.
+  /// The serving engine also resets on weight hot-swap: the first batches
+  /// on a new snapshot pay one-off repack/requantize work for the
+  /// versioned weight caches, so pre-swap measurements briefly misprice
+  /// the backends; falling back to the model until fresh samples arrive
+  /// is cheaper than routing on a stale warm estimate.
   void reset();
 
  private:

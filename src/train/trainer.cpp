@@ -33,6 +33,10 @@ EpochStats Trainer::train_epoch(data::DataLoader& loader, int epoch) {
     const double acc = top1_accuracy(logits, batch.labels);
     net_.backward(criterion.backward());
     sgd_.step();
+    // The step mutated every weight in place; un-stamp so any packed
+    // views a load_weights() left versioned are rebuilt from the live
+    // values (version 0 = repack per call; see Network::set_weight_version).
+    net_.set_weight_version(0);
     loss_mean.add(loss, static_cast<std::size_t>(batch.size()));
     acc_mean.add(acc, static_cast<std::size_t>(batch.size()));
   }

@@ -247,3 +247,65 @@ TEST(Executor, ModeledCostHookReplacesMeasuredSeconds) {
   }
   EXPECT_DOUBLE_EQ(stats.stage_seconds(), 42.0 * stats.stages.size());
 }
+
+TEST(Executor, FixedBatchedMatchesPerSampleLowering) {
+  // The batched fixed conv (whole-batch im2col + one packed GEMM) against
+  // the per-sample comparator: same quantized weights, same requantization
+  // points, only the lowering and the float summation order differ — so
+  // outputs agree to well under the Q20 parity budget.
+  util::Rng rng(41);
+  models::Network net(models::make_spec(Arch::kROdeNet3, 14, tiny_width()));
+  net.init(rng);
+  net.set_training(false);
+  core::Tensor x = random_input(4, rng);
+
+  models::FixedStageExecutor batched(20, models::FixedConvPath::kBatched);
+  models::FixedStageExecutor per_sample(20,
+                                        models::FixedConvPath::kPerSample);
+  EXPECT_EQ(batched.conv_path(), models::FixedConvPath::kBatched);
+  EXPECT_EQ(per_sample.conv_path(), models::FixedConvPath::kPerSample);
+
+  models::StagePlan plan_b(&batched);
+  models::StagePlan plan_p(&per_sample);
+  core::Tensor out_b = net.forward_with(x, plan_b);
+  core::Tensor out_p = net.forward_with(x, plan_p);
+
+  ASSERT_TRUE(out_b.same_shape(out_p));
+  EXPECT_LT(max_abs_diff(out_b, out_p), 1e-3);
+
+  // And both still sit within quantization tolerance of float.
+  core::Tensor base = net.forward(x);
+  EXPECT_LT(max_abs_diff(base, out_b), 1e-3);
+  EXPECT_LT(max_abs_diff(base, out_p), 1e-3);
+}
+
+TEST(Executor, FixedWeightCacheKeyedBySnapshotVersion) {
+  util::Rng rng(42);
+  models::Network net(models::make_spec(Arch::kROdeNet3, 14, tiny_width()));
+  net.init(rng);
+  net.set_training(false);
+  core::Tensor x = random_input(1, rng);
+  models::FixedStageExecutor fixed(20);
+  models::StagePlan plan(&fixed);
+
+  // Unversioned weights: every conv evaluation requantizes + repacks.
+  (void)net.forward_with(x, plan);
+  const std::uint64_t packs_cold = fixed.weight_packs();
+  EXPECT_GT(packs_cold, 0u);
+  (void)net.forward_with(x, plan);
+  EXPECT_GT(fixed.weight_packs(), packs_cold);
+
+  // Versioned weights (serving steady state): one pack per conv, then
+  // hits — repeat runs add nothing.
+  net.apply_snapshot(*net.export_snapshot());
+  (void)net.forward_with(x, plan);
+  const std::uint64_t packs_warm = fixed.weight_packs();
+  (void)net.forward_with(x, plan);
+  (void)net.forward_with(x, plan);
+  EXPECT_EQ(fixed.weight_packs(), packs_warm);
+
+  // Hot-swap to a new version: exactly one round of repacks.
+  net.apply_snapshot(*net.export_snapshot());
+  (void)net.forward_with(x, plan);
+  EXPECT_GT(fixed.weight_packs(), packs_warm);
+}

@@ -892,3 +892,48 @@ TEST(InferenceEngine, StressRejectDuringHotSwapSettlesEveryFuture) {
   util::Rng rng(34);
   EXPECT_GE(engine.submit(random_image(rng)).get().predicted, 0);
 }
+
+TEST(InferenceEngine, ReloadResetsMeasuredEwmaToColdState) {
+  // A hot-swap re-keys every versioned weight cache, so the first batches
+  // on the new snapshot pay one-off repack work; the engine drops the
+  // measured service-time EWMAs back to cold and re-warms from fresh
+  // traffic instead of routing on stale pre-swap measurements.
+  models::Network net = make_net(40);
+  models::Network next = make_net(41);
+  EngineConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_delay = std::chrono::microseconds(500);
+  cfg.route_policy = runtime::RoutePolicy::kMeasuredLatency;
+  cfg.backends = {BackendConfig{}, BackendConfig{}};
+  InferenceEngine engine(net, cfg);
+
+  util::Rng rng(40);
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 24; ++i) {
+    futures.push_back(engine.submit(random_image(rng)));
+  }
+  for (auto& f : futures) EXPECT_GE(f.get().predicted, 0);
+  double warm_max = 0.0;
+  for (std::size_t b = 0; b < engine.backend_count(); ++b) {
+    warm_max = std::max(warm_max, engine.measured_request_seconds(b));
+  }
+  ASSERT_GT(warm_max, 0.0) << "EWMA never warmed; test cannot proceed";
+
+  engine.reload(next.export_snapshot());
+  for (std::size_t b = 0; b < engine.backend_count(); ++b) {
+    EXPECT_DOUBLE_EQ(engine.measured_request_seconds(b), 0.0)
+        << "backend " << b << " EWMA survived the reload";
+  }
+
+  // Fresh traffic re-warms at least one backend.
+  futures.clear();
+  for (int i = 0; i < 24; ++i) {
+    futures.push_back(engine.submit(random_image(rng)));
+  }
+  for (auto& f : futures) EXPECT_GE(f.get().predicted, 0);
+  double rewarm_max = 0.0;
+  for (std::size_t b = 0; b < engine.backend_count(); ++b) {
+    rewarm_max = std::max(rewarm_max, engine.measured_request_seconds(b));
+  }
+  EXPECT_GT(rewarm_max, 0.0);
+}

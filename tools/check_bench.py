@@ -55,6 +55,7 @@ HIGHER_BETTER_RELATIVE = {
     "routing_speedup",
     "batched_fwd_speedup_b16",
     "batched_bwd_speedup_b16",
+    "fixed_conv_speedup",
     "shed_goodput_ratio",
 }
 LOWER_BETTER_ABSOLUTE = {
@@ -77,6 +78,7 @@ BOOLEAN_GATES = {
     "batched_conv_wins",
     "routing_wins",
     "meets_1p5x",
+    "fixed_meets_1p5x",
     "dip_within_25pct",
     "shed_protects",
     "preempt_wins",
