@@ -5,9 +5,11 @@
 // (a) output error of one accelerated block evaluation vs float software,
 // (b) weight quantization SNR, and (c) whether each layer then fits in
 // the XC7Z020's BRAM (structural estimate).
+#include <cmath>
 #include <cstdio>
 
 #include "core/init.hpp"
+#include "fixed/fixed_tensor.hpp"
 #include "fpga/accelerator.hpp"
 #include "fpga/resource_model.hpp"
 #include "util/rng.hpp"
@@ -76,5 +78,19 @@ int main() {
       "headroom to co-locate more than one layer on the PL, the paper's\n"
       "suggested direction for improving the modest Hybrid/ODENet\n"
       "speedups.\n");
+
+  // Degenerate-signal SNR: an all-zero tensor round-trips exactly, and
+  // the report must read "no information" (0 dB), not +inf (division of
+  // zero signal by zero noise). The summary line keeps the fix visible in
+  // the CI artifacts alongside the real weight SNRs above.
+  core::Tensor zeros({1, 16});
+  const auto zero_snr = fixed::measure_quantization(zeros, 12);
+  const auto w12_snr = fixed::measure_quantization(w, 12);
+  std::printf(
+      "JSON {\"bench\":\"ablation_quant\",\"summary\":true,"
+      "\"weight_snr_db_q12\":%.2f,\"zero_signal_snr_db\":%.2f,"
+      "\"zero_snr_finite\":%s}\n",
+      w12_snr.snr_db, zero_snr.snr_db,
+      std::isfinite(zero_snr.snr_db) ? "true" : "false");
   return 0;
 }

@@ -28,6 +28,7 @@
 // "JSON "; the final lines aggregate the sweep and the policy comparison.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -82,12 +83,13 @@ void print_row(const Row& r) {
 Row run_engine(models::Network& net, const core::Tensor& images,
                core::ExecBackend backend, int max_batch,
                core::ConvAlgo conv_algo = core::ConvAlgo::kIm2col,
-               int tries = 1) {
+               int tries = 1, bool fixed_float_carrier = false) {
   Row row;
   row.mode = "engine";
   row.backend = core::backend_name(backend);
-  row.conv_algo =
-      conv_algo == core::ConvAlgo::kIm2col ? "batched" : "per_sample";
+  row.conv_algo = conv_algo != core::ConvAlgo::kIm2col ? "per_sample"
+                  : fixed_float_carrier                ? "batched_f32"
+                                                       : "batched";
   row.max_batch = max_batch;
   row.images = images.dim(0);
   for (int t = 0; t < tries; ++t) {
@@ -97,6 +99,7 @@ Row run_engine(models::Network& net, const core::Tensor& images,
     runtime::BackendConfig bc;
     bc.backend = backend;
     bc.conv_algo = conv_algo;
+    bc.fixed_float_carrier = fixed_float_carrier;
     cfg.backends = {bc};
     runtime::InferenceEngine engine(net, cfg);
 
@@ -104,6 +107,10 @@ Row run_engine(models::Network& net, const core::Tensor& images,
     auto futures = engine.submit_batch(images);
     for (auto& f : futures) (void)f.get();
     const double seconds = watch.seconds();
+    if (std::getenv("ODENET_BENCH_TRY_DEBUG")) {
+      std::fprintf(stderr, "try %s%s t=%d %.4fs\n", row.backend.c_str(),
+                   row.conv_algo.c_str(), t, seconds);
+    }
     if (t == 0 || seconds < row.seconds) {
       row.seconds = seconds;
       row.images_per_sec = images.dim(0) / seconds;
@@ -283,20 +290,28 @@ int main(int argc, char** argv) {
     print_row(row);
   }
 
-  // The other backends at the largest batch. The fixed row is best-of-3:
-  // it is the numerator of the gated fixed_conv_speedup.
-  double fixed_batched_ips = 0.0;
-  for (core::ExecBackend backend :
-       {core::ExecBackend::kFixed, core::ExecBackend::kFpgaSim}) {
-    const int tries = backend == core::ExecBackend::kFixed ? 3 : 1;
-    Row row = run_engine(net, images, backend, kMaxBatch,
-                         core::ConvAlgo::kIm2col, tries);
-    row.speedup = row.images_per_sec / base.images_per_sec;
-    if (backend == core::ExecBackend::kFixed) {
-      fixed_batched_ips = row.images_per_sec;
-    }
-    print_row(row);
+  // The fixed rows are an interleaved A/B: the default int16 datapath and
+  // the float-carrier comparator (FixedConvPath::kBatchedFloat) alternate
+  // tries pairwise, best-of-9 each, so scheduler/turbo drift on a shared
+  // runner hits both arms alike — the gated fixed_int_speedup is the ratio
+  // of these two rows. The int16 row is also the numerator of the gated
+  // fixed_conv_speedup.
+  Row fixed_row, fixed_f32_row;
+  for (int t = 0; t < 9; ++t) {
+    Row a = run_engine(net, images, core::ExecBackend::kFixed, kMaxBatch);
+    Row b = run_engine(net, images, core::ExecBackend::kFixed, kMaxBatch,
+                       core::ConvAlgo::kIm2col, 1,
+                       /*fixed_float_carrier=*/true);
+    if (t == 0 || a.seconds < fixed_row.seconds) fixed_row = a;
+    if (t == 0 || b.seconds < fixed_f32_row.seconds) fixed_f32_row = b;
   }
+  fixed_row.speedup = fixed_row.images_per_sec / base.images_per_sec;
+  const double fixed_batched_ips = fixed_row.images_per_sec;
+  print_row(fixed_row);
+  Row fpga_row =
+      run_engine(net, images, core::ExecBackend::kFpgaSim, kMaxBatch);
+  fpga_row.speedup = fpga_row.images_per_sec / base.images_per_sec;
+  print_row(fpga_row);
 
   // Conv-algorithm A/B: the same engine, same micro-batch setting (the
   // largest the sweep ran), with only the conv lowering switched to the
@@ -325,12 +340,21 @@ int main(int argc, char** argv) {
   fixed_ps_row.speedup = fixed_ps_row.images_per_sec / base.images_per_sec;
   print_row(fixed_ps_row);
 
+  // The float-carrier comparator row measured in the interleaved A/B
+  // above, printed here next to the other fixed-backend ablation.
+  fixed_f32_row.speedup = fixed_f32_row.images_per_sec / base.images_per_sec;
+  print_row(fixed_f32_row);
+
   const double batched_speedup = best_batched / base.images_per_sec;
   const double conv_speedup =
       ab_batched_row.images_per_sec / per_sample_row.images_per_sec;
   const double fixed_conv_speedup =
       fixed_ps_row.images_per_sec > 0.0
           ? fixed_batched_ips / fixed_ps_row.images_per_sec
+          : 0.0;
+  const double fixed_int_speedup =
+      fixed_f32_row.images_per_sec > 0.0
+          ? fixed_batched_ips / fixed_f32_row.images_per_sec
           : 0.0;
   std::printf("JSON {\"bench\":\"runtime_throughput\",\"summary\":true,"
               "\"images\":%d,\"sequential_images_per_sec\":%.2f,"
@@ -343,15 +367,19 @@ int main(int argc, char** argv) {
               "\"fixed_batched_images_per_sec\":%.2f,"
               "\"fixed_per_sample_images_per_sec\":%.2f,"
               "\"fixed_conv_speedup\":%.4f,"
+              "\"fixed_f32_images_per_sec\":%.2f,"
+              "\"fixed_int_speedup\":%.4f,"
               "\"batching_wins\":%s,\"batched_conv_wins\":%s,"
-              "\"fixed_meets_1p5x\":%s}\n",
+              "\"fixed_meets_1p5x\":%s,\"fixed_int_wins\":%s}\n",
               kImages, base.images_per_sec, best_batched, largest_mb,
               ab_batched_row.images_per_sec, per_sample_row.images_per_sec,
               batched_speedup, conv_speedup, fixed_batched_ips,
               fixed_ps_row.images_per_sec, fixed_conv_speedup,
+              fixed_f32_row.images_per_sec, fixed_int_speedup,
               batched_speedup > 1.0 ? "true" : "false",
               conv_speedup > 1.0 ? "true" : "false",
-              fixed_conv_speedup >= 1.5 ? "true" : "false");
+              fixed_conv_speedup >= 1.5 ? "true" : "false",
+              fixed_int_speedup >= 1.0 ? "true" : "false");
 
   // ---- Routing policies under skewed load -------------------------------
   std::printf("\n=== Routing policies: float + fixed + fpga_sim backends, "

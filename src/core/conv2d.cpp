@@ -1,5 +1,6 @@
 #include "core/conv2d.hpp"
 
+#include <atomic>
 #include <cstring>
 
 #include "core/im2col.hpp"
@@ -7,9 +8,17 @@
 
 namespace odenet::core {
 
+namespace {
+// Process-global monotonic layer identity. Never recycled (unlike a heap
+// address), so caches keyed by uid can never alias a dead layer's entry
+// onto a new layer that happened to reuse its storage.
+std::atomic<std::uint64_t> g_conv_uid{0};
+}  // namespace
+
 Conv2d::Conv2d(const Conv2dConfig& cfg, std::string name)
     : cfg_(cfg),
       name_(std::move(name)),
+      uid_(++g_conv_uid),
       weight_(name_ + ".weight",
               Tensor({cfg.out_channels,
                       cfg.in_channels + (cfg.time_channel ? 1 : 0),

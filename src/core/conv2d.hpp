@@ -60,6 +60,13 @@ class Conv2d final : public Layer {
   const Conv2dConfig& config() const { return cfg_; }
   Param& weight() { return weight_; }
 
+  /// Process-unique, never-recycled layer identity, stable across moves.
+  /// External caches (the fixed executor's quantized-weight cache) key on
+  /// this instead of the object address, which CAN be recycled: a conv
+  /// allocated where a destroyed one lived, stamped with the same snapshot
+  /// version, would otherwise silently serve the dead layer's weights.
+  std::uint64_t uid() const { return uid_; }
+
   /// Switches the software algorithm (weights and caches are untouched).
   void set_algo(ConvAlgo algo) { cfg_.algo = algo; }
 
@@ -137,6 +144,7 @@ class Conv2d final : public Layer {
 
   Conv2dConfig cfg_;
   std::string name_;
+  std::uint64_t uid_ = 0;  // assigned once in the constructor
   Param weight_;  // [Cout, Cin(+1), K, K]
   float time_ = 0.0f;
   Tensor cached_input_;  // augmented input, cached in training mode

@@ -1,9 +1,12 @@
 #include "core/gemm_kernels.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 
+#include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace odenet::core {
@@ -68,7 +71,122 @@ float dot_scalar(const float* x, const float* y, int k) {
   return s;
 }
 
-constexpr GemmKernels kScalarKernels{tile4x16_scalar, dot_scalar, "scalar"};
+/// Scalar integer full-tile kernel over the pair-interleaved int16 panels.
+/// Accumulates in uint32 so the (impossible under the fixed backend's
+/// overflow envelope, but reachable with adversarial operands) wraparound
+/// is defined behaviour and bitwise identical to `_mm256_madd_epi16` +
+/// `_mm256_add_epi32`. The int16*int16 products themselves always fit in
+/// int (|p| <= 2^30), so the multiplies are UB-free.
+void tile4x16_i16_scalar(const std::int16_t* apanel,
+                         const std::int16_t* bpanel, int kpairs,
+                         std::int32_t* c, std::size_t ldc, bool accumulate) {
+  std::uint32_t acc[kGemmTileRows][kGemmTileCols];
+  for (int i = 0; i < kGemmTileRows; ++i) {
+    for (int j = 0; j < kGemmTileCols; ++j) {
+      acc[i][j] =
+          accumulate ? static_cast<std::uint32_t>(c[i * ldc + j]) : 0u;
+    }
+  }
+  for (int p = 0; p < kpairs; ++p) {
+    const std::int16_t* ap = apanel + static_cast<std::size_t>(p) * 8;
+    const std::int16_t* bp = bpanel + static_cast<std::size_t>(p) * 32;
+    for (int i = 0; i < kGemmTileRows; ++i) {
+      const int a0 = ap[i * 2 + 0];
+      const int a1 = ap[i * 2 + 1];
+      for (int j = 0; j < kGemmTileCols; ++j) {
+        // The madd dot-pair: both products summed in one 32-bit lane.
+        acc[i][j] += static_cast<std::uint32_t>(a0 * bp[j * 2 + 0]) +
+                     static_cast<std::uint32_t>(a1 * bp[j * 2 + 1]);
+      }
+    }
+  }
+  for (int i = 0; i < kGemmTileRows; ++i) {
+    std::int32_t* crow = c + i * ldc;
+    for (int j = 0; j < kGemmTileCols; ++j) {
+      crow[j] = static_cast<std::int32_t>(acc[i][j]);
+    }
+  }
+}
+
+/// One float through the saturating Q(frac_bits) rounding used by every
+/// quantize kernel: NaN -> 0, round half away from zero, clamp in the
+/// DOUBLE domain (casting an out-of-range double to an integer is UB, so
+/// the bound comparison happens before any integer conversion). Returns
+/// the integral raw value as a double; +0.0 normalized so the scalar and
+/// AVX2 kernels agree bitwise on negatives that round to zero.
+inline double quantize_raw_double(float v, double one, double lo, double hi) {
+  const double scaled = static_cast<double>(v) * one;
+  if (scaled != scaled) return 0.0;  // NaN
+  double r = std::trunc(scaled >= 0.0 ? scaled + 0.5 : scaled - 0.5);
+  if (r > hi) r = hi;
+  if (r < lo) r = lo;
+  return r + 0.0;  // -0.0 -> +0.0
+}
+
+void qdq_f32_scalar(float* data, std::size_t n, int frac_bits) {
+  const double one = static_cast<double>(std::int64_t{1} << frac_bits);
+  const double inv = 1.0 / one;
+  constexpr double hi = 2147483647.0;   // int32 max, exactly representable
+  constexpr double lo = -2147483648.0;  // int32 min
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] =
+        static_cast<float>(quantize_raw_double(data[i], one, lo, hi) * inv);
+  }
+}
+
+void quant_f32_i16_scalar(const float* src, std::int16_t* dst, std::size_t n,
+                          int frac_bits) {
+  const double one = static_cast<double>(std::int64_t{1} << frac_bits);
+  constexpr double hi = 32767.0;
+  constexpr double lo = -32768.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] =
+        static_cast<std::int16_t>(quantize_raw_double(src[i], one, lo, hi));
+  }
+}
+
+void requant_i32_scalar(const std::int32_t* acc, float* dst, std::size_t n,
+                        int shift, int frac_bits) {
+  const double inv =
+      1.0 / static_cast<double>(std::int64_t{1} << frac_bits);
+  if (shift == 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i] = static_cast<float>(static_cast<double>(acc[i]) * inv);
+    }
+    return;
+  }
+  // Round half away from zero — the Fixed::operator* post-multiply
+  // rounding stage, applied once per accumulator instead of once per MAC.
+  const std::int64_t half = std::int64_t{1} << (shift - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t a = acc[i];
+    const std::int64_t r =
+        a >= 0 ? (a + half) >> shift : -((-a + half) >> shift);
+    // r * 2^-f is exact in double (|r| < 2^31), so the only float
+    // rounding is the final narrowing — the value lands on the Q grid.
+    dst[i] = static_cast<float>(static_cast<double>(r) * inv);
+  }
+}
+
+float max_abs_f32_scalar(const float* src, std::size_t n) {
+  // Four independent accumulators break the dependence chain; exact max
+  // makes the regrouping bitwise-neutral.
+  float m0 = 0.0f, m1 = 0.0f, m2 = 0.0f, m3 = 0.0f;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    m0 = std::max(m0, std::fabs(src[i]));
+    m1 = std::max(m1, std::fabs(src[i + 1]));
+    m2 = std::max(m2, std::fabs(src[i + 2]));
+    m3 = std::max(m3, std::fabs(src[i + 3]));
+  }
+  for (; i < n; ++i) m0 = std::max(m0, std::fabs(src[i]));
+  return std::max(std::max(m0, m1), std::max(m2, m3));
+}
+
+constexpr GemmKernels kScalarKernels{tile4x16_scalar,  dot_scalar,
+                                     tile4x16_i16_scalar, qdq_f32_scalar,
+                                     quant_f32_i16_scalar, requant_i32_scalar,
+                                     max_abs_f32_scalar, "scalar"};
 
 bool cpu_supports_avx2_fma() {
 #if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
@@ -143,6 +261,190 @@ void set_kernel_pool(util::ThreadPool* pool) {
 util::ThreadPool& kernel_pool() {
   util::ThreadPool* pool = g_kernel_pool.load(std::memory_order_acquire);
   return pool != nullptr ? *pool : util::ThreadPool::global();
+}
+
+void pack_gemm_a_i16(const std::int16_t* a, int m, int k, PackedGemmA16& out) {
+  ODENET_CHECK(m >= 0 && k >= 0, "bad pack_gemm_a_i16 dimensions");
+  out.m = m;
+  out.k = k;
+  const int row_tiles = (m + kGemmTileRows - 1) / kGemmTileRows;
+  const int kp = (k + 1) / 2;
+  // assign() zero-fills, which doubles as the edge-row / odd-k padding.
+  out.data.assign(static_cast<std::size_t>(row_tiles) *
+                      static_cast<std::size_t>(std::max(kp, 1)) *
+                      kGemmTileRows * 2,
+                  0);
+  for (int t = 0; t < row_tiles; ++t) {
+    const int i0 = t * kGemmTileRows;
+    const int mr = std::min(kGemmTileRows, m - i0);
+    std::int16_t* panel =
+        out.data.data() + static_cast<std::size_t>(t) * kp * kGemmTileRows * 2;
+    for (int p = 0; p < kp; ++p) {
+      std::int16_t* dst = panel + static_cast<std::size_t>(p) * kGemmTileRows * 2;
+      for (int i = 0; i < mr; ++i) {
+        const std::int16_t* arow =
+            a + (i0 + i) * static_cast<std::size_t>(k);
+        dst[i * 2 + 0] = arow[2 * p];
+        if (2 * p + 1 < k) dst[i * 2 + 1] = arow[2 * p + 1];
+      }
+    }
+  }
+}
+
+void pack_gemm_b_i16(const std::int16_t* b, int k, int n, PackedGemmB16& out) {
+  ODENET_CHECK(k >= 0 && n >= 0, "bad pack_gemm_b_i16 dimensions");
+  out.k = k;
+  out.n = n;
+  const int col_tiles = (n + kGemmTileCols - 1) / kGemmTileCols;
+  const int kp = (k + 1) / 2;
+  out.data.assign(static_cast<std::size_t>(col_tiles) *
+                      static_cast<std::size_t>(std::max(kp, 1)) *
+                      kGemmTileCols * 2,
+                  0);
+  for (int t = 0; t < col_tiles; ++t) {
+    const int j0 = t * kGemmTileCols;
+    const int nr = std::min(kGemmTileCols, n - j0);
+    std::int16_t* panel =
+        out.data.data() + static_cast<std::size_t>(t) * kp * kGemmTileCols * 2;
+    for (int p = 0; p < kp; ++p) {
+      std::int16_t* dst = panel + static_cast<std::size_t>(p) * kGemmTileCols * 2;
+      const std::int16_t* brow0 = b + static_cast<std::size_t>(2 * p) * n + j0;
+      for (int j = 0; j < nr; ++j) dst[j * 2 + 0] = brow0[j];
+      if (2 * p + 1 < k) {
+        const std::int16_t* brow1 = brow0 + n;
+        for (int j = 0; j < nr; ++j) dst[j * 2 + 1] = brow1[j];
+      }
+    }
+  }
+}
+
+void gemm_i16_tiled_pa(const PackedGemmA16& a, const std::int16_t* b,
+                       std::int32_t* c, int n, bool accumulate) {
+  ODENET_CHECK(n >= 0, "bad gemm dimensions");
+  const int m = a.m, k = a.k;
+  if (m == 0 || n == 0) return;
+  const int kp = a.kpairs();
+  const GemmKernels& kernels = active_gemm_kernels();
+  // Same blocking constants as the float gemm_tiled_pa (im2col.cpp): 256
+  // int16 columns per B panel, >= 8 row tiles per extra m-split task.
+  constexpr int kPanelCols = 256;
+  constexpr int kMinRowTilesPerTask = 8;
+  const int panels = (n + kPanelCols - 1) / kPanelCols;
+  const int row_tiles = (m + kGemmTileRows - 1) / kGemmTileRows;
+
+  // One task = one column panel x one row-tile span; every output tile's
+  // k-loop is self-contained AND integer addition commutes mod 2^32, so
+  // any split (and any ISA) produces bitwise-identical C.
+  auto run_span = [&](int pi, int t0, int t1) {
+    const int p0 = pi * kPanelCols;
+    const int pn = std::min(kPanelCols, n - p0);
+    const int full_tiles = pn / kGemmTileCols;
+    // Pair-interleaved packing of the panel's full-width column tiles
+    // (thread-local, recycled): one sequential pass over B, padded odd-k
+    // tap zeroed.
+    static thread_local std::vector<std::int16_t> packed;
+    packed.resize(static_cast<std::size_t>(std::max(full_tiles, 1)) *
+                  static_cast<std::size_t>(std::max(kp, 1)) * kGemmTileCols *
+                  2);
+    for (int p = 0; p < kp; ++p) {
+      const std::int16_t* brow0 =
+          b + static_cast<std::size_t>(2 * p) * n + p0;
+      const std::int16_t* brow1 = 2 * p + 1 < k ? brow0 + n : nullptr;
+      for (int jt = 0; jt < full_tiles; ++jt) {
+        std::int16_t* dst =
+            packed.data() + (static_cast<std::size_t>(jt) * kp +
+                             static_cast<std::size_t>(p)) *
+                                kGemmTileCols * 2;
+        const std::int16_t* s0 = brow0 + jt * kGemmTileCols;
+        if (brow1 != nullptr) {
+          const std::int16_t* s1 = brow1 + jt * kGemmTileCols;
+          for (int j = 0; j < kGemmTileCols; ++j) {
+            dst[j * 2 + 0] = s0[j];
+            dst[j * 2 + 1] = s1[j];
+          }
+        } else {
+          // Phantom odd-k tap: zero the pad explicitly (storage is
+          // recycled, not zero-initialized).
+          for (int j = 0; j < kGemmTileCols; ++j) {
+            dst[j * 2 + 0] = s0[j];
+            dst[j * 2 + 1] = 0;
+          }
+        }
+      }
+    }
+    for (int t = t0; t < t1; ++t) {
+      const int i0 = t * kGemmTileRows;
+      const int mr = std::min(kGemmTileRows, m - i0);
+      const std::int16_t* apanel =
+          a.data.data() +
+          static_cast<std::size_t>(t) * kp * kGemmTileRows * 2;
+      for (int jt = 0; jt < pn; jt += kGemmTileCols) {
+        const int j0 = p0 + jt;
+        const int nr = std::min(kGemmTileCols, pn - jt);
+        if (mr == kGemmTileRows && nr == kGemmTileCols) {
+          const std::int16_t* bp =
+              packed.data() + static_cast<std::size_t>(jt / kGemmTileCols) *
+                                  kp * kGemmTileCols * 2;
+          kernels.tile4x16_i16(apanel, bp, kp,
+                               c + (static_cast<std::size_t>(i0) * n + j0),
+                               static_cast<std::size_t>(n), accumulate);
+        } else {
+          // Ragged edge: scalar dot-pairs reading B in place, with the
+          // micro-kernel's exact wraparound semantics — ISA-independent,
+          // so edges never perturb the bitwise-parity guarantee.
+          for (int i = 0; i < mr; ++i) {
+            std::int32_t* crow =
+                c + (i0 + i) * static_cast<std::size_t>(n) + j0;
+            for (int j = 0; j < nr; ++j) {
+              std::uint32_t sum =
+                  accumulate ? static_cast<std::uint32_t>(crow[j]) : 0u;
+              const std::int16_t* bcol = b + j0 + j;
+              for (int p = 0; p < kp; ++p) {
+                const int a0 = apanel[p * kGemmTileRows * 2 + i * 2 + 0];
+                const int a1 = apanel[p * kGemmTileRows * 2 + i * 2 + 1];
+                const int b0 = bcol[static_cast<std::size_t>(2 * p) * n];
+                const int b1 =
+                    2 * p + 1 < k
+                        ? bcol[static_cast<std::size_t>(2 * p + 1) * n]
+                        : 0;
+                sum += static_cast<std::uint32_t>(a0 * b0) +
+                       static_cast<std::uint32_t>(a1 * b1);
+              }
+              crow[j] = static_cast<std::int32_t>(sum);
+            }
+          }
+        }
+      }
+    }
+  };
+
+  const std::size_t flops = 2ull * static_cast<std::size_t>(m) *
+                            static_cast<std::size_t>(k) *
+                            static_cast<std::size_t>(n);
+  util::ThreadPool& pool = kernel_pool();
+  const std::size_t workers = pool.worker_count();
+  if (flops < gemm_parallel_min_flops() || workers <= 1) {
+    for (int pi = 0; pi < panels; ++pi) run_span(pi, 0, row_tiles);
+    return;
+  }
+  int row_blocks = 1;
+  if (static_cast<std::size_t>(panels) < workers) {
+    const int max_blocks =
+        (row_tiles + kMinRowTilesPerTask - 1) / kMinRowTilesPerTask;
+    row_blocks = std::min<int>(
+        max_blocks, static_cast<int>((workers + panels - 1) /
+                                     static_cast<std::size_t>(panels)));
+    row_blocks = std::max(row_blocks, 1);
+  }
+  const int tiles_per_block = (row_tiles + row_blocks - 1) / row_blocks;
+  util::parallel_for(pool, 0, static_cast<std::size_t>(panels) * row_blocks,
+                     [&](std::size_t task) {
+                       const int pi = static_cast<int>(task) / row_blocks;
+                       const int rb = static_cast<int>(task) % row_blocks;
+                       const int t0 = rb * tiles_per_block;
+                       const int t1 = std::min(row_tiles, t0 + tiles_per_block);
+                       if (t0 < t1) run_span(pi, t0, t1);
+                     });
 }
 
 }  // namespace odenet::core

@@ -23,6 +23,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 namespace odenet::util {
 class ThreadPool;
@@ -49,9 +51,54 @@ using GemmTile4x16Fn = void (*)(const float* apanel, const float* bpanel,
 /// independent partial sums (the gemm_bt_tiled inner op).
 using GemmDotFn = float (*)(const float* x, const float* y, int k);
 
+/// Integer full-tile micro-kernel: C[4][16] (+)= A16 * B16 with int16
+/// operands accumulated into int32. k is processed in PAIRS (the
+/// `_mm256_madd_epi16` dot-pair shape): `apanel` is a packed
+/// [kpairs][4][2] row panel, `bpanel` a packed [kpairs][16][2] column
+/// panel (see PackedGemmA16 / PackedGemmB16), both pair-interleaved and
+/// zero-padded to an even k. Accumulation is two's-complement wraparound
+/// (never saturating, never UB): integer addition is associative mod 2^32,
+/// so every ISA, k-order and thread split produces bitwise-identical C.
+/// Callers get *mathematically* exact sums by bounding |sum| < 2^31 — the
+/// fixed backend's per-conv weight-scale selection guarantees it.
+using GemmTileI16Fn = void (*)(const std::int16_t* apanel,
+                               const std::int16_t* bpanel, int kpairs,
+                               std::int32_t* c, std::size_t ldc,
+                               bool accumulate);
+
+/// Saturating Q(frac_bits) quantize/dequantize round trip over a float
+/// span, elementwise — fixed::qdq_inplace's inner loop, lifted into the
+/// kernel table so the SIMD TU can vectorize it. Bitwise identical to
+/// fixed::qdq_value per element (NaN -> 0, round half away from zero,
+/// clamp in the double domain).
+using QdqF32Fn = void (*)(float* data, std::size_t n, int frac_bits);
+
+/// Saturating quantize of a float span to int16 raw values at
+/// Q(frac_bits) — the activation-side entry into the integer GEMM. Same
+/// rounding/NaN/saturation semantics as QdqF32Fn, bounds ±int16.
+using QuantF32ToI16Fn = void (*)(const float* src, std::int16_t* dst,
+                                 std::size_t n, int frac_bits);
+
+/// Largest |src[i]| over n floats (0 for n == 0). NaNs propagate as "not
+/// larger", inf is returned as-is; exact max is associative, so any chunk
+/// split or ISA gives the identical result.
+using MaxAbsF32Fn = float (*)(const float* src, std::size_t n);
+
+/// Int32 accumulators -> float Q(frac_bits) values via one rounding shift:
+/// dst[i] = ((acc[i] +- half) >> shift) * 2^-frac_bits with round half
+/// away from zero (Fixed::operator* semantics). All carriers are exact in
+/// double, so every ISA variant is bitwise identical to the int64 scalar.
+using RequantI32Fn = void (*)(const std::int32_t* acc, float* dst,
+                              std::size_t n, int shift, int frac_bits);
+
 struct GemmKernels {
   GemmTile4x16Fn tile4x16;
   GemmDotFn dot;
+  GemmTileI16Fn tile4x16_i16;
+  QdqF32Fn qdq_f32;
+  QuantF32ToI16Fn quant_f32_i16;
+  RequantI32Fn requant_i32;
+  MaxAbsF32Fn max_abs_f32;
   const char* isa;  // "scalar" or "avx2+fma"
 };
 
@@ -87,5 +134,52 @@ void gemm_set_parallel_min_flops(std::size_t flops);
 /// call made while it is installed.
 void set_kernel_pool(util::ThreadPool* pool);
 util::ThreadPool& kernel_pool();
+
+/// An int16 [m,k] matrix repacked into the pair-interleaved row-panel
+/// layout the integer micro-kernel consumes: [ceil(m/4)] panels of
+/// [kpairs][4][2], where panel t holds rows 4t..4t+3 and entry
+/// [p][i][s] = A[4t+i][2p+s]. The [2] pair axis is innermost so one 32-bit
+/// broadcast yields a row's (even, odd) k-pair for `_mm256_madd_epi16`.
+/// Edge rows past m and the phantom odd-k tap are zero-padded. This is the
+/// once-per-layer packed-weight format the fixed backend caches.
+struct PackedGemmA16 {
+  std::vector<std::int16_t> data;
+  int m = 0;
+  int k = 0;  // logical (un-padded) depth
+
+  int kpairs() const { return (k + 1) / 2; }
+  bool empty() const { return m == 0 || k == 0; }
+};
+
+/// Packs row-major A[m,k] int16 into `out` (storage recycled across calls).
+void pack_gemm_a_i16(const std::int16_t* a, int m, int k, PackedGemmA16& out);
+
+/// An int16 B[k,n] matrix repacked into the pair-interleaved column-panel
+/// layout: [ceil(n/16)] panels of [kpairs][16][2], entry [p][j][s] =
+/// B[2p+s][16t+j], edge columns and the phantom odd-k tap zero-padded. One
+/// 256-bit load covers 8 columns' k-pairs. gemm_i16_tiled_pa builds this
+/// layout per column panel internally; the standalone pack exists for the
+/// kernel parity tests and callers with a reusable B.
+struct PackedGemmB16 {
+  std::vector<std::int16_t> data;
+  int k = 0;
+  int n = 0;
+
+  int kpairs() const { return (k + 1) / 2; }
+  bool empty() const { return n == 0 || k == 0; }
+};
+
+/// Packs row-major B[k,n] int16 into `out` (storage recycled across calls).
+void pack_gemm_b_i16(const std::int16_t* b, int k, int n, PackedGemmB16& out);
+
+/// Integer GEMM: C[m,n] (+)= A * B with A pre-packed (PackedGemmA16), B
+/// row-major int16 [k,n], C int32. The integer twin of gemm_tiled_pa: B is
+/// packed per column panel into recycled thread-local storage, full 4x16
+/// tiles run the dispatched micro-kernel, ragged edges run an
+/// ISA-independent scalar path with identical wraparound semantics, and
+/// the panel x row-block thread split is bitwise invariant for any worker
+/// count (integer addition commutes mod 2^32).
+void gemm_i16_tiled_pa(const PackedGemmA16& a, const std::int16_t* b,
+                       std::int32_t* c, int n, bool accumulate);
 
 }  // namespace odenet::core

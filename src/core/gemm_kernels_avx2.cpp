@@ -10,6 +10,9 @@
 
 #include <immintrin.h>
 
+#include <cmath>
+#include <cstring>
+
 namespace odenet::core {
 namespace {
 
@@ -85,7 +88,208 @@ float dot_avx2(const float* x, const float* y, int k) {
   return out;
 }
 
-constexpr GemmKernels kAvx2Kernels{tile4x16_avx2, dot_avx2, "avx2+fma"};
+/// Integer 4x16 tile via `_mm256_madd_epi16`: each 32-bit broadcast of a
+/// packed A pair against a [16][2] pair-interleaved B row yields, per
+/// 32-bit lane, the dot of one k-pair for one output column — 8 int32
+/// partial sums per madd, accumulated with wraparound `_mm256_add_epi32`.
+/// Bitwise identical to the scalar kernel (uint32 wrap there), since
+/// integer addition commutes mod 2^32.
+void tile4x16_i16_avx2(const std::int16_t* apanel, const std::int16_t* bpanel,
+                       int kpairs, std::int32_t* c, std::size_t ldc,
+                       bool accumulate) {
+  __m256i c00, c01, c10, c11, c20, c21, c30, c31;
+  if (accumulate) {
+    c00 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + 0 * ldc));
+    c01 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + 0 * ldc + 8));
+    c10 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + 1 * ldc));
+    c11 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + 1 * ldc + 8));
+    c20 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + 2 * ldc));
+    c21 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + 2 * ldc + 8));
+    c30 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + 3 * ldc));
+    c31 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + 3 * ldc + 8));
+  } else {
+    c00 = c01 = c10 = c11 = c20 = c21 = c30 = c31 = _mm256_setzero_si256();
+  }
+  for (int p = 0; p < kpairs; ++p) {
+    const std::int16_t* brow = bpanel + static_cast<std::size_t>(p) * 32;
+    // [16][2] pair-interleaved: lane j of b0/b1 holds (B[2p][j], B[2p+1][j]).
+    const __m256i b0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(brow));
+    const __m256i b1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(brow + 16));
+    const std::int16_t* arow = apanel + static_cast<std::size_t>(p) * 8;
+    std::int32_t pair;
+    std::memcpy(&pair, arow + 0, sizeof(pair));
+    __m256i av = _mm256_set1_epi32(pair);
+    c00 = _mm256_add_epi32(c00, _mm256_madd_epi16(av, b0));
+    c01 = _mm256_add_epi32(c01, _mm256_madd_epi16(av, b1));
+    std::memcpy(&pair, arow + 2, sizeof(pair));
+    av = _mm256_set1_epi32(pair);
+    c10 = _mm256_add_epi32(c10, _mm256_madd_epi16(av, b0));
+    c11 = _mm256_add_epi32(c11, _mm256_madd_epi16(av, b1));
+    std::memcpy(&pair, arow + 4, sizeof(pair));
+    av = _mm256_set1_epi32(pair);
+    c20 = _mm256_add_epi32(c20, _mm256_madd_epi16(av, b0));
+    c21 = _mm256_add_epi32(c21, _mm256_madd_epi16(av, b1));
+    std::memcpy(&pair, arow + 6, sizeof(pair));
+    av = _mm256_set1_epi32(pair);
+    c30 = _mm256_add_epi32(c30, _mm256_madd_epi16(av, b0));
+    c31 = _mm256_add_epi32(c31, _mm256_madd_epi16(av, b1));
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 0 * ldc), c00);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 0 * ldc + 8), c01);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 1 * ldc), c10);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 1 * ldc + 8), c11);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 2 * ldc), c20);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 2 * ldc + 8), c21);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 3 * ldc), c30);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 3 * ldc + 8), c31);
+}
+
+/// Vector twin of the scalar quantize_raw_double: 4 doubles at a time.
+/// round-half-away-from-zero = trunc(s + copysign(0.5, s)); NaN lanes are
+/// zeroed via an ordered-compare mask; the final +0.0 normalizes -0.0 so
+/// memcmp parity with the scalar kernel holds for negatives rounding to
+/// zero. Saturation clamps in the double domain (no UB cvt).
+inline __m256d quantize_raw_pd(__m256d s, __m256d lo, __m256d hi) {
+  const __m256d signmask = _mm256_set1_pd(-0.0);
+  const __m256d half =
+      _mm256_or_pd(_mm256_and_pd(s, signmask), _mm256_set1_pd(0.5));
+  __m256d r = _mm256_round_pd(_mm256_add_pd(s, half),
+                              _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+  r = _mm256_max_pd(r, lo);
+  r = _mm256_min_pd(r, hi);
+  r = _mm256_and_pd(r, _mm256_cmp_pd(s, s, _CMP_ORD_Q));  // NaN -> 0
+  return _mm256_add_pd(r, _mm256_setzero_pd());           // -0.0 -> +0.0
+}
+
+/// Scalar tail with the exact double-domain operation sequence of the
+/// vector path (and of the scalar TU's quantize_raw_double).
+inline double quantize_raw_tail(float v, double one, double lo, double hi) {
+  const double scaled = static_cast<double>(v) * one;
+  if (scaled != scaled) return 0.0;
+  double r = std::trunc(scaled >= 0.0 ? scaled + 0.5 : scaled - 0.5);
+  if (r > hi) r = hi;
+  if (r < lo) r = lo;
+  return r + 0.0;
+}
+
+void qdq_f32_avx2(float* data, std::size_t n, int frac_bits) {
+  const double one_d = static_cast<double>(std::int64_t{1} << frac_bits);
+  const double inv_d = 1.0 / one_d;
+  const __m256d one = _mm256_set1_pd(one_d);
+  const __m256d inv = _mm256_set1_pd(inv_d);
+  const __m256d lo = _mm256_set1_pd(-2147483648.0);
+  const __m256d hi = _mm256_set1_pd(2147483647.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d s =
+        _mm256_mul_pd(_mm256_cvtps_pd(_mm_loadu_ps(data + i)), one);
+    const __m256d r = _mm256_mul_pd(
+        quantize_raw_pd(s, lo, hi), inv);
+    _mm_storeu_ps(data + i, _mm256_cvtpd_ps(r));
+  }
+  for (; i < n; ++i) {
+    data[i] = static_cast<float>(
+        quantize_raw_tail(data[i], one_d, -2147483648.0, 2147483647.0) *
+        inv_d);
+  }
+}
+
+void quant_f32_i16_avx2(const float* src, std::int16_t* dst, std::size_t n,
+                        int frac_bits) {
+  const double one_d = static_cast<double>(std::int64_t{1} << frac_bits);
+  const __m256d one = _mm256_set1_pd(one_d);
+  const __m256d lo = _mm256_set1_pd(-32768.0);
+  const __m256d hi = _mm256_set1_pd(32767.0);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d s0 =
+        _mm256_mul_pd(_mm256_cvtps_pd(_mm_loadu_ps(src + i)), one);
+    const __m256d s1 =
+        _mm256_mul_pd(_mm256_cvtps_pd(_mm_loadu_ps(src + i + 4)), one);
+    // Values are already clamped to ±int16 in the double domain, so the
+    // int32 cvt is exact and the saturating pack never actually saturates.
+    const __m128i q0 = _mm256_cvttpd_epi32(quantize_raw_pd(s0, lo, hi));
+    const __m128i q1 = _mm256_cvttpd_epi32(quantize_raw_pd(s1, lo, hi));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_packs_epi32(q0, q1));
+  }
+  for (; i < n; ++i) {
+    dst[i] = static_cast<std::int16_t>(
+        quantize_raw_tail(src[i], one_d, -32768.0, 32767.0));
+  }
+}
+
+void requant_i32_avx2(const std::int32_t* acc, float* dst, std::size_t n,
+                      int shift, int frac_bits) {
+  // dst = round_half_away(acc * 2^-shift) * 2^-frac. Every step is exact
+  // in double (int32 + the 0.5 half-step fit a 53-bit mantissa, and the
+  // scale factors are powers of two), so floor((a + half) >> shift) and
+  // trunc(a*2^-shift + 0.5) are the SAME integer — this is bitwise equal
+  // to the int64 scalar kernel, vectorized 4 doubles at a time.
+  const double inv_shift = 1.0 / static_cast<double>(std::int64_t{1} << shift);
+  const double inv_frac =
+      1.0 / static_cast<double>(std::int64_t{1} << frac_bits);
+  const __m256d vshift = _mm256_set1_pd(inv_shift);
+  const __m256d vfrac = _mm256_set1_pd(inv_frac);
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  const __m256d half_mag = _mm256_set1_pd(0.5);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    const __m256d s0 =
+        _mm256_mul_pd(_mm256_cvtepi32_pd(_mm256_castsi256_si128(a)), vshift);
+    const __m256d s1 = _mm256_mul_pd(
+        _mm256_cvtepi32_pd(_mm256_extracti128_si256(a, 1)), vshift);
+    const __m256d r0 = _mm256_round_pd(
+        _mm256_add_pd(s0, _mm256_or_pd(_mm256_and_pd(s0, sign_mask),
+                                       half_mag)),
+        _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+    const __m256d r1 = _mm256_round_pd(
+        _mm256_add_pd(s1, _mm256_or_pd(_mm256_and_pd(s1, sign_mask),
+                                       half_mag)),
+        _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+    // r * 2^-frac is exact; the +0.0 add normalizes the -0.0 a small
+    // negative accumulator truncates to (the int64 scalar yields +0.0).
+    const __m256d z = _mm256_setzero_pd();
+    _mm_storeu_ps(dst + i, _mm256_cvtpd_ps(_mm256_add_pd(
+                               _mm256_mul_pd(r0, vfrac), z)));
+    _mm_storeu_ps(dst + i + 4, _mm256_cvtpd_ps(_mm256_add_pd(
+                                   _mm256_mul_pd(r1, vfrac), z)));
+  }
+  const std::int64_t half =
+      shift > 0 ? (std::int64_t{1} << (shift - 1)) : 0;
+  for (; i < n; ++i) {
+    const std::int64_t a = acc[i];
+    const std::int64_t r = shift == 0 ? a
+                           : a >= 0  ? (a + half) >> shift
+                                     : -((-a + half) >> shift);
+    dst[i] = static_cast<float>(static_cast<double>(r) * inv_frac);
+  }
+}
+
+float max_abs_f32_avx2(const float* src, std::size_t n) {
+  const __m256 abs_mask =
+      _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  __m256 m = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    m = _mm256_max_ps(m, _mm256_and_ps(_mm256_loadu_ps(src + i), abs_mask));
+  }
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, m);
+  float best = 0.0f;
+  for (float v : lanes) best = std::max(best, v);
+  for (; i < n; ++i) best = std::max(best, std::fabs(src[i]));
+  return best;
+}
+
+constexpr GemmKernels kAvx2Kernels{tile4x16_avx2,     dot_avx2,
+                                   tile4x16_i16_avx2, qdq_f32_avx2,
+                                   quant_f32_i16_avx2, requant_i32_avx2,
+                                   max_abs_f32_avx2, "avx2+fma"};
 
 }  // namespace
 

@@ -34,36 +34,40 @@ inline int end_valid_ow(int kw, int pad, int stride, int w, int wo) {
 /// Per (kh, kw) tap the valid output-column range is computed once, so the
 /// interior is a branch-free copy: one memcpy per output row at stride 1,
 /// a gathered strided copy otherwise. Values are identical to the naive
-/// per-element walk (zeros outside, source reads inside).
-void im2col_strided(const float* src, const LoweringGeometry& g,
-                    std::size_t row_stride, float* dst) {
+/// per-element walk (zeros outside, source reads inside). Templated on the
+/// element type: the float instantiation serves the classic lowering, the
+/// int16 one lowers pre-quantized activations for the integer GEMM (9x
+/// cheaper than quantizing the replicated column matrix).
+template <typename T>
+void im2col_strided(const T* src, const LoweringGeometry& g,
+                    std::size_t row_stride, T* dst) {
   const int ho = g.out_h(), wo = g.out_w();
   const std::size_t plane = static_cast<std::size_t>(g.height) * g.width;
   std::size_t row = 0;
   for (int c = 0; c < g.channels; ++c) {
-    const float* cplane = src + static_cast<std::size_t>(c) * plane;
+    const T* cplane = src + static_cast<std::size_t>(c) * plane;
     for (int kh = 0; kh < g.kernel; ++kh) {
       for (int kw = 0; kw < g.kernel; ++kw, ++row) {
-        float* out_row = dst + row * row_stride;
+        T* out_row = dst + row * row_stride;
         const int lo = first_valid_ow(kw, g.pad, g.stride);
         const int hi = end_valid_ow(kw, g.pad, g.stride, g.width, wo);
         for (int oh = 0; oh < ho; ++oh) {
           const int ih = oh * g.stride - g.pad + kh;
-          float* out = out_row + static_cast<std::size_t>(oh) * wo;
+          T* out = out_row + static_cast<std::size_t>(oh) * wo;
           if (ih < 0 || ih >= g.height || lo >= hi) {
-            std::memset(out, 0, static_cast<std::size_t>(wo) * sizeof(float));
+            std::memset(out, 0, static_cast<std::size_t>(wo) * sizeof(T));
             continue;
           }
-          const float* in_row = cplane + static_cast<std::size_t>(ih) * g.width;
-          for (int ow = 0; ow < lo; ++ow) out[ow] = 0.0f;
+          const T* in_row = cplane + static_cast<std::size_t>(ih) * g.width;
+          for (int ow = 0; ow < lo; ++ow) out[ow] = T{};
           if (g.stride == 1) {
             std::memcpy(out + lo, in_row + lo - g.pad + kw,
-                        static_cast<std::size_t>(hi - lo) * sizeof(float));
+                        static_cast<std::size_t>(hi - lo) * sizeof(T));
           } else {
-            const float* in = in_row + lo * g.stride - g.pad + kw;
+            const T* in = in_row + lo * g.stride - g.pad + kw;
             for (int ow = lo; ow < hi; ++ow, in += g.stride) out[ow] = *in;
           }
-          for (int ow = hi; ow < wo; ++ow) out[ow] = 0.0f;
+          for (int ow = hi; ow < wo; ++ow) out[ow] = T{};
         }
       }
     }
@@ -109,6 +113,19 @@ void col2im(const float* cols, const LoweringGeometry& g, float* dst) {
 void im2col_batched(const float* src, const LoweringGeometry& g, int batch,
                     float* dst) {
   ODENET_CHECK(batch > 0, "im2col_batched needs a non-empty batch");
+  const std::size_t sample =
+      static_cast<std::size_t>(g.channels) * g.height * g.width;
+  const std::size_t cc = g.col_cols();
+  const std::size_t row_stride = cc * static_cast<std::size_t>(batch);
+  util::parallel_for(kernel_pool(), 0, static_cast<std::size_t>(batch),
+                     [&](std::size_t ni) {
+    im2col_strided(src + ni * sample, g, row_stride, dst + ni * cc);
+  });
+}
+
+void im2col_batched_i16(const std::int16_t* src, const LoweringGeometry& g,
+                        int batch, std::int16_t* dst) {
+  ODENET_CHECK(batch > 0, "im2col_batched_i16 needs a non-empty batch");
   const std::size_t sample =
       static_cast<std::size_t>(g.channels) * g.height * g.width;
   const std::size_t cc = g.col_cols();

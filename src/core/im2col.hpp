@@ -47,6 +47,13 @@ void col2im(const float* cols, const LoweringGeometry& g, float* dst);
 void im2col_batched(const float* src, const LoweringGeometry& g, int batch,
                     float* dst);
 
+/// Same batched lowering over pre-quantized int16 activations — the input
+/// side of the fixed backend's integer GEMM. Lowering the [N,C,H,W] int16
+/// image instead of quantizing the lowered matrix does the quantize pass
+/// once per pixel instead of once per K*K-replicated column entry.
+void im2col_batched_i16(const std::int16_t* src, const LoweringGeometry& g,
+                        int batch, std::int16_t* dst);
+
 /// Adjoint of im2col_batched: scatter-adds the batched column matrix back
 /// into a [N,C,H,W] buffer (which must be zero-initialized or hold a
 /// partial sum). Parallelized over samples (disjoint writes).

@@ -30,17 +30,44 @@ core::Tensor dequantize(const FixedTensor& t);
 /// One value through the saturating Q(frac_bits) round trip.
 float qdq_value(float v, int frac_bits);
 
-/// Saturating quantize/dequantize round trip in place — the post-GEMM
-/// requantization step of the fixed-point conv path (and anywhere else a
-/// float buffer must be snapped to the Q grid without an allocation).
-/// Identical values to dequantize(quantize(t)).
+/// Saturating quantize/dequantize round trip in place — the boundary-point
+/// requantization of the fixed path (BN outputs, Euler updates, and
+/// anywhere else a float buffer must be snapped to the Q grid without an
+/// allocation). Runs through the dispatched SIMD kernel table and
+/// thread-splits large tensors; bitwise identical to
+/// dequantize(quantize(t)) for any ISA and worker count. NaN -> 0, ±inf
+/// and out-of-range magnitudes saturate.
 void qdq_inplace(core::Tensor& t, int frac_bits);
+
+/// Saturating quantize of `n` floats to int16 raw values at Q(frac_bits)
+/// (frac_bits in [1, 15]) — the activation-side entry into the integer
+/// GEMM. Same rounding/NaN/saturation semantics as qdq_inplace, bounds
+/// ±int16. SIMD-dispatched and thread-split like qdq_inplace.
+void quantize_i16(const float* src, std::int16_t* dst, std::size_t n,
+                  int frac_bits);
+
+/// Largest |src[i]| over `n` floats (0 for n == 0) — the activation-range
+/// scan that picks the integer path's per-call scale. SIMD-dispatched and
+/// thread-split; exact float max is associative, so the result is bitwise
+/// identical for any ISA or worker count.
+float max_abs(const float* src, std::size_t n);
+
+/// Requantizes int32 integer-GEMM accumulators (at frac_bits_in =
+/// out_frac_bits + shift) down to the Q(out_frac_bits) grid, dequantized
+/// to float: r = round-half-away-from-zero(acc >> shift) — bit-exactly the
+/// Fixed::operator* rounding stage — then dst = r * 2^-out_frac_bits
+/// (exact in double). shift must be >= 0.
+void requantize_i32(const std::int32_t* acc, float* dst, std::size_t n,
+                    int shift, int out_frac_bits);
 
 struct QuantizationError {
   double max_abs_error = 0.0;
   double mean_abs_error = 0.0;
   double rmse = 0.0;
-  /// Signal-to-quantization-noise ratio in dB (inf when exact).
+  /// Signal-to-quantization-noise ratio in dB: +inf when the round trip
+  /// is exact on a non-zero signal; 0 when BOTH signal and noise are zero
+  /// (empty or all-zero tensor — no information, so "infinitely good" is
+  /// the wrong report).
   double snr_db = 0.0;
   /// Elements clipped by saturation.
   std::size_t saturated = 0;

@@ -42,14 +42,28 @@ class Fixed {
   }
 
   /// Nearest-even-free rounding (round half away from zero), saturating.
+  /// NaN quantizes to 0; ±inf and out-of-range magnitudes saturate. The
+  /// range check happens in the DOUBLE domain: casting an out-of-range
+  /// double to an integer type is undefined behaviour, so the bounds are
+  /// compared as exactly-representable doubles before any conversion.
   static Fixed from_float(float v) { return from_double(static_cast<double>(v)); }
   static Fixed from_double(double v) {
     const double scaled = v * static_cast<double>(kOneRaw);
+    if (scaled != scaled) return from_raw(0);  // NaN
     const double rounded = scaled >= 0.0 ? scaled + 0.5 : scaled - 0.5;
+    if (rounded >= static_cast<double>(kMaxRaw) + 1.0) {
+      return from_raw(static_cast<Storage>(kMaxRaw));
+    }
+    if (rounded <= static_cast<double>(kMinRaw) - 1.0) {
+      return from_raw(static_cast<Storage>(kMinRaw));
+    }
     return from_raw(saturate_cast(static_cast<std::int64_t>(rounded)));
   }
   static constexpr Fixed from_int(int v) {
-    return from_raw(saturate_cast(static_cast<std::int64_t>(v) << FracBits));
+    // Multiply, not <<: left-shifting a negative int64 is UB in C++17,
+    // and v * 2^FracBits fits int64 for any int v (|v| < 2^31, FracBits
+    // < 31). Identical raw result for every in-range value.
+    return from_raw(saturate_cast(static_cast<std::int64_t>(v) * kOneRaw));
   }
 
   constexpr Storage raw() const { return raw_; }
@@ -92,7 +106,8 @@ class Fixed {
     return from_raw(saturate_cast(rounded));
   }
   friend Fixed operator/(Fixed a, Fixed b) {
-    const std::int64_t num = static_cast<std::int64_t>(a.raw_) << FracBits;
+    // Multiply, not <<: a.raw_ can be negative (see from_int).
+    const std::int64_t num = static_cast<std::int64_t>(a.raw_) * kOneRaw;
     return from_raw(saturate_cast(idiv_i64(num, b.raw_)));
   }
 

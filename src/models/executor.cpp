@@ -1,7 +1,10 @@
 #include "models/executor.hpp"
 
+#include <cmath>
 #include <cstring>
+#include <vector>
 
+#include "core/gemm_kernels.hpp"
 #include "core/im2col.hpp"
 #include "fixed/fixed_tensor.hpp"
 #include "util/stopwatch.hpp"
@@ -52,6 +55,28 @@ FixedStageExecutor::FixedStageExecutor(int frac_bits, FixedConvPath conv_path)
       frac_bits_(frac_bits),
       conv_path_(conv_path) {}
 
+FixedStageExecutor::QuantizedWeights& FixedStageExecutor::cache_entry(
+    const core::Conv2d& conv) {
+  QuantizedWeights& entry = wcache_[conv.uid()];
+  entry.last_use = ++use_tick_;
+  if (wcache_.size() > wcache_capacity_) {
+    // Evict the least-recently-used entry that is not the one being
+    // served. Replica churn through one executor stays bounded; a single
+    // replica's working set (conv count << capacity) is never touched.
+    auto victim = wcache_.end();
+    for (auto it = wcache_.begin(); it != wcache_.end(); ++it) {
+      if (it->first == conv.uid()) continue;
+      if (victim == wcache_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    // Erasing another element never invalidates `entry`'s reference.
+    if (victim != wcache_.end()) wcache_.erase(victim);
+  }
+  return entry;
+}
+
 core::Tensor FixedStageExecutor::fixed_conv(core::Conv2d& conv,
                                             const core::Tensor& x, float t) {
   const core::Conv2dConfig& cfg = conv.config();
@@ -72,15 +97,62 @@ core::Tensor FixedStageExecutor::fixed_conv(core::Conv2d& conv,
   // re-stamps the conv's weight version and the key mismatch triggers one
   // requantize + repack; version 0 (unversioned weights) rebuilds per
   // call into the same recycled storage.
-  QuantizedWeights& entry = wcache_[&conv];
+  QuantizedWeights& entry = cache_entry(conv);
   const std::uint64_t version = conv.weight_version();
   if (!entry.valid || version == 0 || entry.version != version) {
     const core::Tensor& wt = conv.weight().value;
+    entry.i16_ok = false;
+    if (conv_path_ == FixedConvPath::kBatched) {
+      // Per-conv int16 weight scale fw, chosen so the integer datapath is
+      // HARD overflow-free: (a) no weight saturates — max|w|*2^fw <=
+      // 32767 keeps |w_q| <= 32767, so no int16 product pair can wrap a
+      // madd lane; (b) the accumulator envelope — sum_k |w_q| <= 65535
+      // bounds |acc| <= 65535 * 32768 < 2^31 for ANY int16 activations.
+      // The L1 bound uses the worst row plus the per-tap rounding slack.
+      double max_abs = 0.0, max_l1 = 0.0;
+      for (int r = 0; r < co; ++r) {
+        const float* row = wt.data() + static_cast<std::size_t>(r) * kk;
+        double l1 = 0.0;
+        for (int p = 0; p < kk; ++p) {
+          const double a = std::fabs(static_cast<double>(row[p]));
+          l1 += a;
+          if (a > max_abs) max_abs = a;
+        }
+        if (l1 > max_l1) max_l1 = l1;
+      }
+      int fw = kWeightFracMax;
+      while (fw > 0 &&
+             max_abs * static_cast<double>(std::int64_t{1} << fw) > 32767.0) {
+        --fw;
+      }
+      while (fw > 0 &&
+             max_l1 * static_cast<double>(std::int64_t{1} << fw) +
+                     0.5 * kk + 1.0 >
+                 65535.0) {
+        --fw;
+      }
+      // The requantization shift fa+fw-frac_bits must be >= 0 even at the
+      // finest activation grid; weights too large (or a frac_bits too
+      // fine) fall back to the float carrier.
+      if (fw > 0 && fw >= frac_bits_ - kActFracMax && frac_bits_ < 31) {
+        entry.i16_ok = true;
+        entry.weight_frac_bits = fw;
+        static thread_local std::vector<std::int16_t> wq;
+        wq.resize(wt.numel());
+        fixed::quantize_i16(wt.data(), wq.data(), wt.numel(), fw);
+        core::pack_gemm_a_i16(wq.data(), co, kk, entry.packed16);
+      }
+    }
+    // The float-carrier representation is always built: it backs
+    // kBatchedFloat/kPerSample, and the per-call fallback when a call's
+    // activation range leaves no valid requantization shift.
     entry.values.resize(wt.numel());
     for (std::size_t i = 0; i < wt.numel(); ++i) {
       entry.values[i] = fixed::qdq_value(wt.data()[i], frac_bits_);
     }
-    core::pack_gemm_a(entry.values.data(), co, kk, entry.packed);
+    if (conv_path_ != FixedConvPath::kPerSample) {
+      core::pack_gemm_a(entry.values.data(), co, kk, entry.packed);
+    }
     entry.version = version;
     entry.valid = true;
     ++weight_packs_;
@@ -106,10 +178,63 @@ core::Tensor FixedStageExecutor::fixed_conv(core::Conv2d& conv,
   }
 
   core::Tensor out({n, co, ho, wo});
-  if (conv_path_ == FixedConvPath::kBatched) {
-    // Whole-batch lowering + one packed GEMM, scratch from the conv's
-    // recycled arena (shared with the float path's sizing).
-    const std::size_t ncols = cc * static_cast<std::size_t>(n);
+  const std::size_t ncols = cc * static_cast<std::size_t>(n);
+  const std::size_t in_elems = static_cast<std::size_t>(n) * ci * h * w;
+  // Dynamic activation scale for this call: the finest Q(fa) grid whose
+  // rounded values cannot saturate int16 for the observed range (ODE
+  // stages legitimately push activations past +-8 as the Euler sweep
+  // accumulates, so a fixed fa would clip them). The scan is exact and
+  // order-independent, so the scale — and everything downstream — is
+  // deterministic for any ISA or worker count.
+  int fa = -1;
+  if (conv_path_ == FixedConvPath::kBatched && entry.i16_ok) {
+    const float mx = fixed::max_abs(in->data(), in_elems);
+    if (std::isfinite(mx)) {
+      fa = kActFracMax;
+      while (fa > 0 &&
+             static_cast<double>(mx) *
+                     static_cast<double>(std::int64_t{1} << fa) >
+                 32766.5) {
+        --fa;
+      }
+      // Range beyond int16 even at fa=1, or no valid rounding shift at
+      // this range -> float carrier for this call.
+      if (fa < 1 || fa + entry.weight_frac_bits < frac_bits_) fa = -1;
+    }
+  }
+  if (fa >= 0) {
+    // Integer path: quantize the (augmented) input once into int16 at
+    // Q(fa), lower the int16 image, run the integer GEMM into int32
+    // accumulators, and requantize via ONE rounding shift straight onto
+    // the Q(frac_bits) grid — no per-element float qdq afterwards (the
+    // shift output is exactly grid-aligned by construction).
+    const std::size_t col_elems = static_cast<std::size_t>(kk) * ncols;
+    i16_scratch_.resize(in_elems + col_elems);
+    std::int16_t* inq = i16_scratch_.data();
+    std::int16_t* cols = i16_scratch_.data() + in_elems;
+    fixed::quantize_i16(in->data(), inq, in_elems, fa);
+    core::im2col_batched_i16(inq, g, n, cols);
+    acc_scratch_.resize(static_cast<std::size_t>(co) * ncols);
+    core::gemm_i16_tiled_pa(entry.packed16, cols, acc_scratch_.data(),
+                            static_cast<int>(ncols), /*accumulate=*/false);
+    const int shift = fa + entry.weight_frac_bits - frac_bits_;
+    if (n == 1) {
+      fixed::requantize_i32(acc_scratch_.data(), out.data(),
+                            acc_scratch_.size(), shift, frac_bits_);
+    } else {
+      core::ScratchArena& arena = conv.lowering_arena();
+      arena.frame(static_cast<std::size_t>(co) * ncols);
+      float* y = arena.alloc(static_cast<std::size_t>(co) * ncols);
+      fixed::requantize_i32(acc_scratch_.data(), y, acc_scratch_.size(),
+                            shift, frac_bits_);
+      core::permute_channel_major(y, out.data(), n, co, cc, /*to_nchw=*/true);
+    }
+    return out;
+  }
+  if (conv_path_ != FixedConvPath::kPerSample) {
+    // Float-carrier batched path (kBatchedFloat, and the kBatched
+    // fallback when a conv fails the int16 envelope): whole-batch
+    // lowering + one packed GEMM, scratch from the conv's recycled arena.
     core::ScratchArena& arena = conv.lowering_arena();
     if (n == 1) {
       arena.frame(static_cast<std::size_t>(kk) * ncols);
@@ -140,8 +265,9 @@ core::Tensor FixedStageExecutor::fixed_conv(core::Conv2d& conv,
                  /*accumulate=*/false);
     }
   }
-  // Post-GEMM requantization: the accumulator ran at full precision, the
-  // output map re-enters the Q-grid datapath once per element.
+  // Post-GEMM requantization (float carrier only): the accumulator ran at
+  // full precision, the output map re-enters the Q-grid datapath once per
+  // element.
   fixed::qdq_inplace(out, frac_bits_);
   return out;
 }

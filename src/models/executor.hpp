@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/execution.hpp"
+#include "core/gemm_kernels.hpp"
 #include "core/im2col.hpp"
 #include "models/stage.hpp"
 
@@ -61,23 +62,36 @@ class FloatStageExecutor final : public StageExecutor {
 };
 
 /// How FixedStageExecutor lowers its convolutions.
-///  * kBatched (default): the whole micro-batch lowers into one column
-///    matrix and one packed GEMM against Q-quantized weights, requantized
-///    once per output map after the GEMM — the fixed-point analogue of
-///    Conv2d's batched fast path, sharing the conv's recycled arena.
+///  * kBatched (default): the INTEGER path — activations quantize once
+///    into int16 at a per-call dynamic precision (the finest grid that
+///    cannot saturate the observed range), the whole micro-batch lowers
+///    into one int16 column matrix, one packed integer GEMM accumulates
+///    into int32, and a single shift-based requantization (round half
+///    away from zero, the Fixed::operator* semantics) lands the output
+///    back on the Q(frac_bits) grid. Per-conv weight scales keep the
+///    int32 accumulators overflow-free; a conv (or a single call) whose
+///    weights or activation range cannot satisfy the envelope at the
+///    requested frac_bits falls back to the float-carrier arithmetic
+///    below, transparently.
+///  * kBatchedFloat: the PR 6 float-carrier comparator — same batched
+///    lowering and packed GEMM but with qdq'd float operands, float
+///    accumulate and a post-GEMM elementwise requantize. Kept for the
+///    int16-vs-float A/B bench rows and parity tests.
 ///  * kPerSample: the pre-batching comparator — one lowering and one
-///    rank-1-update GEMM per sample, same quantized weights and
-///    requantization. Kept for parity tests and the batched-vs-per-sample
-///    benchmark rows.
-enum class FixedConvPath { kBatched, kPerSample };
+///    rank-1-update GEMM per sample, float carrier. Kept for parity tests
+///    and the batched-vs-per-sample benchmark rows.
+enum class FixedConvPath { kBatched, kBatchedFloat, kPerSample };
 
 /// Q-format fixed-point CPU backend: quantizes the weights AND saturates
 /// every stage-internal feature map to Qx.frac_bits, running convolutions
-/// through its own im2col+GEMM lowering (accumulate in float, requantize
-/// once per output map — the datapath a DSP-block MAC array with a wide
-/// accumulator implements). Quantized packed weights are cached per conv
-/// and keyed by the snapshot weight version, so serving steady-state
-/// requantizes + packs each layer once per hot-swap. ODE stages integrate
+/// through its own im2col+GEMM lowering. The default kBatched path is a
+/// true INTEGER datapath — int16 operands, int32 accumulate, one rounding
+/// shift back to the Q grid (the behaviour of a DSP-block MAC array with
+/// a wide accumulator followed by a rounding stage); see FixedConvPath
+/// for the float-carrier comparators. Quantized packed weights are cached
+/// per conv — keyed by Conv2d::uid() + snapshot weight version, LRU-capped
+/// — so serving steady-state requantizes + packs each layer once per
+/// hot-swap and replica churn cannot leak entries. ODE stages integrate
 /// with explicit Euler steps, mirroring the hardware solver, regardless
 /// of the stage's configured software solver.
 class FixedStageExecutor final : public StageExecutor {
@@ -98,6 +112,25 @@ class FixedStageExecutor final : public StageExecutor {
   /// Times a conv's weights were quantized + packed (cache observable).
   std::uint64_t weight_packs() const { return weight_packs_; }
 
+  /// Live quantized-weight cache entries (telemetry / churn tests).
+  std::size_t weight_cache_size() const { return wcache_.size(); }
+
+  /// Caps the quantized-weight cache; least-recently-used entries are
+  /// evicted past the cap, so replica churn (many short-lived Networks
+  /// through one executor) cannot grow the cache without bound. Default
+  /// 256 entries — far above any single replica's conv count.
+  void set_weight_cache_capacity(std::size_t cap) {
+    wcache_capacity_ = cap > 0 ? cap : 1;
+  }
+
+  /// Most fractional bits a conv call's int16 activations may carry. The
+  /// actual per-call precision fa is dynamic: the largest fa <= this cap
+  /// with max|x| * 2^fa saturation-free, so ODE stages whose Euler sweeps
+  /// grow activations past +-8 keep full int16 range instead of clipping.
+  static constexpr int kActFracMax = 15;
+  /// Most fractional bits a conv's int16 weights may carry.
+  static constexpr int kWeightFracMax = 13;
+
  private:
   /// One building block in fixed-point arithmetic: conv -> requantize ->
   /// BN -> requantize -> ReLU -> conv -> requantize -> BN -> requantize,
@@ -112,17 +145,33 @@ class FixedStageExecutor final : public StageExecutor {
   struct QuantizedWeights {
     std::uint64_t version = 0;
     bool valid = false;
+    std::uint64_t last_use = 0;     // LRU tick for capacity eviction
     std::vector<float> values;      // Q-grid weight values (float carrier)
     core::PackedGemmA packed;       // the same, packed for the tiled GEMM
+    // Integer path: per-conv weight scale + pair-interleaved int16 panels.
+    bool i16_ok = false;            // envelope satisfied at this frac_bits
+    int weight_frac_bits = 0;       // fw: weights are Q(fw) in int16
+    core::PackedGemmA16 packed16;
   };
+
+  /// Cache lookup + LRU touch + capacity eviction for one conv.
+  QuantizedWeights& cache_entry(const core::Conv2d& conv);
 
   std::string name_;
   int frac_bits_;
   FixedConvPath conv_path_;
-  /// Keyed by layer identity: one executor serves one replica, whose
-  /// layers are stable for the executor's lifetime.
-  std::map<const core::Conv2d*, QuantizedWeights> wcache_;
+  /// Keyed by Conv2d::uid() — stable, never-recycled layer identity. A
+  /// raw-pointer key would alias when a new conv is allocated at a
+  /// recycled address with a matching snapshot version (replica churn).
+  std::map<std::uint64_t, QuantizedWeights> wcache_;
+  std::size_t wcache_capacity_ = 256;
+  std::uint64_t use_tick_ = 0;
   std::uint64_t weight_packs_ = 0;
+  // Recycled integer scratch for the int16 conv path (the float path
+  // draws from the conv's ScratchArena; these are the executor-owned
+  // int16/int32 twins, grown once to the high-water mark).
+  std::vector<std::int16_t> i16_scratch_;
+  std::vector<std::int32_t> acc_scratch_;
 };
 
 /// Stage -> executor routing with a default fallback. Executors are not

@@ -134,9 +134,11 @@ std::unique_ptr<InferenceEngine::Worker> InferenceEngine::build_worker(
       break;
     case core::ExecBackend::kFixed:
       worker->fixed_exec = std::make_unique<models::FixedStageExecutor>(
-          cfg.frac_bits, cfg.conv_algo == core::ConvAlgo::kIm2colPerSample
-                             ? models::FixedConvPath::kPerSample
-                             : models::FixedConvPath::kBatched);
+          cfg.frac_bits,
+          cfg.conv_algo == core::ConvAlgo::kIm2colPerSample
+              ? models::FixedConvPath::kPerSample
+              : (cfg.fixed_float_carrier ? models::FixedConvPath::kBatchedFloat
+                                         : models::FixedConvPath::kBatched));
       worker->plan = models::StagePlan(worker->fixed_exec.get());
       break;
     case core::ExecBackend::kFpgaSim: {

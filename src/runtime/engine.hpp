@@ -87,6 +87,10 @@ struct BackendConfig {
   /// kIm2colPerSample restores the pre-batching path (kept for A/B
   /// benchmarking).
   core::ConvAlgo conv_algo = core::ConvAlgo::kIm2col;
+  /// kFixed only: run the batched conv on the PR 6 float-carrier
+  /// arithmetic (qdq'd float operands + float accumulate) instead of the
+  /// default int16 integer GEMM — the bench's int-vs-float A/B lever.
+  bool fixed_float_carrier = false;
 };
 
 struct EngineConfig {

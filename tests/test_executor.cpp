@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "models/executor.hpp"
 #include "models/network.hpp"
@@ -68,21 +69,41 @@ TEST(Executor, FixedBackendWithinQuantizationTolerance) {
   core::Tensor x = random_input(1, rng);
 
   core::Tensor base = net.forward(x);
+
+  // Float-carrier comparator keeps the PR 6 precision: Q11.20 activations,
+  // per-element error ~1e-6, a handful of steps deep.
+  models::FixedStageExecutor q20f(20, models::FixedConvPath::kBatchedFloat);
+  models::StagePlan plan_f(&q20f);
+  core::Tensor carrier_out = net.forward_with(x, plan_f);
+  ASSERT_TRUE(base.same_shape(carrier_out));
+  EXPECT_LT(max_abs_diff(base, carrier_out), 1e-3);
+
+  // The default integer path carries int16 operands: weights on a Q(<=13)
+  // grid (step >= 1.2e-4) and activations on the finest saturation-free
+  // grid, so per-conv noise is ~sqrt(taps) * step / 2 and the 28-conv-deep
+  // ODE sweep accumulates a few 1e-2 — budget 0.1 (~4x measured).
   models::FixedStageExecutor q20(20);
   models::StagePlan plan(&q20);
   core::Tensor fixed_out = net.forward_with(x, plan);
-
   ASSERT_TRUE(base.same_shape(fixed_out));
-  // Q11.20 activations: per-element error ~1e-6, a handful of steps deep.
-  EXPECT_LT(max_abs_diff(base, fixed_out), 1e-3);
+  EXPECT_LT(max_abs_diff(base, fixed_out), 0.1);
+  // The int16 path's extra error over the float carrier is bounded by the
+  // same operand-grid budget — they run the same quantized network.
+  EXPECT_LT(max_abs_diff(carrier_out, fixed_out), 0.1);
 
-  // A much narrower format must sit strictly farther from the reference
-  // (and still in the same ballpark — sanity that it ran the same math).
+  // A much narrower format must sit strictly farther from the reference.
+  // The ordering is guaranteed on the float carrier, where the Q(frac)
+  // output grid is the ONLY noise source; on the int16 path the operand
+  // grids (fw <= 13) dominate at fine frac_bits, so q8-vs-q20 ordering is
+  // checked there only in the ballpark sense.
+  models::FixedStageExecutor q8f(8, models::FixedConvPath::kBatchedFloat);
+  models::StagePlan coarse_f(&q8f);
+  core::Tensor coarse_carrier = net.forward_with(x, coarse_f);
+  EXPECT_GT(max_abs_diff(base, coarse_carrier),
+            max_abs_diff(base, carrier_out));
   models::FixedStageExecutor q8(8);
   models::StagePlan coarse(&q8);
   core::Tensor coarse_out = net.forward_with(x, coarse);
-  EXPECT_GT(max_abs_diff(base, coarse_out),
-            max_abs_diff(base, fixed_out));
   EXPECT_LT(max_abs_diff(base, coarse_out), 1.0);
 }
 
@@ -181,10 +202,16 @@ TEST(Executor, BackendsAgreeOnBatchedInputAcrossConvAlgos) {
   EXPECT_LT(max_abs_diff(batched, direct), 1e-4);
 
   net.set_conv_algo(core::ConvAlgo::kIm2col);
+  models::FixedStageExecutor q20f(20, models::FixedConvPath::kBatchedFloat);
+  models::StagePlan carrier_plan(&q20f);
+  core::Tensor carrier_out = net.forward_with(x, carrier_plan);
+  EXPECT_LT(max_abs_diff(batched, carrier_out), 1e-3);
+  // The int16 integer path trades operand width for speed; its budget is
+  // the int16-grid bound (see FixedBackendWithinQuantizationTolerance).
   models::FixedStageExecutor q20(20);
   models::StagePlan fixed_plan(&q20);
   core::Tensor fixed_out = net.forward_with(x, fixed_plan);
-  EXPECT_LT(max_abs_diff(batched, fixed_out), 1e-3);
+  EXPECT_LT(max_abs_diff(batched, fixed_out), 0.1);
 
   // The accelerator normalizes per image, so its batch output is not
   // comparable to float batch statistics — the invariant to guard instead
@@ -249,34 +276,45 @@ TEST(Executor, ModeledCostHookReplacesMeasuredSeconds) {
 }
 
 TEST(Executor, FixedBatchedMatchesPerSampleLowering) {
-  // The batched fixed conv (whole-batch im2col + one packed GEMM) against
-  // the per-sample comparator: same quantized weights, same requantization
-  // points, only the lowering and the float summation order differ — so
-  // outputs agree to well under the Q20 parity budget.
+  // The batched FLOAT-CARRIER fixed conv (whole-batch im2col + one packed
+  // GEMM) against the per-sample comparator: same quantized weights, same
+  // requantization points, only the lowering and the float summation
+  // order differ — so outputs agree to well under the Q20 parity budget.
   util::Rng rng(41);
   models::Network net(models::make_spec(Arch::kROdeNet3, 14, tiny_width()));
   net.init(rng);
   net.set_training(false);
   core::Tensor x = random_input(4, rng);
 
-  models::FixedStageExecutor batched(20, models::FixedConvPath::kBatched);
+  models::FixedStageExecutor batched_f(20,
+                                       models::FixedConvPath::kBatchedFloat);
   models::FixedStageExecutor per_sample(20,
                                         models::FixedConvPath::kPerSample);
-  EXPECT_EQ(batched.conv_path(), models::FixedConvPath::kBatched);
+  EXPECT_EQ(batched_f.conv_path(), models::FixedConvPath::kBatchedFloat);
   EXPECT_EQ(per_sample.conv_path(), models::FixedConvPath::kPerSample);
 
-  models::StagePlan plan_b(&batched);
+  models::StagePlan plan_f(&batched_f);
   models::StagePlan plan_p(&per_sample);
-  core::Tensor out_b = net.forward_with(x, plan_b);
+  core::Tensor out_f = net.forward_with(x, plan_f);
   core::Tensor out_p = net.forward_with(x, plan_p);
 
-  ASSERT_TRUE(out_b.same_shape(out_p));
-  EXPECT_LT(max_abs_diff(out_b, out_p), 1e-3);
+  ASSERT_TRUE(out_f.same_shape(out_p));
+  EXPECT_LT(max_abs_diff(out_f, out_p), 1e-3);
 
   // And both still sit within quantization tolerance of float.
   core::Tensor base = net.forward(x);
-  EXPECT_LT(max_abs_diff(base, out_b), 1e-3);
+  EXPECT_LT(max_abs_diff(base, out_f), 1e-3);
   EXPECT_LT(max_abs_diff(base, out_p), 1e-3);
+
+  // The default int16 integer path runs the same quantized network on
+  // narrower operand grids — it agrees within the int16 budget (see
+  // FixedBackendWithinQuantizationTolerance) with both comparators.
+  models::FixedStageExecutor batched_i(20, models::FixedConvPath::kBatched);
+  EXPECT_EQ(batched_i.conv_path(), models::FixedConvPath::kBatched);
+  models::StagePlan plan_i(&batched_i);
+  core::Tensor out_i = net.forward_with(x, plan_i);
+  EXPECT_LT(max_abs_diff(out_i, out_f), 0.1);
+  EXPECT_LT(max_abs_diff(base, out_i), 0.1);
 }
 
 TEST(Executor, FixedWeightCacheKeyedBySnapshotVersion) {
@@ -308,4 +346,67 @@ TEST(Executor, FixedWeightCacheKeyedBySnapshotVersion) {
   net.apply_snapshot(*net.export_snapshot());
   (void)net.forward_with(x, plan);
   EXPECT_GT(fixed.weight_packs(), packs_warm);
+}
+
+TEST(Executor, WeightCacheSurvivesReplicaChurnWithoutAliasing) {
+  // Regression: the cache used to be keyed by raw Conv2d*, so a replica
+  // torn down and a new one allocated at a recycled address — with a
+  // matching weight version — would silently serve the OLD replica's
+  // quantized weights. Keys are now Conv2d::uid(), a process-global
+  // never-recycled identity, so every fresh network quantizes its own
+  // weights and stale entries age out of the LRU instead of aliasing.
+  util::Rng rng(43);
+  models::FixedStageExecutor fixed(20);
+  models::StagePlan plan(&fixed);
+  core::Tensor x = random_input(1, rng);
+
+  core::Tensor first_out;
+  for (int round = 0; round < 4; ++round) {
+    // Same seed every round: identical weights, and the version stamp is
+    // forced to the SAME value — exactly the aliasing trap. Heap reuse
+    // across rounds makes recycled addresses likely.
+    util::Rng net_rng(99);
+    auto net = std::make_unique<models::Network>(
+        models::make_spec(Arch::kROdeNet3, 14, tiny_width()));
+    net->init(net_rng);
+    net->set_training(false);
+    net->set_weight_version(7);
+
+    const std::uint64_t packs_before = fixed.weight_packs();
+    core::Tensor out = net->forward_with(x, plan);
+    // A fresh replica must repack: a cache hit here could only come from
+    // a stale aliased entry.
+    EXPECT_GT(fixed.weight_packs(), packs_before) << "round " << round;
+    if (round == 0) {
+      first_out = std::move(out);
+    } else {
+      ASSERT_TRUE(first_out.same_shape(out));
+      for (std::size_t i = 0; i < out.numel(); ++i) {
+        ASSERT_EQ(first_out.data()[i], out.data()[i]) << "round " << round;
+      }
+    }
+  }
+  // Dead replicas' entries are retained only up to the LRU cap.
+  EXPECT_LE(fixed.weight_cache_size(), std::size_t{256});
+}
+
+TEST(Executor, WeightCacheCapacityBoundsChurn) {
+  // With a tiny capacity, many short-lived replicas cannot grow the cache
+  // beyond the cap (the pointer-keyed map used to grow without bound —
+  // one leaked entry per dead conv).
+  util::Rng rng(44);
+  models::FixedStageExecutor fixed(20);
+  fixed.set_weight_cache_capacity(3);
+  models::StagePlan plan(&fixed);
+  core::Tensor x = random_input(1, rng);
+
+  for (int round = 0; round < 5; ++round) {
+    util::Rng net_rng(100 + round);
+    models::Network net(models::make_spec(Arch::kROdeNet3, 14, tiny_width()));
+    net.init(net_rng);
+    net.set_training(false);
+    net.set_weight_version(1);
+    (void)net.forward_with(x, plan);
+    EXPECT_LE(fixed.weight_cache_size(), std::size_t{3}) << "round " << round;
+  }
 }

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "fixed/fixed_math.hpp"
 #include "fixed/fixed_tensor.hpp"
@@ -187,4 +189,106 @@ TEST(FixedTensor, SaturationCounted) {
   EXPECT_EQ(e.saturated, 1u);
   EXPECT_THROW(quantize(t, 0), odenet::Error);
   EXPECT_THROW(quantize(t, 31), odenet::Error);
+}
+
+TEST(QFormat, FromDoubleSpecialsSaturateWithoutUndefinedCasts) {
+  // Regression: the scaled double used to be cast to int64 BEFORE the
+  // saturation clamp, which is undefined behaviour for out-of-range,
+  // inf and NaN inputs. The clamp now happens in the double domain.
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(Q20::from_double(1e300).raw(), Q20::from_double(1e9).raw());
+  EXPECT_EQ(Q20::from_double(inf).raw(), Q20::from_double(1e9).raw());
+  EXPECT_EQ(Q20::from_double(-1e300).raw(), Q20::from_double(-1e9).raw());
+  EXPECT_EQ(Q20::from_double(-inf).raw(), Q20::from_double(-1e9).raw());
+  EXPECT_EQ(Q20::from_double(nan).raw(), 0);
+  EXPECT_NEAR(Q20::from_double(inf).to_double(), Q20::max_value(), 1e-6);
+  EXPECT_NEAR(Q20::from_double(-inf).to_double(), Q20::min_value(), 1e-6);
+  // The 16-bit ablation formats ride the same template.
+  EXPECT_EQ(Q12_16bit::from_double(inf).raw(),
+            std::numeric_limits<std::int16_t>::max());
+  EXPECT_EQ(Q12_16bit::from_double(-inf).raw(),
+            std::numeric_limits<std::int16_t>::min());
+  EXPECT_EQ(Q12_16bit::from_double(nan).raw(), 0);
+}
+
+TEST(FixedTensor, QuantizeSpecialsSaturateWithoutUndefinedCasts) {
+  // Same regression for the tensor-level quantizer: +-huge and +-inf pin
+  // to the format rails, NaN lands on zero — no UB float->int casts.
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  odenet::core::Tensor t({6});
+  t.at1(0) = inf;
+  t.at1(1) = -inf;
+  t.at1(2) = nan;
+  t.at1(3) = 1e30f;
+  t.at1(4) = -1e30f;
+  t.at1(5) = 0.5f;
+  FixedTensor q = quantize(t, 20);
+  odenet::core::Tensor back = dequantize(q);
+  EXPECT_NEAR(back.at1(0), 2048.0f, 0.01);
+  EXPECT_NEAR(back.at1(1), -2048.0f, 0.01);
+  EXPECT_EQ(back.at1(2), 0.0f);
+  EXPECT_NEAR(back.at1(3), 2048.0f, 0.01);
+  EXPECT_NEAR(back.at1(4), -2048.0f, 0.01);
+  EXPECT_NEAR(back.at1(5), 0.5f, 1e-5);
+
+  // And the in-place qdq (the SIMD-dispatched serving path) agrees.
+  odenet::core::Tensor t2({6});
+  for (int i = 0; i < 6; ++i) t2.at1(i) = t.at1(i);
+  qdq_inplace(t2, 20);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(t2.at1(i), back.at1(i)) << "qdq vs quantize at " << i;
+  }
+}
+
+TEST(FixedTensor, ZeroTensorReportsZeroSnrNotInfinity) {
+  // Regression: all-zero signal with zero noise used to report +inf dB
+  // (0/0 through the log); the report now pins that case to 0 dB.
+  odenet::core::Tensor t({16});
+  for (std::size_t i = 0; i < t.numel(); ++i) t.data()[i] = 0.0f;
+  const auto e = measure_quantization(t, 12);
+  EXPECT_EQ(e.snr_db, 0.0);
+  EXPECT_EQ(e.rmse, 0.0);
+  EXPECT_EQ(e.max_abs_error, 0.0);
+  // A nonzero exactly-representable tensor still reports +inf (signal
+  // with literally zero noise), which is the honest answer there.
+  odenet::core::Tensor ones({4});
+  for (std::size_t i = 0; i < ones.numel(); ++i) ones.data()[i] = 1.0f;
+  EXPECT_TRUE(std::isinf(measure_quantization(ones, 12).snr_db));
+}
+
+TEST(FixedTensor, QuantizeI16HandlesSpecialsAndRails) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float src[6] = {inf, -inf, nan, 100.0f, -100.0f, 1.0f};
+  std::int16_t q[6];
+  quantize_i16(src, q, 6, 12);
+  EXPECT_EQ(q[0], 32767);
+  EXPECT_EQ(q[1], -32768);
+  EXPECT_EQ(q[2], 0);
+  EXPECT_EQ(q[3], 32767);   // 100 * 4096 saturates
+  EXPECT_EQ(q[4], -32768);
+  EXPECT_EQ(q[5], 4096);
+}
+
+TEST(FixedTensor, RequantizeI32RoundsHalfAwayFromZero) {
+  // The rounding shift is the Fixed::operator* semantics: add half, shift,
+  // negate symmetrically — NOT truncate-toward-zero and NOT half-to-even.
+  const std::int32_t acc[8] = {24, -24, 23, -23, 8, -8, 0, 40};
+  float dst[8];
+  requantize_i32(acc, dst, 8, /*shift=*/4, /*out_frac_bits=*/4);
+  // raw: 24/16=1.5 -> 2, 23/16 -> 1, 8/16=0.5 -> 1, 40/16=2.5 -> 3.
+  EXPECT_EQ(dst[0], 2.0f / 16.0f);
+  EXPECT_EQ(dst[1], -2.0f / 16.0f);
+  EXPECT_EQ(dst[2], 1.0f / 16.0f);
+  EXPECT_EQ(dst[3], -1.0f / 16.0f);
+  EXPECT_EQ(dst[4], 1.0f / 16.0f);
+  EXPECT_EQ(dst[5], -1.0f / 16.0f);
+  EXPECT_EQ(dst[6], 0.0f);
+  EXPECT_EQ(dst[7], 3.0f / 16.0f);
+  // shift == 0: the accumulator is already on the output grid.
+  requantize_i32(acc, dst, 8, 0, 4);
+  EXPECT_EQ(dst[0], 24.0f / 16.0f);
+  EXPECT_EQ(dst[7], 40.0f / 16.0f);
 }

@@ -213,25 +213,32 @@ TEST(InferenceEngine, BackendParityWithinQuantizationTolerance) {
   BackendConfig float_ref;
   float_ref.backend = core::ExecBackend::kFloat;
   float_ref.per_image_batch_norm = true;  // align with the PL's BN semantics
-  BackendConfig fixed_cpu;
+  BackendConfig fixed_cpu;  // default: int16 integer datapath
   fixed_cpu.backend = core::ExecBackend::kFixed;
   fixed_cpu.per_image_batch_norm = true;
+  BackendConfig fixed_carrier;  // float-carrier comparator, PR 6 precision
+  fixed_carrier.backend = core::ExecBackend::kFixed;
+  fixed_carrier.per_image_batch_norm = true;
+  fixed_carrier.fixed_float_carrier = true;
   BackendConfig fpga_sim;
   fpga_sim.backend = core::ExecBackend::kFpgaSim;  // offloads every ODE stage
-  cfg.backends = {float_ref, fixed_cpu, fpga_sim};
+  cfg.backends = {float_ref, fixed_cpu, fpga_sim, fixed_carrier};
   InferenceEngine engine(net, cfg);
-  ASSERT_EQ(engine.backend_count(), 3u);
+  ASSERT_EQ(engine.backend_count(), 4u);
 
   util::Rng rng(77);
   core::Tensor image = random_image(rng);
   InferenceResult rf = engine.submit(image, 0).get();
   InferenceResult rq = engine.submit(image, 1).get();
   InferenceResult ra = engine.submit(image, 2).get();
+  InferenceResult rc = engine.submit(image, 3).get();
 
-  EXPECT_LT(max_abs_diff(rf.logits, rq.logits), 1e-3);   // Q11.20 activations
+  EXPECT_LT(max_abs_diff(rf.logits, rc.logits), 1e-3);   // Q11.20 activations
+  EXPECT_LT(max_abs_diff(rf.logits, rq.logits), 0.1);    // int16 operand grid
   EXPECT_LT(max_abs_diff(rf.logits, ra.logits), 0.15);   // full PL datapath
   EXPECT_EQ(rf.pl_cycles, 0u);
   EXPECT_EQ(rq.pl_cycles, 0u);
+  EXPECT_EQ(rc.pl_cycles, 0u);
   EXPECT_GT(ra.pl_cycles, 0u);
 }
 

@@ -56,6 +56,7 @@ HIGHER_BETTER_RELATIVE = {
     "batched_fwd_speedup_b16",
     "batched_bwd_speedup_b16",
     "fixed_conv_speedup",
+    "fixed_int_speedup",
     "shed_goodput_ratio",
 }
 LOWER_BETTER_ABSOLUTE = {
@@ -73,7 +74,10 @@ LOWER_BETTER_RELATIVE = set()
 # core-starved runner producer and worker time-slice one core and the
 # verdict flaps 50/50 with no code change, so they stay in the artifacts
 # but out of the gate (best_batched_images_per_sec numerically gates the
-# same regression).
+# same regression). fixed_int_wins is the same kind of verdict — a ~1.05x
+# margin that a sustained runner slowdown can push under 1.0 with no code
+# change — so the int16-vs-float-carrier regression is gated numerically
+# through fixed_int_speedup's 20% band instead.
 BOOLEAN_GATES = {
     "batched_conv_wins",
     "routing_wins",
