@@ -1,0 +1,134 @@
+// Socket front-end of the engine cluster.
+//
+// A small TCP server that speaks the cluster/protocol.hpp frames:
+// clients connect, pipeline length-prefixed requests, and read back
+// responses correlated by request id. One EngineCluster behind it does
+// the placement (consistent hashing + spill-then-shed); the front-end's
+// only job is framing, decode, submit, and reply.
+//
+// Threading is deliberately simple — thread-per-connection, split into
+// a reader and a writer per socket:
+//   - the reader parses frames and calls EngineCluster::submit (which
+//     never blocks on a full queue: admission control fails the future
+//     fail-fast), then hands {id, future} to the connection's writer
+//     queue IN ARRIVAL ORDER;
+//   - the writer resolves futures in that same order and writes the
+//     response frames. Because micro-batching reorders completions
+//     across backends, responses for a pipelined client may complete
+//     out of submission order internally — the writer still emits one
+//     response per request and the id tells the client which one.
+// A protocol error (bad magic, oversized or truncated frame) closes the
+// connection — length-prefixed framing cannot resynchronize after a
+// corrupt prefix — after attempting a best-effort kError response.
+//
+// FrontendClient is the matching blocking client used by the tests, the
+// bench's load generator, and examples/cluster_serving.cpp.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/protocol.hpp"
+
+namespace odenet::cluster {
+
+struct FrontendConfig {
+  std::string host = "127.0.0.1";
+  /// 0 = pick an ephemeral port (read it back with port() after start()).
+  std::uint16_t port = 0;
+  int backlog = 16;
+};
+
+struct FrontendCounters {
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t responses = 0;
+  /// Malformed frames (bad magic, truncation, oversized prefix). Each one
+  /// also closed its connection.
+  std::uint64_t protocol_errors = 0;
+};
+
+class SocketFrontend {
+ public:
+  /// The cluster must outlive the frontend; stop() the frontend before
+  /// shutting the cluster down.
+  SocketFrontend(EngineCluster& cluster, FrontendConfig cfg = {});
+  ~SocketFrontend();
+
+  SocketFrontend(const SocketFrontend&) = delete;
+  SocketFrontend& operator=(const SocketFrontend&) = delete;
+
+  /// Binds, listens, and starts the accept loop. Throws odenet::Error on
+  /// bind/listen failure (e.g. port in use).
+  void start();
+  /// Stops accepting, closes every connection, joins all threads.
+  /// Idempotent; the destructor calls it. In-flight requests still
+  /// resolve inside the cluster — only their responses are dropped.
+  void stop();
+
+  /// The bound port (the kernel's pick when config.port was 0).
+  std::uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  FrontendCounters counters() const;
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void reader_loop(Connection& conn);
+  void writer_loop(Connection& conn);
+  void close_all_connections();
+
+  EngineCluster& cluster_;
+  FrontendConfig cfg_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+
+  std::mutex conns_mutex_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> responses_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+};
+
+/// Blocking client for tests/bench/examples: connect, send frames, read
+/// frames. Not thread-safe — one thread per client (or external locking);
+/// the server side supports many concurrent clients instead.
+class FrontendClient {
+ public:
+  FrontendClient(const std::string& host, std::uint16_t port);
+  ~FrontendClient();
+
+  FrontendClient(const FrontendClient&) = delete;
+  FrontendClient& operator=(const FrontendClient&) = delete;
+
+  /// Encodes and writes one request frame.
+  void send(const WireRequest& req);
+  /// Writes raw bytes as-is — the protocol-abuse lever for tests
+  /// (truncated frames, bad magics, oversized prefixes).
+  void send_raw(const void* data, std::size_t size);
+  /// Blocks for one response frame. Throws odenet::Error when the server
+  /// closes the connection or the frame is malformed.
+  WireResponse recv();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace odenet::cluster

@@ -36,11 +36,13 @@ BatchQueue::BatchQueue(int max_batch, std::chrono::microseconds max_delay,
                                                   << " us");
 }
 
-bool BatchQueue::admit_locked(PendingRequest& req, std::size_t lane) {
+bool BatchQueue::admit_locked(PendingRequest& req, std::size_t lane,
+                              bool fail_on_reject) {
   const std::size_t budget = limits_.per_priority[lane];
   if (budget > 0 && class_depth_[lane] >= budget) {
     // A class at its own budget sheds fail-fast; evicting lower-class
     // work would not free this class's budget, so no eviction here.
+    if (!fail_on_reject) return false;  // spill probe: leave req intact
     rejected_[lane] += 1;
     std::ostringstream os;
     os << "queue full: " << priority_name(req.cls.priority)
@@ -82,6 +84,7 @@ bool BatchQueue::admit_locked(PendingRequest& req, std::size_t lane) {
       }
     }
   }
+  if (!fail_on_reject) return false;  // spill probe: leave req intact
   rejected_[lane] += 1;
   std::ostringstream os;
   os << "queue full: depth bound " << limits_.max_queue_depth
@@ -91,7 +94,7 @@ bool BatchQueue::admit_locked(PendingRequest& req, std::size_t lane) {
   return false;
 }
 
-PushOutcome BatchQueue::push(PendingRequest&& req) {
+PushOutcome BatchQueue::push_impl(PendingRequest& req, bool fail_on_reject) {
   const std::size_t lane = lane_index(req.cls.priority);
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -101,7 +104,9 @@ PushOutcome BatchQueue::push(PendingRequest&& req) {
       // queue "full" of dead work would shed traffic it could serve.
       reap_expired_locked(Clock::now());
     }
-    if (!admit_locked(req, lane)) return PushOutcome::kRejected;
+    if (!admit_locked(req, lane, fail_on_reject)) {
+      return PushOutcome::kRejected;
+    }
     req.enqueued_at = Clock::now();
     lanes_[lane].push_back(std::move(req));
     ++class_depth_[lane];
@@ -109,6 +114,14 @@ PushOutcome BatchQueue::push(PendingRequest&& req) {
   }
   cv_.notify_one();
   return PushOutcome::kAccepted;
+}
+
+PushOutcome BatchQueue::push(PendingRequest&& req) {
+  return push_impl(req, /*fail_on_reject=*/true);
+}
+
+PushOutcome BatchQueue::try_push(PendingRequest& req) {
+  return push_impl(req, /*fail_on_reject=*/false);
 }
 
 void BatchQueue::reap_expired_locked(Clock::time_point now) {
@@ -165,9 +178,17 @@ void BatchQueue::promote_aged_locked(Clock::time_point now) {
 }
 
 Clock::time_point BatchQueue::oldest_enqueue_locked() const {
+  // Full scan, not lane fronts: each lane is FIFO for its own arrivals,
+  // but promotion appends OLDER requests from the lane below to the
+  // tail, so the oldest request of a lane is not necessarily its front.
+  // Taking only fronts used to let a promoted request vanish from the
+  // flush timer — promotion (meant to advance it) could then postpone
+  // its dispatch by up to a full max_delay behind a younger front.
   Clock::time_point oldest = Clock::time_point::max();
   for (const auto& lane : lanes_) {
-    if (!lane.empty()) oldest = std::min(oldest, lane.front().enqueued_at);
+    for (const auto& req : lane) {
+      oldest = std::min(oldest, req.enqueued_at);
+    }
   }
   return oldest;
 }
@@ -178,8 +199,10 @@ Clock::time_point BatchQueue::flush_at_locked() const {
       preempt_delay_ < max_delay_) {
     const auto& high = lanes_[kPriorityLevels - 1];
     // front() is the oldest high-class ARRIVAL; requests promoted into
-    // the lane sit at its tail, but they are older than max_delay by
-    // definition, so the un-shrunk term already flushes them.
+    // the lane sit at its tail, but they are older than the promotion
+    // threshold (>= max_delay) by definition, so the un-shrunk term —
+    // whose oldest_enqueue_locked() scans whole lanes, tails included —
+    // already flushes them immediately.
     if (!high.empty()) {
       flush = std::min(flush, high.front().enqueued_at + preempt_delay_);
     }

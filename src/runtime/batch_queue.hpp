@@ -108,6 +108,15 @@ class BatchQueue {
   /// the promise.
   PushOutcome push(PendingRequest&& req);
 
+  /// Spill probe: same admission control as push() — including eviction
+  /// of a lower-lane waiter, which ADMITS the arrival — but on kRejected
+  /// the request is left intact (promise unfailed, image still owned by
+  /// the caller) and NOT counted against this queue's rejected ledger,
+  /// so a cluster-level router can offer it to the next-best shard
+  /// before anyone fails it. kAccepted consumes the request exactly like
+  /// push(); kClosed leaves it with the caller.
+  PushOutcome try_push(PendingRequest& req);
+
   /// Blocks until a batch is ready per the flush rule, then moves up to
   /// max_batch requests into `out` (cleared first), highest priority
   /// first. Returns false only when the queue is closed *and* empty — the
@@ -145,9 +154,16 @@ class BatchQueue {
  private:
   /// Admission control for one arrival landing in `lane`. Returns true
   /// when the request may enqueue (possibly after evicting a lower-class
-  /// waiter), false when it was rejected (promise failed, counted).
-  /// Caller holds mutex_.
-  bool admit_locked(PendingRequest& req, std::size_t lane);
+  /// waiter). On false the request was rejected: with fail_on_reject the
+  /// promise is failed with QueueFull and the rejection counted; without
+  /// it (the try_push spill probe) the request is left untouched so the
+  /// caller can offer it elsewhere. Caller holds mutex_.
+  bool admit_locked(PendingRequest& req, std::size_t lane,
+                    bool fail_on_reject);
+  /// Shared body of push()/try_push(). Caller owns the request; it is
+  /// consumed only on kAccepted (and failed on kRejected only when
+  /// fail_on_reject is set).
+  PushOutcome push_impl(PendingRequest& req, bool fail_on_reject);
   /// Fails and removes every request whose deadline has passed. Promises
   /// are completed under the lock — std::promise::set_exception only
   /// stores and wakes, it runs no user code. Caller holds mutex_.
@@ -155,8 +171,10 @@ class BatchQueue {
   /// Moves requests queued longer than promote_after_factor×max_delay one
   /// lane up (no-op when aging is disabled). Caller holds mutex_.
   void promote_aged_locked(Clock::time_point now);
-  /// Earliest enqueue time across all classes. Caller holds mutex_;
-  /// requires size_ > 0.
+  /// Earliest enqueue time across all classes — a whole-lane scan, since
+  /// promotion appends older requests to the TAIL of the lane above and
+  /// lane fronts alone would miss them. Caller holds mutex_; requires
+  /// size_ > 0.
   Clock::time_point oldest_enqueue_locked() const;
   /// When the batch being formed must dispatch: oldest request + max_delay,
   /// shrunk to oldest HIGH request + preempt_delay while preemption is on

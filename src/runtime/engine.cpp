@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <thread>
 
 #include "core/softmax.hpp"
 #include "sched/latency_model.hpp"
@@ -73,8 +74,12 @@ InferenceEngine::InferenceEngine(models::ModelSnapshot::Ptr snapshot,
     partition.parallelism = bc.parallelism;
     partition.pl_clock_mhz = bc.pl_clock_mhz;
     partition.axi = bc.axi;
+    // Simulated device occupancy bills the model too: it holds the
+    // worker exactly like compute, so routing estimates must see it (the
+    // amortization over larger batches is the measured EWMA's job).
     backend->modeled_request_seconds =
-        latency_model.batch_seconds(spec_, partition, 1) /
+        (latency_model.batch_seconds(spec_, partition, 1) +
+         std::chrono::duration<double>(bc.sim_batch_latency).count()) /
         static_cast<double>(bc.workers);
     for (int w = 0; w < bc.workers; ++w) {
       backend->workers.push_back(build_worker(*backend, *snapshot_));
@@ -171,7 +176,8 @@ std::future<InferenceResult> InferenceEngine::failed_future(
   return future;
 }
 
-std::size_t InferenceEngine::pick_backend(const SubmitOptions& opts) {
+std::size_t InferenceEngine::pick_backend(const SubmitOptions& opts,
+                                          bool count_routed) {
   if (opts.backend != kAnyBackend) {
     ODENET_CHECK(opts.backend < backends_.size(),
                  "backend index " << opts.backend << " out of range (have "
@@ -198,22 +204,22 @@ std::size_t InferenceEngine::pick_backend(const SubmitOptions& opts) {
     loads.push_back(load);
   }
   const std::size_t index = router_->route(loads);
-  backends_[index]->routed.fetch_add(1, std::memory_order_relaxed);
+  if (count_routed) {
+    backends_[index]->routed.fetch_add(1, std::memory_order_relaxed);
+  }
   return index;
 }
 
-std::future<InferenceResult> InferenceEngine::submit(core::Tensor image,
-                                                     SubmitOptions opts) {
-  // A malformed image fails its own future instead of throwing (and
-  // instead of poisoning the micro-batch it would have ridden in): shape
-  // mistakes are per-request data errors, not engine-state errors.
+bool InferenceEngine::normalize_image(core::Tensor& image,
+                                      std::string* error) const {
   const auto& w = spec_.width;
   if (image.ndim() == 4) {
     if (image.dim(0) != 1) {
       std::ostringstream os;
       os << "submit() takes one image, got batch of " << image.dim(0)
          << "; use submit_batch()";
-      return failed_future(os.str());
+      *error = os.str();
+      return false;
     }
     image = image.reshaped({image.dim(1), image.dim(2), image.dim(3)});
   }
@@ -222,8 +228,19 @@ std::future<InferenceResult> InferenceEngine::submit(core::Tensor image,
     std::ostringstream os;
     os << "expected image [" << w.input_channels << "," << w.input_size
        << "," << w.input_size << "], got " << image.shape_str();
-    return failed_future(os.str());
+    *error = os.str();
+    return false;
   }
+  return true;
+}
+
+std::future<InferenceResult> InferenceEngine::submit(core::Tensor image,
+                                                     SubmitOptions opts) {
+  // A malformed image fails its own future instead of throwing (and
+  // instead of poisoning the micro-batch it would have ridden in): shape
+  // mistakes are per-request data errors, not engine-state errors.
+  std::string error;
+  if (!normalize_image(image, &error)) return failed_future(error);
 
   const std::size_t index = pick_backend(opts);
   PendingRequest req;
@@ -248,6 +265,42 @@ std::future<InferenceResult> InferenceEngine::submit(
   SubmitOptions opts;
   opts.backend = backend_index;
   return submit(std::move(image), opts);
+}
+
+bool InferenceEngine::try_submit(core::Tensor& image,
+                                 const SubmitOptions& opts,
+                                 std::future<InferenceResult>& out) {
+  std::string error;
+  if (!normalize_image(image, &error)) {
+    // Terminal per-request failure: spilling a malformed image to
+    // another engine cannot fix it, so this engine owns the outcome.
+    out = failed_future(error);
+    return true;
+  }
+  const std::size_t index = pick_backend(opts, /*count_routed=*/false);
+  PendingRequest req;
+  req.image = std::move(image);
+  req.cls.priority = opts.priority;
+  req.cls.evictable = opts.evictable;
+  if (opts.deadline.count() > 0) {
+    req.cls.deadline = Clock::now() + opts.deadline;
+  }
+  std::future<InferenceResult> future = req.promise.get_future();
+  const PushOutcome outcome = backends_[index]->queue->try_push(req);
+  ODENET_CHECK(outcome != PushOutcome::kClosed,
+               "try_submit() after engine shutdown");
+  if (outcome == PushOutcome::kRejected) {
+    // Full queue, nobody failed: hand the image back so the caller can
+    // offer the request to the next-best shard (the local future dies
+    // with its promise, unobserved).
+    image = std::move(req.image);
+    return false;
+  }
+  if (opts.backend == kAnyBackend) {
+    backends_[index]->routed.fetch_add(1, std::memory_order_relaxed);
+  }
+  out = std::move(future);
+  return true;
 }
 
 std::vector<std::future<InferenceResult>> InferenceEngine::submit_batch(
@@ -352,6 +405,11 @@ std::uint64_t InferenceEngine::reload(models::ModelSnapshot::Ptr snapshot) {
   // would briefly misroute. The router falls back to the analytical model
   // until fresh measurements arrive, then re-warms.
   for (auto& b : backends_) b->ewma.reset();
+  // And the hysteresis anchor with them: the sticky pick was justified by
+  // the measurements just discarded, and a stale anchor would keep
+  // biasing kMeasuredLatency toward the pre-publish backend through the
+  // hysteresis band while the EWMAs re-warm.
+  router_->reset_anchor();
   return version;
 }
 
@@ -382,6 +440,12 @@ void InferenceEngine::serve_batch(Backend& backend, Worker& worker,
     util::Stopwatch watch;
     core::Tensor logits = worker.net->forward_with(x, worker.plan,
                                                    &run_stats);
+    if (backend.cfg.sim_batch_latency.count() > 0) {
+      // Simulated device occupancy: inside the timed window on purpose,
+      // so busy_seconds and the measured EWMA reflect the emulated
+      // fixed-latency accelerator exactly like real compute.
+      std::this_thread::sleep_for(backend.cfg.sim_batch_latency);
+    }
     const double compute_seconds = watch.seconds();
     // Completion callback into the measured-latency feedback loop: fold
     // this batch's observed service time into the backend's EWMA.
@@ -467,6 +531,35 @@ std::size_t InferenceEngine::queue_depth(std::size_t index) const {
 int InferenceEngine::in_flight(std::size_t index) const {
   ODENET_CHECK(index < backends_.size(), "backend index out of range");
   return backends_[index]->in_flight.load(std::memory_order_relaxed);
+}
+
+BackendLoad InferenceEngine::aggregate_load() const {
+  BackendLoad load;
+  double modeled_rate = 0.0;
+  double measured_rate = 0.0;
+  bool any_warm = false;
+  for (const auto& b : backends_) {
+    load.queue_depth += b->queue->size();
+    load.in_flight += b->in_flight.load(std::memory_order_relaxed);
+    if (b->modeled_request_seconds > 0.0) {
+      modeled_rate += 1.0 / b->modeled_request_seconds;
+    }
+    double measured = b->ewma.seconds_per_request() /
+                      static_cast<double>(b->cfg.workers);
+    if (measured > 0.0) {
+      any_warm = true;
+    } else {
+      measured = b->modeled_request_seconds;  // cold backend: model stands in
+    }
+    if (measured > 0.0) measured_rate += 1.0 / measured;
+  }
+  load.modeled_request_seconds =
+      modeled_rate > 0.0 ? 1.0 / modeled_rate : 0.0;
+  // All-cold reports 0 so a cluster Router applies its own modeled
+  // fallback, exactly like a cold single backend.
+  load.measured_request_seconds =
+      (any_warm && measured_rate > 0.0) ? 1.0 / measured_rate : 0.0;
+  return load;
 }
 
 std::size_t InferenceEngine::scratch_arenas(std::size_t index) const {

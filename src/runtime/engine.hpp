@@ -91,6 +91,15 @@ struct BackendConfig {
   /// arithmetic (qdq'd float operands + float accumulate) instead of the
   /// default int16 integer GEMM — the bench's int-vs-float A/B lever.
   bool fixed_float_carrier = false;
+  /// Simulated device occupancy: each served micro-batch additionally
+  /// holds its worker for this long (a sleep inside the timed service
+  /// window, so measured EWMAs and busy_seconds see it). Emulates a
+  /// fixed-latency accelerator round-trip, making a backend's capacity
+  /// wall-clock-bound instead of host-CPU-bound — the lever the cluster
+  /// scaling bench and tests use so N sleeping shards scale with N on
+  /// any core count, the way N physical boards would. Zero (default)
+  /// disables it; production configs leave it zero.
+  std::chrono::microseconds sim_batch_latency{0};
 };
 
 struct EngineConfig {
@@ -164,6 +173,19 @@ class InferenceEngine {
   std::future<InferenceResult> submit(core::Tensor image,
                                       std::size_t backend_index);
 
+  /// Spill hook for cluster-level placement: like submit(), but when the
+  /// routed backend's bounded queue is full the request is NOT failed —
+  /// try_submit returns false, leaves `image` intact and `out`
+  /// untouched, and the caller may offer the request to another engine
+  /// (spill-then-shed). Returns true whenever this engine took ownership
+  /// of the outcome: the request was accepted (possibly by evicting a
+  /// lower-priority waiter, exactly like submit), or it failed
+  /// terminally for a per-request reason no other engine could fix (a
+  /// malformed image) — in both cases `out` carries the future.
+  /// Submitting after shutdown() throws, like submit().
+  bool try_submit(core::Tensor& image, const SubmitOptions& opts,
+                  std::future<InferenceResult>& out);
+
   /// Splits [N,C,S,S] into N requests; returns one future per image.
   std::vector<std::future<InferenceResult>> submit_batch(
       const core::Tensor& images, SubmitOptions opts = {});
@@ -198,6 +220,14 @@ class InferenceEngine {
   /// Live load gauges (the router's inputs, exposed for monitoring).
   std::size_t queue_depth(std::size_t index) const;
   int in_flight(std::size_t index) const;
+  /// Whole-engine load rolled into one BackendLoad — the per-shard gauge
+  /// a cluster-level router consumes. Depth and in-flight sum across
+  /// backends; the service-time estimates combine as parallel servers
+  /// (1 / sum(1/t_i)). The measured field is the same combination with
+  /// each backend's EWMA falling back to its model while cold, and 0
+  /// while EVERY backend is cold, so Router's own cold-start fallback
+  /// applies unchanged at the cluster level.
+  BackendLoad aggregate_load() const;
   /// Conv-scratch arenas a backend's pool has materialized — bounded by
   /// its peak batch concurrency, not its worker count.
   std::size_t scratch_arenas(std::size_t index) const;
@@ -260,8 +290,15 @@ class InferenceEngine {
   void sync_worker(Backend& backend, Worker& worker);
   void serve_batch(Backend& backend, Worker& worker,
                    std::vector<PendingRequest>& batch);
-  /// Routed or pinned backend choice for one submit.
-  std::size_t pick_backend(const SubmitOptions& opts);
+  /// Routed or pinned backend choice for one submit. count_routed
+  /// controls the routed-placement counter: submit() counts at decision
+  /// time, try_submit() only once the queue accepted (a spill probe that
+  /// bounces is not a placement).
+  std::size_t pick_backend(const SubmitOptions& opts,
+                           bool count_routed = true);
+  /// Normalizes [1,C,S,S] to [C,S,S] and validates the shape against the
+  /// spec; false (with a message) for malformed images.
+  bool normalize_image(core::Tensor& image, std::string* error) const;
   /// Returns a future already failed with odenet::Error(message).
   static std::future<InferenceResult> failed_future(
       const std::string& message);

@@ -1,5 +1,7 @@
 #include "runtime/router.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace odenet::runtime {
@@ -63,6 +65,25 @@ std::size_t Router::min_cost_index(const std::vector<BackendLoad>& loads,
     }
   }
   return best;
+}
+
+std::vector<std::size_t> Router::cost_order(
+    const std::vector<BackendLoad>& loads) const {
+  ODENET_CHECK(!loads.empty(), "router needs at least one backend load");
+  const bool measured = policy_ == RoutePolicy::kMeasuredLatency;
+  std::vector<std::size_t> order(loads.size());
+  std::vector<double> cost(loads.size());
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    order[i] = i;
+    const double outstanding = static_cast<double>(loads[i].queue_depth) +
+                               static_cast<double>(loads[i].in_flight) + 1.0;
+    cost[i] = outstanding * request_seconds(loads[i], measured);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&cost](std::size_t a, std::size_t b) {
+                     return cost[a] < cost[b];
+                   });
+  return order;
 }
 
 std::size_t Router::route(const std::vector<BackendLoad>& loads) {

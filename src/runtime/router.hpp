@@ -84,6 +84,25 @@ class Router {
   /// empty snapshot or a static index out of range.
   std::size_t route(const std::vector<BackendLoad>& loads);
 
+  /// Every backend index ordered by estimated completion cost, cheapest
+  /// first (ties to the lowest index) — the spill order a cluster-level
+  /// placement layer walks when its primary choice is full. Uses the
+  /// same cost function as route(): measured service times (with the
+  /// per-backend modeled fallback) under kMeasuredLatency, the
+  /// analytical model otherwise; kLeastDepth/kRoundRobin/kStatic rank by
+  /// outstanding-weighted modeled cost too, so the order is always
+  /// load-aware. Pure function of the snapshot: no anchor or cursor is
+  /// consulted or advanced.
+  std::vector<std::size_t> cost_order(
+      const std::vector<BackendLoad>& loads) const;
+
+  /// Forgets kMeasuredLatency's sticky previous pick. The serving engine
+  /// calls this on weight hot-swap alongside the ServiceTimeEwma resets:
+  /// a stale anchor would keep biasing placement toward the pre-publish
+  /// backend through the hysteresis band even though the measurements
+  /// that justified it were just discarded.
+  void reset_anchor() { anchor_.store(kNoAnchor, std::memory_order_relaxed); }
+
   RoutePolicy policy() const { return policy_; }
   std::size_t static_index() const { return static_index_; }
   double hysteresis() const { return hysteresis_; }

@@ -480,6 +480,84 @@ TEST(BatchQueue, LoneHighRequestFlushesAtPreemptiveWindow) {
   EXPECT_FLOAT_EQ(tag_of(batch[0]), 1.0f);
 }
 
+// Regression for the flush-timer/promotion divergence: promotion appends
+// the OLDER request at the TAIL of the upper lane, but the flush-deadline
+// scan used to look only at lane FRONTS — so once a promoted request sat
+// behind a younger waiter, the flush timer was computed off the younger
+// enqueue time and the promoted request silently waited up to a full
+// extra max_delay. The scan must cover whole lanes.
+TEST(BatchQueue, PromotedRequestKeepsDrivingFlushTimer) {
+  // Large max_batch so only the flush deadline can release a batch.
+  BatchQueue queue(64, std::chrono::milliseconds(200),
+                   /*promote_after_factor=*/1);
+  ASSERT_EQ(queue.push(make_request(1.0f, Priority::kLow)),
+            PushOutcome::kAccepted);
+  // Age it past promote_after_factor x max_delay.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+
+  // The aged low request is now ~250 ms old; a brand-new normal request
+  // arrives. Promotion lifts the old request to the normal lane TAIL —
+  // behind the younger front. Pre-fix, the flush deadline keyed off the
+  // younger front (~0 ms old) and this pop waited the full 200 ms window;
+  // post-fix the 250 ms-old promoted request makes the deadline already
+  // due and the pop returns immediately with both requests.
+  ASSERT_EQ(queue.push(make_request(2.0f, Priority::kNormal)),
+            PushOutcome::kAccepted);
+  util::Stopwatch watch;
+  std::vector<PendingRequest> batch;
+  ASSERT_TRUE(queue.pop_batch(batch));
+  const double waited = watch.seconds();
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_FLOAT_EQ(tag_of(batch[0]), 2.0f);  // normal-lane front first
+  EXPECT_FLOAT_EQ(tag_of(batch[1]), 1.0f);  // the promoted request rides
+  EXPECT_EQ(queue.promotion_total(), 1u);
+  // Well under the 200 ms flush window (generous CI slack): the promoted
+  // request's age drove the deadline.
+  EXPECT_LT(waited, 0.1);
+}
+
+// ---- try_push (the cluster spill probe) --------------------------------
+
+TEST(BatchQueue, TryPushRejectLeavesRequestIntactForSpill) {
+  BatchQueue queue(8, std::chrono::seconds(30), 0, bounded(1));
+  ASSERT_EQ(queue.push(make_request(1.0f)), PushOutcome::kAccepted);
+
+  // The probe bounces off the full queue WITHOUT failing the promise —
+  // the caller keeps the request and may offer it to another queue.
+  PendingRequest probe = make_request(2.0f);
+  auto probe_future = probe.promise.get_future();
+  EXPECT_EQ(queue.try_push(probe), PushOutcome::kRejected);
+  EXPECT_FLOAT_EQ(tag_of(probe), 2.0f);  // image still owned by the caller
+  EXPECT_EQ(probe_future.wait_for(std::chrono::seconds(0)),
+            std::future_status::timeout);  // promise untouched
+  EXPECT_EQ(queue.rejected_total(), 0u);   // a probe is not a shed
+
+  // The same request then lands in a second queue normally.
+  BatchQueue other(8, std::chrono::seconds(30), 0, bounded(1));
+  EXPECT_EQ(other.try_push(probe), PushOutcome::kAccepted);
+  other.close();
+  std::vector<PendingRequest> batch;
+  ASSERT_TRUE(other.pop_batch(batch));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_FLOAT_EQ(tag_of(batch[0]), 2.0f);
+}
+
+TEST(BatchQueue, TryPushStillAdmitsByEvictingLowerClass) {
+  // The probe shares submit()'s admission control: a high-priority
+  // arrival on a full queue still evicts the oldest evictable lower-class
+  // waiter instead of bouncing.
+  BatchQueue queue(8, std::chrono::seconds(30), 0, bounded(1));
+  PendingRequest victim = make_request(1.0f, Priority::kLow);
+  auto victim_future = victim.promise.get_future();
+  ASSERT_EQ(queue.push(std::move(victim)), PushOutcome::kAccepted);
+
+  PendingRequest urgent = make_request(2.0f, Priority::kHigh);
+  EXPECT_EQ(queue.try_push(urgent), PushOutcome::kAccepted);
+  EXPECT_THROW(victim_future.get(), QueueFull);
+  EXPECT_EQ(queue.evicted_total(), 1u);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
 TEST(BatchQueue, PreemptiveFlushDoesNotStarveAgingLowTraffic) {
   // Preemption interacting with PR 4 aging: sustained high arrivals keep
   // shrinking the window, but a low request older than k x max_delay

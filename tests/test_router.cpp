@@ -199,3 +199,69 @@ TEST(Router, NegativeHysteresisThrows) {
   EXPECT_THROW(Router(RoutePolicy::kMeasuredLatency, 0, -0.1),
                odenet::Error);
 }
+
+// Regression for the reload() bug: InferenceEngine::reload() resets every
+// backend's ServiceTimeEwma but used to leave the hysteresis anchor in
+// place, so the pre-publish pick kept attracting traffic through the
+// anti-flap band even though the measurements that justified it were just
+// discarded. reset_anchor() must make the next route a fresh argmin.
+TEST(Router, ResetAnchorClearsHysteresisStickiness) {
+  Router router(RoutePolicy::kMeasuredLatency, 0, /*hysteresis=*/0.15);
+  // Anchor on backend 0.
+  EXPECT_EQ(router.route({measured_load(0, 1e-3, 2.0e-3),
+                          measured_load(0, 1e-3, 4.0e-3)}),
+            0u);
+  // Backend 1 is now marginally better — within the band, the anchor
+  // holds (this is the stickiness reset_anchor must clear).
+  const std::vector<BackendLoad> post_swap = {measured_load(0, 1e-3, 2.0e-3),
+                                              measured_load(0, 1e-3, 1.9e-3)};
+  EXPECT_EQ(router.route(post_swap), 0u);
+  // After a weight swap the engine resets the EWMAs and the anchor: the
+  // SAME snapshot must now route to the plain argmin, backend 1.
+  router.reset_anchor();
+  EXPECT_EQ(router.route(post_swap), 1u);
+}
+
+// ---- cost_order (the cluster spill order) ------------------------------
+
+TEST(Router, CostOrderRanksByEstimatedCompletionCheapestFirst) {
+  Router router(RoutePolicy::kMeasuredLatency, 0, /*hysteresis=*/0.0);
+  // Costs: b0 (2+1)*4ms = 12ms, b1 (0+1)*2ms = 2ms, b2 (5+1)*1ms = 6ms.
+  const std::vector<BackendLoad> loads = {measured_load(2, 1e-3, 4e-3),
+                                          measured_load(0, 1e-3, 2e-3),
+                                          measured_load(5, 1e-3, 1e-3)};
+  EXPECT_EQ(router.cost_order(loads),
+            (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST(Router, CostOrderTieBreaksToLowestIndexAndIgnoresAnchor) {
+  Router router(RoutePolicy::kMeasuredLatency, 0, /*hysteresis=*/0.15);
+  // Anchor the route() state on backend 2 (clearly best)...
+  EXPECT_EQ(router.route({measured_load(0, 1e-3, 9e-3),
+                          measured_load(0, 1e-3, 9e-3),
+                          measured_load(0, 1e-3, 1e-3)}),
+            2u);
+  // ...then ask for a spill order over an all-equal snapshot: pure
+  // snapshot function, ties to the lowest index, no anchor bias.
+  const std::vector<BackendLoad> equal = {measured_load(1, 1e-3, 3e-3),
+                                          measured_load(1, 1e-3, 3e-3),
+                                          measured_load(1, 1e-3, 3e-3)};
+  EXPECT_EQ(router.cost_order(equal),
+            (std::vector<std::size_t>{0, 1, 2}));
+  // And consulting it did not move the anchor.
+  EXPECT_EQ(router.route({measured_load(0, 1e-3, 3.0e-3),
+                          measured_load(0, 1e-3, 3.0e-3),
+                          measured_load(0, 1e-3, 2.9e-3)}),
+            2u);
+}
+
+TEST(Router, CostOrderFallsBackToModelWhileCold) {
+  Router router(RoutePolicy::kMeasuredLatency);
+  // All cold: the analytical model must drive the order.
+  const std::vector<BackendLoad> loads = {measured_load(0, 10e-3, 0.0),
+                                          measured_load(0, 2e-3, 0.0),
+                                          measured_load(0, 5e-3, 0.0)};
+  EXPECT_EQ(router.cost_order(loads),
+            (std::vector<std::size_t>{1, 2, 0}));
+  EXPECT_THROW(router.cost_order({}), odenet::Error);
+}

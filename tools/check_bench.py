@@ -58,6 +58,9 @@ HIGHER_BETTER_RELATIVE = {
     "fixed_conv_speedup",
     "fixed_int_speedup",
     "shed_goodput_ratio",
+    "cluster_scaling_4x",
+    "spill_goodput_ratio",
+    "adversarial_spill_ratio",
 }
 LOWER_BETTER_ABSOLUTE = {
     "mean_swap_ms",
@@ -86,6 +89,9 @@ BOOLEAN_GATES = {
     "dip_within_25pct",
     "shed_protects",
     "preempt_wins",
+    "cluster_scales",
+    "spill_protects",
+    "frontend_ok",
 }
 
 
@@ -165,6 +171,7 @@ def main():
         lower |= LOWER_BETTER_ABSOLUTE
 
     failures = []
+    bad_inputs = []
     compared = 0
     for key, brow in sorted(base.items()):
         crow = curr.get(key)
@@ -190,8 +197,24 @@ def main():
                          else "lower" if metric in lower else None)
             if direction is None:
                 continue
-            if not isinstance(bval, (int, float)) or bval <= 0:
-                continue  # nothing meaningful to compare against
+            # A gated metric with a zero, negative or non-numeric baseline
+            # can never be compared: every later run would silently skip
+            # it and the gate would pass while guarding nothing. That is a
+            # broken BASELINE (bad input), not a regression — name the
+            # offending row and metric and exit 2 so it gets re-captured.
+            if (isinstance(bval, bool) or not isinstance(bval, (int, float))
+                    or bval <= 0):
+                bad_inputs.append(
+                    f"{key[0]}/{key[1]}: baseline value for gated metric "
+                    f"'{metric}' is {bval!r} (need a positive number) — "
+                    f"re-capture {args.baseline}")
+                continue
+            if isinstance(cval, bool) or not isinstance(cval, (int, float)):
+                bad_inputs.append(
+                    f"{key[0]}/{key[1]}: current value for gated metric "
+                    f"'{metric}' is {cval!r} (need a number) — did the "
+                    "bench emit a malformed summary row?")
+                continue
             compared += 1
             change = (float(cval) - float(bval)) / float(bval)
             status = "ok"
@@ -212,6 +235,12 @@ def main():
             print(f"  {key[0]:>20s} {metric:<36s} "
                   f"{bval:>10.4g} -> {cval:>10.4g}  {change:+7.1%}  {status}")
 
+    if bad_inputs:
+        print(f"\nBAD GATE INPUT ({len(bad_inputs)} problem(s)):",
+              file=sys.stderr)
+        for b in bad_inputs:
+            print(f"  - {b}", file=sys.stderr)
+        return 2
     if compared == 0:
         print("error: no gated metrics in common between baseline and "
               "current run", file=sys.stderr)
