@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "core/activation.hpp"
+#include "core/batchnorm.hpp"
 #include "core/conv2d.hpp"
 #include "core/gemm_kernels.hpp"
 #include "core/init.hpp"
@@ -152,6 +154,58 @@ double time_batched_fwd(const Tensor& weights, const Tensor& x, int reps) {
   return watch.seconds() / reps;
 }
 
+/// Mean seconds per eval-mode conv+BN+ReLU step: fused runs ONE GEMM with
+/// the folded BN affine and ReLU applied in the output tile
+/// (Conv2d::forward_fused); unfused runs the three-layer chain the serving
+/// path used before the epilogue family existed.
+double time_conv_bn_relu(const Tensor& weights, const Tensor& x, int reps,
+                         bool fused, util::Rng& rng) {
+  const int channels = weights.dim(0);
+  Conv2d conv({.in_channels = channels,
+               .out_channels = channels,
+               .kernel = 3,
+               .stride = 1,
+               .pad = 1,
+               .time_channel = true,
+               .algo = ConvAlgo::kIm2col});
+  conv.weight().value = weights;
+  conv.set_time(0.5f);
+  conv.set_weight_version(1);
+  conv.set_training(false);
+  core::BatchNorm2d bn(channels);
+  for (int c = 0; c < channels; ++c) {
+    bn.gamma().value.at1(c) = static_cast<float>(rng.uniform(0.5, 1.5));
+    bn.beta().value.at1(c) = static_cast<float>(rng.normal(0.0, 0.3));
+    bn.running_mean().at1(c) = static_cast<float>(rng.normal(0.0, 0.5));
+    bn.running_var().at1(c) = static_cast<float>(rng.uniform(0.5, 2.0));
+  }
+  bn.set_training(false);
+  core::ReLU relu;
+  relu.set_training(false);
+
+  if (fused) {
+    std::vector<float> scale, shift;
+    bn.fold_eval_affine(scale, shift);
+    core::ConvEpilogue ep;
+    ep.scale = scale.data();
+    ep.shift = shift.data();
+    ep.relu = true;
+    Tensor out;
+    conv.forward_fused(x, ep, out, /*accumulate=*/false);  // warm-up
+    util::Stopwatch watch;
+    for (int r = 0; r < reps; ++r) {
+      conv.forward_fused(x, ep, out, /*accumulate=*/false);
+    }
+    return watch.seconds() / reps;
+  }
+  (void)relu.forward(bn.forward(conv.forward(x)));  // warm-up
+  util::Stopwatch watch;
+  for (int r = 0; r < reps; ++r) {
+    (void)relu.forward(bn.forward(conv.forward(x)));
+  }
+  return watch.seconds() / reps;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -222,6 +276,27 @@ int main(int argc, char** argv) {
               ab_batch, core::gemm_isa_name(), simd_sec, scalar_sec,
               simd_speedup);
 
+  // --- fused epilogue A/B: conv+BN+ReLU as one GEMM vs the layer chain --
+  // Interleaved pairwise best-of-5 so host drift hits both arms alike.
+  double fused_sec = 0.0, unfused_sec = 0.0;
+  for (int t = 0; t < 5; ++t) {
+    const double f = time_conv_bn_relu(weights, x16, ab_reps, true, rng);
+    const double u = time_conv_bn_relu(weights, x16, ab_reps, false, rng);
+    if (t == 0 || f < fused_sec) fused_sec = f;
+    if (t == 0 || u < unfused_sec) unfused_sec = u;
+  }
+  const double fused_speedup = fused_sec > 0.0 ? unfused_sec / fused_sec : 0.0;
+  std::printf("\n--- fused conv+BN+ReLU A/B (eval fwd, batch %d) ---\n",
+              ab_batch);
+  std::printf("%-11s %12.6f s  %12.1f img/s\n", "fused", fused_sec,
+              ab_batch / fused_sec);
+  std::printf("%-11s %12.6f s  %12.1f img/s  (%.2fx from fusion)\n",
+              "unfused", unfused_sec, ab_batch / unfused_sec, fused_speedup);
+  std::printf("JSON {\"bench\":\"conv_gemm\",\"fused_ab\":true,\"batch\":%d,"
+              "\"fused_fwd_seconds\":%.6f,\"unfused_fwd_seconds\":%.6f,"
+              "\"fused_conv_bn_relu_speedup\":%.4f}\n",
+              ab_batch, fused_sec, unfused_sec, fused_speedup);
+
   // --- thread scaling: 1/2/4/all workers on the kernel pool -------------
   std::printf("\n--- thread scaling (batched fwd, batch %d) ---\n", ab_batch);
   double t1_sec = 0.0;
@@ -245,9 +320,10 @@ int main(int argc, char** argv) {
               "\"batched_fwd_speedup_b16\":%.4f,"
               "\"batched_bwd_speedup_b16\":%.4f,"
               "\"simd_speedup_b16\":%.4f,"
+              "\"fused_conv_bn_relu_speedup\":%.4f,"
               "\"meets_1p5x\":%s}\n",
               channels, size, core::gemm_isa_name(), speedup_b16,
-              bwd_speedup_b16, simd_speedup,
+              bwd_speedup_b16, simd_speedup, fused_speedup,
               speedup_b16 >= 1.5 ? "true" : "false");
   return 0;
 }

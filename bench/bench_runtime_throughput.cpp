@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/gemm_kernels.hpp"
 #include "runtime/engine.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -345,6 +346,73 @@ int main(int argc, char** argv) {
   fixed_f32_row.speedup = fixed_f32_row.images_per_sec / base.images_per_sec;
   print_row(fixed_f32_row);
 
+  // Fused-epilogue A/B on the float backend: same engine, same micro-batch,
+  // only the fused inference epilogues toggled — conv+BN+ReLU and
+  // conv+BN+Euler-axpy each collapsing into one GEMM with the epilogue
+  // applied in the output tile versus the unfused layer chain. Interleaved
+  // pairwise best-of-9 (like the fixed A/B) so host drift hits both arms;
+  // the gated fused_ode_speedup is the on/off ratio.
+  Row fused_on_row, fused_off_row;
+  for (int t = 0; t < 9; ++t) {
+    core::set_fused_epilogues(true);
+    Row a = run_engine(net, images, core::ExecBackend::kFloat, kMaxBatch);
+    core::set_fused_epilogues(false);
+    Row b = run_engine(net, images, core::ExecBackend::kFloat, kMaxBatch);
+    core::set_fused_epilogues(true);
+    if (t == 0 || a.seconds < fused_on_row.seconds) fused_on_row = a;
+    if (t == 0 || b.seconds < fused_off_row.seconds) fused_off_row = b;
+  }
+  fused_on_row.conv_algo = "fused";
+  fused_on_row.speedup = fused_on_row.images_per_sec / base.images_per_sec;
+  print_row(fused_on_row);
+  fused_off_row.conv_algo = "unfused";
+  fused_off_row.speedup = fused_off_row.images_per_sec / base.images_per_sec;
+  print_row(fused_off_row);
+
+  // Fused ODE-stage inference A/B: the epilogue fusion targets the ODE
+  // stages (weight-shared block, BN fold, h-scaled Euler accumulation in
+  // the GEMM tile), so measure those directly — the three ODE stages of
+  // the all-ODE ODENet architecture at this width (channels c/2c/4c at
+  // extents s, s/2, s/4 — the geometries the paper integrates), batch =
+  // max-batch, Euler, N=32 (mid-range of the paper's 20..56 sweep, so each
+  // forward is a real multi-step integration). Per stage: interleaved
+  // best-of-7 over multi-forward reps; fused_ode_speedup is total unfused
+  // / total fused integration time across the stages.
+  models::Network ode_net(
+      models::make_spec(models::Arch::kOdeNet, 32, width));
+  ode_net.init(rng);
+  ode_net.set_training(false);
+  double ode_fused_sec = 0.0, ode_unfused_sec = 0.0;
+  for (auto& stage : ode_net.stages()) {
+    if (!stage->is_ode()) continue;
+    const models::StageSpec& sp = stage->spec();
+    core::Tensor zx = random_images(kMaxBatch, sp.out_channels, sp.in_size,
+                                    rng);
+    models::OdeBlock* ob = stage->ode();
+    const int reps = std::max(1, 512 / (sp.out_channels * sp.executions));
+    double best[2] = {1e30, 1e30};
+    for (int t = 0; t < 7; ++t) {
+      for (int arm = 0; arm < 2; ++arm) {
+        core::set_fused_epilogues(arm == 0);
+        (void)ob->forward(zx);  // warm the arm's code path / arena
+        util::Stopwatch w;
+        for (int r = 0; r < reps; ++r) (void)ob->forward(zx);
+        best[arm] = std::min(best[arm], w.seconds() / reps);
+      }
+    }
+    core::set_fused_epilogues(true);
+    ode_fused_sec += best[0];
+    ode_unfused_sec += best[1];
+    std::printf("JSON {\"bench\":\"runtime_throughput\",\"mode\":\"ode_stage\","
+                "\"stage\":\"%s\",\"channels\":%d,\"extent\":%d,"
+                "\"executions\":%d,\"batch\":%d,"
+                "\"fused_fwd_seconds\":%.6f,\"unfused_fwd_seconds\":%.6f,"
+                "\"stage_fused_speedup\":%.4f}\n",
+                stage->name().c_str(), sp.out_channels, sp.in_size,
+                sp.executions, kMaxBatch, best[0], best[1],
+                best[0] > 0.0 ? best[1] / best[0] : 0.0);
+  }
+
   const double batched_speedup = best_batched / base.images_per_sec;
   const double conv_speedup =
       ab_batched_row.images_per_sec / per_sample_row.images_per_sec;
@@ -356,6 +424,12 @@ int main(int argc, char** argv) {
       fixed_f32_row.images_per_sec > 0.0
           ? fixed_batched_ips / fixed_f32_row.images_per_sec
           : 0.0;
+  const double fused_engine_speedup =
+      fused_off_row.images_per_sec > 0.0
+          ? fused_on_row.images_per_sec / fused_off_row.images_per_sec
+          : 0.0;
+  const double fused_ode_speedup =
+      ode_fused_sec > 0.0 ? ode_unfused_sec / ode_fused_sec : 0.0;
   std::printf("JSON {\"bench\":\"runtime_throughput\",\"summary\":true,"
               "\"images\":%d,\"sequential_images_per_sec\":%.2f,"
               "\"best_batched_images_per_sec\":%.2f,"
@@ -369,17 +443,28 @@ int main(int argc, char** argv) {
               "\"fixed_conv_speedup\":%.4f,"
               "\"fixed_f32_images_per_sec\":%.2f,"
               "\"fixed_int_speedup\":%.4f,"
+              "\"fused_images_per_sec\":%.2f,"
+              "\"unfused_images_per_sec\":%.2f,"
+              "\"fused_engine_speedup\":%.4f,"
+              "\"fused_ode_fwd_seconds\":%.6f,"
+              "\"unfused_ode_fwd_seconds\":%.6f,"
+              "\"fused_ode_speedup\":%.4f,"
               "\"batching_wins\":%s,\"batched_conv_wins\":%s,"
-              "\"fixed_meets_1p5x\":%s,\"fixed_int_wins\":%s}\n",
+              "\"fixed_meets_1p5x\":%s,\"fixed_int_wins\":%s,"
+              "\"fused_ode_wins\":%s}\n",
               kImages, base.images_per_sec, best_batched, largest_mb,
               ab_batched_row.images_per_sec, per_sample_row.images_per_sec,
               batched_speedup, conv_speedup, fixed_batched_ips,
               fixed_ps_row.images_per_sec, fixed_conv_speedup,
               fixed_f32_row.images_per_sec, fixed_int_speedup,
+              fused_on_row.images_per_sec, fused_off_row.images_per_sec,
+              fused_engine_speedup, ode_fused_sec, ode_unfused_sec,
+              fused_ode_speedup,
               batched_speedup > 1.0 ? "true" : "false",
               conv_speedup > 1.0 ? "true" : "false",
               fixed_conv_speedup >= 1.5 ? "true" : "false",
-              fixed_int_speedup >= 1.0 ? "true" : "false");
+              fixed_int_speedup >= 1.0 ? "true" : "false",
+              fused_ode_speedup >= 1.3 ? "true" : "false");
 
   // ---- Routing policies under skewed load -------------------------------
   std::printf("\n=== Routing policies: float + fixed + fpga_sim backends, "

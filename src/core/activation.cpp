@@ -1,5 +1,7 @@
 #include "core/activation.hpp"
 
+#include "core/gemm_kernels.hpp"
+
 namespace odenet::core {
 
 Tensor ReLU::forward(const Tensor& x) {
@@ -15,9 +17,7 @@ Tensor ReLU::forward(const Tensor& x) {
       mask[i] = pos ? 1.0f : 0.0f;
     }
   } else {
-    for (std::size_t i = 0; i < x.numel(); ++i) {
-      dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
-    }
+    active_gemm_kernels().relu_f32(src, dst, x.numel());
   }
   return out;
 }
@@ -28,10 +28,8 @@ Tensor ReLU::backward(const Tensor& grad_out) {
   ODENET_CHECK(grad_out.same_shape(cached_mask_),
                name_ << ": grad shape mismatch");
   Tensor grad_in(grad_out.shape());
-  const float* g = grad_out.data();
-  const float* m = cached_mask_.data();
-  float* dst = grad_in.data();
-  for (std::size_t i = 0; i < grad_out.numel(); ++i) dst[i] = g[i] * m[i];
+  active_gemm_kernels().mul_f32(grad_out.data(), cached_mask_.data(),
+                                grad_in.data(), grad_out.numel());
   return grad_in;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/gemm_kernels.hpp"
 #include "util/thread_pool.hpp"
 
 namespace odenet::core {
@@ -21,6 +22,22 @@ BatchNorm2d::BatchNorm2d(int channels, std::string name, float eps,
   beta_.is_norm_param = true;
 }
 
+void BatchNorm2d::fold_eval_affine(std::vector<float>& scale,
+                                   std::vector<float>& shift) const {
+  ODENET_CHECK(eval_affine_foldable(),
+               name_ << ": cannot fold eval affine while batch stats are "
+                        "used in eval");
+  scale.resize(static_cast<std::size_t>(channels_));
+  shift.resize(static_cast<std::size_t>(channels_));
+  for (int ci = 0; ci < channels_; ++ci) {
+    const float is = 1.0f / std::sqrt(running_var_.at1(ci) + eps_);
+    const float gs = gamma_.value.at1(ci) * is;
+    scale[static_cast<std::size_t>(ci)] = gs;
+    shift[static_cast<std::size_t>(ci)] =
+        beta_.value.at1(ci) - running_mean_.at1(ci) * gs;
+  }
+}
+
 Tensor BatchNorm2d::forward(const Tensor& x) {
   ODENET_CHECK(x.ndim() == 4 && x.dim(1) == channels_,
                name_ << ": expected [N," << channels_ << ",H,W], got "
@@ -29,9 +46,29 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
   const std::size_t plane = static_cast<std::size_t>(h) * w;
   const std::size_t count = static_cast<std::size_t>(n) * plane;
 
-  Tensor mean({c}), var({c});
   const bool use_batch_stats = training_ || batch_stats_in_eval_;
-  if (use_batch_stats) {
+  if (!use_batch_stats) {
+    // Eval with running stats is a fixed per-channel affine: fold once
+    // (the same coefficients the fused conv epilogue uses, so fused and
+    // unfused eval agree bitwise per ISA) and stream each plane through
+    // the SIMD affine kernel.
+    fold_eval_affine(fold_scale_, fold_shift_);
+    const GemmKernels& kernels = active_gemm_kernels();
+    Tensor out(x.shape());
+    util::parallel_for(0, static_cast<std::size_t>(c), [&](std::size_t ci) {
+      const float s = fold_scale_[ci];
+      const float b = fold_shift_[ci];
+      for (int ni = 0; ni < n; ++ni) {
+        const std::size_t off = ((static_cast<std::size_t>(ni) * c) + ci) *
+                                plane;
+        kernels.affine_f32(x.data() + off, out.data() + off, plane, s, b);
+      }
+    });
+    return out;
+  }
+
+  Tensor mean({c}), var({c});
+  {
     util::parallel_for(0, static_cast<std::size_t>(c), [&](std::size_t ci) {
       double sum = 0.0, sq = 0.0;
       for (int ni = 0; ni < n; ++ni) {
@@ -58,9 +95,6 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
             momentum_ * static_cast<float>(unbias * var.at1(ci));
       }
     }
-  } else {
-    mean = running_mean_;
-    var = running_var_;
   }
 
   Tensor inv_std({c});

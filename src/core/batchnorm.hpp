@@ -7,6 +7,8 @@
 // current feature map with dedicated divide and square-root units.
 #pragma once
 
+#include <vector>
+
 #include "core/layer.hpp"
 
 namespace odenet::core {
@@ -39,6 +41,22 @@ class BatchNorm2d final : public Layer {
   /// freezing, each replay would apply the momentum update again.
   void set_freeze_running_stats(bool v) { freeze_running_stats_ = v; }
 
+  /// True when eval-mode normalization is a fixed per-channel affine of
+  /// the input (running statistics; nothing input-dependent) — the
+  /// precondition for fold_eval_affine and for any fused conv+BN path.
+  /// False when batch stats are used even in eval (the hardware-BN mode).
+  bool eval_affine_foldable() const { return !batch_stats_in_eval_; }
+
+  /// Folds the eval-mode normalization into per-channel (scale, shift):
+  /// y = x * scale[c] + shift[c] with scale = gamma * inv_std and shift =
+  /// beta - mean * scale, all in float. Every consumer of the fold — this
+  /// layer's own eval forward, the fused conv epilogue — computes the SAME
+  /// coefficients through this one function, so fused and unfused eval
+  /// outputs are bitwise identical per ISA. Vectors are resized in place
+  /// (capacity reused across calls).
+  void fold_eval_affine(std::vector<float>& scale,
+                        std::vector<float>& shift) const;
+
  private:
   int channels_;
   std::string name_;
@@ -56,6 +74,11 @@ class BatchNorm2d final : public Layer {
   Tensor cached_input_;
   Tensor cached_mean_;     // [C]
   Tensor cached_inv_std_;  // [C]
+
+  // Folded eval coefficients, recomputed each eval forward into recycled
+  // storage (gamma/beta/running stats may have changed since last call).
+  std::vector<float> fold_scale_;
+  std::vector<float> fold_shift_;
 };
 
 }  // namespace odenet::core

@@ -45,6 +45,26 @@ class BuildingBlock final : public Layer {
   /// Backward through the branch of the most recent branch_forward().
   Tensor branch_backward(const Tensor& grad_out);
 
+  /// True when the fused inference path may run: eval mode, fused
+  /// epilogues enabled (see core::set_fused_epilogues), both convs on the
+  /// kIm2col algorithm, and both BNs foldable to a fixed affine.
+  bool fused_eval_ready() const;
+
+  /// Fused branch evaluation: conv1+bn1+relu is ONE GEMM, conv2+bn2 is
+  /// ONE GEMM, with alpha (the solver step size) folded into the bn2
+  /// coefficients so `out (+)= alpha * f(z, t)` costs no extra pass.
+  /// accumulate = false overwrites `out` (reallocated on shape mismatch);
+  /// accumulate = true adds into it — `out` may alias `z` (the in-place
+  /// Euler update). Caller must ensure fused_eval_ready().
+  void fused_branch_eval(const Tensor& z, float t, float alpha, Tensor& out,
+                         bool accumulate);
+
+  /// One in-place Euler step z += h * f(z, t) — two GEMMs, one state
+  /// write, no allocation after warmup.
+  void fused_euler_step(Tensor& z, float t, float h) {
+    fused_branch_eval(z, t, h, z, /*accumulate=*/true);
+  }
+
   std::vector<Param*> params() override;
   void set_training(bool training) override;
 
@@ -84,6 +104,13 @@ class BuildingBlock final : public Layer {
   BatchNorm2d bn2_;
   float time_ = 0.0f;
   std::vector<int> cached_in_shape_;
+
+  // Fused-path state, recycled across calls: the folded BN coefficient
+  // vectors and the conv1+bn1+relu intermediate (reallocated only on
+  // geometry change), so steady-state fused stepping allocates nothing.
+  std::vector<float> fused_scale1_, fused_shift1_;
+  std::vector<float> fused_scale2_, fused_shift2_;
+  Tensor fused_h1_;
 };
 
 }  // namespace odenet::core

@@ -187,6 +187,111 @@ Tensor Conv2d::forward_im2col_per_sample(const Tensor& in) const {
   return out;
 }
 
+void Conv2d::forward_fused(const Tensor& x, const ConvEpilogue& ep,
+                           Tensor& out, bool accumulate) {
+  ODENET_CHECK(!training_,
+               name_ << ": forward_fused is eval-only (training mode keeps "
+                        "the unfused forward)");
+  ODENET_CHECK(cfg_.algo == ConvAlgo::kIm2col,
+               name_ << ": forward_fused requires the kIm2col algorithm");
+  ODENET_CHECK(x.ndim() == 4, name_ << ": conv2d expects NCHW input, got "
+                                    << x.shape_str());
+  ODENET_CHECK(x.dim(0) > 0, name_ << ": empty batch (n = 0)");
+  const int n = x.dim(0), cx = x.dim(1), h = x.dim(2), w = x.dim(3);
+  ODENET_CHECK(cx == cfg_.in_channels,
+               name_ << ": expected " << cfg_.in_channels << " channels, got "
+                     << cx);
+  const int ci = cx + (cfg_.time_channel ? 1 : 0);
+  ODENET_CHECK(ci == weight_.value.dim(1),
+               name_ << ": channel mismatch " << ci << " vs weight "
+                     << weight_.value.shape_str());
+  const LoweringGeometry g{.channels = ci, .height = h, .width = w,
+                           .kernel = cfg_.kernel, .stride = cfg_.stride,
+                           .pad = cfg_.pad};
+  const int ho = g.out_h(), wo = g.out_w();
+  const int co = cfg_.out_channels;
+  const bool shape_ok = out.ndim() == 4 && out.dim(0) == n &&
+                        out.dim(1) == co && out.dim(2) == ho &&
+                        out.dim(3) == wo;
+  if (accumulate) {
+    ODENET_CHECK(shape_ok, name_ << ": accumulate target shape "
+                                 << out.shape_str() << " does not match ["
+                                 << n << "," << co << "," << ho << "," << wo
+                                 << "]");
+  } else if (!shape_ok) {
+    out = Tensor({n, co, ho, wo});
+  }
+
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  const std::size_t kk = g.col_rows();
+  const std::size_t cc = g.col_cols();
+  const std::size_t ncols = cc * static_cast<std::size_t>(n);
+  const std::size_t aug_floats =
+      cfg_.time_channel
+          ? static_cast<std::size_t>(n) * static_cast<std::size_t>(ci) * plane
+          : 0;
+  const std::size_t y_floats =
+      n > 1 ? static_cast<std::size_t>(co) * ncols : 0;
+
+  // Everything transient — the augmented input, the lowering, the
+  // channel-major GEMM result — lives in the recycled arena: after warmup
+  // a fused forward allocates nothing. When the geometry admits the
+  // implicit lowering, the column matrix is never materialized at all:
+  // the GEMM gathers B panels straight from the (augmented) image.
+  const bool implicit = gemm_implicit_lowering_ok(g, co);
+  ScratchArena& arena = active_arena();
+  const PackedGemmA& wp = packed_weights();
+  arena.frame(aug_floats + (implicit ? 0 : kk * ncols) + y_floats);
+  const float* src = x.data();
+  if (cfg_.time_channel) {
+    float* aug = arena.alloc(aug_floats);
+    const std::size_t in_sample = static_cast<std::size_t>(cx) * plane;
+    const std::size_t aug_sample = static_cast<std::size_t>(ci) * plane;
+    for (int i = 0; i < n; ++i) {
+      std::memcpy(aug + i * aug_sample, src + i * in_sample,
+                  in_sample * sizeof(float));
+      float* tplane = aug + i * aug_sample + in_sample;
+      for (std::size_t j = 0; j < plane; ++j) tplane[j] = time_;
+    }
+    src = aug;
+  }
+  float* cols = nullptr;
+  if (!implicit) {
+    cols = arena.alloc(kk * ncols);
+    im2col_batched(src, g, n, cols);
+  }
+
+  GemmEpilogue ge;
+  ge.scale = ep.scale;
+  ge.shift = ep.shift;
+  ge.relu = ep.relu;
+  if (n == 1) {
+    // Channel-major IS NCHW at n == 1: the GEMM writes the output (and,
+    // when accumulating, reads it as the in-register residual) directly.
+    if (accumulate) {
+      ge.residual = out.data();
+      ge.beta = 1.0f;
+    }
+    if (implicit) {
+      gemm_tiled_pa_ep_lowered(wp, src, g, n, out.data(), ge);
+    } else {
+      gemm_tiled_pa_ep(wp, cols, out.data(), static_cast<int>(ncols), ge);
+    }
+    return;
+  }
+  float* y = arena.alloc(y_floats);
+  if (implicit) {
+    gemm_tiled_pa_ep_lowered(wp, src, g, n, y, ge);
+  } else {
+    gemm_tiled_pa_ep(wp, cols, y, static_cast<int>(ncols), ge);
+  }
+  if (accumulate) {
+    permute_channel_major_add(y, out.data(), n, co, cc);
+  } else {
+    permute_channel_major(y, out.data(), n, co, cc, /*to_nchw=*/true);
+  }
+}
+
 Tensor Conv2d::forward(const Tensor& x) {
   ODENET_CHECK(x.ndim() == 4, name_ << ": conv2d expects NCHW input, got "
                                     << x.shape_str());

@@ -44,6 +44,16 @@ struct Conv2dConfig {
   ConvAlgo algo = ConvAlgo::kIm2col;
 };
 
+/// Per-out-channel epilogue a fused eval-mode forward applies inside the
+/// GEMM (see GemmEpilogue): y[c] = relu?(conv[c] * scale[c] + shift[c]).
+/// scale/shift point at [out_channels] coefficient vectors (a folded
+/// BatchNorm2d) and must stay alive for the duration of the call.
+struct ConvEpilogue {
+  const float* scale = nullptr;
+  const float* shift = nullptr;
+  bool relu = false;
+};
+
 class Conv2d final : public Layer {
  public:
   explicit Conv2d(const Conv2dConfig& cfg, std::string name = "conv");
@@ -52,6 +62,18 @@ class Conv2d final : public Layer {
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override { return {&weight_}; }
+
+  /// Eval-mode fused forward: one GEMM computes ep(conv(x)) — the folded
+  /// BN affine and ReLU applied in the output tile — and either overwrites
+  /// `out` (accumulate = false; reallocated on shape mismatch) or
+  /// accumulates into it (accumulate = true: out += ep(conv(x)), the Euler
+  /// state update; `out` must already have the output shape). The time
+  /// channel is augmented into arena scratch, so after warmup the call
+  /// allocates nothing. Only valid in eval mode with the kIm2col
+  /// algorithm — training keeps the unfused forward() and its autograd
+  /// caches.
+  void forward_fused(const Tensor& x, const ConvEpilogue& ep, Tensor& out,
+                     bool accumulate);
 
   /// Integration time used to fill the implicit channel; only meaningful
   /// when cfg.time_channel is set.

@@ -49,6 +49,53 @@ void tile4x16_scalar(const float* apanel, const float* bpanel, int k,
   }
 }
 
+/// Full-tile kernel with fused epilogue: the accumulation loop is the
+/// byte-for-byte twin of tile4x16_scalar (never accumulating — an epilogue
+/// store always overwrites), then every element runs the fixed epilogue
+/// chain before its single store. The chain's op order (affine, relu,
+/// residual) is mirrored in the AVX2 twin and in gemm_tiled_pa_ep's
+/// ragged-edge path; keeping all three identical is what makes fused
+/// output bitwise equal to GEMM + elementwise kernels on either ISA.
+void tile4x16_ep_scalar(const float* apanel, const float* bpanel, int k,
+                        float* c, std::size_t ldc, const float* scale4,
+                        const float* shift4, bool relu, const float* residual,
+                        std::size_t ldr, float beta) {
+  float acc[kGemmTileRows][kGemmTileCols];
+  for (int i = 0; i < kGemmTileRows; ++i) {
+    for (int j = 0; j < kGemmTileCols; ++j) acc[i][j] = 0.0f;
+  }
+  for (int p = 0; p < k; ++p) {
+    const float* brow = bpanel + static_cast<std::size_t>(p) * kGemmTileCols;
+    const float a0 = apanel[p * kGemmTileRows + 0];
+    const float a1 = apanel[p * kGemmTileRows + 1];
+    const float a2 = apanel[p * kGemmTileRows + 2];
+    const float a3 = apanel[p * kGemmTileRows + 3];
+    for (int j = 0; j < kGemmTileCols; ++j) {
+      const float bv = brow[j];
+      acc[0][j] += a0 * bv;
+      acc[1][j] += a1 * bv;
+      acc[2][j] += a2 * bv;
+      acc[3][j] += a3 * bv;
+    }
+  }
+  for (int i = 0; i < kGemmTileRows; ++i) {
+    float* crow = c + i * ldc;
+    const float* rrow =
+        residual != nullptr ? residual + static_cast<std::size_t>(i) * ldr
+                            : nullptr;
+    const float s = scale4 != nullptr ? scale4[i] : 0.0f;
+    const float b = shift4 != nullptr ? shift4[i] : 0.0f;
+    for (int j = 0; j < kGemmTileCols; ++j) {
+      float t = acc[i][j];
+      if (scale4 != nullptr) t = t * s;
+      if (shift4 != nullptr) t = t + b;
+      if (relu) t = t > 0.0f ? t : 0.0f;
+      if (rrow != nullptr) t = t + beta * rrow[j];
+      crow[j] = t;
+    }
+  }
+}
+
 /// Dot product over eight independent partial sums — the manual-unroll
 /// idiom the vectorizer turns into packed multiply-adds (a single
 /// accumulator cannot be vectorized under strict FP semantics).
@@ -183,10 +230,43 @@ float max_abs_f32_scalar(const float* src, std::size_t n) {
   return std::max(std::max(m0, m1), std::max(m2, m3));
 }
 
+// Scalar elementwise family — the epilogue ops as streaming passes. Each
+// op is a single mul/add/compare per element (no contraction possible at
+// the baseline ISA), so the AVX2 twins, built with -ffp-contract=off and
+// the same two-op sequences, are bitwise identical.
+
+void relu_f32_scalar(const float* src, float* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float t = src[i];
+    dst[i] = t > 0.0f ? t : 0.0f;  // NaN -> 0, -0.0 -> +0.0
+  }
+}
+
+void axpy_f32_scalar(float a, const float* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = y[i] + a * x[i];
+}
+
+void mul_f32_scalar(const float* a, const float* b, float* dst,
+                    std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] * b[i];
+}
+
+void scale_f32_scalar(float* x, std::size_t n, float a) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = x[i] * a;
+}
+
+void affine_f32_scalar(const float* src, float* dst, std::size_t n,
+                       float scale, float shift) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = src[i] * scale + shift;
+}
+
 constexpr GemmKernels kScalarKernels{tile4x16_scalar,  dot_scalar,
                                      tile4x16_i16_scalar, qdq_f32_scalar,
                                      quant_f32_i16_scalar, requant_i32_scalar,
-                                     max_abs_f32_scalar, "scalar"};
+                                     max_abs_f32_scalar, tile4x16_ep_scalar,
+                                     relu_f32_scalar, axpy_f32_scalar,
+                                     mul_f32_scalar, scale_f32_scalar,
+                                     affine_f32_scalar, "scalar"};
 
 bool cpu_supports_avx2_fma() {
 #if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
@@ -203,7 +283,16 @@ bool env_disables_simd() {
          std::strcmp(e, "OFF") == 0 || std::strcmp(e, "scalar") == 0;
 }
 
+bool env_disables_fused_epilogues() {
+  const char* e = std::getenv("ODENET_FUSED_EPILOGUE");
+  if (e == nullptr) return false;
+  return std::strcmp(e, "0") == 0 || std::strcmp(e, "off") == 0 ||
+         std::strcmp(e, "OFF") == 0;
+}
+
 std::atomic<bool> g_force_scalar{false};
+// -1 = unset (follow the env default), 0 = off, 1 = on.
+std::atomic<int> g_fused_epilogues{-1};
 std::atomic<std::size_t> g_min_flops_override{0};
 std::atomic<util::ThreadPool*> g_kernel_pool{nullptr};
 
@@ -234,6 +323,17 @@ void gemm_force_scalar(bool force) {
 
 bool gemm_forced_scalar() {
   return g_force_scalar.load(std::memory_order_relaxed);
+}
+
+void set_fused_epilogues(bool enabled) {
+  g_fused_epilogues.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool fused_epilogues_enabled() {
+  const int v = g_fused_epilogues.load(std::memory_order_relaxed);
+  if (v >= 0) return v != 0;
+  static const bool env_default = !env_disables_fused_epilogues();
+  return env_default;
 }
 
 const GemmKernels& active_gemm_kernels() {

@@ -91,6 +91,47 @@ using MaxAbsF32Fn = float (*)(const float* src, std::size_t n);
 using RequantI32Fn = void (*)(const std::int32_t* acc, float* dst,
                               std::size_t n, int shift, int frac_bits);
 
+/// Full-tile micro-kernel with a fused EPILOGUE: the 4x16 accumulator tile
+/// is lowered exactly like GemmTile4x16Fn, then — while still in registers
+/// — transformed per element in this fixed order before the single store:
+///   t = acc * scale4[i] + shift4[i]   (skipped per-part when null)
+///   t = max(t, 0)                     (when relu; NaN -> 0, -0 -> +0)
+///   t = t + beta * residual[i*ldr+j]  (when residual != nullptr)
+/// scale4/shift4 are the 4 per-row (out-channel) coefficients of THIS
+/// tile; residual points at the tile's own 4x16 window (leading dimension
+/// ldr) and may alias c — each element is read before its store, and a
+/// tile only touches its own window, so in-place residual accumulation
+/// (z += h*f(z)) is safe under any thread split.
+///
+/// Bitwise contract: the epilogue arithmetic uses NO fused multiply-add in
+/// either ISA variant (the AVX2 TU is built with -ffp-contract=off), so
+/// fused-epilogue output is bitwise identical to running the plain GEMM
+/// followed by the elementwise kernels below, on either ISA.
+using GemmTileEp4x16Fn = void (*)(const float* apanel, const float* bpanel,
+                                  int k, float* c, std::size_t ldc,
+                                  const float* scale4, const float* shift4,
+                                  bool relu, const float* residual,
+                                  std::size_t ldr, float beta);
+
+/// Standalone SIMD elementwise kernels — the epilogue ops as streaming
+/// passes, for every elementwise sweep that cannot fuse into a GEMM
+/// (Tensor::axpy/scale/mul, ReLU forward/backward, BatchNorm2d eval).
+/// Each is bitwise identical between the scalar and AVX2 variants (two-op
+/// mul-then-add sequences, no contraction) and bitwise identical to the
+/// matching fused-epilogue stage.
+/// dst[i] = src[i] > 0 ? src[i] : 0 (NaN -> 0, -0 -> +0). src may == dst.
+using ReluF32Fn = void (*)(const float* src, float* dst, std::size_t n);
+/// y[i] += a * x[i].
+using AxpyF32Fn = void (*)(float a, const float* x, float* y, std::size_t n);
+/// dst[i] = a[i] * b[i]; dst may alias a and/or b.
+using MulF32Fn = void (*)(const float* a, const float* b, float* dst,
+                          std::size_t n);
+/// x[i] *= a.
+using ScaleF32Fn = void (*)(float* x, std::size_t n, float a);
+/// dst[i] = src[i] * scale + shift (one BN channel plane). src may == dst.
+using AffineF32Fn = void (*)(const float* src, float* dst, std::size_t n,
+                             float scale, float shift);
+
 struct GemmKernels {
   GemmTile4x16Fn tile4x16;
   GemmDotFn dot;
@@ -99,6 +140,12 @@ struct GemmKernels {
   QuantF32ToI16Fn quant_f32_i16;
   RequantI32Fn requant_i32;
   MaxAbsF32Fn max_abs_f32;
+  GemmTileEp4x16Fn tile4x16_ep;
+  ReluF32Fn relu_f32;
+  AxpyF32Fn axpy_f32;
+  MulF32Fn mul_f32;
+  ScaleF32Fn scale_f32;
+  AffineF32Fn affine_f32;
   const char* isa;  // "scalar" or "avx2+fma"
 };
 
@@ -121,6 +168,14 @@ bool gemm_avx2_usable();
 /// Not meant to be toggled while kernels are executing concurrently.
 void gemm_force_scalar(bool force);
 bool gemm_forced_scalar();
+
+/// Fused-epilogue master switch: when off, eval-mode Conv2d/BuildingBlock
+/// keep the unfused conv -> BN -> ReLU -> axpy sequence (the benches' A/B
+/// lever, and an escape hatch for debugging). Defaults to on unless env
+/// ODENET_FUSED_EPILOGUE=0|off disables it at startup. Not meant to be
+/// toggled while forwards are executing concurrently.
+void set_fused_epilogues(bool enabled);
+bool fused_epilogues_enabled();
 
 /// GEMMs below this many flops (2*m*k*n) run sequentially on the calling
 /// thread — fan-out overhead beats the win on small batches. Default 1M

@@ -64,6 +64,71 @@ void tile4x16_avx2(const float* apanel, const float* bpanel, int k, float* c,
   _mm256_storeu_ps(c + 3 * ldc + 8, c31);
 }
 
+/// Fused-epilogue twin: the tile4x16_avx2 accumulation body (FMA k-loop,
+/// never accumulating), then the epilogue chain applied per ymm pair
+/// before the single store. The affine and residual stages deliberately
+/// use SEPARATE mul + add intrinsics — no _mm256_fmadd_ps — and this TU
+/// is compiled with -ffp-contract=off so the compiler cannot re-fuse
+/// them; that keeps every epilogue op one-rounding-per-operation, bitwise
+/// equal to the scalar kernel and to the standalone elementwise kernels.
+/// relu is max(t, 0) with the VALUE as the first operand: maxps returns
+/// the second operand on NaN/equal, matching scalar `t > 0 ? t : 0`
+/// (NaN -> 0, -0.0 -> +0.0).
+void tile4x16_ep_avx2(const float* apanel, const float* bpanel, int k,
+                      float* c, std::size_t ldc, const float* scale4,
+                      const float* shift4, bool relu, const float* residual,
+                      std::size_t ldr, float beta) {
+  __m256 c00, c01, c10, c11, c20, c21, c30, c31;
+  c00 = c01 = c10 = c11 = c20 = c21 = c30 = c31 = _mm256_setzero_ps();
+  for (int p = 0; p < k; ++p) {
+    const float* brow = bpanel + static_cast<std::size_t>(p) * kGemmTileCols;
+    const __m256 b0 = _mm256_loadu_ps(brow);
+    const __m256 b1 = _mm256_loadu_ps(brow + 8);
+    const float* arow = apanel + static_cast<std::size_t>(p) * kGemmTileRows;
+    const __m256 a0 = _mm256_broadcast_ss(arow + 0);
+    c00 = _mm256_fmadd_ps(a0, b0, c00);
+    c01 = _mm256_fmadd_ps(a0, b1, c01);
+    const __m256 a1 = _mm256_broadcast_ss(arow + 1);
+    c10 = _mm256_fmadd_ps(a1, b0, c10);
+    c11 = _mm256_fmadd_ps(a1, b1, c11);
+    const __m256 a2 = _mm256_broadcast_ss(arow + 2);
+    c20 = _mm256_fmadd_ps(a2, b0, c20);
+    c21 = _mm256_fmadd_ps(a2, b1, c21);
+    const __m256 a3 = _mm256_broadcast_ss(arow + 3);
+    c30 = _mm256_fmadd_ps(a3, b0, c30);
+    c31 = _mm256_fmadd_ps(a3, b1, c31);
+  }
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 beta_v = _mm256_set1_ps(beta);
+  __m256 rows[4][2] = {{c00, c01}, {c10, c11}, {c20, c21}, {c30, c31}};
+  for (int i = 0; i < kGemmTileRows; ++i) {
+    __m256 t0 = rows[i][0];
+    __m256 t1 = rows[i][1];
+    if (scale4 != nullptr) {
+      const __m256 s = _mm256_broadcast_ss(scale4 + i);
+      t0 = _mm256_mul_ps(t0, s);
+      t1 = _mm256_mul_ps(t1, s);
+    }
+    if (shift4 != nullptr) {
+      const __m256 b = _mm256_broadcast_ss(shift4 + i);
+      t0 = _mm256_add_ps(t0, b);
+      t1 = _mm256_add_ps(t1, b);
+    }
+    if (relu) {
+      t0 = _mm256_max_ps(t0, zero);
+      t1 = _mm256_max_ps(t1, zero);
+    }
+    if (residual != nullptr) {
+      const float* rrow = residual + static_cast<std::size_t>(i) * ldr;
+      t0 = _mm256_add_ps(t0, _mm256_mul_ps(beta_v, _mm256_loadu_ps(rrow)));
+      t1 = _mm256_add_ps(t1,
+                         _mm256_mul_ps(beta_v, _mm256_loadu_ps(rrow + 8)));
+    }
+    _mm256_storeu_ps(c + static_cast<std::size_t>(i) * ldc, t0);
+    _mm256_storeu_ps(c + static_cast<std::size_t>(i) * ldc + 8, t1);
+  }
+}
+
 float dot_avx2(const float* x, const float* y, int k) {
   __m256 s0 = _mm256_setzero_ps();
   __m256 s1 = _mm256_setzero_ps();
@@ -286,10 +351,70 @@ float max_abs_f32_avx2(const float* src, std::size_t n) {
   return best;
 }
 
+// Elementwise family — 8-wide bodies plus a scalar tail with the exact
+// per-element operation sequence. Separate mul/add (no FMA, and
+// -ffp-contract=off forbids re-fusing), so each kernel is bitwise equal
+// to its scalar twin.
+
+void relu_f32_avx2(const float* src, float* dst, std::size_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i, _mm256_max_ps(_mm256_loadu_ps(src + i), zero));
+  }
+  for (; i < n; ++i) {
+    const float t = src[i];
+    dst[i] = t > 0.0f ? t : 0.0f;
+  }
+}
+
+void axpy_f32_avx2(float a, const float* x, float* y, std::size_t n) {
+  const __m256 av = _mm256_set1_ps(a);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 p = _mm256_mul_ps(av, _mm256_loadu_ps(x + i));
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), p));
+  }
+  for (; i < n; ++i) y[i] = y[i] + a * x[i];
+}
+
+void mul_f32_avx2(const float* a, const float* b, float* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        dst + i, _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = a[i] * b[i];
+}
+
+void scale_f32_avx2(float* x, std::size_t n, float a) {
+  const __m256 av = _mm256_set1_ps(a);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), av));
+  }
+  for (; i < n; ++i) x[i] = x[i] * a;
+}
+
+void affine_f32_avx2(const float* src, float* dst, std::size_t n, float scale,
+                     float shift) {
+  const __m256 sv = _mm256_set1_ps(scale);
+  const __m256 bv = _mm256_set1_ps(shift);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 t = _mm256_mul_ps(_mm256_loadu_ps(src + i), sv);
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(t, bv));
+  }
+  for (; i < n; ++i) dst[i] = src[i] * scale + shift;
+}
+
 constexpr GemmKernels kAvx2Kernels{tile4x16_avx2,     dot_avx2,
                                    tile4x16_i16_avx2, qdq_f32_avx2,
                                    quant_f32_i16_avx2, requant_i32_avx2,
-                                   max_abs_f32_avx2, "avx2+fma"};
+                                   max_abs_f32_avx2, tile4x16_ep_avx2,
+                                   relu_f32_avx2, axpy_f32_avx2,
+                                   mul_f32_avx2, scale_f32_avx2,
+                                   affine_f32_avx2, "avx2+fma"};
 
 }  // namespace
 

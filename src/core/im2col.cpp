@@ -43,6 +43,64 @@ void im2col_strided(const T* src, const LoweringGeometry& g,
                     std::size_t row_stride, T* dst) {
   const int ho = g.out_h(), wo = g.out_w();
   const std::size_t plane = static_cast<std::size_t>(g.height) * g.width;
+  // "Same" geometry (stride 1, symmetric pad: the ODE-block 3x3/pad-1
+  // conv): each tap's lowered row is the input plane flat-shifted by
+  // (kh-pad)*w + (kw-pad). One plane-sized memcpy replaces ho row-sized
+  // ones — the per-call overhead of the small copies dominates on the
+  // 8x8/4x4 planes — then the wrapped edge columns and the out-of-range
+  // top/bottom rows are zeroed. Values match the general walk exactly.
+  if (g.stride == 1 && ho == g.height && wo == g.width) {
+    const int h = g.height, w = g.width;
+    std::size_t row = 0;
+    for (int c = 0; c < g.channels; ++c) {
+      const T* cplane = src + static_cast<std::size_t>(c) * plane;
+      for (int kh = 0; kh < g.kernel; ++kh) {
+        for (int kw = 0; kw < g.kernel; ++kw, ++row) {
+          T* out_row = dst + row * row_stride;
+          const int dh = kh - g.pad, dw = kw - g.pad;
+          const std::ptrdiff_t shift =
+              static_cast<std::ptrdiff_t>(dh) * w + dw;
+          std::size_t lo = shift < 0 ? static_cast<std::size_t>(-shift) : 0;
+          std::size_t hi = shift > 0 ? plane - std::min<std::size_t>(
+                                                   plane,
+                                                   static_cast<std::size_t>(
+                                                       shift))
+                                     : plane;
+          lo = std::min(lo, plane);
+          hi = std::max(hi, lo);
+          if (lo > 0) std::memset(out_row, 0, lo * sizeof(T));
+          if (hi > lo) {
+            std::memcpy(out_row + lo, cplane + lo + shift,
+                        (hi - lo) * sizeof(T));
+          }
+          if (hi < plane) {
+            std::memset(out_row + hi, 0, (plane - hi) * sizeof(T));
+          }
+          // Rows whose source row is outside [0, h) are all zeros.
+          const int row0 = dh < 0 ? -dh : 0;
+          const int row1 = dh > 0 ? h - dh : h;
+          if (row0 > 0) {
+            std::memset(out_row, 0,
+                        static_cast<std::size_t>(row0) * w * sizeof(T));
+          }
+          if (row1 < h) {
+            std::memset(out_row + static_cast<std::size_t>(row1) * w, 0,
+                        static_cast<std::size_t>(h - row1) * w * sizeof(T));
+          }
+          // The flat shift wraps row ends into neighboring rows; those
+          // columns read outside [0, w) and must be zero.
+          const int zl = std::min(dw < 0 ? -dw : 0, w);
+          const int zr = std::max(w - (dw > 0 ? dw : 0), zl);
+          for (int oh = row0; oh < row1; ++oh) {
+            T* out = out_row + static_cast<std::size_t>(oh) * w;
+            for (int ow = 0; ow < zl; ++ow) out[ow] = T{};
+            for (int ow = zr; ow < w; ++ow) out[ow] = T{};
+          }
+        }
+      }
+    }
+    return;
+  }
   std::size_t row = 0;
   for (int c = 0; c < g.channels; ++c) {
     const T* cplane = src + static_cast<std::size_t>(c) * plane;
@@ -347,6 +405,357 @@ void gemm_tiled_pa(const PackedGemmA& a, const float* b, float* c, int n,
         const int t1 = std::min(row_tiles, t0 + tiles_per_block);
         if (t0 < t1) run_span(pi, t0, t1);
       });
+}
+
+void gemm_tiled_pa_ep(const PackedGemmA& a, const float* b, float* c, int n,
+                      const GemmEpilogue& ep) {
+  ODENET_CHECK(n >= 0, "bad gemm dimensions");
+  const int m = a.m, k = a.k;
+  if (m == 0 || n == 0) return;
+  const GemmKernels& kernels = active_gemm_kernels();
+  const int panels = (n + kPanelCols - 1) / kPanelCols;
+  const int row_tiles = (m + kTileRows - 1) / kTileRows;
+
+  // gemm_tiled_pa's task shape with the epilogue threaded through: full
+  // tiles run the fused micro-kernel; ragged edges run the ascending-k
+  // scalar sum then the SAME epilogue chain inline (ISA-independent). The
+  // epilogue is per-element, so thread-count invariance stays structural.
+  auto run_span = [&](int pi, int t0, int t1) {
+    const int p0 = pi * kPanelCols;
+    const int pn = std::min(kPanelCols, n - p0);
+    const int full_tiles = pn / kTileCols;
+    static thread_local std::vector<float> packed;
+    packed.resize(static_cast<std::size_t>(std::max(full_tiles, 1)) *
+                  static_cast<std::size_t>(std::max(k, 1)) * kTileCols);
+    for (int p = 0; p < k; ++p) {
+      const float* brow = b + static_cast<std::size_t>(p) * n + p0;
+      for (int jt = 0; jt < full_tiles; ++jt) {
+        float* dst = packed.data() +
+                     (static_cast<std::size_t>(jt) * k +
+                      static_cast<std::size_t>(p)) *
+                         kTileCols;
+        std::memcpy(dst, brow + jt * kTileCols, kTileCols * sizeof(float));
+      }
+    }
+    for (int t = t0; t < t1; ++t) {
+      const int i0 = t * kTileRows;
+      const int mr = std::min(kTileRows, m - i0);
+      const float* apanel = a.data.data() +
+                            static_cast<std::size_t>(t) * k * kTileRows;
+      const float* scale4 = ep.scale != nullptr ? ep.scale + i0 : nullptr;
+      const float* shift4 = ep.shift != nullptr ? ep.shift + i0 : nullptr;
+      for (int jt = 0; jt < pn; jt += kTileCols) {
+        const int j0 = p0 + jt;
+        const int nr = std::min(kTileCols, pn - jt);
+        if (mr == kTileRows && nr == kTileCols) {
+          const float* bp = packed.data() +
+                            static_cast<std::size_t>(jt / kTileCols) * k *
+                                kTileCols;
+          const float* rtile =
+              ep.residual != nullptr
+                  ? ep.residual + static_cast<std::size_t>(i0) * n + j0
+                  : nullptr;
+          kernels.tile4x16_ep(apanel, bp, k,
+                              c + (static_cast<std::size_t>(i0) * n + j0),
+                              static_cast<std::size_t>(n), scale4, shift4,
+                              ep.relu, rtile, static_cast<std::size_t>(n),
+                              ep.beta);
+        } else {
+          for (int i = 0; i < mr; ++i) {
+            float* crow = c + (i0 + i) * static_cast<std::size_t>(n) + j0;
+            const float* rrow =
+                ep.residual != nullptr
+                    ? ep.residual + (i0 + i) * static_cast<std::size_t>(n) + j0
+                    : nullptr;
+            for (int j = 0; j < nr; ++j) {
+              float sum = 0.0f;
+              const float* bcol = b + j0 + j;
+              for (int p = 0; p < k; ++p) {
+                sum += apanel[p * kTileRows + i] *
+                       bcol[static_cast<std::size_t>(p) * n];
+              }
+              // The epilogue chain, op for op the micro-kernel's.
+              if (scale4 != nullptr) sum = sum * scale4[i];
+              if (shift4 != nullptr) sum = sum + shift4[i];
+              if (ep.relu) sum = sum > 0.0f ? sum : 0.0f;
+              if (rrow != nullptr) sum = sum + ep.beta * rrow[j];
+              crow[j] = sum;
+            }
+          }
+        }
+      }
+    }
+  };
+
+  const std::size_t flops = 2ull * static_cast<std::size_t>(m) *
+                            static_cast<std::size_t>(k) *
+                            static_cast<std::size_t>(n);
+  util::ThreadPool& pool = kernel_pool();
+  const std::size_t workers = pool.worker_count();
+  if (flops < gemm_parallel_min_flops() || workers <= 1) {
+    for (int pi = 0; pi < panels; ++pi) run_span(pi, 0, row_tiles);
+    return;
+  }
+  int row_blocks = 1;
+  if (static_cast<std::size_t>(panels) < workers) {
+    const int max_blocks =
+        (row_tiles + kMinRowTilesPerTask - 1) / kMinRowTilesPerTask;
+    row_blocks = std::min<int>(
+        max_blocks,
+        static_cast<int>((workers + panels - 1) /
+                         static_cast<std::size_t>(panels)));
+    row_blocks = std::max(row_blocks, 1);
+  }
+  const int tiles_per_block = (row_tiles + row_blocks - 1) / row_blocks;
+  util::parallel_for(
+      pool, 0, static_cast<std::size_t>(panels) * row_blocks,
+      [&](std::size_t task) {
+        const int pi = static_cast<int>(task) / row_blocks;
+        const int rb = static_cast<int>(task) % row_blocks;
+        const int t0 = rb * tiles_per_block;
+        const int t1 = std::min(row_tiles, t0 + tiles_per_block);
+        if (t0 < t1) run_span(pi, t0, t1);
+      });
+}
+
+namespace {
+
+// Per-tap gather plan for the implicit stride-1 "same" lowering: column
+// row (c, kh, kw) of the im2col matrix is the input plane shifted by
+// `shift` with out-of-image taps zeroed. [lo, hi) bounds the plane range
+// whose shifted source lies inside the plane at all; [rlo, rhi) the flat
+// range of vertically-valid rows; [zl, zr) the horizontally-valid columns
+// within each row. Identical masking to im2col_strided's fast path.
+struct TapSpec {
+  std::ptrdiff_t shift = 0;
+  std::size_t lo = 0, hi = 0;
+  std::size_t rlo = 0, rhi = 0;
+  int zl = 0, zr = 0;
+  // Fast interior range: a micro-panel row wholly inside [flo, fhi) is one
+  // constant-size 16-float copy plus ncz pointwise zeros (cz lists the
+  // column-clipped in-tile positions — valid because tiles are 16-aligned,
+  // so when the image width divides 16 every tile shares one column
+  // phase). Tiles outside take the general masked gather.
+  std::size_t flo = 0, fhi = 0;
+  int cz[kGemmTileCols] = {};
+  int ncz = 0;
+};
+
+constexpr int kMaxImplicitTaps = 49;  // kernels up to 7x7
+
+// Fill one micro-panel row: columns [q0, q0+16) of the tap-shifted plane.
+// rowbase is the flat offset of the row containing q0 (tracked by the
+// caller so no per-tile division is needed).
+inline void gather_tap_row16(const float* splane, const TapSpec& ts,
+                             std::size_t w, std::size_t q0,
+                             std::size_t rowbase, float* dst) {
+  const std::size_t q1 = q0 + kTileCols;
+  const std::size_t a0 = std::max(q0, ts.lo);
+  const std::size_t a1 = std::min(q1, ts.hi);
+  if (a1 <= a0) {
+    std::memset(dst, 0, kTileCols * sizeof(float));
+    return;
+  }
+  if (a0 > q0) std::memset(dst, 0, (a0 - q0) * sizeof(float));
+  std::memcpy(dst + (a0 - q0), splane + a0 + ts.shift,
+              (a1 - a0) * sizeof(float));
+  if (q1 > a1) std::memset(dst + (a1 - q0), 0, (q1 - a1) * sizeof(float));
+  // Rows clipped by the vertical shift.
+  if (a0 < ts.rlo) {
+    const std::size_t e = std::min(a1, ts.rlo);
+    std::memset(dst + (a0 - q0), 0, (e - a0) * sizeof(float));
+  }
+  if (a1 > ts.rhi) {
+    const std::size_t s = std::max(a0, ts.rhi);
+    std::memset(dst + (s - q0), 0, (a1 - s) * sizeof(float));
+  }
+  // Columns clipped by the horizontal shift, row by covered row.
+  if (ts.zl > 0 || static_cast<std::size_t>(ts.zr) < w) {
+    for (std::size_t rb = rowbase; rb < a1; rb += w) {
+      std::size_t s = std::max(a0, rb);
+      std::size_t e = std::min(a1, rb + static_cast<std::size_t>(ts.zl));
+      for (; s < e; ++s) dst[s - q0] = 0.0f;
+      s = std::max(a0, rb + static_cast<std::size_t>(ts.zr));
+      e = std::min(a1, rb + w);
+      for (; s < e; ++s) dst[s - q0] = 0.0f;
+    }
+  }
+}
+
+}  // namespace
+
+bool gemm_implicit_lowering_ok(const LoweringGeometry& g, int m) {
+  const std::size_t plane =
+      static_cast<std::size_t>(g.height) * static_cast<std::size_t>(g.width);
+  return g.stride == 1 && g.height > 0 && g.width > 0 &&
+         g.out_h() == g.height && g.out_w() == g.width &&
+         plane % kTileCols == 0 && m % kTileRows == 0 &&
+         g.kernel * g.kernel <= kMaxImplicitTaps;
+}
+
+void gemm_tiled_pa_ep_lowered(const PackedGemmA& a, const float* src,
+                              const LoweringGeometry& g, int batch, float* c,
+                              const GemmEpilogue& ep) {
+  const int m = a.m, k = a.k;
+  ODENET_CHECK(gemm_implicit_lowering_ok(g, m),
+               "gemm_tiled_pa_ep_lowered: geometry not implicit-eligible");
+  ODENET_CHECK(k == static_cast<int>(g.col_rows()),
+               "gemm_tiled_pa_ep_lowered: packed A k " << k
+                   << " != lowering rows " << g.col_rows());
+  ODENET_CHECK(batch > 0, "gemm_tiled_pa_ep_lowered needs a non-empty batch");
+  const std::size_t uw = static_cast<std::size_t>(g.width);
+  const std::size_t plane = static_cast<std::size_t>(g.height) * uw;
+  const std::size_t sample = static_cast<std::size_t>(g.channels) * plane;
+  const int n = static_cast<int>(plane * static_cast<std::size_t>(batch));
+  if (m == 0 || n == 0) return;
+  const GemmKernels& kernels = active_gemm_kernels();
+  const int panels = (n + kPanelCols - 1) / kPanelCols;
+  const int row_tiles = m / kTileRows;
+  const int kk = g.kernel * g.kernel;
+
+  TapSpec taps[kMaxImplicitTaps];
+  for (int t = 0; t < kk; ++t) {
+    const int dh = t / g.kernel - g.pad, dw = t % g.kernel - g.pad;
+    TapSpec& ts = taps[t];
+    ts.shift = static_cast<std::ptrdiff_t>(dh) * g.width + dw;
+    std::size_t lo = ts.shift < 0 ? static_cast<std::size_t>(-ts.shift) : 0;
+    std::size_t hi =
+        ts.shift > 0
+            ? plane - std::min<std::size_t>(
+                          plane, static_cast<std::size_t>(ts.shift))
+            : plane;
+    ts.lo = std::min(lo, plane);
+    ts.hi = std::max(hi, ts.lo);
+    const int row0 = dh < 0 ? std::min(-dh, g.height) : 0;
+    const int row1 = dh > 0 ? std::max(g.height - dh, row0) : g.height;
+    ts.rlo = static_cast<std::size_t>(row0) * uw;
+    ts.rhi = static_cast<std::size_t>(row1) * uw;
+    ts.zl = std::min(dw < 0 ? -dw : 0, g.width);
+    ts.zr = std::max(g.width - (dw > 0 ? dw : 0), ts.zl);
+    ts.flo = std::max(ts.lo, ts.rlo);
+    ts.fhi = std::max(std::min(ts.hi, ts.rhi), ts.flo);
+    ts.ncz = 0;
+    if (ts.zl > 0 || ts.zr < g.width) {
+      if (g.width <= kTileCols && kTileCols % g.width == 0) {
+        for (int j = 0; j < kTileCols; ++j) {
+          const int jm = j % g.width;
+          if (jm < ts.zl || jm >= ts.zr) ts.cz[ts.ncz++] = j;
+        }
+      } else {
+        ts.fhi = ts.flo;  // column phase varies per tile: general path only
+      }
+    }
+  }
+
+  // gemm_tiled_pa_ep's task shape, with the B-panel pack replaced by the
+  // direct gather. plane % 16 == 0 means every micro-panel sits inside one
+  // sample and pn % 16 == 0, so there are no ragged column edges; m % 4 ==
+  // 0 removes the ragged row edge. Same packed values, same kernel, same
+  // sweep order as the explicit composition — bitwise identical output.
+  auto run_span = [&](int pi, int t0, int t1) {
+    const int p0 = pi * kPanelCols;
+    const int pn = std::min(kPanelCols, n - p0);
+    const int full_tiles = pn / kTileCols;
+    static thread_local std::vector<float> packed;
+    packed.resize(static_cast<std::size_t>(full_tiles) *
+                  static_cast<std::size_t>(std::max(k, 1)) * kTileCols);
+    for (int p = 0; p < k; ++p) {
+      const TapSpec& ts = taps[p % kk];
+      const float* chan = src + static_cast<std::size_t>(p / kk) * plane;
+      std::size_t ni = static_cast<std::size_t>(p0) / plane;
+      std::size_t q0 = static_cast<std::size_t>(p0) - ni * plane;
+      std::size_t rowbase = (q0 / uw) * uw;
+      const float* splane = chan + ni * sample;
+      for (int jt = 0; jt < full_tiles; ++jt) {
+        float* dst = packed.data() +
+                     (static_cast<std::size_t>(jt) * k +
+                      static_cast<std::size_t>(p)) *
+                         kTileCols;
+        if (q0 >= ts.flo && q0 + kTileCols <= ts.fhi) {
+          std::memcpy(dst, splane + q0 + ts.shift,
+                      kTileCols * sizeof(float));
+          for (int z = 0; z < ts.ncz; ++z) dst[ts.cz[z]] = 0.0f;
+        } else {
+          gather_tap_row16(splane, ts, uw, q0, rowbase, dst);
+        }
+        q0 += kTileCols;
+        if (q0 == plane) {
+          q0 = 0;
+          rowbase = 0;
+          splane += sample;
+        } else {
+          while (q0 - rowbase >= uw) rowbase += uw;
+        }
+      }
+    }
+    for (int t = t0; t < t1; ++t) {
+      const int i0 = t * kTileRows;
+      const float* apanel = a.data.data() +
+                            static_cast<std::size_t>(t) * k * kTileRows;
+      const float* scale4 = ep.scale != nullptr ? ep.scale + i0 : nullptr;
+      const float* shift4 = ep.shift != nullptr ? ep.shift + i0 : nullptr;
+      for (int jt = 0; jt < full_tiles; ++jt) {
+        const int j0 = p0 + jt * kTileCols;
+        const float* bp = packed.data() +
+                          static_cast<std::size_t>(jt) * k * kTileCols;
+        const float* rtile =
+            ep.residual != nullptr
+                ? ep.residual + static_cast<std::size_t>(i0) * n + j0
+                : nullptr;
+        kernels.tile4x16_ep(apanel, bp, k,
+                            c + (static_cast<std::size_t>(i0) * n + j0),
+                            static_cast<std::size_t>(n), scale4, shift4,
+                            ep.relu, rtile, static_cast<std::size_t>(n),
+                            ep.beta);
+      }
+    }
+  };
+
+  const std::size_t flops = 2ull * static_cast<std::size_t>(m) *
+                            static_cast<std::size_t>(k) *
+                            static_cast<std::size_t>(n);
+  util::ThreadPool& pool = kernel_pool();
+  const std::size_t workers = pool.worker_count();
+  if (flops < gemm_parallel_min_flops() || workers <= 1) {
+    for (int pi = 0; pi < panels; ++pi) run_span(pi, 0, row_tiles);
+    return;
+  }
+  int row_blocks = 1;
+  if (static_cast<std::size_t>(panels) < workers) {
+    const int max_blocks =
+        (row_tiles + kMinRowTilesPerTask - 1) / kMinRowTilesPerTask;
+    row_blocks = std::min<int>(
+        max_blocks,
+        static_cast<int>((workers + panels - 1) /
+                         static_cast<std::size_t>(panels)));
+    row_blocks = std::max(row_blocks, 1);
+  }
+  const int tiles_per_block = (row_tiles + row_blocks - 1) / row_blocks;
+  util::parallel_for(
+      pool, 0, static_cast<std::size_t>(panels) * row_blocks,
+      [&](std::size_t task) {
+        const int pi = static_cast<int>(task) / row_blocks;
+        const int rb = static_cast<int>(task) % row_blocks;
+        const int t0 = rb * tiles_per_block;
+        const int t1 = std::min(row_tiles, t0 + tiles_per_block);
+        if (t0 < t1) run_span(pi, t0, t1);
+      });
+}
+
+void permute_channel_major_add(const float* src, float* dst, int batch,
+                               int channels, std::size_t plane) {
+  const std::size_t ncols = plane * static_cast<std::size_t>(batch);
+  const GemmKernels& kernels = active_gemm_kernels();
+  util::parallel_for(kernel_pool(), 0, static_cast<std::size_t>(batch),
+                     [&](std::size_t ni) {
+    for (int c = 0; c < channels; ++c) {
+      const std::size_t nchw =
+          (ni * static_cast<std::size_t>(channels) + c) * plane;
+      const std::size_t cmajor =
+          static_cast<std::size_t>(c) * ncols + ni * plane;
+      kernels.axpy_f32(1.0f, src + cmajor, dst + nchw, plane);
+    }
+  });
 }
 
 void gemm_tiled(const float* a, const float* b, float* c, int m, int k, int n,

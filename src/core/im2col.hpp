@@ -124,6 +124,58 @@ void pack_gemm_a(const float* a, int m, int k, PackedGemmA& out);
 void gemm_tiled_pa(const PackedGemmA& a, const float* b, float* c, int n,
                    bool accumulate);
 
+/// Epilogue applied to every output element of gemm_tiled_pa_ep while the
+/// tile is still in registers, in this fixed order:
+///   t = acc * scale[i] + shift[i]   (each part skipped when null; i is
+///                                    the output ROW, i.e. the conv's out
+///                                    channel)
+///   t = max(t, 0)                   (when relu)
+///   t = t + beta * residual[i*n+j]  (when residual != nullptr)
+/// residual shares C's [m,n] layout and MAY alias c — each tile reads its
+/// own residual window before storing, so in-place `c = ep(A*B) + beta*c`
+/// (the Euler update z += h*f(z)) is safe under any thread split.
+struct GemmEpilogue {
+  const float* scale = nullptr;  // per-row multipliers [m]
+  const float* shift = nullptr;  // per-row addends [m]
+  bool relu = false;
+  const float* residual = nullptr;  // [m,n], may alias c
+  float beta = 1.0f;
+};
+
+/// gemm_tiled_pa with the epilogue fused into the micro-kernel's store:
+/// C[m,n] = ep(A * B[k,n]). Always overwrites (residual IS the accumulate
+/// path). The GEMM summation order is identical to gemm_tiled_pa, and the
+/// epilogue arithmetic is bitwise identical to running the unfused GEMM
+/// followed by the standalone elementwise kernels, on either ISA.
+void gemm_tiled_pa_ep(const PackedGemmA& a, const float* b, float* c, int n,
+                      const GemmEpilogue& ep);
+
+/// True when gemm_tiled_pa_ep_lowered can run the lowering implicitly:
+/// stride-1 "same" geometry (out extents == in extents), plane a multiple
+/// of the 16-column micro-tile (so no B micro-panel straddles a sample
+/// boundary), and m a multiple of the 4-row micro-tile (so no ragged edge
+/// ever needs a materialized column matrix).
+bool gemm_implicit_lowering_ok(const LoweringGeometry& g, int m);
+
+/// gemm_tiled_pa_ep with the im2col itself folded into the B-panel pack:
+/// instead of materializing the [C*K*K, N*plane] column matrix and copying
+/// it into micro-panels, each panel row is gathered straight from the
+/// [N,C,H,W] image (shifted plane copy + zeroed out-of-image taps). Packed
+/// panel values, summation order, and epilogue are identical to the
+/// explicit im2col_batched + gemm_tiled_pa_ep composition, so results are
+/// bitwise equal on either ISA and under any thread split — the fused
+/// inference path just skips one full write + read of the column matrix.
+/// Requires gemm_implicit_lowering_ok(g, a.m) and a.k == g.col_rows().
+void gemm_tiled_pa_ep_lowered(const PackedGemmA& a, const float* src,
+                              const LoweringGeometry& g, int batch, float* c,
+                              const GemmEpilogue& ep);
+
+/// permute_channel_major(to_nchw=true) fused with an axpy: NCHW dst +=
+/// channel-major src (the batched fused conv's residual accumulation).
+/// src and dst must not alias. Parallelized over samples.
+void permute_channel_major_add(const float* src, float* dst, int batch,
+                               int channels, std::size_t plane);
+
 /// B^T stored [n,k] row-major (a Linear weight [out,in]) repacked into the
 /// column-panel layout the micro-kernel consumes: [ceil(n/16)] panels of
 /// [k][16], edge columns zero-padded. Cached once per weight version.

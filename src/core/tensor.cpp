@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/gemm_kernels.hpp"
+
 namespace odenet::core {
 
 std::size_t shape_numel(const std::vector<int>& shape) {
@@ -69,23 +71,23 @@ Tensor& Tensor::fill(float v) {
 }
 
 Tensor& Tensor::scale(float a) {
-  for (float& x : data_) x *= a;
+  active_gemm_kernels().scale_f32(data_.data(), data_.size(), a);
   return *this;
 }
 
 Tensor& Tensor::axpy(float a, const Tensor& x) {
   ODENET_CHECK(same_shape(x), "axpy shape mismatch: " << shape_str() << " vs "
                                                       << x.shape_str());
-  const float* src = x.data();
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += a * src[i];
+  active_gemm_kernels().axpy_f32(a, x.data(), data_.data(), data_.size());
   return *this;
 }
 
 Tensor& Tensor::mul(const Tensor& x) {
   ODENET_CHECK(same_shape(x), "mul shape mismatch: " << shape_str() << " vs "
                                                      << x.shape_str());
-  const float* src = x.data();
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= src[i];
+  // mul_f32 permits dst == a, which is exactly this in-place form.
+  active_gemm_kernels().mul_f32(data_.data(), x.data(), data_.data(),
+                                data_.size());
   return *this;
 }
 

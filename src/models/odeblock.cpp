@@ -27,6 +27,7 @@ core::Tensor OdeBlock::forward(const Tensor& x) {
   opts.steps = cfg_.executions;
   opts.rtol = cfg_.rtol;
   opts.atol = cfg_.atol;
+  opts.scratch = &scratch_;  // stage tensors recycled across forwards
   core::Tensor out = solver::ode_solve(dynamics_, x, t0(), t1(), opts, &stats_);
   if (training_) {
     ODENET_CHECK(cfg_.method != solver::Method::kDopri5,

@@ -69,6 +69,19 @@ class OdeBlock final : public core::Layer {
     core::Tensor eval(const core::Tensor& z, float t) override {
       return block_.branch_forward(z, t);
     }
+    void eval_into(const core::Tensor& z, float t,
+                   core::Tensor& out) override {
+      if (block_.fused_eval_ready()) {
+        block_.fused_branch_eval(z, t, 1.0f, out, /*accumulate=*/false);
+      } else {
+        out = eval(z, t);
+      }
+    }
+    bool euler_step_inplace(core::Tensor& z, float t, float h) override {
+      if (!block_.fused_eval_ready()) return false;
+      block_.fused_euler_step(z, t, h);
+      return true;
+    }
     core::Tensor vjp(const core::Tensor& v) override {
       return block_.branch_backward(v);
     }
@@ -82,6 +95,7 @@ class OdeBlock final : public core::Layer {
   core::BuildingBlock block_;
   BlockDynamics dynamics_;
   solver::SolveStats stats_;
+  solver::StepScratch scratch_;  // recycled stage storage for fixed steps
   core::Tensor cached_z0_;  // for discrete backward
   core::Tensor cached_z1_;  // for adjoint backward
 };

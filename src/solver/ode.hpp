@@ -21,6 +21,23 @@ class OdeFunction {
  public:
   virtual ~OdeFunction() = default;
   virtual core::Tensor eval(const core::Tensor& z, float t) = 0;
+
+  /// Evaluates into a caller-provided tensor (reallocated on shape
+  /// mismatch, reused otherwise) so fixed-step solvers can step without
+  /// allocating. Default falls back to eval(); dynamics with a fused
+  /// inference path override this to write the recycled buffer directly.
+  virtual void eval_into(const core::Tensor& z, float t, core::Tensor& out) {
+    out = eval(z, t);
+  }
+
+  /// One in-place Euler update z += h * f(z, t), when the dynamics can do
+  /// it cheaper than eval + axpy (the fused block writes the state once,
+  /// inside its second GEMM). Returns false (the default) to make the
+  /// solver take its generic eval_into + axpy path instead.
+  virtual bool euler_step_inplace(core::Tensor& /*z*/, float /*t*/,
+                                  float /*h*/) {
+    return false;
+  }
 };
 
 /// Dynamics that can also compute vector-Jacobian products, which both the
@@ -55,6 +72,15 @@ int evals_per_step(Method m);
 /// Classical convergence order (1 / 2 / 4 / 5).
 int method_order(Method m);
 
+/// Reusable stage storage for the fixed-step methods. A caller that keeps
+/// one StepScratch alive across solves (the runtime's OdeBlock does)
+/// makes stepping allocation-free after the first step: every k-stage and
+/// the intermediate state land in these recycled tensors.
+struct StepScratch {
+  core::Tensor k1, k2, k3, k4;
+  core::Tensor u;  // intermediate state z + c*h*k
+};
+
 struct SolveOptions {
   Method method = Method::kEuler;
   /// Fixed-step methods: number of steps across [t0, t1].
@@ -66,6 +92,10 @@ struct SolveOptions {
   int max_steps = 100000;
   /// When set, solvers append every intermediate state (including z0) here.
   std::vector<core::Tensor>* trajectory = nullptr;
+  /// Optional caller-owned stage storage for euler/heun/rk4 (values are
+  /// identical with or without it; it only removes per-step allocation).
+  /// Must outlive the solve. Dopri5 ignores it.
+  StepScratch* scratch = nullptr;
 };
 
 struct SolveStats {

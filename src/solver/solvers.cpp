@@ -207,12 +207,47 @@ core::Tensor ode_solve(OdeFunction& f, const core::Tensor& z0, float t0,
   const float h = (t1 - t0) / static_cast<float>(opts.steps);
   core::Tensor z = z0;
   if (opts.trajectory) opts.trajectory->push_back(z);
+  // In-place restructure of the exported step functions: stages land in
+  // scratch tensors (caller-provided via opts.scratch, so steady-state
+  // serving allocates nothing per step) and z is updated by axpy instead
+  // of copy+axpy. Same operations on the same floats in the same order —
+  // values are identical to euler_step/heun_step/rk4_step, which remain
+  // the checkpointing backward passes' replay primitives.
+  StepScratch local;
+  StepScratch& s = opts.scratch != nullptr ? *opts.scratch : local;
   for (int i = 0; i < opts.steps; ++i) {
     const float t = t0 + h * static_cast<float>(i);
     switch (opts.method) {
-      case Method::kEuler: z = euler_step(f, z, t, h); break;
-      case Method::kHeun: z = heun_step(f, z, t, h); break;
-      case Method::kRk4: z = rk4_step(f, z, t, h); break;
+      case Method::kEuler:
+        if (!f.euler_step_inplace(z, t, h)) {
+          f.eval_into(z, t, s.k1);
+          z.axpy(h, s.k1);
+        }
+        break;
+      case Method::kHeun:
+        f.eval_into(z, t, s.k1);
+        s.u = z;
+        s.u.axpy(h, s.k1);
+        f.eval_into(s.u, t + h, s.k2);
+        z.axpy(h * 0.5f, s.k1);
+        z.axpy(h * 0.5f, s.k2);
+        break;
+      case Method::kRk4:
+        f.eval_into(z, t, s.k1);
+        s.u = z;
+        s.u.axpy(h * 0.5f, s.k1);
+        f.eval_into(s.u, t + h * 0.5f, s.k2);
+        s.u = z;
+        s.u.axpy(h * 0.5f, s.k2);
+        f.eval_into(s.u, t + h * 0.5f, s.k3);
+        s.u = z;
+        s.u.axpy(h, s.k3);
+        f.eval_into(s.u, t + h, s.k4);
+        z.axpy(h / 6.0f, s.k1);
+        z.axpy(h / 3.0f, s.k2);
+        z.axpy(h / 3.0f, s.k3);
+        z.axpy(h / 6.0f, s.k4);
+        break;
       case Method::kDopri5: break;  // handled above
     }
     if (opts.trajectory) opts.trajectory->push_back(z);

@@ -57,6 +57,8 @@ HIGHER_BETTER_RELATIVE = {
     "batched_bwd_speedup_b16",
     "fixed_conv_speedup",
     "fixed_int_speedup",
+    "fused_ode_speedup",
+    "fused_conv_bn_relu_speedup",
     "shed_goodput_ratio",
     "cluster_scaling_4x",
     "spill_goodput_ratio",
@@ -86,6 +88,7 @@ BOOLEAN_GATES = {
     "routing_wins",
     "meets_1p5x",
     "fixed_meets_1p5x",
+    "fused_ode_wins",
     "dip_within_25pct",
     "shed_protects",
     "preempt_wins",
