@@ -242,8 +242,10 @@ TraceRow run_trace(cluster::EngineCluster& cluster, const BenchKnobs& k,
       tenant = "tenant-" + std::to_string(i % static_cast<std::size_t>(
                                                   k.tenants));
     }
+    runtime::SubmitOptions opts;
+    opts.tenant = tenant;
     futures.push_back(cluster.submit(
-        slice_image(images, static_cast<int>(i) % images.dim(0)), tenant));
+        slice_image(images, static_cast<int>(i) % images.dim(0)), opts));
   }
   // Fixed-window open-loop accounting: goodput counts completions that
   // land INSIDE the trace window [0, trace_end). Dividing by the full

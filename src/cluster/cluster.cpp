@@ -113,7 +113,8 @@ std::vector<std::size_t> ClusterRouter::plan(
 
 std::string ClusterStats::to_json() const {
   std::ostringstream os;
-  os << "{\"submitted\":" << submitted << ",\"spilled\":" << spilled
+  os << "{\"schema\":" << runtime::kStatsSchemaVersion
+     << ",\"submitted\":" << submitted << ",\"spilled\":" << spilled
      << ",\"shed\":" << shed << ",\"no_admitting\":" << no_admitting
      << ",\"shards\":[";
   for (std::size_t i = 0; i < shards.size(); ++i) {
@@ -157,8 +158,9 @@ EngineCluster::EngineCluster(std::vector<ShardSpec> specs, ClusterConfig cfg)
 EngineCluster::~EngineCluster() { shutdown(); }
 
 std::future<runtime::InferenceResult> EngineCluster::submit(
-    core::Tensor image, const std::string& tenant, runtime::SubmitOptions opts,
+    core::Tensor image, runtime::SubmitOptions opts,
     std::size_t* shard_out) {
+  const std::string& tenant = opts.tenant;
   submitted_.fetch_add(1, std::memory_order_relaxed);
   if (shard_out != nullptr) {
     *shard_out = kNoShard;

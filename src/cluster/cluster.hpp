@@ -159,15 +159,17 @@ class EngineCluster {
   EngineCluster(const EngineCluster&) = delete;
   EngineCluster& operator=(const EngineCluster&) = delete;
 
-  /// Places one image for `tenant` (home shard, then spill candidates in
-  /// cost order) and returns the serving future. When every candidate is
-  /// full the future fails with QueueFull; when no shard is admitting it
-  /// fails with QueueFull naming the cordon. shard_out (optional)
+  /// Places one image (home shard of opts.tenant, then spill candidates
+  /// in cost order) and returns the serving future. When every candidate
+  /// is full the future fails with QueueFull; when no shard is admitting
+  /// it fails with QueueFull naming the cordon. shard_out (optional)
   /// receives the index of the shard that accepted, or kNoShard.
-  /// opts.backend still pins a backend WITHIN whichever shard accepts.
+  /// opts.backend still pins a backend WITHIN whichever shard accepts;
+  /// opts.model/model_version name the registry model the request must
+  /// be served from (checked by the shard engine).
   std::future<runtime::InferenceResult> submit(
-      core::Tensor image, const std::string& tenant,
-      runtime::SubmitOptions opts = {}, std::size_t* shard_out = nullptr);
+      core::Tensor image, runtime::SubmitOptions opts = {},
+      std::size_t* shard_out = nullptr);
 
   std::size_t shard_count() const { return shards_.size(); }
   runtime::InferenceEngine& shard(std::size_t index);

@@ -73,6 +73,9 @@ struct SocketFrontend::Connection {
 
   struct PendingReply {
     std::uint64_t id = 0;
+    /// Wire version of the request — the response echoes it so a v1
+    /// client never sees v2 bytes.
+    std::uint8_t version = 2;
     std::size_t shard = kNoShard;
     std::future<runtime::InferenceResult> future;
   };
@@ -202,11 +205,14 @@ void SocketFrontend::reader_loop(Connection& conn) {
       if (wire.deadline_us > 0) {
         opts.deadline = std::chrono::microseconds(wire.deadline_us);
       }
+      opts.tenant = wire.tenant;
+      opts.model = wire.model;
+      opts.model_version = wire.model_version;
       std::size_t shard = kNoShard;
       Connection::PendingReply reply;
       reply.id = wire.id;
-      reply.future =
-          cluster_.submit(std::move(image), wire.tenant, opts, &shard);
+      reply.version = wire.version;
+      reply.future = cluster_.submit(std::move(image), opts, &shard);
       reply.shard = shard;
       {
         std::lock_guard<std::mutex> lock(conn.mutex);
@@ -254,6 +260,7 @@ void SocketFrontend::writer_loop(Connection& conn) {
 
     WireResponse res;
     res.id = reply.id;
+    res.version = reply.version;
     res.shard = reply.shard == kNoShard
                     ? kNoShardByte
                     : static_cast<std::uint8_t>(reply.shard);
@@ -262,6 +269,7 @@ void SocketFrontend::writer_loop(Connection& conn) {
       res.status = ResponseStatus::kOk;
       res.predicted = r.predicted;
       res.latency_ms = static_cast<float>(r.total_seconds * 1e3);
+      res.model_version = r.model_version;
       res.logits.assign(r.logits.data(),
                         r.logits.data() + r.logits.numel());
     } catch (const runtime::QueueFull& e) {

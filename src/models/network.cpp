@@ -93,6 +93,15 @@ void Network::set_weight_version(std::uint64_t version) {
   fc_.set_weight_version(version);
 }
 
+void Network::set_weight_version_where(
+    std::uint64_t version,
+    const std::function<bool(const std::string& layer_name)>& changed) {
+  for_each_conv([version, &changed](core::Conv2d& conv) {
+    if (changed(conv.name())) conv.set_weight_version(version);
+  });
+  if (changed(fc_.name())) fc_.set_weight_version(version);
+}
+
 void Network::invalidate_packed_weights() {
   for_each_conv([](core::Conv2d& conv) { conv.invalidate_packed_weights(); });
   fc_.invalidate_packed_weights();
@@ -215,6 +224,10 @@ std::shared_ptr<const ModelSnapshot> Network::export_snapshot() {
 
 void Network::apply_snapshot(const ModelSnapshot& snapshot) {
   snapshot.apply(*this);
+}
+
+void Network::apply_snapshot_delta(const ModelSnapshot& snapshot) {
+  snapshot.apply_delta(*this);
 }
 
 void Network::save_weights(std::ostream& os) {

@@ -84,6 +84,14 @@ class Network final : public core::Layer {
   /// step), which makes each layer rebuild its packed view per call.
   void set_weight_version(std::uint64_t version);
 
+  /// Selective stamp: re-versions only the packed-weight-caching layers
+  /// whose name `changed` approves, leaving the others' stamps (and thus
+  /// their packed caches) intact. The delta-apply path uses this so a
+  /// head-only publish does not force every trunk conv to repack.
+  void set_weight_version_where(
+      std::uint64_t version,
+      const std::function<bool(const std::string& layer_name)>& changed);
+
   /// Drops every layer's cached packed-weight view without touching the
   /// stamped version.
   void invalidate_packed_weights();
@@ -117,6 +125,13 @@ class Network final : public core::Layer {
   /// Overwrites parameters and BN statistics from a snapshot; throws
   /// odenet::Error when the snapshot does not fit this architecture.
   void apply_snapshot(const ModelSnapshot& snapshot);
+
+  /// Applies only the snapshot's CHANGED tensors (ModelSnapshot change
+  /// masks) and re-stamps only the touched layers. The caller must
+  /// guarantee this network currently carries the snapshot's delta_base()
+  /// image — the engine's worker sync checks versions before choosing
+  /// this path over apply_snapshot().
+  void apply_snapshot_delta(const ModelSnapshot& snapshot);
 
   /// Checkpoint I/O — thin wrappers over export_snapshot()/apply_snapshot()
   /// (binary format, see util/serialize.hpp; load accepts both the

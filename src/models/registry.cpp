@@ -1,0 +1,218 @@
+#include "models/registry.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace odenet::models {
+
+void SnapshotRegistry::set_eval(EvalFn fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  eval_ = std::move(fn);
+}
+
+SnapshotRegistry::Entry* SnapshotRegistry::find_entry(
+    ModelState& state, std::uint64_t version) {
+  for (auto& e : state.ring) {
+    if (e.snap->version() == version) return &e;
+  }
+  return nullptr;
+}
+
+SnapshotRegistry::PublishResult SnapshotRegistry::publish(
+    const std::string& model, ModelSnapshot::Ptr snap) {
+  ODENET_CHECK(snap != nullptr, "publish of a null snapshot");
+  PublishResult result;
+  result.version = snap->version();
+  result.tensors_total = snap->params().size() + snap->bn_stats().size();
+  result.tensors_shipped = result.tensors_total;
+  result.bytes_total = snap->total_payload_bytes();
+  result.bytes_shipped = result.bytes_total;
+  std::unique_lock<std::mutex> lock(mutex_);
+  return publish_locked(lock, model, std::move(snap), std::move(result));
+}
+
+SnapshotRegistry::PublishResult SnapshotRegistry::publish_delta(
+    const std::string& model, const SnapshotDelta& delta) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = models_.find(model);
+  ODENET_CHECK(it != models_.end(),
+               "delta publish for unknown model '" << model << "'");
+  Entry* base = find_entry(it->second, delta.base_version);
+  ODENET_CHECK(base != nullptr,
+               "delta base version " << delta.base_version << " of model '"
+                                     << model
+                                     << "' is no longer retained; "
+                                        "publish a full snapshot instead");
+  ModelSnapshot::Ptr snap = ModelSnapshot::assemble(*base->snap, delta);
+  PublishResult result;
+  result.version = snap->version();
+  result.was_delta = true;
+  result.tensors_total = snap->params().size() + snap->bn_stats().size();
+  result.tensors_shipped = delta.tensor_count();
+  result.bytes_total = snap->total_payload_bytes();
+  result.bytes_shipped = delta.payload_bytes();
+  return publish_locked(lock, model, std::move(snap), std::move(result));
+}
+
+SnapshotRegistry::PublishResult SnapshotRegistry::publish_locked(
+    std::unique_lock<std::mutex>& lock, const std::string& model,
+    ModelSnapshot::Ptr snap, PublishResult result) {
+  ModelState& state = models_[model];
+  result.active_accuracy = state.active_accuracy;
+  if (eval_) {
+    // Score outside the lock: evaluation runs a forward pass over a
+    // held-out shard and must not serialize against serving-path
+    // lookups. The gate decision re-reads the active score afterwards —
+    // a concurrent publish may have moved it, and the freshest score is
+    // the one to gate against.
+    EvalFn eval = eval_;
+    lock.unlock();
+    const double accuracy = eval(*snap);
+    lock.lock();
+    ModelState& st = models_[model];  // map may have rehashed meanwhile
+    result.accuracy = accuracy;
+    result.active_accuracy = st.active_accuracy;
+    if (st.active_accuracy >= 0.0 &&
+        accuracy < st.active_accuracy - cfg_.gate_delta) {
+      result.accepted = false;
+      result.reason = "accuracy gate: candidate " + std::to_string(accuracy) +
+                      " regresses more than " + std::to_string(cfg_.gate_delta) +
+                      " below active " + std::to_string(st.active_accuracy);
+      return result;
+    }
+    st.ring.push_back({snap, accuracy, false});
+    st.active_version = snap->version();
+    st.active_accuracy = accuracy;
+    evict_locked(st);
+  } else {
+    state.ring.push_back({snap, -1.0, false});
+    state.active_version = snap->version();
+    state.active_accuracy = -1.0;
+    evict_locked(state);
+  }
+  result.accepted = true;
+  notify_locked(model, snap);
+  return result;
+}
+
+void SnapshotRegistry::evict_locked(ModelState& state) {
+  // Drop oldest-first until within retention; pinned and active versions
+  // are immune, so the ring can exceed retention while pins outstay it.
+  std::size_t i = 0;
+  while (state.ring.size() > cfg_.retention && i < state.ring.size()) {
+    const Entry& e = state.ring[i];
+    if (e.pinned || e.snap->version() == state.active_version) {
+      ++i;
+      continue;
+    }
+    state.ring.erase(state.ring.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+}
+
+void SnapshotRegistry::notify_locked(const std::string& model,
+                                     ModelSnapshot::Ptr snap) {
+  for (auto& [token, sub] : subscribers_) {
+    (void)token;
+    if (sub.model == model) sub.fn(model, snap);
+  }
+}
+
+void SnapshotRegistry::rollback(const std::string& model,
+                                std::uint64_t version) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = models_.find(model);
+  ODENET_CHECK(it != models_.end(),
+               "rollback for unknown model '" << model << "'");
+  ModelState& state = it->second;
+  if (state.active_version == version) return;
+  Entry* e = find_entry(state, version);
+  ODENET_CHECK(e != nullptr, "rollback target version "
+                                 << version << " of model '" << model
+                                 << "' is not retained");
+  state.active_version = version;
+  state.active_accuracy = e->accuracy;
+  notify_locked(model, e->snap);
+}
+
+ModelSnapshot::Ptr SnapshotRegistry::active(const std::string& model) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = models_.find(model);
+  if (it == models_.end() || it->second.active_version == 0) return nullptr;
+  for (const auto& e : it->second.ring) {
+    if (e.snap->version() == it->second.active_version) return e.snap;
+  }
+  return nullptr;
+}
+
+ModelSnapshot::Ptr SnapshotRegistry::find(const std::string& model,
+                                          std::uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = models_.find(model);
+  if (it == models_.end()) return nullptr;
+  for (const auto& e : it->second.ring) {
+    if (e.snap->version() == version) return e.snap;
+  }
+  return nullptr;
+}
+
+std::vector<SnapshotRegistry::VersionInfo> SnapshotRegistry::versions(
+    const std::string& model) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<VersionInfo> out;
+  auto it = models_.find(model);
+  if (it == models_.end()) return out;
+  out.reserve(it->second.ring.size());
+  for (const auto& e : it->second.ring) {
+    out.push_back({e.snap->version(), e.accuracy, e.pinned,
+                   e.snap->version() == it->second.active_version,
+                   e.snap->is_delta()});
+  }
+  return out;
+}
+
+void SnapshotRegistry::pin(const std::string& model, std::uint64_t version) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = models_.find(model);
+  ODENET_CHECK(it != models_.end(),
+               "pin for unknown model '" << model << "'");
+  Entry* e = find_entry(it->second, version);
+  ODENET_CHECK(e != nullptr, "pin target version "
+                                 << version << " of model '" << model
+                                 << "' is not retained");
+  e->pinned = true;
+}
+
+void SnapshotRegistry::unpin(const std::string& model,
+                             std::uint64_t version) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = models_.find(model);
+  ODENET_CHECK(it != models_.end(),
+               "unpin for unknown model '" << model << "'");
+  Entry* e = find_entry(it->second, version);
+  ODENET_CHECK(e != nullptr, "unpin target version "
+                                 << version << " of model '" << model
+                                 << "' is not retained");
+  e->pinned = false;
+  evict_locked(it->second);
+}
+
+std::uint64_t SnapshotRegistry::subscribe(const std::string& model,
+                                          Subscriber fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t token = next_token_++;
+  auto it = models_.find(model);
+  if (it != models_.end() && it->second.active_version != 0) {
+    Entry* e = find_entry(it->second, it->second.active_version);
+    if (e != nullptr) fn(model, e->snap);
+  }
+  subscribers_[token] = {model, std::move(fn)};
+  return token;
+}
+
+void SnapshotRegistry::unsubscribe(std::uint64_t token) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  subscribers_.erase(token);
+}
+
+}  // namespace odenet::models

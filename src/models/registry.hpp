@@ -1,0 +1,158 @@
+// SnapshotRegistry — the multi-tenant model store behind the serving API.
+//
+// PR 4's reload() gave one engine an anonymous "latest snapshot" slot; the
+// registry replaces that with named models, each holding a short ring of
+// recent ModelSnapshot versions:
+//
+//   * publish() is accuracy-gated: when an evaluator is installed, the
+//     candidate is scored (held-out shard, supplied by the caller as an
+//     EvalFn) and refused if it regresses beyond Config::gate_delta below
+//     the active version's score. Refused snapshots are not retained.
+//   * publish_delta() ships only changed tensors (SnapshotDelta) and
+//     assembles the full image against the retained base — a head
+//     fine-tune does not re-ship the trunk. The result's PublishResult
+//     carries byte/tensor accounting (shipped vs total).
+//   * rollback(model, version) re-activates any retained version — the
+//     escape hatch when a gated-but-bad model reaches production.
+//   * Retention keeps the newest Config::retention versions per model;
+//     pinned and active versions are never evicted (the ring may
+//     temporarily exceed retention to honor pins).
+//
+// Subscribers (engines) get every activation — publish and rollback alike —
+// as a callback. Callbacks run UNDER the registry mutex so activations are
+// totally ordered per model; a subscriber must therefore never call back
+// into the registry from its callback (the engine's callback only takes
+// its own model mutex, and the engine never holds that mutex while calling
+// registry methods, so the lock order registry -> engine is acyclic).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "models/snapshot.hpp"
+
+namespace odenet::models {
+
+class SnapshotRegistry {
+ public:
+  /// Scores a candidate snapshot (e.g. accuracy on a held-out shard).
+  /// Called outside any registry lock is NOT guaranteed — keep it pure.
+  using EvalFn = std::function<double(const ModelSnapshot&)>;
+  /// Invoked on every activation (accepted publish or rollback) of a
+  /// subscribed model, under the registry mutex (see file comment).
+  using Subscriber =
+      std::function<void(const std::string& model, ModelSnapshot::Ptr)>;
+
+  struct Config {
+    /// Versions retained per model (pinned/active may push past this).
+    std::size_t retention = 4;
+    /// Max accuracy regression vs the active version a publish may carry
+    /// before it is refused (only enforced when an evaluator is set and
+    /// the active version has a score).
+    double gate_delta = 0.0;
+  };
+
+  /// Outcome of a publish attempt — accounting included so callers (and
+  /// tests) can assert what a delta publish actually shipped.
+  struct PublishResult {
+    bool accepted = false;
+    std::uint64_t version = 0;  ///< the candidate's version, even on refusal
+    double accuracy = -1.0;         ///< candidate score; <0 = not evaluated
+    double active_accuracy = -1.0;  ///< previous active's score at gate time
+    std::string reason;             ///< set when refused
+    bool was_delta = false;
+    std::size_t tensors_total = 0;
+    std::size_t tensors_shipped = 0;
+    std::size_t bytes_total = 0;
+    std::size_t bytes_shipped = 0;
+  };
+
+  struct VersionInfo {
+    std::uint64_t version = 0;
+    double accuracy = -1.0;
+    bool pinned = false;
+    bool active = false;
+    bool is_delta = false;
+  };
+
+  SnapshotRegistry() = default;
+  explicit SnapshotRegistry(const Config& cfg) : cfg_(cfg) {}
+
+  /// Installs (or clears, with nullptr) the accuracy evaluator used to
+  /// gate every subsequent publish.
+  void set_eval(EvalFn fn);
+
+  /// Gates, retains and activates `snap` as the newest version of
+  /// `model`; refusals leave the registry untouched (see PublishResult).
+  PublishResult publish(const std::string& model, ModelSnapshot::Ptr snap);
+
+  /// Assembles `delta` against the retained base version and publishes
+  /// the result (same gating). Throws odenet::Error when the base
+  /// version is no longer retained — the caller must re-ship a full
+  /// image then.
+  PublishResult publish_delta(const std::string& model,
+                              const SnapshotDelta& delta);
+
+  /// Re-activates a retained version and notifies subscribers. Throws
+  /// when the model or version is unknown. A no-op (no notification)
+  /// when `version` is already active.
+  void rollback(const std::string& model, std::uint64_t version);
+
+  /// The active snapshot of `model`, or nullptr when none published yet.
+  ModelSnapshot::Ptr active(const std::string& model) const;
+  /// A specific retained version, or nullptr when evicted/unknown.
+  ModelSnapshot::Ptr find(const std::string& model,
+                          std::uint64_t version) const;
+  /// Retained versions, oldest first.
+  std::vector<VersionInfo> versions(const std::string& model) const;
+
+  /// Pinned versions are exempt from retention eviction. Throws on an
+  /// unknown model/version.
+  void pin(const std::string& model, std::uint64_t version);
+  void unpin(const std::string& model, std::uint64_t version);
+
+  /// Registers for activations of `model`. If the model already has an
+  /// active version the callback fires immediately (same ordering
+  /// guarantee: under the mutex). Returns a token for unsubscribe().
+  std::uint64_t subscribe(const std::string& model, Subscriber fn);
+  void unsubscribe(std::uint64_t token);
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  struct Entry {
+    ModelSnapshot::Ptr snap;
+    double accuracy = -1.0;
+    bool pinned = false;
+  };
+  struct ModelState {
+    std::vector<Entry> ring;  ///< oldest first
+    std::uint64_t active_version = 0;
+    double active_accuracy = -1.0;
+  };
+  struct Subscription {
+    std::string model;
+    Subscriber fn;
+  };
+
+  PublishResult publish_locked(std::unique_lock<std::mutex>& lock,
+                               const std::string& model,
+                               ModelSnapshot::Ptr snap,
+                               PublishResult result);
+  void evict_locked(ModelState& state);
+  void notify_locked(const std::string& model, ModelSnapshot::Ptr snap);
+  static Entry* find_entry(ModelState& state, std::uint64_t version);
+
+  Config cfg_;
+  mutable std::mutex mutex_;
+  EvalFn eval_;
+  std::map<std::string, ModelState> models_;
+  std::map<std::uint64_t, Subscription> subscribers_;
+  std::uint64_t next_token_ = 1;
+};
+
+}  // namespace odenet::models

@@ -113,6 +113,154 @@ std::size_t ModelSnapshot::param_floats() const {
   return total;
 }
 
+std::size_t SnapshotDelta::payload_bytes() const {
+  std::size_t floats = 0;
+  for (const auto& p : params) floats += p.values.size();
+  for (const auto& b : bns) floats += b.mean.size() + b.var.size();
+  return floats * sizeof(float);
+}
+
+SnapshotDelta ModelSnapshot::diff(const ModelSnapshot& base,
+                                  const ModelSnapshot& next) {
+  base.check_same_signature(next);
+  SnapshotDelta delta;
+  delta.base_version = base.version_;
+  for (std::size_t i = 0; i < next.params_.size(); ++i) {
+    if (next.params_[i].values != base.params_[i].values) {
+      delta.params.push_back(
+          {i, next.params_[i].name, next.params_[i].values});
+    }
+  }
+  for (std::size_t i = 0; i < next.bns_.size(); ++i) {
+    if (next.bns_[i].mean != base.bns_[i].mean ||
+        next.bns_[i].var != base.bns_[i].var) {
+      delta.bns.push_back({i, next.bns_[i].mean, next.bns_[i].var});
+    }
+  }
+  return delta;
+}
+
+ModelSnapshot::Ptr ModelSnapshot::assemble(const ModelSnapshot& base,
+                                           const SnapshotDelta& delta) {
+  ODENET_CHECK(delta.base_version == base.version_,
+               "delta was computed against version " << delta.base_version
+                                                     << ", base is version "
+                                                     << base.version_);
+  auto snap = std::shared_ptr<ModelSnapshot>(new ModelSnapshot());
+  // Full copy of the base image, then overlay the changed tensors. The
+  // unchanged payload is duplicated rather than structurally shared —
+  // snapshots stay self-contained value types — but the SHIPPED bytes
+  // are the delta's alone, which is what the accounting reports.
+  snap->version_ = take_next_version();
+  snap->has_spec_ = base.has_spec_;
+  snap->spec_ = base.spec_;
+  snap->solver_cfg_ = base.solver_cfg_;
+  snap->params_ = base.params_;
+  snap->bns_ = base.bns_;
+  snap->delta_base_ = base.version_;
+  snap->param_changed_.assign(base.params_.size(), false);
+  snap->bn_changed_.assign(base.bns_.size(), false);
+  for (const auto& p : delta.params) {
+    ODENET_CHECK(p.index < snap->params_.size(),
+                 "delta param index " << p.index << " out of range (base has "
+                                      << snap->params_.size() << " params)");
+    TensorRecord& rec = snap->params_[p.index];
+    ODENET_CHECK(p.name == rec.name, "delta param '"
+                                         << p.name << "' at index " << p.index
+                                         << " does not match base param '"
+                                         << rec.name << "'");
+    ODENET_CHECK(p.values.size() == rec.values.size(),
+                 "delta size mismatch for " << p.name);
+    rec.values = p.values;
+    snap->param_changed_[p.index] = true;
+  }
+  for (const auto& b : delta.bns) {
+    ODENET_CHECK(b.index < snap->bns_.size(),
+                 "delta BN index " << b.index << " out of range (base has "
+                                   << snap->bns_.size() << " BN records)");
+    BnRecord& rec = snap->bns_[b.index];
+    ODENET_CHECK(b.mean.size() == rec.mean.size() &&
+                     b.var.size() == rec.var.size(),
+                 "delta BN stat size mismatch at index " << b.index);
+    rec.mean = b.mean;
+    rec.var = b.var;
+    snap->bn_changed_[b.index] = true;
+  }
+  return snap;
+}
+
+StageId ModelSnapshot::stage_of_param(const std::string& name) {
+  // Params are stage-prefixed: "conv1.weight", "layer2_1.block.bn1.gamma",
+  // "fc.bias". Longest-prefix-wins is unnecessary — no stage name is a
+  // prefix of another followed by '.'.
+  for (StageId id :
+       {StageId::kConv1, StageId::kLayer1, StageId::kLayer2_1,
+        StageId::kLayer2_2, StageId::kLayer3_1, StageId::kLayer3_2,
+        StageId::kFc}) {
+    const std::string prefix = stage_name(id) + ".";
+    if (name.compare(0, prefix.size(), prefix) == 0) return id;
+  }
+  ODENET_CHECK(false, "param '" << name << "' has no stage prefix");
+  return StageId::kConv1;  // unreachable
+}
+
+StageId ModelSnapshot::stage_of_bn(std::size_t i) const {
+  // BN walk order (Network::for_each_batchnorm): the stem BN first, then
+  // bn1+bn2 per block instance per stage in spec order.
+  ODENET_CHECK(has_spec_, "cannot map BN indices without a spec");
+  if (i == 0) return StageId::kConv1;
+  std::size_t cursor = 1;
+  for (const auto& s : spec_.stages) {
+    const std::size_t count =
+        2 * static_cast<std::size_t>(s.stacked_blocks);
+    if (i < cursor + count) return s.id;
+    cursor += count;
+  }
+  ODENET_CHECK(false, "BN index " << i << " beyond the spec's walk order");
+  return StageId::kConv1;  // unreachable
+}
+
+bool ModelSnapshot::stage_changed(StageId id) const {
+  if (!is_delta()) return true;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (param_changed_[i] && stage_of_param(params_[i].name) == id) {
+      return true;
+    }
+  }
+  for (std::size_t i = 0; i < bns_.size(); ++i) {
+    if (bn_changed_[i] && stage_of_bn(i) == id) return true;
+  }
+  return false;
+}
+
+std::size_t ModelSnapshot::changed_tensor_count() const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (param_changed(i)) ++count;
+  }
+  for (std::size_t i = 0; i < bns_.size(); ++i) {
+    if (bn_changed(i)) ++count;
+  }
+  return count;
+}
+
+std::size_t ModelSnapshot::changed_payload_bytes() const {
+  std::size_t floats = 0;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (param_changed(i)) floats += params_[i].values.size();
+  }
+  for (std::size_t i = 0; i < bns_.size(); ++i) {
+    if (bn_changed(i)) floats += bns_[i].mean.size() + bns_[i].var.size();
+  }
+  return floats * sizeof(float);
+}
+
+std::size_t ModelSnapshot::total_payload_bytes() const {
+  std::size_t floats = param_floats();
+  for (const auto& bn : bns_) floats += bn.mean.size() + bn.var.size();
+  return floats * sizeof(float);
+}
+
 void ModelSnapshot::save(std::ostream& os) const {
   // Every v2 file must be spec-checkable, so a legacy v1 image (no
   // descriptor) cannot be re-exported directly. Checked before any byte
@@ -233,6 +381,59 @@ void ModelSnapshot::apply(Network& net) const {
   // which invalidates by key mismatch). Anyone mutating weights in place
   // afterwards must un-stamp (Trainer does, after each optimizer step).
   net.set_weight_version(version_);
+}
+
+void ModelSnapshot::apply_delta(Network& net) const {
+  ODENET_CHECK(is_delta(),
+               "apply_delta on a full snapshot (version "
+                   << version_ << "); use apply() instead");
+  if (has_spec_) check_compatible(net.spec());
+  auto ps = net.params();
+  ODENET_CHECK(params_.size() == ps.size(),
+               net.name() << ": snapshot has " << params_.size()
+                          << " params, network has " << ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    if (!param_changed_[i]) continue;
+    const TensorRecord& rec = params_[i];
+    core::Param* p = ps[i];
+    ODENET_CHECK(rec.name == p->name,
+                 net.name() << ": snapshot param '" << rec.name
+                            << "' does not match network param '" << p->name
+                            << "'");
+    ODENET_CHECK(rec.values.size() == p->value.numel(),
+                 net.name() << ": size mismatch for " << rec.name);
+    p->value.storage() = rec.values;
+  }
+  std::size_t bi = 0;
+  net.for_each_batchnorm([this, &bi, &net](core::BatchNorm2d& bn) {
+    ODENET_CHECK(bi < bns_.size(),
+                 net.name() << ": snapshot BN count mismatch");
+    const std::size_t i = bi++;
+    if (!bn_changed_[i]) return;
+    const BnRecord& rec = bns_[i];
+    ODENET_CHECK(rec.mean.size() == bn.running_mean().numel() &&
+                     rec.var.size() == bn.running_var().numel(),
+                 net.name() << ": BN stat size mismatch");
+    bn.running_mean().storage() = rec.mean;
+    bn.running_var().storage() = rec.var;
+  });
+  ODENET_CHECK(bi == bns_.size(), net.name()
+                                      << ": snapshot BN count mismatch");
+  // Re-stamp ONLY the layers whose tensors this image changes: untouched
+  // layers keep their old stamp and with it their packed-weight caches.
+  // A layer counts as changed when any changed param name sits under its
+  // name ("layer1.block.conv1" owns "layer1.block.conv1.weight").
+  net.set_weight_version_where(
+      version_, [this](const std::string& layer_name) {
+        const std::string prefix = layer_name + ".";
+        for (std::size_t i = 0; i < params_.size(); ++i) {
+          if (param_changed_[i] &&
+              params_[i].name.compare(0, prefix.size(), prefix) == 0) {
+            return true;
+          }
+        }
+        return false;
+      });
 }
 
 }  // namespace odenet::models

@@ -20,12 +20,14 @@ std::size_t lane_index(Priority p) {
 
 BatchQueue::BatchQueue(int max_batch, std::chrono::microseconds max_delay,
                        int promote_after_factor, QueueLimits limits,
-                       std::chrono::microseconds preempt_delay)
+                       std::chrono::microseconds preempt_delay,
+                       TenantTable* tenants)
     : max_batch_(max_batch),
       max_delay_(max_delay),
       promote_after_factor_(promote_after_factor),
       limits_(limits),
-      preempt_delay_(preempt_delay) {
+      preempt_delay_(preempt_delay),
+      tenants_(tenants) {
   ODENET_CHECK(max_batch >= 1, "batch queue needs max_batch >= 1, got "
                                    << max_batch);
   ODENET_CHECK(promote_after_factor >= 0,
@@ -68,6 +70,7 @@ bool BatchQueue::admit_locked(PendingRequest& req, std::size_t lane,
         evicted_[victim_class] += 1;
         --class_depth_[victim_class];
         --size_;
+        if (tenants_ != nullptr) tenants_->uncharge(it->cls.tenant);
         std::ostringstream os;
         os << "queue full: " << priority_name(it->cls.priority)
            << "-priority request evicted after "
@@ -99,12 +102,36 @@ PushOutcome BatchQueue::push_impl(PendingRequest& req, bool fail_on_reject) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_) return PushOutcome::kClosed;
-    if (limits_.max_queue_depth > 0 || limits_.per_priority[lane] > 0) {
-      // Expired requests must not hold slots against live arrivals: a
-      // queue "full" of dead work would shed traffic it could serve.
+    if (limits_.max_queue_depth > 0 || limits_.per_priority[lane] > 0 ||
+        tenants_ != nullptr) {
+      // Expired requests must not hold slots (or tenant quota) against
+      // live arrivals: a queue "full" of dead work would shed traffic it
+      // could serve.
       reap_expired_locked(Clock::now());
     }
+    // Tenant quota first, and charged at queue-accept under this mutex —
+    // push() and the try_push() spill probe land here alike, so a
+    // request spilled in from another shard is counted against its
+    // tenant exactly where it queues (the PR-8 spill path used to skip
+    // submit-time accounting entirely). Quota shedding never evicts: a
+    // tenant over ITS bound is not entitled to a neighbor's slot.
+    bool charged = false;
+    if (tenants_ != nullptr) {
+      if (!tenants_->try_charge(req.cls.tenant)) {
+        if (!fail_on_reject) return PushOutcome::kRejected;
+        rejected_[lane] += 1;
+        std::ostringstream os;
+        os << "queue full: tenant '" << tenants_->name(req.cls.tenant)
+           << "' is at its quota with " << tenants_->queued(req.cls.tenant)
+           << " requests queued";
+        req.promise.set_exception(
+            std::make_exception_ptr(QueueFull(os.str())));
+        return PushOutcome::kRejected;
+      }
+      charged = true;
+    }
     if (!admit_locked(req, lane, fail_on_reject)) {
+      if (charged) tenants_->uncharge(req.cls.tenant);
       return PushOutcome::kRejected;
     }
     req.enqueued_at = Clock::now();
@@ -137,6 +164,7 @@ void BatchQueue::reap_expired_locked(Clock::time_point now) {
       timeouts_[lane_index(it->cls.priority)] += 1;
       --class_depth_[lane_index(it->cls.priority)];
       --size_;
+      if (tenants_ != nullptr) tenants_->uncharge(it->cls.tenant);
       std::ostringstream os;
       os << "request deadline exceeded after "
          << std::chrono::duration<double, std::milli>(now - it->enqueued_at)
@@ -262,15 +290,37 @@ bool BatchQueue::pop_batch(std::vector<PendingRequest>& out) {
   const std::size_t n =
       std::min<std::size_t>(size_, static_cast<std::size_t>(max_batch_));
   out.reserve(n);
-  // Highest priority first; FIFO within each lane. A preemptively-flushed
-  // batch back-fills its remaining slots with lower-class work, so
-  // preemption never idles capacity that normal/low requests could use.
+  // Highest priority first; within each lane, FIFO when tenant-blind and
+  // weighted-fair among waiting tenants (FIFO per tenant) otherwise — so
+  // priority still dominates and fairness only decides among equals. A
+  // preemptively-flushed batch back-fills its remaining slots with
+  // lower-class work, so preemption never idles capacity that normal/low
+  // requests could use.
+  std::vector<TenantId> cands;
   for (int p = kPriorityLevels - 1; p >= 0 && out.size() < n; --p) {
     auto& lane = lanes_[static_cast<std::size_t>(p)];
     while (!lane.empty() && out.size() < n) {
-      --class_depth_[lane_index(lane.front().cls.priority)];
-      out.push_back(std::move(lane.front()));
-      lane.pop_front();
+      auto it = lane.begin();
+      if (tenants_ != nullptr) {
+        cands.clear();
+        for (const auto& r : lane) {
+          if (std::find(cands.begin(), cands.end(), r.cls.tenant) ==
+              cands.end()) {
+            cands.push_back(r.cls.tenant);
+          }
+        }
+        // pick() charges virtual time even for a lone candidate —
+        // service consumed alone still counts when contention returns.
+        const TenantId winner = tenants_->pick(cands);
+        it = std::find_if(lane.begin(), lane.end(),
+                          [winner](const PendingRequest& r) {
+                            return r.cls.tenant == winner;
+                          });
+        tenants_->uncharge(winner);
+      }
+      --class_depth_[lane_index(it->cls.priority)];
+      out.push_back(std::move(*it));
+      lane.erase(it);
       --size_;
     }
   }
@@ -294,6 +344,21 @@ bool BatchQueue::closed() const {
 std::size_t BatchQueue::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return size_;
+}
+
+QueueLimits BatchQueue::limits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return limits_;
+}
+
+void BatchQueue::set_max_depth(std::size_t depth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  limits_.max_queue_depth = depth;
+}
+
+std::size_t BatchQueue::max_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return limits_.max_queue_depth;
 }
 
 std::uint64_t BatchQueue::timeout_count(Priority p) const {

@@ -44,7 +44,14 @@
 // bound either EVICTS the oldest waiter of the lowest scheduling lane
 // strictly below the arrival (when one exists and is evictable — the
 // victim's promise fails with QueueFull, the arrival is admitted) or
-// REJECTS the arrival itself with QueueFull. The ordering guarantee: an
+// REJECTS the arrival itself with QueueFull. With a TenantTable wired,
+// quota shedding happens first: an arrival whose tenant is at its quota
+// is rejected outright, before any eviction — running over one's own
+// quota must not cost a neighbor its slot — and accepted requests are
+// charged to their tenant's ledger under the same lock that admits
+// them, then uncharged when they leave (popped, reaped, evicted). Pops
+// are weighted-fair among the tenants waiting within each priority
+// lane. The ordering guarantee: an
 // arrival is never rejected for the total bound while a strictly lower
 // SCHEDULING LANE holds an evictable waiter. Lanes, not original
 // classes, on purpose: a request that aging already promoted out of a
@@ -64,6 +71,7 @@
 #include <vector>
 
 #include "runtime/request.hpp"
+#include "runtime/tenant.hpp"
 
 namespace odenet::runtime {
 
@@ -98,9 +106,13 @@ class BatchQueue {
   /// preempt_delay: the shrunk flush window applied while a high-priority
   /// request is queued; zero disables preemption (the window is always
   /// max_delay). Values >= max_delay are equivalent to disabled.
+  /// tenants (not owned, may be null): enables per-tenant quota charging
+  /// at queue-accept and weighted-fair pop order within each priority
+  /// lane — see runtime/tenant.hpp. Null keeps tenant-blind behavior.
   BatchQueue(int max_batch, std::chrono::microseconds max_delay,
              int promote_after_factor = 0, QueueLimits limits = {},
-             std::chrono::microseconds preempt_delay = {});
+             std::chrono::microseconds preempt_delay = {},
+             TenantTable* tenants = nullptr);
 
   /// Enqueues one request, applying the admission-control bounds (see
   /// QueueLimits). On kRejected the queue has already failed the
@@ -130,8 +142,14 @@ class BatchQueue {
 
   bool closed() const;
   std::size_t size() const;
-  const QueueLimits& limits() const { return limits_; }
+  QueueLimits limits() const;
   std::chrono::microseconds preempt_delay() const { return preempt_delay_; }
+
+  /// Retunes the TOTAL depth bound at runtime (the engine's adaptive
+  /// bound: target-delay x measured service rate). 0 = unbounded.
+  /// Per-class budgets and eviction policy are construction-time.
+  void set_max_depth(std::size_t depth);
+  std::size_t max_depth() const;
 
   /// Requests rejected with DeadlineExceeded, cumulative (keyed by the
   /// request's original priority class, even after promotion).
@@ -188,9 +206,13 @@ class BatchQueue {
   const std::chrono::microseconds max_delay_;
   /// Aging threshold factor k: promote after k×max_delay queued. 0 = off.
   const int promote_after_factor_;
-  const QueueLimits limits_;
+  /// Mutable (under mutex_) so the engine can retune the total depth
+  /// bound from its measured EWMA; see set_max_depth().
+  QueueLimits limits_;
   /// Preemptive flush window while high-priority work waits. 0 = off.
   const std::chrono::microseconds preempt_delay_;
+  /// Shared per-tenant ledger + fair scheduler; null = tenant-blind.
+  TenantTable* const tenants_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

@@ -37,6 +37,10 @@ InferenceEngine::InferenceEngine(models::ModelSnapshot::Ptr snapshot,
                "static_backend " << cfg_.static_backend
                                  << " out of range (have "
                                  << cfg_.backends.size() << " backends)");
+  ODENET_CHECK(!cfg_.model.empty(), "engine needs a non-empty model name");
+  for (const auto& [name, spec] : cfg_.tenants) {
+    tenants_.configure(name, spec);
+  }
 
   const sched::LatencyModel latency_model;
   std::size_t total_workers = 0;
@@ -52,7 +56,7 @@ InferenceEngine::InferenceEngine(models::ModelSnapshot::Ptr snapshot,
     limits.evict_lower = cfg_.evict_lower_on_full;
     backend->queue = std::make_unique<BatchQueue>(
         cfg_.max_batch, cfg_.max_delay, cfg_.promote_after_factor, limits,
-        cfg_.high_priority_flush);
+        cfg_.high_priority_flush, &tenants_);
     backend->stats.backend = bc.backend;
     if (bc.backend == core::ExecBackend::kFpgaSim) {
       backend->offloaded = bc.offloaded;
@@ -234,19 +238,45 @@ bool InferenceEngine::normalize_image(core::Tensor& image,
   return true;
 }
 
+bool InferenceEngine::check_model_ref(const SubmitOptions& opts,
+                                      std::string* error) const {
+  if (!opts.model.empty() && opts.model != cfg_.model) {
+    std::ostringstream os;
+    os << "request targets model '" << opts.model
+       << "', this engine serves '" << cfg_.model << "'";
+    *error = os.str();
+    return false;
+  }
+  if (opts.model_version != 0) {
+    const std::uint64_t active =
+        active_version_.load(std::memory_order_acquire);
+    if (opts.model_version != active) {
+      std::ostringstream os;
+      os << "request pins model version " << opts.model_version
+         << ", active version is " << active;
+      *error = os.str();
+      return false;
+    }
+  }
+  return true;
+}
+
 std::future<InferenceResult> InferenceEngine::submit(core::Tensor image,
                                                      SubmitOptions opts) {
-  // A malformed image fails its own future instead of throwing (and
-  // instead of poisoning the micro-batch it would have ridden in): shape
-  // mistakes are per-request data errors, not engine-state errors.
+  // A malformed image (or stale model ref) fails its own future instead
+  // of throwing (and instead of poisoning the micro-batch it would have
+  // ridden in): these are per-request data errors, not engine-state
+  // errors.
   std::string error;
   if (!normalize_image(image, &error)) return failed_future(error);
+  if (!check_model_ref(opts, &error)) return failed_future(error);
 
   const std::size_t index = pick_backend(opts);
   PendingRequest req;
   req.image = std::move(image);
   req.cls.priority = opts.priority;
   req.cls.evictable = opts.evictable;
+  req.cls.tenant = tenants_.intern(opts.tenant);
   if (opts.deadline.count() > 0) {
     req.cls.deadline = Clock::now() + opts.deadline;
   }
@@ -254,17 +284,11 @@ std::future<InferenceResult> InferenceEngine::submit(core::Tensor image,
   const PushOutcome outcome = backends_[index]->queue->push(std::move(req));
   ODENET_CHECK(outcome != PushOutcome::kClosed,
                "submit() after engine shutdown");
-  // kRejected (admission control shed the request): the queue already
-  // failed the promise with QueueFull — fail-fast surfaces through the
-  // future, like deadline expiry, so producers need one error path only.
+  // kRejected (admission control or tenant quota shed the request): the
+  // queue already failed the promise with QueueFull — fail-fast surfaces
+  // through the future, like deadline expiry, so producers need one
+  // error path only.
   return future;
-}
-
-std::future<InferenceResult> InferenceEngine::submit(
-    core::Tensor image, std::size_t backend_index) {
-  SubmitOptions opts;
-  opts.backend = backend_index;
-  return submit(std::move(image), opts);
 }
 
 bool InferenceEngine::try_submit(core::Tensor& image,
@@ -277,11 +301,25 @@ bool InferenceEngine::try_submit(core::Tensor& image,
     out = failed_future(error);
     return true;
   }
+  if (!check_model_ref(opts, &error)) {
+    // Wrong model name is terminal too — but a stale pinned version is
+    // NOT: another shard may still serve it (or the caller retries), so
+    // hand the image back like a full queue. Wrong-name spill could only
+    // bounce forever; the cluster routes by tenant, not model, and no
+    // shard of this cluster serves a different model name.
+    if (opts.model_version != 0 &&
+        (opts.model.empty() || opts.model == cfg_.model)) {
+      return false;
+    }
+    out = failed_future(error);
+    return true;
+  }
   const std::size_t index = pick_backend(opts, /*count_routed=*/false);
   PendingRequest req;
   req.image = std::move(image);
   req.cls.priority = opts.priority;
   req.cls.evictable = opts.evictable;
+  req.cls.tenant = tenants_.intern(opts.tenant);
   if (opts.deadline.count() > 0) {
     req.cls.deadline = Clock::now() + opts.deadline;
   }
@@ -322,13 +360,6 @@ std::vector<std::future<InferenceResult>> InferenceEngine::submit_batch(
   return futures;
 }
 
-std::vector<std::future<InferenceResult>> InferenceEngine::submit_batch(
-    const core::Tensor& images, std::size_t backend_index) {
-  SubmitOptions opts;
-  opts.backend = backend_index;
-  return submit_batch(images, opts);
-}
-
 void InferenceEngine::worker_loop(Backend& backend, Worker& worker) {
   std::vector<PendingRequest> batch;
   while (backend.queue->pop_batch(batch)) {
@@ -352,21 +383,89 @@ void InferenceEngine::sync_worker(Backend& backend, Worker& worker) {
   }
   if (snap->version() == worker.applied_version) return;
   util::Stopwatch watch;
-  worker.net->apply_snapshot(*snap);
-  for (auto& exec : worker.fpga_execs) {
-    models::Stage* stage = worker.net->stage(exec->stage_id());
-    exec->requantize(*stage, snap->version());
+  // Delta fast path: the published image is delta-assembled against
+  // exactly the version this replica carries, so only its changed
+  // tensors are applied (untouched layers keep their packed caches) and
+  // only BRAM stages it touches are re-quantized — a head fine-tune
+  // leaves every offloaded trunk stage's BRAM image alone, it just
+  // adopts the new version id. Any version skew (worker two publishes
+  // behind, rollback across versions) falls back to the full apply.
+  const bool delta_sync =
+      snap->is_delta() && snap->delta_base() == worker.applied_version;
+  std::uint64_t requantized = 0, skipped = 0;
+  if (delta_sync) {
+    worker.net->apply_snapshot_delta(*snap);
+    for (auto& exec : worker.fpga_execs) {
+      if (snap->stage_changed(exec->stage_id())) {
+        models::Stage* stage = worker.net->stage(exec->stage_id());
+        exec->requantize(*stage, snap->version());
+        ++requantized;
+      } else {
+        exec->adopt_version(snap->version());
+        ++skipped;
+      }
+    }
+  } else {
+    worker.net->apply_snapshot(*snap);
+    for (auto& exec : worker.fpga_execs) {
+      models::Stage* stage = worker.net->stage(exec->stage_id());
+      exec->requantize(*stage, snap->version());
+      ++requantized;
+    }
   }
   const double seconds = watch.seconds();
   worker.applied_version = snap->version();
   std::lock_guard<std::mutex> lock(stats_mutex_);
   backend.stats.swaps += 1;
+  backend.stats.delta_swaps += delta_sync ? 1 : 0;
+  backend.stats.stages_requantized += requantized;
+  backend.stats.stages_skipped += skipped;
   backend.stats.swap_seconds_total += seconds;
   backend.stats.max_swap_seconds =
       std::max(backend.stats.max_swap_seconds, seconds);
 }
 
 std::uint64_t InferenceEngine::reload(models::ModelSnapshot::Ptr snapshot) {
+  ODENET_CHECK(snapshot != nullptr, "reload() needs a snapshot");
+  if (registry_ != nullptr) {
+    // Registry-bound: reload is a thin wrapper over publish — the gate
+    // applies, and the engine adopts the accepted version through its
+    // subscription (the publish callback), not here.
+    const auto result = registry_->publish(cfg_.model, std::move(snapshot));
+    ODENET_CHECK(result.accepted, "reload(): registry refused the publish — "
+                                      << result.reason);
+    return result.version;
+  }
+  return apply_published(std::move(snapshot));
+}
+
+void InferenceEngine::serve_from(models::SnapshotRegistry& registry) {
+  ODENET_CHECK(registry_ == nullptr,
+               "engine is already bound to a registry");
+  if (registry.active(cfg_.model) == nullptr) {
+    // First binder seeds the registry with what it is already serving
+    // (with no active version the gate has nothing to compare against).
+    models::ModelSnapshot::Ptr current;
+    {
+      std::lock_guard<std::mutex> lock(model_mutex_);
+      current = snapshot_;
+    }
+    registry.publish(cfg_.model, std::move(current));
+  }
+  registry_ = &registry;
+  // The immediate-callback subscribe syncs the engine to the registry's
+  // active version; later publishes/rollbacks land the same way. The
+  // callback runs under the registry mutex and only takes model_mutex_
+  // (apply_published) — never the reverse order, so no cycle.
+  registry_token_ = registry.subscribe(
+      cfg_.model,
+      [this](const std::string&, models::ModelSnapshot::Ptr snap) {
+        apply_published(std::move(snap));
+      });
+}
+
+std::uint64_t InferenceEngine::apply_published(
+    models::ModelSnapshot::Ptr snapshot) {
   ODENET_CHECK(snapshot != nullptr, "reload() needs a snapshot");
   // Validate BEFORE publishing: a mismatched snapshot must never reach a
   // worker (a worker-thread apply failure would poison serving). On throw
@@ -448,8 +547,10 @@ void InferenceEngine::serve_batch(Backend& backend, Worker& worker,
     }
     const double compute_seconds = watch.seconds();
     // Completion callback into the measured-latency feedback loop: fold
-    // this batch's observed service time into the backend's EWMA.
+    // this batch's observed service time into the backend's EWMA — and
+    // re-derive the SLO-driven depth bound from the fresh measurement.
     backend.ewma.observe(compute_seconds, n);
+    retune_depth_bound(backend);
     const std::vector<int> preds = core::SoftmaxCrossEntropy::argmax(logits);
     const std::uint64_t batch_pl_cycles = run_stats.pl_cycles();
     const int classes = logits.dim(1);
@@ -468,6 +569,9 @@ void InferenceEngine::serve_batch(Backend& backend, Worker& worker,
       result.backend_index = backend.index;
       result.priority = req.cls.priority;
       result.batch_size = n;
+      result.model_version = worker.applied_version;
+      result.tenant = tenants_.name(req.cls.tenant);
+      tenants_.record_completed(req.cls.tenant);
       result.queue_seconds = seconds_between(req.enqueued_at, picked_up);
       result.compute_seconds = compute_seconds;
       result.total_seconds = seconds_between(req.enqueued_at, done);
@@ -511,7 +615,35 @@ void InferenceEngine::serve_batch(Backend& backend, Worker& worker,
   }
 }
 
+void InferenceEngine::retune_depth_bound(Backend& backend) {
+  if (cfg_.target_delay.count() <= 0) return;
+  const double seconds_per_request =
+      backend.ewma.seconds_per_request() /
+      static_cast<double>(backend.cfg.workers);
+  if (seconds_per_request <= 0.0) return;  // EWMA still cold
+  // bound = target delay x measured service rate: the deepest queue the
+  // backend can drain within the target. Floored at one full batch (the
+  // flush rule needs room to form batches at all) and capped by the
+  // static max_queue_depth when configured (the adaptive bound tightens
+  // the static one, it never loosens past it).
+  const double target =
+      std::chrono::duration<double>(cfg_.target_delay).count();
+  double bound = target / seconds_per_request;
+  const double floor = static_cast<double>(cfg_.max_batch);
+  const double cap = cfg_.max_queue_depth > 0
+                         ? static_cast<double>(cfg_.max_queue_depth)
+                         : 4096.0;
+  bound = std::max(floor, std::min(bound, cap));
+  backend.queue->set_max_depth(static_cast<std::size_t>(bound));
+}
+
 void InferenceEngine::shutdown() {
+  // Unhook from the registry first: a publish landing mid-teardown must
+  // not reach a draining engine.
+  if (registry_ != nullptr) {
+    registry_->unsubscribe(registry_token_);
+    registry_ = nullptr;
+  }
   // Closed queues both refuse new submits and flush what is left; the
   // worker loops exit once their queue is drained.
   for (auto& backend : backends_) backend->queue->close();
@@ -582,8 +714,10 @@ EngineStats InferenceEngine::stats() const {
   EngineStats out;
   out.wall_seconds = uptime_.seconds();
   out.policy = route_policy_name(cfg_.route_policy);
+  out.model = cfg_.model;
   out.model_version = active_version_.load(std::memory_order_acquire);
   out.reloads = reloads_.load(std::memory_order_relaxed);
+  out.tenants = tenants_.counters();
   std::lock_guard<std::mutex> lock(stats_mutex_);
   out.backends.reserve(backends_.size());
   out.priorities = priority_stats_;
@@ -596,6 +730,7 @@ EngineStats InferenceEngine::stats() const {
     snap.evicted = backend->queue->evicted_total();
     snap.promotions = backend->queue->promotion_total();
     snap.queue_depth = backend->queue->size();
+    snap.depth_bound = backend->queue->max_depth();
     snap.in_flight = backend->in_flight.load(std::memory_order_relaxed);
     snap.measured_request_seconds =
         backend->ewma.seconds_per_request() /

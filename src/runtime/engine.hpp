@@ -52,10 +52,12 @@
 #include <vector>
 
 #include "models/network.hpp"
+#include "models/registry.hpp"
 #include "models/snapshot.hpp"
 #include "runtime/batch_queue.hpp"
 #include "runtime/router.hpp"
 #include "runtime/stats.hpp"
+#include "runtime/tenant.hpp"
 #include "sched/fpga_executor.hpp"
 #include "sched/latency_model.hpp"
 #include "util/stopwatch.hpp"
@@ -141,6 +143,20 @@ struct EngineConfig {
   /// traffic (the flushed batch still back-fills with normal/low work).
   /// 0 disables; values >= max_delay are equivalent to disabled.
   std::chrono::microseconds high_priority_flush{0};
+  /// Name this engine serves requests as (SubmitOptions::model matches
+  /// against it; the registry key when serve_from() binds one).
+  std::string model = "default";
+  /// Tenant weight/quota table, applied at construction. Tenants not
+  /// listed here are interned on first submit with weight 1, no quota.
+  std::vector<std::pair<std::string, TenantSpec>> tenants;
+  /// SLO-driven adaptive admission: when set, each backend's TOTAL queue
+  /// depth bound tracks target_delay x its measured service rate
+  /// (re-computed from the EWMA after every micro-batch, clamped to
+  /// [max_batch, max_queue_depth or 4096]), so the depth bound follows
+  /// the hardware's real speed instead of a static guess. 0 disables;
+  /// max_queue_depth then stays the static bound (and becomes the
+  /// adaptive bound's upper clamp when both are set).
+  std::chrono::microseconds target_delay{0};
 };
 
 class InferenceEngine {
@@ -160,18 +176,20 @@ class InferenceEngine {
   InferenceEngine(const InferenceEngine&) = delete;
   InferenceEngine& operator=(const InferenceEngine&) = delete;
 
-  /// Enqueues one image ([C,S,S] or [1,C,S,S]); the Router picks the
-  /// backend unless opts.backend pins one. A malformed image fails the
-  /// returned future with odenet::Error (it never reaches a batch);
-  /// submitting after shutdown() or pinning an out-of-range backend
-  /// throws. The future is fulfilled when the micro-batch containing the
-  /// request completes, carries the batch's exception if it fails, or
-  /// carries DeadlineExceeded when opts.deadline expires first.
+  /// THE submission entrypoint: one image ([C,S,S] or [1,C,S,S]), every
+  /// knob in SubmitOptions — tenant, model ref (name + pinned version),
+  /// priority, deadline, backend pin, evictability. The Router picks the
+  /// backend unless opts.backend pins one. Per-request failures
+  /// (malformed image, wrong model name, a pinned model_version that is
+  /// not live) fail the returned future with odenet::Error fast — they
+  /// never reach a batch; submitting after shutdown() or pinning an
+  /// out-of-range backend throws. The future is fulfilled when the
+  /// micro-batch containing the request completes, carries the batch's
+  /// exception if it fails, or carries DeadlineExceeded when
+  /// opts.deadline expires first. Tenant quota shedding surfaces as
+  /// QueueFull, like depth shedding.
   std::future<InferenceResult> submit(core::Tensor image,
                                       SubmitOptions opts = {});
-  /// Index-pinned overload (the pre-router API).
-  std::future<InferenceResult> submit(core::Tensor image,
-                                      std::size_t backend_index);
 
   /// Spill hook for cluster-level placement: like submit(), but when the
   /// routed backend's bounded queue is full the request is NOT failed —
@@ -189,20 +207,43 @@ class InferenceEngine {
   /// Splits [N,C,S,S] into N requests; returns one future per image.
   std::vector<std::future<InferenceResult>> submit_batch(
       const core::Tensor& images, SubmitOptions opts = {});
-  std::vector<std::future<InferenceResult>> submit_batch(
-      const core::Tensor& images, std::size_t backend_index);
 
   /// Publishes a new model version with zero downtime: the snapshot
   /// becomes the active model atomically, and every worker re-syncs its
   /// replica (weights + BN statistics + accelerator BRAM image) between
   /// micro-batches — in-flight batches finish on the old version, no
   /// future is dropped, and every request submitted after reload() returns
-  /// is served on the new version. The snapshot must fit the engine's
-  /// architecture (throws odenet::Error otherwise, with the old version
-  /// still serving). Publishing the already-active version is a no-op.
-  /// Returns the active version id. Thread-safe against submits and
-  /// concurrent reloads.
+  /// is served on the new version. Delta-assembled snapshots
+  /// (ModelSnapshot::assemble) take the fast sync path on workers whose
+  /// replica carries the delta's base: only changed tensors are applied
+  /// and only BRAM stages the delta touches are re-quantized. The
+  /// snapshot must fit the engine's architecture (throws odenet::Error
+  /// otherwise, with the old version still serving). Publishing the
+  /// already-active version is a no-op. Returns the active version id.
+  /// Thread-safe against submits and concurrent reloads.
+  ///
+  /// Registry-bound engines (serve_from): reload() is a thin wrapper
+  /// over SnapshotRegistry::publish of this engine's model — the
+  /// accuracy gate applies, a refusal throws odenet::Error (the old
+  /// version keeps serving), and the engine picks the accepted version
+  /// up through its subscription like any other publish.
   std::uint64_t reload(models::ModelSnapshot::Ptr snapshot);
+
+  /// Binds this engine to a registry as a subscriber of its configured
+  /// model (EngineConfig::model): every accepted publish and every
+  /// rollback of that model is applied to the engine with the reload()
+  /// guarantees above. If the registry has no active version of the
+  /// model yet, the engine's current snapshot is published into it
+  /// (ungated — it is already serving); otherwise the engine syncs to
+  /// the registry's active version. The registry must outlive the
+  /// engine (shutdown unsubscribes). One registry per engine.
+  void serve_from(models::SnapshotRegistry& registry);
+
+  /// Model name requests are matched against (EngineConfig::model).
+  const std::string& model_name() const { return cfg_.model; }
+
+  /// Per-tenant ledger (quota/fairness state + counters).
+  const TenantTable& tenants() const { return tenants_; }
 
   /// Version id of the currently published snapshot.
   std::uint64_t model_version() const {
@@ -286,8 +327,18 @@ class InferenceEngine {
                                        const models::ModelSnapshot& snapshot);
   void worker_loop(Backend& backend, Worker& worker);
   /// Swaps the worker's replica to the published snapshot when a newer
-  /// version is live — the between-micro-batches hot-swap step.
+  /// version is live — the between-micro-batches hot-swap step. Takes
+  /// the delta path (changed tensors + touched BRAM stages only) when
+  /// the snapshot is delta-assembled against exactly the version this
+  /// worker carries.
   void sync_worker(Backend& backend, Worker& worker);
+  /// The direct publish path (validation + pointer swap + EWMA reset);
+  /// reload() forwards here when unbound, the registry subscription
+  /// callback lands here when bound.
+  std::uint64_t apply_published(models::ModelSnapshot::Ptr snapshot);
+  /// Recomputes a backend's adaptive depth bound from its EWMA (no-op
+  /// unless EngineConfig::target_delay is set).
+  void retune_depth_bound(Backend& backend);
   void serve_batch(Backend& backend, Worker& worker,
                    std::vector<PendingRequest>& batch);
   /// Routed or pinned backend choice for one submit. count_routed
@@ -299,6 +350,9 @@ class InferenceEngine {
   /// Normalizes [1,C,S,S] to [C,S,S] and validates the shape against the
   /// spec; false (with a message) for malformed images.
   bool normalize_image(core::Tensor& image, std::string* error) const;
+  /// Validates SubmitOptions' model name / pinned version against what
+  /// this engine serves; false (with a message) on mismatch.
+  bool check_model_ref(const SubmitOptions& opts, std::string* error) const;
   /// Returns a future already failed with odenet::Error(message).
   static std::future<InferenceResult> failed_future(
       const std::string& message);
@@ -306,8 +360,14 @@ class InferenceEngine {
   EngineConfig cfg_;
   models::NetworkSpec spec_;
   models::SolverConfig solver_cfg_;
+  /// Engine-wide tenant ledger + weighted-fair scheduler, shared by every
+  /// backend queue (constructed before them, outlives their teardown).
+  TenantTable tenants_;
   std::vector<std::unique_ptr<Backend>> backends_;
   std::unique_ptr<Router> router_;
+  /// Registry binding (serve_from); null when standalone.
+  models::SnapshotRegistry* registry_ = nullptr;
+  std::uint64_t registry_token_ = 0;
   /// The published model. snapshot_ is guarded by model_mutex_;
   /// active_version_ mirrors snapshot_->version() so workers can check
   /// "am I current?" without taking the mutex on every batch.

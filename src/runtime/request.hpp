@@ -8,6 +8,7 @@
 
 #include "core/execution.hpp"
 #include "core/tensor.hpp"
+#include "runtime/tenant.hpp"
 #include "util/check.hpp"
 
 namespace odenet::runtime {
@@ -62,6 +63,9 @@ struct RequestClass {
   /// May a full queue evict this request to admit a higher-priority
   /// arrival? (SubmitOptions::evictable.)
   bool evictable = true;
+  /// Tenant the request is accounted against (interned at submit from
+  /// SubmitOptions::tenant; quota/fairness handle, see runtime/tenant.hpp).
+  TenantId tenant = kDefaultTenant;
 
   bool has_deadline() const { return deadline != Clock::time_point::max(); }
 };
@@ -87,6 +91,18 @@ struct SubmitOptions {
   /// (it can still be rejected at its own submit time when the queue is
   /// full, and still expires on its deadline).
   bool evictable = true;
+  /// Tenant the request runs (and is accounted) as; "" is the anonymous
+  /// default tenant. Unknown names are interned on first use with weight
+  /// 1 and no quota — configure spec via EngineConfig::tenants.
+  std::string tenant;
+  /// Model the request targets; "" means the engine's model. A non-empty
+  /// name that is not the engine's model fails the request fast with
+  /// odenet::Error instead of silently serving the wrong weights.
+  std::string model;
+  /// Require this exact snapshot version be active at submit; 0 (the
+  /// default) accepts whatever is live. A mismatch fails fast — the
+  /// cluster protocol uses this to pin a request to a published version.
+  std::uint64_t model_version = 0;
 };
 
 /// What the engine hands back for one submitted image.
@@ -112,6 +128,11 @@ struct InferenceResult {
   /// This image's share of the simulated PL cycles its batch consumed
   /// (zero on pure-software backends).
   std::uint64_t pl_cycles = 0;
+  /// Snapshot version of the weights that actually served this request
+  /// (0 when the engine has no snapshot attached).
+  std::uint64_t model_version = 0;
+  /// Tenant the request was accounted against.
+  std::string tenant;
 };
 
 /// A queued single-image request. The image is [C,S,S] (or [1,C,S,S],

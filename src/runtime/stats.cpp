@@ -33,10 +33,12 @@ void PriorityStats::record_latency(double seconds) {
 
 std::string EngineStats::to_json() const {
   std::ostringstream os;
-  os << "{\"requests\":" << requests() << ",\"timeouts\":" << timeouts()
+  os << "{\"schema\":" << kStatsSchemaVersion << ",\"requests\":"
+     << requests() << ",\"timeouts\":" << timeouts()
      << ",\"rejected\":" << rejected() << ",\"evicted\":" << evicted()
      << ",\"shed\":" << shed()
      << ",\"routed\":" << routed() << ",\"policy\":\"" << policy
+     << "\",\"model\":\"" << model
      << "\",\"model_version\":" << model_version
      << ",\"reloads\":" << reloads << ",\"swaps\":" << swaps()
      << ",\"promotions\":" << promotions()
@@ -52,9 +54,13 @@ std::string EngineStats::to_json() const {
        << ",\"timeouts\":" << b.timeouts
        << ",\"rejected\":" << b.rejected << ",\"evicted\":" << b.evicted
        << ",\"promotions\":" << b.promotions << ",\"swaps\":" << b.swaps
+       << ",\"delta_swaps\":" << b.delta_swaps
+       << ",\"stages_requantized\":" << b.stages_requantized
+       << ",\"stages_skipped\":" << b.stages_skipped
        << ",\"mean_swap_ms\":" << fmt(b.mean_swap_seconds() * 1e3)
        << ",\"max_swap_ms\":" << fmt(b.max_swap_seconds * 1e3)
        << ",\"queue_depth\":" << b.queue_depth
+       << ",\"depth_bound\":" << b.depth_bound
        << ",\"in_flight\":" << b.in_flight
        << ",\"measured_request_ms\":"
        << fmt(b.measured_request_seconds * 1e3)
@@ -93,6 +99,15 @@ std::string EngineStats::to_json() const {
       os << ps.histogram[i];
     }
     os << "]}";
+  }
+  os << "],\"tenants\":[";
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const TenantCounters& t = tenants[i];
+    if (i > 0) os << ",";
+    os << "{\"name\":\"" << (t.name.empty() ? "default" : t.name)
+       << "\",\"weight\":" << fmt(t.weight) << ",\"quota\":" << t.quota
+       << ",\"queued\":" << t.queued << ",\"completed\":" << t.completed
+       << ",\"quota_rejected\":" << t.quota_rejected << "}";
   }
   os << "]}";
   return os.str();

@@ -53,6 +53,13 @@ struct BackendStats {
   /// reload(): each worker swapping to a newly published snapshot between
   /// micro-batches counts one swap.
   std::uint64_t swaps = 0;
+  /// Swaps that took the delta fast path (changed tensors only).
+  std::uint64_t delta_swaps = 0;
+  /// BRAM stage requantizations performed across swaps, and offloaded
+  /// stages a delta swap left untouched (version adopted, no BRAM
+  /// rebuild) — the per-stage accounting behind delta publishes.
+  std::uint64_t stages_requantized = 0;
+  std::uint64_t stages_skipped = 0;
   /// Wall-clock seconds workers spent re-syncing (apply_snapshot + BRAM
   /// requantize) — the per-swap re-sync latency, summed and worst-case.
   double swap_seconds_total = 0.0;
@@ -68,6 +75,9 @@ struct BackendStats {
   /// Point-in-time gauges at snapshot: queued and in-flight requests (the
   /// same numbers the router's load snapshot sees).
   std::size_t queue_depth = 0;
+  /// Current TOTAL queue depth bound (0 = unbounded); tracks the
+  /// SLO-adaptive retune when EngineConfig::target_delay is set.
+  std::size_t depth_bound = 0;
   int in_flight = 0;
   /// Measured per-request service seconds (worker-fed EWMA of
   /// busy_seconds/request, normalized by worker parallelism; 0 while
@@ -129,12 +139,22 @@ struct PriorityStats {
   }
 };
 
+/// JSON schema version emitted by EngineStats/ClusterStats::to_json().
+/// v2 added the "schema" field itself, the model name, and the
+/// per-tenant section; consumers must treat absent "schema" as v1.
+inline constexpr int kStatsSchemaVersion = 2;
+
 struct EngineStats {
   std::vector<BackendStats> backends;
   /// Indexed by Priority.
   std::array<PriorityStats, kPriorityLevels> priorities{};
+  /// Per-tenant ledgers (weights/quotas, live queued, completions, quota
+  /// sheds), in tenant-id order; entry 0 is the anonymous default tenant.
+  std::vector<TenantCounters> tenants;
   /// Routing policy the engine is running (route_policy_name()).
   std::string policy;
+  /// Model name this engine serves (EngineConfig::model).
+  std::string model;
   /// Seconds since the engine started serving.
   double wall_seconds = 0.0;
   /// Version id of the snapshot the engine currently serves.

@@ -1,0 +1,122 @@
+#include "runtime/tenant.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace odenet::runtime {
+
+TenantTable::TenantTable() {
+  states_.push_back({"", TenantSpec{}, 0, 0, 0, 0.0});
+  ids_.emplace("", kDefaultTenant);
+}
+
+TenantId TenantTable::intern(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const TenantId id = static_cast<TenantId>(states_.size());
+  // Late joiners start at the current virtual time, not 0 — a fresh
+  // tenant must not replay the virtual history it was absent for.
+  states_.push_back({name, TenantSpec{}, 0, 0, 0, virtual_time_});
+  ids_.emplace(name, id);
+  return id;
+}
+
+TenantId TenantTable::configure(const std::string& name, TenantSpec spec) {
+  ODENET_CHECK(spec.weight > 0.0, "tenant '" << name
+                                             << "' needs a positive weight, got "
+                                             << spec.weight);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = ids_.find(name);
+  TenantId id;
+  if (it != ids_.end()) {
+    id = it->second;
+  } else {
+    id = static_cast<TenantId>(states_.size());
+    states_.push_back({name, TenantSpec{}, 0, 0, 0, virtual_time_});
+    ids_.emplace(name, id);
+  }
+  states_[id].spec = spec;
+  return id;
+}
+
+const std::string& TenantTable::name(TenantId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ODENET_CHECK(id < states_.size(), "unknown tenant id " << id);
+  return states_[id].name;
+}
+
+bool TenantTable::try_charge(TenantId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ODENET_CHECK(id < states_.size(), "unknown tenant id " << id);
+  State& s = states_[id];
+  if (s.spec.quota > 0 && s.queued >= s.spec.quota) {
+    s.quota_rejected += 1;
+    return false;
+  }
+  s.queued += 1;
+  return true;
+}
+
+void TenantTable::uncharge(TenantId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ODENET_CHECK(id < states_.size(), "unknown tenant id " << id);
+  ODENET_CHECK(states_[id].queued > 0,
+               "uncharge of tenant '" << states_[id].name
+                                      << "' with nothing queued");
+  states_[id].queued -= 1;
+}
+
+void TenantTable::record_completed(TenantId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ODENET_CHECK(id < states_.size(), "unknown tenant id " << id);
+  states_[id].completed += 1;
+}
+
+TenantId TenantTable::pick(const std::vector<TenantId>& candidates) {
+  ODENET_CHECK(!candidates.empty(), "weighted-fair pick with no candidates");
+  std::lock_guard<std::mutex> lock(mutex_);
+  TenantId winner = candidates.front();
+  double winner_pass = 0.0;
+  bool first = true;
+  for (TenantId id : candidates) {
+    ODENET_CHECK(id < states_.size(), "unknown tenant id " << id);
+    // Re-entry clamp: idle tenants resume at the current virtual time.
+    const double pass = std::max(states_[id].pass, virtual_time_);
+    if (first || pass < winner_pass) {
+      winner = id;
+      winner_pass = pass;
+      first = false;
+    }
+  }
+  virtual_time_ = winner_pass;
+  states_[winner].pass = winner_pass + 1.0 / states_[winner].spec.weight;
+  return winner;
+}
+
+std::vector<TenantCounters> TenantTable::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TenantCounters> out;
+  out.reserve(states_.size());
+  for (const auto& s : states_) {
+    out.push_back({s.name, s.spec.weight, s.spec.quota, s.queued, s.completed,
+                   s.quota_rejected});
+  }
+  return out;
+}
+
+std::size_t TenantTable::queued(TenantId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ODENET_CHECK(id < states_.size(), "unknown tenant id " << id);
+  return states_[id].queued;
+}
+
+std::uint64_t TenantTable::quota_rejected_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& s : states_) total += s.quota_rejected;
+  return total;
+}
+
+}  // namespace odenet::runtime

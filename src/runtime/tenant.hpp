@@ -1,0 +1,107 @@
+// Per-tenant accounting + weighted-fair pick for the serving runtime.
+//
+// The engine owns one TenantTable; every BatchQueue it creates shares it.
+// Two jobs:
+//
+//  1. LEDGER — quotas are charged at queue-accept, not at submit(): a
+//     request only counts against its tenant once a queue actually admits
+//     it, and it is uncharged when it leaves (popped, reaped, evicted).
+//     This is what makes cluster spill honest: a try_submit probe that
+//     lands a request on shard B charges the tenant on B, where the
+//     request really queues — under the same mutex that admits it, so a
+//     burst cannot overshoot its quota between check and enqueue.
+//  2. WEIGHTED-FAIR PICK — classic stride scheduling over active tenants:
+//     each tenant carries a virtual pass; a pick charges the winner
+//     1/weight of virtual time. Tenants idle for a while re-enter at the
+//     current virtual time (max(pass, virtual_time)) instead of cashing
+//     in banked credit, so a quiet tenant gets prompt service on return
+//     but cannot starve the busy ones with accumulated arrears. The
+//     BatchQueue applies the pick WITHIN each priority lane — priority
+//     still dominates; fairness decides among equals.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace odenet::runtime {
+
+/// Dense per-engine tenant handle; requests carry this, not the name.
+using TenantId = std::uint32_t;
+
+/// Id 0 is the pre-interned anonymous tenant (empty SubmitOptions::tenant).
+inline constexpr TenantId kDefaultTenant = 0;
+
+struct TenantSpec {
+  /// Weighted-fair share; a weight-2 tenant gets twice the picks of a
+  /// weight-1 tenant under contention. Must be > 0.
+  double weight = 1.0;
+  /// Max requests this tenant may hold queued across the engine at once;
+  /// 0 = unlimited. Enforced at queue-accept (see file comment).
+  std::size_t quota = 0;
+};
+
+/// One tenant's ledger, exported into EngineStats.
+struct TenantCounters {
+  std::string name;
+  double weight = 1.0;
+  std::size_t quota = 0;
+  std::size_t queued = 0;          ///< live requests currently admitted
+  std::uint64_t completed = 0;     ///< requests served to completion
+  std::uint64_t quota_rejected = 0;  ///< arrivals shed by the quota
+};
+
+class TenantTable {
+ public:
+  /// Constructs with the anonymous default tenant (weight 1, no quota)
+  /// pre-interned as id 0.
+  TenantTable();
+
+  /// Name -> id, creating the tenant with a default spec on first sight.
+  /// "" maps to kDefaultTenant.
+  TenantId intern(const std::string& name);
+
+  /// Installs weight/quota for `name` (interning it if new). Throws on
+  /// weight <= 0.
+  TenantId configure(const std::string& name, TenantSpec spec);
+
+  const std::string& name(TenantId id) const;
+
+  /// Ledger ops — called by BatchQueue under its own mutex; each call
+  /// takes the table mutex (runtime::BatchQueue -> TenantTable is the
+  /// only lock order, never reversed).
+  /// Admits one request against the quota; false (and a quota_rejected
+  /// count) when the tenant is at its bound.
+  bool try_charge(TenantId id);
+  void uncharge(TenantId id);
+  void record_completed(TenantId id);
+
+  /// Weighted-fair winner among `candidates` (ids with work waiting in
+  /// one lane). Advances the winner's pass and the virtual clock; with a
+  /// single candidate it still charges — service consumed alone is still
+  /// service. `candidates` must be non-empty.
+  TenantId pick(const std::vector<TenantId>& candidates);
+
+  std::vector<TenantCounters> counters() const;
+  std::size_t queued(TenantId id) const;
+  std::uint64_t quota_rejected_total() const;
+
+ private:
+  struct State {
+    std::string name;
+    TenantSpec spec;
+    std::size_t queued = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t quota_rejected = 0;
+    double pass = 0.0;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, TenantId> ids_;
+  std::vector<State> states_;
+  double virtual_time_ = 0.0;
+};
+
+}  // namespace odenet::runtime

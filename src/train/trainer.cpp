@@ -70,6 +70,35 @@ double Trainer::evaluate(data::DataLoader& loader) {
 
 models::ModelSnapshot::Ptr Trainer::publish_snapshot() {
   models::ModelSnapshot::Ptr snap = net_.export_snapshot();
+  if (cfg_.registry != nullptr) {
+    // Delta-ship when the previous base is still retained: the registry
+    // assembles the full image server-side, so only changed tensors
+    // travel. A registry that already evicted the base (or a first
+    // publish) gets the full snapshot.
+    const bool can_delta =
+        cfg_.publish_delta && last_published_ != nullptr &&
+        cfg_.registry->find(cfg_.registry_model,
+                            last_published_->version()) != nullptr;
+    if (can_delta) {
+      const models::SnapshotDelta delta =
+          models::ModelSnapshot::diff(*last_published_, *snap);
+      last_publish_ =
+          cfg_.registry->publish_delta(cfg_.registry_model, delta);
+    } else {
+      last_publish_ = cfg_.registry->publish(cfg_.registry_model, snap);
+    }
+    if (last_publish_.accepted) {
+      // The registry's copy (assembled, when delta) is the canonical
+      // base for the next diff — its version differs from `snap`'s on
+      // the delta path.
+      last_published_ =
+          cfg_.registry->find(cfg_.registry_model, last_publish_.version);
+    } else {
+      ODENET_LOG(Info) << net_.name() << ": registry refused publish of "
+                       << cfg_.registry_model << " v" << last_publish_.version
+                       << " — " << last_publish_.reason;
+    }
+  }
   if (cfg_.on_snapshot) cfg_.on_snapshot(snap);
   return snap;
 }

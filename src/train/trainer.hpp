@@ -8,6 +8,7 @@
 
 #include "data/dataloader.hpp"
 #include "models/network.hpp"
+#include "models/registry.hpp"
 #include "models/snapshot.hpp"
 #include "train/metrics.hpp"
 #include "train/sgd.hpp"
@@ -51,6 +52,19 @@ struct TrainerConfig {
   /// tracks the training run. 0 disables publishing.
   int snapshot_every = 0;
   std::function<void(models::ModelSnapshot::Ptr)> on_snapshot;
+  /// Registry-backed publishing (not owned; must outlive the trainer).
+  /// When set, publish_snapshot() also publishes every frozen snapshot
+  /// into the registry under `registry_model` — subscribed engines pick
+  /// it up through the registry's activation callback, and the
+  /// registry's accuracy gate applies (a refused publish logs and keeps
+  /// training; on_snapshot still sees the raw snapshot either way).
+  models::SnapshotRegistry* registry = nullptr;
+  std::string registry_model = "default";
+  /// Ship registry publishes as deltas against the previous published
+  /// base when it is still retained: only tensors the optimizer actually
+  /// changed travel (a head fine-tune does not re-ship the trunk). Falls
+  /// back to a full publish when no retained base exists.
+  bool publish_delta = true;
 };
 
 class Trainer {
@@ -68,17 +82,29 @@ class Trainer {
   std::vector<EpochStats> fit(data::DataLoader& train_loader,
                               data::DataLoader& test_loader);
 
-  /// Freezes the current weights and hands the snapshot to on_snapshot
-  /// (when set). Returns the snapshot (fit() calls this on schedule; it
-  /// can also be driven manually between train_epoch calls).
+  /// Freezes the current weights, publishes into the configured registry
+  /// (delta against the previous base when possible) and hands the
+  /// snapshot to on_snapshot (when set). Returns the snapshot (fit()
+  /// calls this on schedule; it can also be driven manually between
+  /// train_epoch calls).
   models::ModelSnapshot::Ptr publish_snapshot();
 
   Sgd& optimizer() { return sgd_; }
+
+  /// Accounting of the last registry publish (accepted or refused);
+  /// version 0 before the first one.
+  const models::SnapshotRegistry::PublishResult& last_publish() const {
+    return last_publish_;
+  }
 
  private:
   models::Network& net_;
   TrainerConfig cfg_;
   Sgd sgd_;
+  /// Base of the next delta publish: the last snapshot the registry
+  /// accepted from this trainer.
+  models::ModelSnapshot::Ptr last_published_;
+  models::SnapshotRegistry::PublishResult last_publish_;
 };
 
 }  // namespace odenet::train

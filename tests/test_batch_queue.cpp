@@ -579,3 +579,174 @@ TEST(BatchQueue, PreemptiveFlushDoesNotStarveAgingLowTraffic) {
   EXPECT_EQ(batch[0].cls.priority, Priority::kLow);  // never re-labeled
   EXPECT_EQ(queue.promotion_total(), 2u);
 }
+
+// ---- per-tenant quotas + weighted-fair pick ----------------------------
+
+namespace {
+
+PendingRequest tenant_request(runtime::TenantId tenant, float tag,
+                              Priority priority = Priority::kNormal) {
+  PendingRequest req = make_request(tag, priority);
+  req.cls.tenant = tenant;
+  return req;
+}
+
+}  // namespace
+
+TEST(BatchQueue, TenantQuotaShedsAtAcceptAndFreesOnPop) {
+  runtime::TenantTable tenants;
+  const auto a = tenants.configure("a", {1.0, 2});
+  BatchQueue queue(1, std::chrono::microseconds(100), 0, {}, {}, &tenants);
+
+  ASSERT_EQ(queue.push(tenant_request(a, 1.0f)), PushOutcome::kAccepted);
+  ASSERT_EQ(queue.push(tenant_request(a, 2.0f)), PushOutcome::kAccepted);
+  EXPECT_EQ(tenants.queued(a), 2u);
+
+  // Third arrival is at the quota: failed with QueueFull and counted both
+  // as a queue rejection and on the tenant's ledger.
+  PendingRequest over = tenant_request(a, 3.0f);
+  auto over_future = over.promise.get_future();
+  EXPECT_EQ(queue.push(std::move(over)), PushOutcome::kRejected);
+  EXPECT_THROW(over_future.get(), QueueFull);
+  EXPECT_EQ(queue.rejected_total(), 1u);
+  EXPECT_EQ(tenants.quota_rejected_total(), 1u);
+
+  // Popping releases the charge: the tenant can queue again.
+  std::vector<PendingRequest> batch;
+  ASSERT_TRUE(queue.pop_batch(batch));
+  EXPECT_EQ(tenants.queued(a), 1u);
+  EXPECT_EQ(queue.push(tenant_request(a, 4.0f)), PushOutcome::kAccepted);
+}
+
+TEST(BatchQueue, QuotaRejectionNeverEvictsANeighbor) {
+  runtime::TenantTable tenants;
+  const auto a = tenants.configure("a", {1.0, 1});
+  const auto b = tenants.intern("b");
+  QueueLimits limits;
+  limits.max_queue_depth = 3;
+  BatchQueue queue(8, std::chrono::seconds(30), 0, limits, {}, &tenants);
+
+  ASSERT_EQ(queue.push(tenant_request(a, 1.0f)), PushOutcome::kAccepted);
+  ASSERT_EQ(queue.push(tenant_request(b, 2.0f, Priority::kLow)),
+            PushOutcome::kAccepted);
+  ASSERT_EQ(queue.push(tenant_request(b, 3.0f, Priority::kLow)),
+            PushOutcome::kAccepted);
+
+  // Tenant a is at ITS quota: even a high-priority arrival is shed
+  // outright — b's evictable low waiters are not touched.
+  PendingRequest urgent = tenant_request(a, 4.0f, Priority::kHigh);
+  auto urgent_future = urgent.promise.get_future();
+  EXPECT_EQ(queue.push(std::move(urgent)), PushOutcome::kRejected);
+  EXPECT_THROW(urgent_future.get(), QueueFull);
+  EXPECT_EQ(queue.evicted_total(), 0u);
+  EXPECT_EQ(queue.size(), 3u);
+}
+
+TEST(BatchQueue, TryPushProbeChargesQuotaOnlyOnAccept) {
+  // The spill-probe honesty fix: a probe that bounces leaves no charge
+  // behind, a probe that lands charges the tenant at THIS queue.
+  runtime::TenantTable tenants;
+  const auto a = tenants.configure("a", {1.0, 1});
+  BatchQueue full(8, std::chrono::seconds(30), 0, bounded(1), {}, &tenants);
+  BatchQueue sibling(8, std::chrono::seconds(30), 0, bounded(1), {},
+                     &tenants);
+  ASSERT_EQ(full.push(make_request(1.0f)), PushOutcome::kAccepted);
+
+  PendingRequest probe = tenant_request(a, 2.0f);
+  EXPECT_EQ(full.try_push(probe), PushOutcome::kRejected);  // depth bound
+  EXPECT_EQ(tenants.queued(a), 0u);  // bounced probe left no charge
+  EXPECT_EQ(sibling.try_push(probe), PushOutcome::kAccepted);
+  EXPECT_EQ(tenants.queued(a), 1u);  // charged where it actually queues
+
+  // At quota now: a further probe is refused WITHOUT failing the promise
+  // (the cluster may still find headroom under another tenant).
+  PendingRequest second = tenant_request(a, 3.0f);
+  auto second_future = second.promise.get_future();
+  EXPECT_EQ(sibling.try_push(second), PushOutcome::kRejected);
+  EXPECT_EQ(second_future.wait_for(std::chrono::seconds(0)),
+            std::future_status::timeout);
+  EXPECT_EQ(tenants.quota_rejected_total(), 1u);
+}
+
+TEST(BatchQueue, EvictionAndExpiryReleaseTheTenantCharge) {
+  runtime::TenantTable tenants;
+  const auto a = tenants.configure("a", {1.0, 1});
+  // Short flush window: this test pops a lone request mid-way.
+  BatchQueue queue(8, std::chrono::microseconds(1000), 0, bounded(1), {},
+                   &tenants);
+
+  PendingRequest victim = tenant_request(a, 1.0f, Priority::kLow);
+  auto victim_future = victim.promise.get_future();
+  ASSERT_EQ(queue.push(std::move(victim)), PushOutcome::kAccepted);
+  EXPECT_EQ(tenants.queued(a), 1u);
+
+  // A high arrival evicts a's waiter; the charge is released with it.
+  ASSERT_EQ(queue.push(make_request(2.0f, Priority::kHigh)),
+            PushOutcome::kAccepted);
+  EXPECT_THROW(victim_future.get(), QueueFull);
+  EXPECT_EQ(tenants.queued(a), 0u);
+
+  // Deadline reaping releases the charge too.
+  std::vector<PendingRequest> batch;
+  ASSERT_TRUE(queue.pop_batch(batch));  // drain the high request
+  PendingRequest doomed = tenant_request(a, 3.0f);
+  doomed.cls.deadline = Clock::now() + std::chrono::microseconds(200);
+  auto doomed_future = doomed.promise.get_future();
+  ASSERT_EQ(queue.push(std::move(doomed)), PushOutcome::kAccepted);
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  queue.close();
+  queue.pop_batch(batch);  // reaps the expired request
+  EXPECT_THROW(doomed_future.get(), DeadlineExceeded);
+  EXPECT_EQ(tenants.queued(a), 0u);
+}
+
+TEST(BatchQueue, PopsAreWeightedFairAmongTenantsInOneLane) {
+  runtime::TenantTable tenants;
+  const auto a = tenants.configure("a", {1.0, 0});
+  const auto b = tenants.configure("b", {2.0, 0});
+  BatchQueue queue(1, std::chrono::microseconds(100), 0, {}, {}, &tenants);
+
+  // All of a's work arrives BEFORE any of b's; FIFO alone would serve
+  // a,a,a,b,b,b. Stride scheduling interleaves by weight instead.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(queue.push(tenant_request(a, 10.0f + i)),
+              PushOutcome::kAccepted);
+  }
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(queue.push(tenant_request(b, 20.0f + i)),
+              PushOutcome::kAccepted);
+  }
+
+  std::vector<runtime::TenantId> order;
+  std::vector<PendingRequest> batch;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(queue.pop_batch(batch));
+    ASSERT_EQ(batch.size(), 1u);
+    order.push_back(batch[0].cls.tenant);
+  }
+  // Deterministic stride trace (w_a=1, w_b=2): a then b,b then a, ...
+  const std::vector<runtime::TenantId> expected = {a, b, b, a, b, a};
+  EXPECT_EQ(order, expected);
+  // Within each tenant the order stays FIFO.
+  EXPECT_EQ(queue.timeout_total(), 0u);
+}
+
+TEST(BatchQueue, WeightedFairPickStaysInsideThePriorityLane) {
+  // Priority still dominates: a high request of a LIGHT tenant goes
+  // before queued normal work of the heavy tenant.
+  runtime::TenantTable tenants;
+  const auto a = tenants.configure("a", {100.0, 0});
+  const auto b = tenants.configure("b", {0.5, 0});
+  BatchQueue queue(1, std::chrono::microseconds(100), 0, {}, {}, &tenants);
+
+  ASSERT_EQ(queue.push(tenant_request(a, 1.0f, Priority::kNormal)),
+            PushOutcome::kAccepted);
+  ASSERT_EQ(queue.push(tenant_request(b, 2.0f, Priority::kHigh)),
+            PushOutcome::kAccepted);
+
+  std::vector<PendingRequest> batch;
+  ASSERT_TRUE(queue.pop_batch(batch));
+  EXPECT_FLOAT_EQ(tag_of(batch[0]), 2.0f);  // high lane first, weight moot
+  ASSERT_TRUE(queue.pop_batch(batch));
+  EXPECT_FLOAT_EQ(tag_of(batch[0]), 1.0f);
+}

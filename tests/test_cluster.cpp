@@ -84,6 +84,12 @@ BackendLoad shard_load(std::size_t depth, double seconds) {
   return l;
 }
 
+runtime::SubmitOptions for_tenant(const std::string& tenant) {
+  runtime::SubmitOptions opts;
+  opts.tenant = tenant;
+  return opts;
+}
+
 }  // namespace
 
 // ---- ClusterRouter: placement ------------------------------------------
@@ -189,7 +195,7 @@ TEST(EngineCluster, ServesThroughTheHomeShardAndMatchesDirectForward) {
   const std::string tenant = "tenant-parity";
   std::size_t shard = kNoShard;
   InferenceResult result =
-      cluster.submit(std::move(image), tenant, {}, &shard).get();
+      cluster.submit(std::move(image), for_tenant(tenant), &shard).get();
   EXPECT_EQ(shard, cluster.primary_shard(tenant));
 
   // Cluster placement must not perturb the math: same logits as a direct
@@ -227,7 +233,7 @@ TEST(EngineCluster, SpillsToSiblingWhenHomeShardIsFullThenSheds) {
   for (int i = 0; i < 8; ++i) {
     std::size_t shard = kNoShard;
     futures.push_back(
-        cluster.submit(random_image(rng), tenant, {}, &shard));
+        cluster.submit(random_image(rng), for_tenant(tenant), &shard));
     placed_on.push_back(shard);
   }
 
@@ -265,7 +271,7 @@ TEST(EngineCluster, SpillDisabledShedsAtTheHomeShard) {
   const std::string tenant = "tenant-burst";
   std::vector<std::future<InferenceResult>> futures;
   for (int i = 0; i < 8; ++i) {
-    futures.push_back(cluster.submit(random_image(rng), tenant));
+    futures.push_back(cluster.submit(random_image(rng), for_tenant(tenant)));
   }
   int shed = 0;
   for (auto& f : futures) {
@@ -295,116 +301,172 @@ TEST(EngineCluster, CordonedShardReceivesNothingAndFullCordonRejects) {
   cluster.set_admitting(home, false);
   EXPECT_FALSE(cluster.admitting(home));
   std::size_t shard = kNoShard;
-  cluster.submit(random_image(rng), tenant, {}, &shard).get();
+  cluster.submit(random_image(rng), for_tenant(tenant), &shard).get();
   EXPECT_EQ(shard, 1 - home);
 
   // Cordon everything: submit fails fast with QueueFull, shard kNoShard.
   cluster.set_admitting(1 - home, false);
   shard = 0;
-  auto future = cluster.submit(random_image(rng), tenant, {}, &shard);
+  auto future = cluster.submit(random_image(rng), for_tenant(tenant), &shard);
   EXPECT_EQ(shard, kNoShard);
   EXPECT_THROW(future.get(), QueueFull);
   EXPECT_EQ(cluster.stats().no_admitting, 1u);
 
   // Re-admit and the tenant lands back on its home shard.
   cluster.set_admitting(home, true);
-  cluster.submit(random_image(rng), tenant, {}, &shard).get();
+  cluster.submit(random_image(rng), for_tenant(tenant), &shard).get();
   EXPECT_EQ(shard, home);
 }
 
 // ---- wire protocol -----------------------------------------------------
 
 TEST(ClusterProtocol, RequestRoundTripsThroughEncodeDecode) {
-  WireRequest req;
-  req.id = 0x0123456789ABCDEFull;
-  req.priority = Priority::kHigh;
-  req.evictable = false;
-  req.deadline_us = 250000;
-  req.tenant = "tenant-\xC3\xA9";  // arbitrary bytes survive
-  req.channels = 3;
-  req.height = 2;
-  req.width = 4;
-  req.pixels.resize(24);
-  for (std::size_t i = 0; i < req.pixels.size(); ++i) {
-    req.pixels[i] = static_cast<float>(i) - 11.5f;
+  for (std::uint8_t version : {std::uint8_t{1}, std::uint8_t{2}}) {
+    WireRequest req;
+    req.version = version;
+    req.id = 0x0123456789ABCDEFull;
+    req.priority = Priority::kHigh;
+    req.evictable = false;
+    req.deadline_us = 250000;
+    req.tenant = "tenant-\xC3\xA9";  // arbitrary bytes survive
+    if (version == 2) {
+      req.model = "resnet-ode/tiny";
+      req.model_version = 0xFEDCBA9876543210ull;
+    }
+    req.channels = 3;
+    req.height = 2;
+    req.width = 4;
+    req.pixels.resize(24);
+    for (std::size_t i = 0; i < req.pixels.size(); ++i) {
+      req.pixels[i] = static_cast<float>(i) - 11.5f;
+    }
+
+    const std::vector<std::uint8_t> frame = cluster::encode_request(req);
+    ASSERT_GE(frame.size(), cluster::kFrameHeaderBytes);
+    const std::uint32_t payload = cluster::decode_frame_length(frame.data());
+    ASSERT_EQ(payload + cluster::kFrameHeaderBytes, frame.size());
+
+    const WireRequest back = cluster::decode_request(
+        frame.data() + cluster::kFrameHeaderBytes, payload);
+    EXPECT_EQ(back.version, version);
+    EXPECT_EQ(back.id, req.id);
+    EXPECT_EQ(back.priority, req.priority);
+    EXPECT_EQ(back.evictable, req.evictable);
+    EXPECT_EQ(back.deadline_us, req.deadline_us);
+    EXPECT_EQ(back.tenant, req.tenant);
+    EXPECT_EQ(back.model, req.model);
+    EXPECT_EQ(back.model_version, req.model_version);
+    EXPECT_EQ(back.channels, req.channels);
+    EXPECT_EQ(back.height, req.height);
+    EXPECT_EQ(back.width, req.width);
+    EXPECT_EQ(back.pixels, req.pixels);
   }
-
-  const std::vector<std::uint8_t> frame = cluster::encode_request(req);
-  ASSERT_GE(frame.size(), cluster::kFrameHeaderBytes);
-  const std::uint32_t payload = cluster::decode_frame_length(frame.data());
-  ASSERT_EQ(payload + cluster::kFrameHeaderBytes, frame.size());
-
-  const WireRequest back = cluster::decode_request(
-      frame.data() + cluster::kFrameHeaderBytes, payload);
-  EXPECT_EQ(back.id, req.id);
-  EXPECT_EQ(back.priority, req.priority);
-  EXPECT_EQ(back.evictable, req.evictable);
-  EXPECT_EQ(back.deadline_us, req.deadline_us);
-  EXPECT_EQ(back.tenant, req.tenant);
-  EXPECT_EQ(back.channels, req.channels);
-  EXPECT_EQ(back.height, req.height);
-  EXPECT_EQ(back.width, req.width);
-  EXPECT_EQ(back.pixels, req.pixels);
 }
 
 TEST(ClusterProtocol, ResponseRoundTripsThroughEncodeDecode) {
-  WireResponse res;
-  res.id = 77;
-  res.status = cluster::ResponseStatus::kShed;
-  res.shard = 2;
-  res.predicted = -1;
-  res.latency_ms = 12.5f;
-  res.logits = {0.5f, -1.25f, 3.0f};
-  res.message = "cluster: all 4 candidate shard(s) full";
+  for (std::uint8_t version : {std::uint8_t{1}, std::uint8_t{2}}) {
+    WireResponse res;
+    res.version = version;
+    res.id = 77;
+    res.status = cluster::ResponseStatus::kShed;
+    res.shard = 2;
+    res.predicted = -1;
+    res.latency_ms = 12.5f;
+    if (version == 2) res.model_version = 41;
+    res.logits = {0.5f, -1.25f, 3.0f};
+    res.message = "cluster: all 4 candidate shard(s) full";
 
-  const std::vector<std::uint8_t> frame = cluster::encode_response(res);
-  const std::uint32_t payload = cluster::decode_frame_length(frame.data());
-  const WireResponse back = cluster::decode_response(
-      frame.data() + cluster::kFrameHeaderBytes, payload);
-  EXPECT_EQ(back.id, res.id);
-  EXPECT_EQ(back.status, res.status);
-  EXPECT_EQ(back.shard, res.shard);
-  EXPECT_EQ(back.predicted, res.predicted);
-  EXPECT_FLOAT_EQ(back.latency_ms, res.latency_ms);
-  EXPECT_EQ(back.logits, res.logits);
-  EXPECT_EQ(back.message, res.message);
+    const std::vector<std::uint8_t> frame = cluster::encode_response(res);
+    const std::uint32_t payload = cluster::decode_frame_length(frame.data());
+    const WireResponse back = cluster::decode_response(
+        frame.data() + cluster::kFrameHeaderBytes, payload);
+    EXPECT_EQ(back.version, version);
+    EXPECT_EQ(back.id, res.id);
+    EXPECT_EQ(back.status, res.status);
+    EXPECT_EQ(back.shard, res.shard);
+    EXPECT_EQ(back.predicted, res.predicted);
+    EXPECT_FLOAT_EQ(back.latency_ms, res.latency_ms);
+    EXPECT_EQ(back.model_version, version == 2 ? 41u : 0u);
+    EXPECT_EQ(back.logits, res.logits);
+    EXPECT_EQ(back.message, res.message);
+  }
+}
+
+TEST(ClusterProtocol, V1FramesCannotCarryModelRefs) {
+  // A v1 frame has no model fields; encoding must refuse rather than
+  // silently drop a pinned model ref.
+  WireRequest req;
+  req.version = 1;
+  req.model = "m";
+  req.channels = 1;
+  req.height = 1;
+  req.width = 1;
+  req.pixels = {0.0f};
+  EXPECT_THROW(cluster::encode_request(req), odenet::Error);
+  req.model.clear();
+  req.model_version = 3;
+  EXPECT_THROW(cluster::encode_request(req), odenet::Error);
+  req.model_version = 0;
+  EXPECT_NO_THROW(cluster::encode_request(req));
 }
 
 TEST(ClusterProtocol, TruncatedAndMalformedFramesThrowReadably) {
-  WireRequest req;
-  req.tenant = "t";
-  req.channels = 1;
-  req.height = 2;
-  req.width = 2;
-  req.pixels = {1.0f, 2.0f, 3.0f, 4.0f};
-  const std::vector<std::uint8_t> frame = cluster::encode_request(req);
-  const std::uint8_t* payload = frame.data() + cluster::kFrameHeaderBytes;
-  const std::size_t size = frame.size() - cluster::kFrameHeaderBytes;
+  // Both wire versions: every proper prefix must throw (never read out
+  // of bounds, never return garbage) — the truncation fuzz.
+  for (std::uint8_t version : {std::uint8_t{1}, std::uint8_t{2}}) {
+    WireRequest req;
+    req.version = version;
+    req.tenant = "t";
+    if (version == 2) req.model = "m";
+    req.channels = 1;
+    req.height = 2;
+    req.width = 2;
+    req.pixels = {1.0f, 2.0f, 3.0f, 4.0f};
+    const std::vector<std::uint8_t> frame = cluster::encode_request(req);
+    const std::uint8_t* payload = frame.data() + cluster::kFrameHeaderBytes;
+    const std::size_t size = frame.size() - cluster::kFrameHeaderBytes;
 
-  // Every proper prefix must throw (never read out of bounds, never
-  // return garbage) — the truncated-frame acceptance case.
-  for (std::size_t cut = 0; cut < size; ++cut) {
-    EXPECT_THROW(cluster::decode_request(payload, cut), odenet::Error)
-        << "prefix of " << cut << " bytes";
+    for (std::size_t cut = 0; cut < size; ++cut) {
+      EXPECT_THROW(cluster::decode_request(payload, cut), odenet::Error)
+          << "v" << static_cast<int>(version) << " prefix of " << cut
+          << " bytes";
+    }
+    // Trailing junk is rejected too (framing mismatch, not ignorable).
+    std::vector<std::uint8_t> padded(payload, payload + size);
+    padded.push_back(0);
+    EXPECT_THROW(cluster::decode_request(padded.data(), padded.size()),
+                 odenet::Error);
+    // A response magic in a request slot is a protocol error.
+    std::vector<std::uint8_t> wrong(payload, payload + size);
+    wrong[0] = 0x52;  // 'R'
+    EXPECT_THROW(cluster::decode_request(wrong.data(), wrong.size()),
+                 odenet::Error);
+    // Declaring more pixels than the payload carries must throw, not
+    // read past the buffer: bump the channel count without adding bytes.
+    std::vector<std::uint8_t> lying(payload, payload + size);
+    // channels low byte: magic(4) + id(8) + priority(1) + flags(1) +
+    // deadline(4) + [v2: model_version(8)] + tenant_len(2) +
+    // [v2: model_len(2)] = offset 20 (v1) / 30 (v2).
+    lying[version == 1 ? 20 : 30] = 9;
+    EXPECT_THROW(cluster::decode_request(lying.data(), lying.size()),
+                 odenet::Error);
   }
-  // Trailing junk is rejected too (framing mismatch, not ignorable).
-  std::vector<std::uint8_t> padded(payload, payload + size);
-  padded.push_back(0);
-  EXPECT_THROW(cluster::decode_request(padded.data(), padded.size()),
-               odenet::Error);
-  // A response magic in a request slot is a protocol error.
-  std::vector<std::uint8_t> wrong(payload, payload + size);
-  wrong[0] = 0x52;  // 'R'
-  EXPECT_THROW(cluster::decode_request(wrong.data(), wrong.size()),
-               odenet::Error);
-  // Declaring more pixels than the payload carries must throw, not read
-  // past the buffer: bump the channel count without adding bytes.
-  std::vector<std::uint8_t> lying(payload, payload + size);
-  // channels low byte: magic(4) + id(8) + priority(1) + flags(1) +
-  // deadline(4) + tenant_len(2) = offset 20.
-  lying[20] = 9;
-  EXPECT_THROW(cluster::decode_request(lying.data(), lying.size()),
-               odenet::Error);
+
+  // Response truncation fuzz, both versions.
+  for (std::uint8_t version : {std::uint8_t{1}, std::uint8_t{2}}) {
+    WireResponse res;
+    res.version = version;
+    res.logits = {1.0f, 2.0f};
+    res.message = "x";
+    const std::vector<std::uint8_t> frame = cluster::encode_response(res);
+    const std::uint8_t* payload = frame.data() + cluster::kFrameHeaderBytes;
+    const std::size_t size = frame.size() - cluster::kFrameHeaderBytes;
+    for (std::size_t cut = 0; cut < size; ++cut) {
+      EXPECT_THROW(cluster::decode_response(payload, cut), odenet::Error)
+          << "v" << static_cast<int>(version) << " prefix of " << cut
+          << " bytes";
+    }
+  }
 }
 
 // ---- socket front-end --------------------------------------------------
@@ -425,8 +487,12 @@ TEST(SocketFrontend, ServesConcurrentPipelinedClientsWithIdCorrelation) {
       util::Rng rng(100 + c);
       // Pipeline all requests, then collect all responses.
       std::set<std::uint64_t> outstanding;
+      // Client 0 speaks the legacy v1 frames; the rest v2 — one server,
+      // both dialects, responses echo the request's version.
+      const std::uint8_t version = c == 0 ? 1 : 2;
       for (int i = 0; i < kPerClient; ++i) {
         WireRequest req;
+        req.version = version;
         req.id = static_cast<std::uint64_t>(c) * 1000 + i;
         req.tenant = "tenant-" + std::to_string(c) + "-" + std::to_string(i);
         req.channels = 3;
@@ -442,6 +508,13 @@ TEST(SocketFrontend, ServesConcurrentPipelinedClientsWithIdCorrelation) {
         // Correlation: every response id matches one outstanding request.
         ASSERT_EQ(outstanding.erase(res.id), 1u) << res.id;
         ASSERT_EQ(res.status, cluster::ResponseStatus::kOk) << res.message;
+        EXPECT_EQ(res.version, version);
+        if (version == 2) {
+          // v2 responses name the snapshot version that served.
+          EXPECT_GT(res.model_version, 0u);
+        } else {
+          EXPECT_EQ(res.model_version, 0u);
+        }
         EXPECT_EQ(res.logits.size(), 5u);
         EXPECT_GE(res.predicted, 0);
         EXPECT_LT(res.predicted, 5);

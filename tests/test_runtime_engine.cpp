@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <set>
 #include <thread>
 
 #include <sstream>
@@ -23,6 +24,7 @@ using runtime::BackendConfig;
 using runtime::EngineConfig;
 using runtime::InferenceEngine;
 using runtime::InferenceResult;
+using runtime::SubmitOptions;
 
 namespace {
 
@@ -228,10 +230,15 @@ TEST(InferenceEngine, BackendParityWithinQuantizationTolerance) {
 
   util::Rng rng(77);
   core::Tensor image = random_image(rng);
-  InferenceResult rf = engine.submit(image, 0).get();
-  InferenceResult rq = engine.submit(image, 1).get();
-  InferenceResult ra = engine.submit(image, 2).get();
-  InferenceResult rc = engine.submit(image, 3).get();
+  auto pinned = [](std::size_t index) {
+    SubmitOptions opts;
+    opts.backend = index;
+    return opts;
+  };
+  InferenceResult rf = engine.submit(image, pinned(0)).get();
+  InferenceResult rq = engine.submit(image, pinned(1)).get();
+  InferenceResult ra = engine.submit(image, pinned(2)).get();
+  InferenceResult rc = engine.submit(image, pinned(3)).get();
 
   EXPECT_LT(max_abs_diff(rf.logits, rc.logits), 1e-3);   // Q11.20 activations
   EXPECT_LT(max_abs_diff(rf.logits, rq.logits), 0.1);    // int16 operand grid
@@ -314,7 +321,9 @@ TEST(InferenceEngine, PinnedBackendOutOfRangeThrows) {
   models::Network net = make_net(9);
   InferenceEngine engine(net);
   util::Rng rng(9);
-  EXPECT_THROW((void)engine.submit(random_image(rng), std::size_t{3}),
+  SubmitOptions out_of_range;
+  out_of_range.backend = 3;
+  EXPECT_THROW((void)engine.submit(random_image(rng), out_of_range),
                odenet::Error);
 }
 
@@ -459,12 +468,15 @@ TEST(InferenceEngine, ReloadRequantizesFpgaAndFixedBackends) {
 
   util::Rng rng(22);
   core::Tensor image = random_image(rng);
-  const InferenceResult fixed_hot = engine.submit(image, 0).get();
-  const InferenceResult fpga_hot = engine.submit(image, 1).get();
+  SubmitOptions on_fixed, on_fpga;
+  on_fixed.backend = 0;
+  on_fpga.backend = 1;
+  const InferenceResult fixed_hot = engine.submit(image, on_fixed).get();
+  const InferenceResult fpga_hot = engine.submit(image, on_fpga).get();
 
   InferenceEngine cold(snap, cfg);
-  const InferenceResult fixed_cold = cold.submit(image, 0).get();
-  const InferenceResult fpga_cold = cold.submit(image, 1).get();
+  const InferenceResult fixed_cold = cold.submit(image, on_fixed).get();
+  const InferenceResult fpga_cold = cold.submit(image, on_fpga).get();
 
   // The quantized datapaths are deterministic in the weights, so the
   // re-quantized BRAM image must reproduce a cold construction from the
@@ -594,7 +606,9 @@ TEST(InferenceEngine, StressReloadRacesProducersWithoutDroppingFutures) {
   // Post-drain requests serve the final version, matching a cold engine.
   util::Rng rng(25);
   core::Tensor image = random_image(rng);
-  const InferenceResult hot = engine.submit(image, std::size_t{1}).get();
+  SubmitOptions on_fixed;
+  on_fixed.backend = 1;
+  const InferenceResult hot = engine.submit(image, on_fixed).get();
   EngineConfig cold_cfg = cfg;
   cold_cfg.backends = {BackendConfig{}};
   InferenceEngine cold(last, cold_cfg);
@@ -943,4 +957,233 @@ TEST(InferenceEngine, ReloadResetsMeasuredEwmaToColdState) {
     rewarm_max = std::max(rewarm_max, engine.measured_request_seconds(b));
   }
   EXPECT_GT(rewarm_max, 0.0);
+}
+
+namespace {
+
+/// Nudges only params under `prefix` ("fc.", "layer3_2.", ...), leaving
+/// the rest of the network untouched — shapes the per-stage deltas the
+/// registry tests ship.
+void perturb_params(models::Network& net, const std::string& prefix,
+                    float delta) {
+  for (core::Param* p : net.params()) {
+    if (p->name.rfind(prefix, 0) == 0) {
+      for (std::size_t i = 0; i < p->value.numel(); ++i) {
+        p->value.data()[i] += delta;
+      }
+    }
+  }
+  net.set_weight_version(0);  // weights mutated in place: invalidate packs
+}
+
+}  // namespace
+
+TEST(InferenceEngine, ServeFromRegistrySeedsFollowsAndGatesReload) {
+  models::SnapshotRegistry::Config reg_cfg;
+  reg_cfg.gate_delta = 0.05;
+  models::SnapshotRegistry registry(reg_cfg);
+  // Score by version id: everything is fine except versions marked bad.
+  std::set<std::uint64_t> bad_versions;
+  registry.set_eval([&bad_versions](const models::ModelSnapshot& s) {
+    return bad_versions.count(s.version()) != 0 ? 0.2 : 0.9;
+  });
+
+  models::Network net = make_net(50);
+  EngineConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_delay = std::chrono::microseconds(500);
+  cfg.model = "prod";
+  InferenceEngine engine(net, cfg);
+  const std::uint64_t v0 = engine.model_version();
+
+  // Binding an empty registry seeds it with the serving snapshot.
+  engine.serve_from(registry);
+  ASSERT_NE(registry.active("prod"), nullptr);
+  EXPECT_EQ(registry.active("prod")->version(), v0);
+  EXPECT_THROW(engine.serve_from(registry), odenet::Error);
+
+  util::Rng rng(50);
+  core::Tensor image = random_image(rng);
+  const InferenceResult before = engine.submit(image).get();
+  EXPECT_EQ(before.model_version, v0);
+
+  // reload() on a bound engine is a registry publish: the new version is
+  // retained AND the engine adopts it through its subscription.
+  models::Network retrained = make_net(51);
+  const auto snap1 = retrained.export_snapshot();
+  EXPECT_EQ(engine.reload(snap1), snap1->version());
+  EXPECT_EQ(engine.model_version(), snap1->version());
+  EXPECT_EQ(registry.active("prod")->version(), snap1->version());
+  EXPECT_EQ(registry.versions("prod").size(), 2u);
+  EXPECT_EQ(engine.submit(image).get().model_version, snap1->version());
+
+  // A gated regression is refused: reload throws, nothing was retained,
+  // and the engine keeps serving what it served.
+  models::Network bad = make_net(52);
+  const auto bad_snap = bad.export_snapshot();
+  bad_versions.insert(bad_snap->version());
+  EXPECT_THROW(engine.reload(bad_snap), odenet::Error);
+  EXPECT_EQ(engine.model_version(), snap1->version());
+  EXPECT_EQ(registry.versions("prod").size(), 2u);
+
+  // Rollback through the registry lands on the engine like a publish;
+  // the rolled-back engine is bitwise the engine it used to be.
+  registry.rollback("prod", v0);
+  EXPECT_EQ(engine.model_version(), v0);
+  const InferenceResult after = engine.submit(image).get();
+  EXPECT_EQ(after.model_version, v0);
+  for (std::size_t c = 0; c < after.logits.numel(); ++c) {
+    EXPECT_EQ(after.logits.data()[c], before.logits.data()[c]) << "logit " << c;
+  }
+}
+
+// Acceptance: rollback under load with zero dropped or mis-versioned
+// requests. Producers hammer a registry-bound engine while the main
+// thread races publishes and rollbacks; every future fulfills exactly
+// once, every result carries a version that was actually published, and
+// the post-drain engine bitwise-matches a cold engine on the rolled-back
+// snapshot.
+TEST(InferenceEngine, StressRollbackRacesPublishesWithoutMisversionedResults) {
+  models::SnapshotRegistry registry;
+  models::Network net = make_net(53);
+  EngineConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_delay = std::chrono::microseconds(300);
+  cfg.model = "prod";
+  BackendConfig two_workers;
+  two_workers.workers = 2;
+  cfg.backends = {two_workers};
+  InferenceEngine engine(net, cfg);
+  const std::uint64_t v0 = engine.model_version();
+  engine.serve_from(registry);
+  registry.pin("prod", v0);  // the rollback target must survive retention
+
+  std::set<std::uint64_t> published{v0};
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 40;
+  std::vector<std::vector<std::future<InferenceResult>>> futures(kProducers);
+  for (auto& lane : futures) lane.reserve(kPerProducer);
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      util::Rng rng(3000 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kPerProducer; ++i) {
+        futures[static_cast<std::size_t>(t)].push_back(
+            engine.submit(random_image(rng)));
+      }
+    });
+  }
+
+  // Race a publish/rollback stream against the producers.
+  for (int r = 0; r < 6; ++r) {
+    models::Network retrained = make_net(300 + static_cast<std::uint64_t>(r));
+    const auto snap = retrained.export_snapshot();
+    ASSERT_TRUE(registry.publish("prod", snap).accepted);
+    published.insert(snap->version());
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    if (r % 2 == 1) registry.rollback("prod", v0);
+  }
+  registry.rollback("prod", v0);
+  for (auto& p : producers) p.join();
+
+  int fulfilled = 0;
+  for (auto& lane : futures) {
+    for (auto& f : lane) {
+      const InferenceResult res = f.get();  // exactly-once: get() consumes
+      EXPECT_GE(res.predicted, 0);
+      EXPECT_EQ(published.count(res.model_version), 1u)
+          << "served on version " << res.model_version
+          << " which was never published";
+      ++fulfilled;
+    }
+  }
+  EXPECT_EQ(fulfilled, kProducers * kPerProducer);
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.requests(),
+            static_cast<std::uint64_t>(kProducers * kPerProducer));
+  EXPECT_EQ(stats.timeouts(), 0u);
+  EXPECT_EQ(engine.model_version(), v0);
+
+  // Post-rollback serving bitwise-matches a cold engine on the retained
+  // rollback target.
+  util::Rng rng(53);
+  core::Tensor image = random_image(rng);
+  const InferenceResult hot = engine.submit(image).get();
+  EXPECT_EQ(hot.model_version, v0);
+  InferenceEngine cold(registry.find("prod", v0), cfg);
+  const InferenceResult fresh = cold.submit(image).get();
+  for (std::size_t c = 0; c < hot.logits.numel(); ++c) {
+    EXPECT_EQ(hot.logits.data()[c], fresh.logits.data()[c]) << "logit " << c;
+  }
+}
+
+// Acceptance: a delta publish ships only changed tensors, and the FPGA
+// worker sync re-quantizes only the BRAM stages the delta touches — a
+// head fine-tune leaves every offloaded trunk stage's BRAM image alone.
+TEST(InferenceEngine, DeltaReloadRequantizesOnlyTouchedBramStages) {
+  models::Network net = make_net(54);
+  const auto snap0 = net.export_snapshot();
+  EngineConfig cfg;
+  cfg.max_batch = 1;  // per-image batches: batch-stat BN is deterministic
+  cfg.max_delay = std::chrono::microseconds(500);
+  BackendConfig fpga_sim;
+  fpga_sim.backend = core::ExecBackend::kFpgaSim;
+  cfg.backends = {fpga_sim};  // offloaded empty = rODENet-3's
+                              // single ODE stage (layer3_2)
+  InferenceEngine engine(snap0, cfg);
+
+  util::Rng rng(54);
+  core::Tensor image = random_image(rng);
+  EXPECT_EQ(engine.submit(image).get().model_version, snap0->version());
+
+  // Head-only delta: fc is served in software, so NO BRAM stage changed.
+  perturb_params(net, "fc.", 0.01f);
+  const auto snap1 = net.export_snapshot();
+  const models::SnapshotDelta d01 = models::ModelSnapshot::diff(*snap0, *snap1);
+  const auto head_only = models::ModelSnapshot::assemble(*snap0, d01);
+  engine.reload(head_only);
+  const InferenceResult head_hot = engine.submit(image).get();
+  EXPECT_EQ(head_hot.model_version, head_only->version());
+  {
+    const auto b = engine.stats().backends[0];
+    EXPECT_EQ(b.delta_swaps, 1u);
+    EXPECT_EQ(b.stages_requantized, 0u) << "head fine-tune re-quantized BRAM";
+    EXPECT_EQ(b.stages_skipped, 1u);
+  }
+  // The skipped BRAM images still serve correctly: parity with a cold
+  // engine built from the assembled snapshot.
+  InferenceEngine cold(head_only, cfg);
+  EXPECT_LT(max_abs_diff(head_hot.logits, cold.submit(image).get().logits),
+            1e-5);
+
+  // Trunk delta touching the offloaded stage: it (and only it) is
+  // re-quantized this time.
+  perturb_params(net, "layer3_2.", 0.01f);
+  const auto snap2 = net.export_snapshot();
+  const models::SnapshotDelta d12 =
+      models::ModelSnapshot::diff(*head_only, *snap2);
+  const auto trunk_delta = models::ModelSnapshot::assemble(*head_only, d12);
+  EXPECT_TRUE(trunk_delta->stage_changed(StageId::kLayer3_2));
+  EXPECT_FALSE(trunk_delta->stage_changed(StageId::kLayer1));
+  engine.reload(trunk_delta);
+  EXPECT_EQ(engine.submit(image).get().model_version, trunk_delta->version());
+  {
+    const auto b = engine.stats().backends[0];
+    EXPECT_EQ(b.delta_swaps, 2u);
+    EXPECT_EQ(b.stages_requantized, 1u);
+    EXPECT_EQ(b.stages_skipped, 1u);
+  }
+
+  // A full (non-delta) reload re-quantizes everything — the fallback the
+  // delta path is measured against.
+  models::Network other = make_net(55);
+  engine.reload(other.export_snapshot());
+  EXPECT_GE(engine.submit(image).get().predicted, 0);
+  {
+    const auto b = engine.stats().backends[0];
+    EXPECT_EQ(b.delta_swaps, 2u);
+    EXPECT_EQ(b.stages_requantized, 2u);
+    EXPECT_EQ(b.stages_skipped, 1u);
+  }
 }

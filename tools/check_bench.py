@@ -95,6 +95,7 @@ BOOLEAN_GATES = {
     "cluster_scales",
     "spill_protects",
     "frontend_ok",
+    "tenant_isolation",
 }
 
 
